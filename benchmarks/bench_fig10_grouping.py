@@ -1,0 +1,73 @@
+"""Figure 10: sweep of the number of trend groups (public transportation data).
+
+Grouping partitions the stream, so more groups mean smaller sub-streams and
+cheaper evaluation for every approach.  The paper's shape: the two-step
+approaches only start terminating once there are enough groups (Flink needs
+>= 15, SASE >= 25); the online approaches work for any group count, with
+COGRA the fastest and smallest throughout, A-Seq's memory growing with the
+number of groups, and GRETA's memory staying highest because it stores
+every matched event.
+"""
+
+import pytest
+
+from conftest import DEFAULT_BUDGET, save_report
+from repro.bench.harness import measure_run, sweep
+from repro.bench.metrics import RunStatus
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import figure10_grouping_workload
+
+APPROACHES = ["flink", "sase", "greta", "aseq", "cogra"]
+
+
+@pytest.mark.parametrize("groups", [10, 30])
+@pytest.mark.parametrize("approach", ["greta", "aseq", "cogra"])
+def test_figure10_latency(benchmark, approach, groups):
+    point = figure10_grouping_workload(group_counts=(groups,), event_count=600, seed=10)[0]
+
+    def run():
+        return measure_run(
+            approach,
+            point.query,
+            point.events,
+            workload=point.name,
+            parameter=point.parameter,
+            cost_budget=None,
+            track_allocations=False,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert metrics.finished
+
+
+def test_figure10_report(benchmark, results_dir):
+    def run():
+        # sweep from few to many groups; the two-step approaches recover as
+        # the per-group sub-streams shrink
+        return sweep(
+            APPROACHES,
+            list(reversed(figure10_grouping_workload(group_counts=(5, 10, 20, 30), event_count=600, seed=10))),
+            cost_budget=DEFAULT_BUDGET,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for metric in ("latency (ms)", "stored units"):
+        table = format_series_table(
+            f"Figure 10 - number of trend groups, public transportation ({metric})",
+            results,
+            metric=metric,
+            parameter_label="trend groups",
+        )
+        save_report(results_dir, f"figure10_{metric.split()[0]}", table)
+
+    online = [r for r in results if r.approach in ("cogra", "greta", "aseq")]
+    assert all(r.finished for r in online)
+    # the online approaches agree on the trend counts at every group count
+    for parameter in {r.parameter for r in online}:
+        counts = {r.total_trend_count for r in online if r.parameter == parameter}
+        assert len(counts) == 1
+    # COGRA keeps fewer aggregates than GRETA keeps events for every point
+    for parameter in {r.parameter for r in online}:
+        greta = next(r for r in online if r.approach == "greta" and r.parameter == parameter)
+        cogra = next(r for r in online if r.approach == "cogra" and r.parameter == parameter)
+        assert cogra.peak_storage_units <= greta.peak_storage_units

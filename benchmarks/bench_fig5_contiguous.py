@@ -1,0 +1,76 @@
+"""Figure 5: latency under the contiguous semantics (physical activity data).
+
+The paper reports that the two-step approaches remain usable under the most
+restrictive semantics because contiguous trends are few and short, yet
+COGRA still wins by more than an order of magnitude at scale (27x vs Flink,
+12x vs SASE at 100M events).  The shape reproduced here: COGRA's latency
+grows linearly and stays lowest; SASE and the flattened Flink workload pay
+the trend-construction overhead.
+"""
+
+import pytest
+
+from conftest import DEFAULT_BUDGET, save_report
+from repro.bench.harness import measure_run, sweep
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import figure5_contiguous_workload
+
+#: approaches that support the contiguous semantics (Table 9)
+APPROACHES = ["flink", "sase", "cogra"]
+FLINK_KWARGS = {"flink": {"max_repetitions": 40}}
+
+
+def _workloads(sizes):
+    return figure5_contiguous_workload(event_counts=sizes, seed=5)
+
+
+@pytest.mark.parametrize("events", [400, 800])
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_figure5_latency(benchmark, approach, events):
+    """Per-approach latency at one sweep point of Figure 5."""
+    point = _workloads((events,))[0]
+    kwargs = FLINK_KWARGS.get(approach)
+
+    def run():
+        return measure_run(
+            approach,
+            point.query,
+            point.events,
+            workload=point.name,
+            parameter=point.parameter,
+            cost_budget=DEFAULT_BUDGET,
+            approach_kwargs=kwargs,
+            track_allocations=False,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert metrics.status.value in ("ok", "dnf")
+
+
+def test_figure5_report(benchmark, results_dir):
+    """Render the full Figure 5 sweep as latency / memory tables."""
+
+    def run():
+        return sweep(
+            APPROACHES,
+            _workloads((200, 400, 800)),
+            cost_budget=DEFAULT_BUDGET,
+            approach_kwargs=FLINK_KWARGS,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for metric in ("latency (ms)", "stored units", "throughput (events/s)"):
+        table = format_series_table(
+            f"Figure 5 - contiguous semantics, physical activity ({metric})",
+            results,
+            metric=metric,
+        )
+        save_report(results_dir, f"figure5_{metric.split()[0]}", table)
+    cogra = [r for r in results if r.approach == "cogra"]
+    assert all(r.finished for r in cogra)
+    # COGRA is never slower than the slowest finished two-step competitor
+    for parameter in {r.parameter for r in results}:
+        finished = [r for r in results if r.parameter == parameter and r.finished]
+        slowest = max(finished, key=lambda r: r.latency_ms)
+        fastest_cogra = [r for r in finished if r.approach == "cogra"][0]
+        assert fastest_cogra.latency_ms <= slowest.latency_ms

@@ -1,0 +1,65 @@
+"""Figure 6: latency under skip-till-next-match (public transportation data).
+
+Only the Kleene-capable approaches can run this workload, and GRETA / A-Seq
+/ Flink do not support the semantics at all (Table 9).  The paper's shape:
+SASE's two-step evaluation falls hours behind beyond a few million events,
+while COGRA's latency stays linear.  At laptop scale the same divergence is
+visible as a growing gap between the two curves.
+"""
+
+import pytest
+
+from conftest import DEFAULT_BUDGET, save_report
+from repro.bench.harness import measure_run, sweep
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import figure6_next_match_workload
+
+APPROACHES = ["flink", "sase", "greta", "aseq", "cogra"]
+
+
+@pytest.mark.parametrize("events", [500, 1000])
+@pytest.mark.parametrize("approach", ["sase", "cogra"])
+def test_figure6_latency(benchmark, approach, events):
+    point = figure6_next_match_workload(event_counts=(events,), seed=6)[0]
+
+    def run():
+        return measure_run(
+            approach,
+            point.query,
+            point.events,
+            workload=point.name,
+            parameter=point.parameter,
+            cost_budget=DEFAULT_BUDGET,
+            track_allocations=False,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert metrics.finished
+
+
+def test_figure6_report(benchmark, results_dir):
+    def run():
+        return sweep(
+            APPROACHES,
+            figure6_next_match_workload(event_counts=(250, 500, 1000, 2000), seed=6),
+            cost_budget=DEFAULT_BUDGET,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for metric in ("latency (ms)", "stored units"):
+        table = format_series_table(
+            f"Figure 6 - skip-till-next-match, public transportation ({metric})",
+            results,
+            metric=metric,
+        )
+        save_report(results_dir, f"figure6_{metric.split()[0]}", table)
+
+    # Table 9: only SASE and COGRA support skip-till-next-match
+    unsupported = {r.approach for r in results if r.status.value == "unsupported"}
+    assert unsupported == {"flink", "greta", "aseq"}
+    # both supported approaches report the same trend counts
+    by_parameter = {}
+    for result in results:
+        if result.finished:
+            by_parameter.setdefault(result.parameter, set()).add(result.total_trend_count)
+    assert all(len(counts) == 1 for counts in by_parameter.values())

@@ -1,0 +1,66 @@
+"""Figure 8: online approaches under skip-till-any-match at higher rates.
+
+GRETA, A-Seq and COGRA all avoid trend construction, so they survive rates
+that kill the two-step systems; the differences between them only appear at
+scale.  The paper's shape: GRETA's per-event graph maintenance makes its
+latency and memory grow fastest (it eventually misses the hour-latency bar),
+A-Seq pays for its linearly growing workload of flattened queries, and
+COGRA stays flat in memory and linear (lowest) in latency.
+"""
+
+import pytest
+
+from conftest import DEFAULT_BUDGET, save_report
+from repro.bench.harness import measure_run, sweep
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import figure8_any_online_workload
+
+APPROACHES = ["greta", "aseq", "cogra"]
+
+
+@pytest.mark.parametrize("events", [1000, 2000])
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_figure8_latency(benchmark, approach, events):
+    point = figure8_any_online_workload(event_counts=(events,), seed=8)[0]
+
+    def run():
+        return measure_run(
+            approach,
+            point.query,
+            point.events,
+            workload=point.name,
+            parameter=point.parameter,
+            cost_budget=None,
+            track_allocations=False,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert metrics.finished
+
+
+def test_figure8_report(benchmark, results_dir):
+    def run():
+        return sweep(
+            APPROACHES,
+            figure8_any_online_workload(event_counts=(500, 1000, 2000, 4000), seed=8),
+            cost_budget=None,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for metric in ("latency (ms)", "stored units", "throughput (events/s)"):
+        table = format_series_table(
+            f"Figure 8 - skip-till-any-match, stock data, online approaches ({metric})",
+            results,
+            metric=metric,
+        )
+        save_report(results_dir, f"figure8_{metric.split()[0]}", table)
+
+    assert all(result.finished for result in results)
+    largest = max(result.parameter for result in results)
+    at_largest = {r.approach: r for r in results if r.parameter == largest}
+    # COGRA maintains the fewest aggregates and is the fastest online approach
+    assert at_largest["cogra"].peak_storage_units <= at_largest["greta"].peak_storage_units
+    assert at_largest["cogra"].peak_storage_units <= at_largest["aseq"].peak_storage_units
+    assert at_largest["cogra"].latency_ms <= at_largest["greta"].latency_ms
+    # all three report identical trend counts (they are all correct)
+    assert len({r.total_trend_count for r in at_largest.values()}) == 1

@@ -1,0 +1,71 @@
+"""Figure 9: sweep of the adjacent-predicate selectivity (stock data).
+
+The selectivity of ``A.price > NEXT(A).price`` controls how many (and how
+long) down-trends exist.  The paper's shape: the two-step approaches
+degrade exponentially with selectivity (Flink stops terminating beyond
+50%), GRETA's latency grows with the number of graph edges, and COGRA --
+which keeps one aggregate per stored event / type regardless of the number
+of edges -- degrades the most gracefully.  A-Seq cannot express the
+predicate at all.
+"""
+
+import pytest
+
+from conftest import DEFAULT_BUDGET, save_report
+from repro.bench.harness import measure_run, sweep
+from repro.bench.metrics import RunStatus
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import figure9_selectivity_workload
+
+APPROACHES = ["flink", "sase", "greta", "aseq", "cogra"]
+
+
+@pytest.mark.parametrize("selectivity", [0.3, 0.7])
+@pytest.mark.parametrize("approach", ["sase", "greta", "cogra"])
+def test_figure9_latency(benchmark, approach, selectivity):
+    point = figure9_selectivity_workload(selectivities=(selectivity,), event_count=250, seed=9)[0]
+
+    def run():
+        return measure_run(
+            approach,
+            point.query,
+            point.events,
+            workload=point.name,
+            parameter=point.parameter,
+            cost_budget=DEFAULT_BUDGET,
+            track_allocations=False,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert metrics.status in (RunStatus.OK, RunStatus.DID_NOT_FINISH)
+
+
+def test_figure9_report(benchmark, results_dir):
+    def run():
+        return sweep(
+            APPROACHES,
+            figure9_selectivity_workload(
+                selectivities=(0.1, 0.3, 0.5, 0.7, 0.9), event_count=250, seed=9
+            ),
+            cost_budget=DEFAULT_BUDGET,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for metric in ("latency (ms)", "stored units"):
+        table = format_series_table(
+            f"Figure 9 - predicate selectivity, stock data ({metric})",
+            results,
+            metric=metric,
+            parameter_label="predicate selectivity",
+        )
+        save_report(results_dir, f"figure9_{metric.split()[0]}", table)
+
+    # A-Seq does not support predicates on adjacent events (Table 9)
+    assert all(r.status is RunStatus.UNSUPPORTED for r in results if r.approach == "aseq")
+    # COGRA and GRETA finish every selectivity point
+    assert all(r.finished for r in results if r.approach in ("cogra", "greta"))
+    # COGRA's aggregate count is never larger than GRETA's (type vs event grain)
+    for parameter in {r.parameter for r in results}:
+        greta = next(r for r in results if r.approach == "greta" and r.parameter == parameter)
+        cogra = next(r for r in results if r.approach == "cogra" and r.parameter == parameter)
+        assert cogra.peak_storage_units <= greta.peak_storage_units

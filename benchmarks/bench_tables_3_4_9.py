@@ -1,0 +1,135 @@
+"""Tables 3, 4 and 9: trend-count growth, granularity selection, expressive power.
+
+* Table 3 -- the number of trends matched by an event sequence pattern vs a
+  Kleene pattern under each semantics (linear / polynomial / exponential in
+  the number of events).  The bench enumerates trends on growing streams
+  and checks the growth class.
+* Table 4 -- the granularity chosen by the static analyzer for every
+  (semantics, adjacent-predicates) combination.
+* Table 9 -- the expressive-power matrix of all five approaches.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.baselines.trend_enumeration import enumerate_trends
+from repro.bench.reporting import format_capability_table
+from repro.analyzer.granularity import granularity_table
+from repro.baselines.registry import capability_table
+from repro.events.event import Event
+from repro.query.aggregates import count_star
+from repro.query.ast import atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+
+
+def alternating_stream(count):
+    """a1 b2 a3 b4 ... : every semantics finds trends in it."""
+    return [Event("A" if i % 2 == 0 else "B", float(i + 1)) for i in range(count)]
+
+
+def count_trends(pattern, semantics, events):
+    query = QueryBuilder().pattern(pattern).semantics(semantics).aggregate(count_star()).build()
+    return len(enumerate_trends(query, events))
+
+
+SEQUENCE_PATTERN = sequence(atom("A"), atom("B"))
+KLEENE_PATTERN = kleene_plus("A")
+
+
+class TestTable3TrendCounts:
+    """Growth of the number of trends with the number of events (Table 3)."""
+
+    def test_sequence_pattern_under_next_and_cont_grows_linearly(self, benchmark):
+        def run():
+            return [count_trends(SEQUENCE_PATTERN, sem, alternating_stream(n))
+                    for sem in ("skip-till-next-match", "contiguous") for n in (4, 8, 12)]
+
+        counts = benchmark.pedantic(run, rounds=1, iterations=1)
+        next_counts, cont_counts = counts[:3], counts[3:]
+        # linear: constant first differences
+        assert next_counts[2] - next_counts[1] == next_counts[1] - next_counts[0]
+        assert cont_counts[2] - cont_counts[1] == cont_counts[1] - cont_counts[0]
+
+    def test_sequence_pattern_under_any_grows_polynomially(self, benchmark):
+        def run():
+            return [count_trends(SEQUENCE_PATTERN, "skip-till-any-match", alternating_stream(n))
+                    for n in (4, 8, 12)]
+
+        counts = benchmark.pedantic(run, rounds=1, iterations=1)
+        # quadratic growth: first differences increase
+        first = [b - a for a, b in zip(counts, counts[1:])]
+        assert first[1] > first[0]
+        # sum of 1..n/2 pairs for an alternating a b a b ... stream
+        assert counts == [3, 10, 21]
+
+    def test_kleene_pattern_under_any_grows_exponentially(self, benchmark):
+        def run():
+            return [count_trends(KLEENE_PATTERN, "skip-till-any-match",
+                                 [Event("A", float(i + 1)) for i in range(n)])
+                    for n in (4, 6, 8)]
+
+        counts = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert counts == [2 ** 4 - 1, 2 ** 6 - 1, 2 ** 8 - 1]
+
+    def test_kleene_pattern_under_next_and_cont_grows_polynomially(self, benchmark):
+        def run():
+            return [count_trends(KLEENE_PATTERN, sem, [Event("A", float(i + 1)) for i in range(n)])
+                    for sem in ("skip-till-next-match", "contiguous") for n in (4, 6, 8)]
+
+        counts = benchmark.pedantic(run, rounds=1, iterations=1)
+        # every contiguous run interval: n * (n + 1) / 2
+        assert counts[:3] == [10, 21, 36]
+        assert counts[3:] == [10, 21, 36]
+
+    def test_table3_report(self, benchmark, results_dir):
+        def run():
+            rows = []
+            for label, pattern in (("event sequence SEQ(A,B)", SEQUENCE_PATTERN), ("Kleene A+", KLEENE_PATTERN)):
+                for semantics in ("skip-till-any-match", "skip-till-next-match", "contiguous"):
+                    series = [
+                        count_trends(pattern, semantics,
+                                     alternating_stream(n) if pattern is SEQUENCE_PATTERN
+                                     else [Event("A", float(i + 1)) for i in range(n)])
+                        for n in (4, 8, 12)
+                    ]
+                    rows.append((label, semantics, series))
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        lines = ["Table 3 - number of trends for n = 4, 8, 12 events",
+                 f"{'pattern':28}  {'semantics':24}  counts"]
+        for label, semantics, series in rows:
+            lines.append(f"{label:28}  {semantics:24}  {series}")
+        save_report(results_dir, "table3_trend_counts", "\n".join(lines))
+
+
+def test_table4_granularity_matrix(benchmark, results_dir):
+    table = benchmark(granularity_table)
+    lines = ["Table 4 - granularity selection",
+             f"{'semantics':10}  {'without adjacent preds':24}  {'with adjacent preds':20}"]
+    for semantics in ("ANY", "NEXT", "CONT"):
+        lines.append(
+            f"{semantics:10}  {table[(semantics, False)]:24}  {table[(semantics, True)]:20}"
+        )
+    save_report(results_dir, "table4_granularity", "\n".join(lines))
+    assert table[("ANY", False)] == "type"
+    assert table[("ANY", True)] == "mixed"
+    assert table[("NEXT", True)] == "pattern"
+    assert table[("CONT", False)] == "pattern"
+
+
+def test_table9_capability_matrix(benchmark, results_dir):
+    table = benchmark(capability_table)
+    save_report(results_dir, "table9_capabilities", format_capability_table())
+    assert table["cogra"] == {
+        "Kleene closure": "+",
+        "ANY": "+",
+        "NEXT": "+",
+        "CONT": "+",
+        "Adjacent predicates": "+",
+        "Online trend aggregation": "+",
+    }
+    assert table["flink"]["Kleene closure"] == "-"
+    assert table["aseq"]["Online trend aggregation"] == "+"
+    assert table["greta"]["NEXT"] == "-"
+    assert table["sase"]["Online trend aggregation"] == "-"

@@ -1,0 +1,78 @@
+"""Tables 5, 6 and 7: the paper's running example at every granularity.
+
+These micro-benchmarks time the three COGRA aggregators on the stream of
+Figure 2 (``a1 b2 a3 a4 c5 b6 a7 b8``) and assert the exact final counts
+the paper reports: 43 trends under skip-till-any-match (Table 5), 33 under
+the Table 6 adjacency restriction, 8 under skip-till-next-match and 2 under
+the contiguous semantics (Table 7).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.analyzer.plan import plan_query
+from repro.core.base import create_aggregator
+from repro.datasets.queries import running_example_query, running_example_stream
+from repro.query.aggregates import count_star
+from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+from repro.query.predicates import AdjacentPredicate
+
+
+def table6_query():
+    predicate = AdjacentPredicate(
+        "B", "A", lambda b, a: not (b.time == 6.0 and a.time == 7.0), "Table 6 restriction"
+    )
+    return (
+        QueryBuilder("table6")
+        .pattern(KleenePlus(sequence(kleene_plus("A"), atom("B"))))
+        .semantics("skip-till-any-match")
+        .aggregate(count_star())
+        .where_adjacent(predicate)
+        .build()
+    )
+
+
+CASES = {
+    "table5_type_grained_any": (running_example_query("skip-till-any-match"), 43, "type"),
+    "table6_mixed_grained_any": (table6_query(), 33, "mixed"),
+    "table7_pattern_grained_next": (running_example_query("skip-till-next-match"), 8, "pattern"),
+    "table7_pattern_grained_cont": (running_example_query("contiguous"), 2, "pattern"),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_running_example_counts(benchmark, case):
+    query, expected, expected_granularity = CASES[case]
+    plan = plan_query(query)
+    assert plan.granularity.value == expected_granularity
+    events = running_example_stream()
+
+    def run():
+        aggregator = create_aggregator(plan)
+        for event in events:
+            aggregator.process(event)
+        return aggregator.trend_count
+
+    count = benchmark(run)
+    assert count == expected
+
+
+def test_tables_5_to_7_report(benchmark, results_dir):
+    def run():
+        rows = []
+        for name, (query, expected, granularity) in sorted(CASES.items()):
+            plan = plan_query(query)
+            aggregator = create_aggregator(plan)
+            for event in running_example_stream():
+                aggregator.process(event)
+            rows.append((name, granularity, aggregator.trend_count, expected))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Tables 5-7 - running example (SEQ(A+,B))+ over a1 b2 a3 a4 c5 b6 a7 b8",
+             f"{'case':35}  {'granularity':12}  {'measured':>8}  {'paper':>6}"]
+    for name, granularity, measured, expected in rows:
+        lines.append(f"{name:35}  {granularity:12}  {measured:>8}  {expected:>6}")
+        assert measured == expected
+    save_report(results_dir, "tables5_6_7_running_example", "\n".join(lines))

@@ -1,0 +1,42 @@
+"""Shared configuration of the benchmark suite.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (Section 9).  The benchmarks run at laptop scale: absolute
+numbers are far below the paper's 16-core JVM testbed, but the *shape* of
+each chart -- which approach wins, by what factor, and where approaches stop
+terminating -- is what the suite reproduces.  ``python -m repro.cli figures``
+runs the same sweeps at larger sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(_SRC))
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: cost budget (constructed trends / sequences) for the two-step baselines;
+#: exceeding it is reported as DNF, mirroring the paper's non-terminating runs
+DEFAULT_BUDGET = 50_000
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where the figure tables are written as text files."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered figure table and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,21 @@
+"""Small helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.results import GroupResult
+
+
+def results_signature(results: Iterable[GroupResult]) -> Tuple:
+    """Order-independent signature of a result set for equality checks."""
+    return tuple(
+        sorted(
+            (
+                result.window_id,
+                tuple(sorted(result.group.items())),
+                tuple(sorted((k, repr(v)) for k, v in result.values.items())),
+            )
+            for result in results
+        )
+    )

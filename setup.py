@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) keep working on machines without the ``wheel``
+package, e.g. air-gapped evaluation environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""COGRA: coarse-grained online event trend aggregation.
+
+A from-scratch Python reproduction of *"Event Trend Aggregation Under Rich
+Event Matching Semantics"* (Poppe, Lei, Rundensteiner, Maier).  The package
+exposes
+
+* the event and query model (:mod:`repro.events`, :mod:`repro.query`),
+* the static query analyzer (:mod:`repro.analyzer`),
+* the COGRA runtime (:mod:`repro.core`) with its public facade
+  :class:`~repro.core.engine.CograEngine`,
+* re-implementations of the state-of-the-art baselines used in the paper's
+  evaluation (:mod:`repro.baselines`),
+* synthetic data-set generators mirroring the paper's workloads
+  (:mod:`repro.datasets`), and
+* the benchmark harness that regenerates every figure of the evaluation
+  (:mod:`repro.bench`).
+"""
+
+from repro.analyzer.granularity import Granularity
+from repro.core.engine import CograEngine
+from repro.core.parallel import ParallelExecutor
+from repro.core.results import GroupResult
+from repro.events.event import Event, EventSchema
+from repro.events.stream import EventStream
+from repro.query.aggregates import (
+    avg,
+    count_star,
+    count_type,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.query.ast import (
+    EventTypePattern,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    Sequence,
+    atom,
+    kleene_plus,
+    sequence,
+)
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+from repro.query.predicates import (
+    AdjacentPredicate,
+    EquivalencePredicate,
+    LocalPredicate,
+    comparison,
+)
+from repro.query.query import Query
+from repro.query.semantics import Semantics
+from repro.query.windows import WindowSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdjacentPredicate",
+    "CograEngine",
+    "EquivalencePredicate",
+    "Event",
+    "EventSchema",
+    "EventStream",
+    "EventTypePattern",
+    "Granularity",
+    "GroupResult",
+    "KleenePlus",
+    "KleeneStar",
+    "LocalPredicate",
+    "Negation",
+    "OptionalPattern",
+    "ParallelExecutor",
+    "Query",
+    "QueryBuilder",
+    "Semantics",
+    "Sequence",
+    "WindowSpec",
+    "__version__",
+    "atom",
+    "avg",
+    "comparison",
+    "count_star",
+    "count_type",
+    "kleene_plus",
+    "max_of",
+    "min_of",
+    "parse_query",
+    "sequence",
+    "sum_of",
+]

@@ -1,0 +1,46 @@
+"""Static query analysis (Section 3 of the paper).
+
+The static query analyzer runs once per query, before any event arrives:
+
+1. the :mod:`pattern analyzer <repro.analyzer.automaton>` translates the
+   pattern into its finite state automaton representation and derives the
+   predecessor-type relation,
+2. the :mod:`predicate classifier <repro.analyzer.classifier>` separates
+   predicates on single events from predicates on adjacent events, and
+3. the :mod:`granularity selector <repro.analyzer.granularity>` chooses the
+   coarsest granularity at which trend aggregates can be maintained.
+
+The result is a :class:`~repro.analyzer.plan.CograPlan` that configures the
+runtime executor.  The :mod:`cost model <repro.analyzer.cost>` turns the
+plan into the complexity report of Table 3 and Theorems 4.2/5.2/6.3.
+"""
+
+from repro.analyzer.automaton import PatternAutomaton
+from repro.analyzer.classifier import PredicateClassification, classify_predicates
+from repro.analyzer.cost import (
+    CostEstimate,
+    GrowthClass,
+    compare_granularities,
+    estimate_cost,
+    table3,
+    trend_growth_class,
+)
+from repro.analyzer.granularity import Granularity, allowed_granularities, select_granularity
+from repro.analyzer.plan import CograPlan, plan_query
+
+__all__ = [
+    "CograPlan",
+    "CostEstimate",
+    "Granularity",
+    "GrowthClass",
+    "PatternAutomaton",
+    "PredicateClassification",
+    "allowed_granularities",
+    "classify_predicates",
+    "compare_granularities",
+    "estimate_cost",
+    "plan_query",
+    "select_granularity",
+    "table3",
+    "trend_growth_class",
+]

@@ -1,0 +1,212 @@
+"""Finite state automaton representation of a pattern (Section 3.1).
+
+The automaton has one state per pattern *variable* (event type occurrence).
+Transitions connect variables whose events may be adjacent in a trend; the
+reverse of the transition relation is the predecessor-type relation
+``predTypes`` used by every COGRA aggregator.
+
+For the running example of the paper, ``P = (SEQ(A+, B))+``::
+
+    start(P)        == {A}
+    end(P)          == {B}
+    predTypes(A)    == {A, B}
+    predTypes(B)    == {A}
+
+The construction handles the extension operators of Section 8 (Kleene star,
+optional sub-patterns, disjunction); negated sub-patterns do not contribute
+states to the positive automaton and are planned separately by
+:mod:`repro.extensions.negation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import InvalidPatternError
+from repro.query.ast import (
+    Disjunction,
+    EventTypePattern,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    Pattern,
+    Sequence,
+)
+
+
+class _Fragment:
+    """Intermediate result of the recursive automaton construction."""
+
+    __slots__ = ("first", "last", "edges", "matches_empty")
+
+    def __init__(
+        self,
+        first: Set[str],
+        last: Set[str],
+        edges: Set[Tuple[str, str]],
+        matches_empty: bool,
+    ):
+        self.first = first
+        self.last = last
+        self.edges = edges
+        self.matches_empty = matches_empty
+
+
+def _build(pattern: Pattern) -> _Fragment:
+    if isinstance(pattern, EventTypePattern):
+        variable = pattern.variable
+        return _Fragment({variable}, {variable}, set(), False)
+
+    if isinstance(pattern, Sequence):
+        edges: Set[Tuple[str, str]] = set()
+        first: Set[str] = set()
+        current_last: Set[str] = set()
+        all_empty_so_far = True
+        matches_empty = True
+        for part in pattern.parts:
+            fragment = _build(part)
+            edges |= fragment.edges
+            edges |= {(u, v) for u in current_last for v in fragment.first}
+            if all_empty_so_far:
+                first |= fragment.first
+            if fragment.matches_empty:
+                current_last = current_last | fragment.last
+            else:
+                current_last = set(fragment.last)
+                all_empty_so_far = False
+                matches_empty = False
+        return _Fragment(first, current_last, edges, matches_empty)
+
+    if isinstance(pattern, (KleenePlus, KleeneStar)):
+        fragment = _build(pattern.inner)
+        edges = set(fragment.edges)
+        edges |= {(u, v) for u in fragment.last for v in fragment.first}
+        matches_empty = fragment.matches_empty or isinstance(pattern, KleeneStar)
+        return _Fragment(fragment.first, fragment.last, edges, matches_empty)
+
+    if isinstance(pattern, OptionalPattern):
+        fragment = _build(pattern.inner)
+        return _Fragment(fragment.first, fragment.last, fragment.edges, True)
+
+    if isinstance(pattern, Negation):
+        # Negated sub-patterns do not contribute states to the positive
+        # automaton; they behave like an empty match here and are handled by
+        # the negation extension.
+        return _Fragment(set(), set(), set(), True)
+
+    if isinstance(pattern, Disjunction):
+        first: Set[str] = set()
+        last: Set[str] = set()
+        edges: Set[Tuple[str, str]] = set()
+        matches_empty = False
+        for alternative in pattern.alternatives:
+            fragment = _build(alternative)
+            first |= fragment.first
+            last |= fragment.last
+            edges |= fragment.edges
+            matches_empty = matches_empty or fragment.matches_empty
+        return _Fragment(first, last, edges, matches_empty)
+
+    raise InvalidPatternError(f"unsupported pattern node {type(pattern).__name__}")
+
+
+class PatternAutomaton:
+    """The FSA view of a pattern: states, start/end states and predecessors.
+
+    Parameters
+    ----------
+    pattern:
+        The (validated) pattern to analyse.
+    """
+
+    def __init__(self, pattern: Pattern):
+        pattern.validate()
+        self.pattern = pattern
+        fragment = _build(pattern)
+        if not fragment.first or not fragment.last:
+            raise InvalidPatternError(
+                f"pattern {pattern!r} has no positive start or end event type"
+            )
+
+        #: variables in pattern order (negated variables excluded; a variable
+        #: reused across disjunction alternatives contributes one state)
+        ordered: List[str] = []
+        self.variable_types: Dict[str, str] = {}
+        for leaf in pattern.leaves():
+            if leaf.negated_context:
+                continue
+            if leaf.variable not in self.variable_types:
+                ordered.append(leaf.variable)
+                self.variable_types[leaf.variable] = leaf.event_type
+        self.variables: Tuple[str, ...] = tuple(ordered)
+        #: event type -> variables that can match it, in pattern order
+        self.type_variables: Dict[str, Tuple[str, ...]] = {}
+        for variable in self.variables:
+            event_type = self.variable_types[variable]
+            self.type_variables.setdefault(event_type, ())
+            self.type_variables[event_type] = self.type_variables[event_type] + (variable,)
+
+        self.start_variables: FrozenSet[str] = frozenset(fragment.first)
+        self.end_variables: FrozenSet[str] = frozenset(fragment.last)
+        self.mid_variables: FrozenSet[str] = frozenset(self.variables) - self.start_variables - self.end_variables
+        self.edges: FrozenSet[Tuple[str, str]] = frozenset(fragment.edges)
+
+        predecessors: Dict[str, Set[str]] = {variable: set() for variable in self.variables}
+        successors: Dict[str, Set[str]] = {variable: set() for variable in self.variables}
+        for source, target in fragment.edges:
+            predecessors[target].add(source)
+            successors[source].add(target)
+        self._predecessors = {v: frozenset(s) for v, s in predecessors.items()}
+        self._successors = {v: frozenset(s) for v, s in successors.items()}
+
+    # -- the API used by the aggregators --------------------------------------
+
+    def pred_types(self, variable: str) -> FrozenSet[str]:
+        """``P.predTypes(variable)``: variables that may precede ``variable``."""
+        return self._predecessors[variable]
+
+    def succ_types(self, variable: str) -> FrozenSet[str]:
+        """Variables that may follow ``variable`` in a trend."""
+        return self._successors[variable]
+
+    def is_start(self, variable: str) -> bool:
+        """True when an event bound to ``variable`` may begin a trend."""
+        return variable in self.start_variables
+
+    def is_end(self, variable: str) -> bool:
+        """True when an event bound to ``variable`` may finish a trend."""
+        return variable in self.end_variables
+
+    def variables_for_type(self, event_type: str) -> Tuple[str, ...]:
+        """Variables that an event of ``event_type`` can be bound to."""
+        return self.type_variables.get(event_type, ())
+
+    def is_relevant_type(self, event_type: str) -> bool:
+        """True when events of ``event_type`` can participate in a trend."""
+        return event_type in self.type_variables
+
+    @property
+    def length(self) -> int:
+        """Number of states (pattern length ``l`` of the complexity analysis)."""
+        return len(self.variables)
+
+    # -- debugging --------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Readable rendering of the automaton used in plan explanations."""
+        lines = [f"pattern   : {self.pattern!r}"]
+        lines.append(f"start     : {sorted(self.start_variables)}")
+        lines.append(f"end       : {sorted(self.end_variables)}")
+        lines.append(f"mid       : {sorted(self.mid_variables)}")
+        for variable in self.variables:
+            lines.append(
+                f"predTypes({variable}) = {sorted(self._predecessors[variable])}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternAutomaton(states={list(self.variables)}, "
+            f"start={sorted(self.start_variables)}, end={sorted(self.end_variables)})"
+        )

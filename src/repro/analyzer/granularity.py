@@ -1,0 +1,124 @@
+"""Granularity selector (Section 3.3, Table 4 of the paper).
+
+Given the event matching semantics and the presence of predicates on
+adjacent events, the selector picks the coarsest granularity at which trend
+aggregates can be maintained without losing correctness:
+
+==============================  =======================  ==================
+Semantics                       without adjacent preds   with adjacent preds
+==============================  =======================  ==================
+skip-till-any-match             TYPE                     MIXED (or EVENT)
+skip-till-next-match            PATTERN                  PATTERN
+contiguous                      PATTERN                  PATTERN
+==============================  =======================  ==================
+
+MIXED degenerates to EVENT when *every* variable of the pattern appears on
+the predecessor side of some adjacent predicate (the extreme case mentioned
+at the start of Section 5, which recovers GRETA's fine granularity).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Tuple
+
+from repro.analyzer.automaton import PatternAutomaton
+from repro.analyzer.classifier import PredicateClassification
+from repro.query.semantics import Semantics
+
+
+class Granularity(enum.Enum):
+    """Granularity at which trend aggregates are maintained."""
+
+    PATTERN = "pattern"
+    TYPE = "type"
+    MIXED = "mixed"
+    EVENT = "event"
+
+    @property
+    def keeps_events(self) -> bool:
+        """True when matched events must be stored (mixed / event grained)."""
+        return self in (Granularity.MIXED, Granularity.EVENT)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def split_variables(
+    automaton: PatternAutomaton, classification: PredicateClassification
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """Split pattern variables into type-grained ``Tt`` and event-grained ``Te``.
+
+    Following Theorem 5.1: a variable ``E`` needs event-grained aggregates
+    exactly when some adjacent predicate constrains the pair ``(E, Ex)`` and
+    ``E`` is a predecessor type of ``Ex`` -- i.e. events bound to ``E`` must
+    be kept so the predicate can be evaluated against future events.
+    """
+    event_grained = set()
+    for predicate in classification.adjacent_predicates:
+        predecessor = predicate.predecessor_variable
+        successor = predicate.successor_variable
+        if predecessor in automaton.pred_types(successor):
+            event_grained.add(predecessor)
+    type_grained = frozenset(automaton.variables) - event_grained
+    return type_grained, frozenset(event_grained)
+
+
+def select_granularity(
+    semantics: Semantics,
+    automaton: PatternAutomaton,
+    classification: PredicateClassification,
+) -> Granularity:
+    """Choose the coarsest granularity for the given query features (Table 4)."""
+    if semantics in (Semantics.SKIP_TILL_NEXT_MATCH, Semantics.CONTIGUOUS):
+        return Granularity.PATTERN
+    if not classification.has_adjacent_predicates:
+        return Granularity.TYPE
+    type_grained, event_grained = split_variables(automaton, classification)
+    if not event_grained:
+        # Adjacent predicates exist but none of them constrains a pair whose
+        # predecessor can actually precede the successor: they are vacuous.
+        return Granularity.TYPE
+    if not type_grained:
+        return Granularity.EVENT
+    return Granularity.MIXED
+
+
+def allowed_granularities(
+    semantics: Semantics, classification: PredicateClassification
+) -> Tuple[Granularity, ...]:
+    """Granularities at which a query can be evaluated *correctly*.
+
+    The first element is the coarsest (the one :func:`select_granularity`
+    picks); the remaining ones are finer but still correct.  They exist for
+    ablation studies: running a TYPE-eligible query at EVENT granularity
+    reproduces GRETA's fine-grained strategy on the same engine.
+
+    * NEXT / CONT queries admit only the PATTERN granularity -- the
+      type/mixed/event aggregators assume skip-till-any-match adjacency.
+    * ANY queries without adjacent predicates admit TYPE, MIXED (which
+      degenerates to TYPE) and EVENT.
+    * ANY queries with adjacent predicates admit MIXED and EVENT.
+    """
+    if semantics in (Semantics.SKIP_TILL_NEXT_MATCH, Semantics.CONTIGUOUS):
+        return (Granularity.PATTERN,)
+    if not classification.has_adjacent_predicates:
+        return (Granularity.TYPE, Granularity.MIXED, Granularity.EVENT)
+    return (Granularity.MIXED, Granularity.EVENT)
+
+
+def granularity_table() -> dict:
+    """Return Table 4 of the paper as a dictionary for reporting.
+
+    Keys are ``(semantics short name, has adjacent predicates)`` pairs and
+    values are granularity names.
+    """
+    table = {}
+    for semantics in Semantics:
+        for has_adjacent in (False, True):
+            if semantics is Semantics.SKIP_TILL_ANY_MATCH:
+                value = Granularity.MIXED if has_adjacent else Granularity.TYPE
+            else:
+                value = Granularity.PATTERN
+            table[(semantics.short_name, has_adjacent)] = value.value
+    return table

@@ -1,0 +1,47 @@
+"""State-of-the-art event aggregation approaches re-implemented as baselines.
+
+The paper compares COGRA against four systems (Table 1 / Table 9):
+
+* **SASE** -- a CEP engine with Kleene closure; two-step (constructs every
+  trend before aggregating it).
+* **Flink-style** streaming -- no Kleene closure; Kleene queries are
+  flattened into a workload of fixed-length sequence queries; two-step.
+* **GRETA** -- online trend aggregation over an event graph; only
+  skip-till-any-match; aggregates at the finest (per-event) granularity.
+* **A-Seq** -- online aggregation of fixed-length sequences with prefix
+  counters; no Kleene closure, only skip-till-any-match, no predicates on
+  adjacent events.
+
+All baselines are built on the same event/query substrate as COGRA so that
+benchmark comparisons measure algorithmic differences, not I/O paths.  The
+:mod:`repro.baselines.trend_enumeration` module additionally provides the
+declarative trend enumerator used as the correctness oracle by the tests.
+"""
+
+from repro.baselines.base import ApproachCapabilities, BaselineApproach
+from repro.baselines.aseq import ASeqApproach
+from repro.baselines.cogra import CograApproach
+from repro.baselines.flink import FlinkStyleApproach
+from repro.baselines.greta import GretaApproach
+from repro.baselines.registry import (
+    available_approaches,
+    capability_table,
+    get_approach,
+)
+from repro.baselines.sase import SaseApproach
+from repro.baselines.trend_enumeration import TrendOracle, enumerate_trends
+
+__all__ = [
+    "ApproachCapabilities",
+    "ASeqApproach",
+    "BaselineApproach",
+    "CograApproach",
+    "FlinkStyleApproach",
+    "GretaApproach",
+    "SaseApproach",
+    "TrendOracle",
+    "available_approaches",
+    "capability_table",
+    "enumerate_trends",
+    "get_approach",
+]

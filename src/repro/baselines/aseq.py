@@ -1,0 +1,107 @@
+"""A-Seq baseline: online aggregation of fixed-length event sequences.
+
+A-Seq (Qi, Cao, Ray, Rundensteiner) avoids sequence construction by
+maintaining one counter (here: one accumulator) per *prefix* of a sequence
+pattern.  It does not support Kleene closure, so Kleene queries are
+flattened into a workload of fixed-length sequence queries exactly as for
+the Flink-style baseline; A-Seq then evaluates every flattened query online.
+
+Per Table 9 the approach supports only the skip-till-any-match semantics
+and no predicates on adjacent events (beyond the stream-partitioning
+equivalence predicates).  Its memory grows linearly with the number of
+flattened queries, i.e. with the longest possible trend length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyzer.plan import CograPlan
+from repro.baselines.base import ANY_ONLY, ApproachCapabilities, BaselineApproach
+from repro.baselines.flattening import (
+    Variant,
+    flatten_pattern,
+    longest_possible_repetition,
+)
+from repro.core.aggregate_state import TrendAccumulator
+from repro.events.event import Event
+
+
+class ASeqApproach(BaselineApproach):
+    """Prefix-counter online aggregation of flattened sequence queries."""
+
+    name = "aseq"
+    capabilities = ApproachCapabilities(
+        kleene_closure=False,
+        semantics=ANY_ONLY,
+        adjacent_predicates=False,
+        online_trend_aggregation=True,
+    )
+
+    def __init__(
+        self,
+        cost_budget: Optional[int] = None,
+        max_variants: int = 100_000,
+        max_repetitions: Optional[int] = None,
+    ):
+        super().__init__(cost_budget=cost_budget)
+        self.max_variants = max_variants
+        self.max_repetitions = max_repetitions
+        #: number of flattened queries evaluated during the last run
+        self.workload_size = 0
+
+    def aggregate_substream(self, plan: CograPlan, events: List[Event]) -> TrendAccumulator:
+        repetitions = self.max_repetitions or longest_possible_repetition(
+            plan.query.pattern, events
+        )
+        variants = flatten_pattern(
+            plan.query.pattern, max_repetitions=repetitions, max_variants=self.max_variants
+        )
+        self.workload_size = len(variants)
+        total = TrendAccumulator.zero(plan.targets)
+        states = [self._PrefixState(plan, variant) for variant in variants]
+        self._account_storage(sum(state.storage_units for state in states))
+        for event in events:
+            for state in states:
+                state.process(event)
+        self._account_storage(sum(state.storage_units for state in states))
+        for state in states:
+            total.merge(state.final())
+        return total
+
+    class _PrefixState:
+        """Prefix accumulators of one flattened fixed-length query."""
+
+        def __init__(self, plan: CograPlan, variant: Variant):
+            self.plan = plan
+            self.variant = variant
+            # prefix 0 represents the empty sequence: exactly one of them.
+            unit = TrendAccumulator.zero(plan.targets)
+            unit.trend_count = 1
+            self.prefixes: List[TrendAccumulator] = [unit]
+            self.prefixes.extend(
+                TrendAccumulator.zero(plan.targets) for _ in variant
+            )
+
+        def process(self, event: Event) -> None:
+            """Extend every prefix the event can complete, longest first."""
+            # Iterating from the longest position downwards guarantees that
+            # an event never participates twice in the same sequence.
+            for position in range(len(self.variant) - 1, -1, -1):
+                event_type, variable = self.variant[position]
+                if event.event_type != event_type:
+                    continue
+                if not self.plan.passes_local(event, variable):
+                    continue
+                predecessor = self.prefixes[position]
+                if predecessor.trend_count == 0:
+                    continue
+                self.prefixes[position + 1].merge(predecessor.extended(event, variable))
+
+        def final(self) -> TrendAccumulator:
+            """Accumulator of the complete sequences of this flattened query."""
+            return self.prefixes[-1]
+
+        @property
+        def storage_units(self) -> int:
+            return sum(prefix.storage_units for prefix in self.prefixes)

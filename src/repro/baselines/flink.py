@@ -1,0 +1,131 @@
+"""Flink-style two-step baseline (industrial streaming systems).
+
+Flink, Esper and Oracle Stream Analytics support fixed-length event
+sequences but no Kleene closure.  Following the paper's experimental setup,
+a Kleene query is flattened into a workload of fixed-length sequence
+queries covering every possible trend length (see
+:mod:`repro.baselines.flattening`); each of these queries is evaluated in
+two steps -- all matching sequences are constructed and materialised, then
+aggregated.
+
+This reproduces the baseline's characteristic behaviour: latency and memory
+grow exponentially with the number of events per window under the
+skip-till-any-match semantics, and the approach stops terminating beyond a
+few tens of thousands of events (the cost budget converts this into an
+:class:`~repro.errors.ExecutionAbortedError` that the harness reports as a
+"did not terminate" data point).
+
+Per Table 9 the approach supports the skip-till-any-match and contiguous
+semantics and predicates on adjacent events, but not skip-till-next-match.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyzer.plan import CograPlan
+from repro.baselines.base import ApproachCapabilities, BaselineApproach
+from repro.baselines.flattening import (
+    Variant,
+    flatten_pattern,
+    longest_possible_repetition,
+)
+from repro.core.aggregate_state import TrendAccumulator
+from repro.events.event import Event
+from repro.query.semantics import Semantics
+
+
+class FlinkStyleApproach(BaselineApproach):
+    """Workload of flattened fixed-length sequence queries, evaluated two-step."""
+
+    name = "flink"
+    capabilities = ApproachCapabilities(
+        kleene_closure=False,
+        semantics=frozenset({Semantics.SKIP_TILL_ANY_MATCH, Semantics.CONTIGUOUS}),
+        adjacent_predicates=True,
+        online_trend_aggregation=False,
+    )
+
+    def __init__(
+        self,
+        cost_budget: Optional[int] = None,
+        max_variants: int = 10_000,
+        max_repetitions: Optional[int] = None,
+    ):
+        super().__init__(cost_budget=cost_budget)
+        self.max_variants = max_variants
+        #: optional override of the longest-match length.  The paper's setup
+        #: determines the longest match of the data set up front; benchmark
+        #: workloads pass the value their generator used, while ``None``
+        #: falls back to the (pessimistic) per-sub-stream upper bound.
+        self.max_repetitions = max_repetitions
+        #: number of flattened queries evaluated during the last run
+        self.workload_size = 0
+
+    def aggregate_substream(self, plan: CograPlan, events: List[Event]) -> TrendAccumulator:
+        repetitions = self.max_repetitions or longest_possible_repetition(
+            plan.query.pattern, events
+        )
+        variants = flatten_pattern(
+            plan.query.pattern, max_repetitions=repetitions, max_variants=self.max_variants
+        )
+        self.workload_size = len(variants)
+        total = TrendAccumulator.zero(plan.targets)
+        for variant in variants:
+            matches = self._construct_sequences(plan, events, variant)
+            # two-step: the matches are materialised before aggregation
+            self._account_storage(
+                self.workload_size + sum(len(match) for match in matches)
+            )
+            for match in matches:
+                accumulator: Optional[TrendAccumulator] = None
+                for event_index, variable in match:
+                    event = events[event_index]
+                    if accumulator is None:
+                        accumulator = TrendAccumulator.singleton(event, variable, plan.targets)
+                    else:
+                        accumulator = accumulator.extended(event, variable)
+                if accumulator is not None:
+                    total.merge(accumulator)
+        return total
+
+    # -- sequence construction -------------------------------------------------------
+
+    def _construct_sequences(
+        self, plan: CograPlan, events: List[Event], variant: Variant
+    ) -> List[List]:
+        """All assignments of stream events to the variant's positions."""
+        matches: List[List] = []
+        assignment: List = []
+
+        def extend(position_index: int, previous_event_index: int) -> None:
+            if position_index == len(variant):
+                self._charge_trend()
+                matches.append(list(assignment))
+                return
+            event_type, variable = variant[position_index]
+            if plan.semantics is Semantics.CONTIGUOUS and position_index > 0:
+                candidates = range(previous_event_index + 1, min(previous_event_index + 2, len(events)))
+            else:
+                candidates = range(previous_event_index + 1, len(events))
+            for event_index in candidates:
+                event = events[event_index]
+                if event.event_type != event_type:
+                    continue
+                if not plan.passes_local(event, variable):
+                    continue
+                if position_index > 0:
+                    previous_index, previous_variable = assignment[-1]
+                    satisfied = plan.adjacency_satisfied(
+                        events[previous_index], previous_variable, event, variable
+                    )
+                    if plan.semantics is Semantics.CONTIGUOUS:
+                        satisfied = satisfied and event_index == previous_index + 1
+                    if not satisfied:
+                        continue
+                assignment.append((event_index, variable))
+                extend(position_index + 1, event_index)
+                assignment.pop()
+
+        extend(0, -1)
+        return matches

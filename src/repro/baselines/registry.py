@@ -1,0 +1,47 @@
+"""Registry of execution approaches and the expressive-power matrix (Table 9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.baselines.aseq import ASeqApproach
+from repro.baselines.base import BaselineApproach
+from repro.baselines.cogra import CograApproach
+from repro.baselines.flink import FlinkStyleApproach
+from repro.baselines.greta import GretaApproach
+from repro.baselines.sase import SaseApproach
+from repro.errors import InvalidQueryError
+
+#: All approaches known to the harness, keyed by their registry name.
+APPROACHES: Dict[str, Type[BaselineApproach]] = {
+    CograApproach.name: CograApproach,
+    SaseApproach.name: SaseApproach,
+    FlinkStyleApproach.name: FlinkStyleApproach,
+    GretaApproach.name: GretaApproach,
+    ASeqApproach.name: ASeqApproach,
+}
+
+#: Order used by reports so the tables read like the paper's.
+DISPLAY_ORDER = ["flink", "sase", "greta", "aseq", "cogra"]
+
+
+def available_approaches() -> List[str]:
+    """Names of all registered approaches, in report order."""
+    return [name for name in DISPLAY_ORDER if name in APPROACHES]
+
+
+def get_approach(name: str, **kwargs) -> BaselineApproach:
+    """Instantiate an approach by name (``cogra``, ``sase``, ``flink``, ...)."""
+    key = name.strip().lower()
+    if key not in APPROACHES:
+        raise InvalidQueryError(
+            f"unknown approach {name!r}; available: {', '.join(sorted(APPROACHES))}"
+        )
+    return APPROACHES[key](**kwargs)
+
+
+def capability_table() -> Dict[str, Dict[str, str]]:
+    """Expressive power of every approach (Table 9 of the paper)."""
+    return {
+        name: APPROACHES[name].capabilities.as_row() for name in available_approaches()
+    }

@@ -1,0 +1,154 @@
+"""SASE-style two-step baseline (Zhang, Diao, Immerman; reproduced per Section 9.1).
+
+SASE supports Kleene closure and all three event matching semantics, but it
+computes aggregates in two steps: it first *constructs* every event trend
+and only then aggregates the constructed trends.  The implementation
+follows the description in the paper's experimental setup:
+
+* every matched event is pushed onto a per-variable stack together with
+  pointers to its viable predecessor events (the pointer sets depend on the
+  event matching semantics, Definition 7),
+* for every window a DFS over these pointers constructs each trend, and
+* each constructed trend is aggregated and immediately discarded (only the
+  current DFS path is kept in memory).
+
+The time complexity is therefore proportional to the *number of trends*
+(exponential in the number of events under skip-till-any-match), while the
+memory is dominated by the stacks and pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyzer.plan import CograPlan
+from repro.baselines.base import (
+    ALL_SEMANTICS,
+    ApproachCapabilities,
+    BaselineApproach,
+    contiguous_adjacent,
+    next_match_adjacent,
+)
+from repro.core.aggregate_state import TrendAccumulator
+from repro.events.event import Event
+from repro.query.semantics import Semantics
+
+
+class _StackEntry:
+    """One matched event in a SASE stack."""
+
+    __slots__ = ("index", "variable", "event", "pointers")
+
+    def __init__(self, index: int, variable: str, event: Event):
+        self.index = index
+        self.variable = variable
+        self.event = event
+        #: predecessor entries this event may extend (most recent first)
+        self.pointers: List["_StackEntry"] = []
+
+
+class SaseApproach(BaselineApproach):
+    """Two-step trend construction and aggregation with Kleene support."""
+
+    name = "sase"
+    capabilities = ApproachCapabilities(
+        kleene_closure=True,
+        semantics=ALL_SEMANTICS,
+        adjacent_predicates=True,
+        online_trend_aggregation=False,
+    )
+
+    def aggregate_substream(self, plan: CograPlan, events: List[Event]) -> TrendAccumulator:
+        entries = self._build_stacks(plan, events)
+        total = TrendAccumulator.zero(plan.targets)
+        pointer_count = sum(len(entry.pointers) for entry in entries)
+        self._account_storage(len(entries) + pointer_count)
+        for entry in entries:
+            if plan.is_end(entry.variable):
+                self._construct_and_aggregate(plan, entry, total, len(entries) + pointer_count)
+        return total
+
+    # -- step 1: stacks and predecessor pointers ------------------------------------
+
+    def _build_stacks(self, plan: CograPlan, events: List[Event]) -> List[_StackEntry]:
+        semantics = plan.semantics
+        entries: List[_StackEntry] = []
+        per_variable: dict = {variable: [] for variable in plan.automaton.variables}
+        for index, event in enumerate(events):
+            new_entries: List[_StackEntry] = []
+            for variable in plan.candidate_variables(event):
+                entry = _StackEntry(index, variable, event)
+                for predecessor_variable in plan.automaton.pred_types(variable):
+                    for predecessor in per_variable[predecessor_variable]:
+                        if self._adjacent(
+                            plan, events, semantics, predecessor, entry
+                        ):
+                            entry.pointers.append(predecessor)
+                new_entries.append(entry)
+            # register the event's bindings only after all of them were
+            # created, so an event is never its own predecessor
+            for entry in new_entries:
+                per_variable[entry.variable].append(entry)
+                entries.append(entry)
+        return entries
+
+    def _adjacent(
+        self,
+        plan: CograPlan,
+        events: List[Event],
+        semantics: Semantics,
+        predecessor: _StackEntry,
+        entry: _StackEntry,
+    ) -> bool:
+        if semantics is Semantics.SKIP_TILL_ANY_MATCH:
+            return plan.adjacency_satisfied(
+                predecessor.event, predecessor.variable, entry.event, entry.variable
+            )
+        if semantics is Semantics.SKIP_TILL_NEXT_MATCH:
+            return next_match_adjacent(
+                plan, events, predecessor.index, predecessor.variable, entry.index, entry.variable
+            )
+        return contiguous_adjacent(
+            plan, events, predecessor.index, predecessor.variable, entry.index, entry.variable
+        )
+
+    # -- step 2: DFS trend construction followed by aggregation -----------------------
+
+    def _construct_and_aggregate(
+        self,
+        plan: CograPlan,
+        end_entry: _StackEntry,
+        total: TrendAccumulator,
+        base_storage: int,
+    ) -> None:
+        """Construct every trend that finishes at ``end_entry`` and aggregate it."""
+        path: List[_StackEntry] = [end_entry]
+        stack: List = [iter(end_entry.pointers)]
+        if plan.is_start(end_entry.variable):
+            self._aggregate_path(plan, path, total)
+        while stack:
+            pointer_iterator = stack[-1]
+            predecessor: Optional[_StackEntry] = next(pointer_iterator, None)
+            if predecessor is None:
+                stack.pop()
+                path.pop()
+                continue
+            path.append(predecessor)
+            self._account_storage(base_storage + len(path))
+            if plan.is_start(predecessor.variable):
+                self._aggregate_path(plan, path, total)
+            stack.append(iter(predecessor.pointers))
+
+    def _aggregate_path(
+        self, plan: CograPlan, path: List[_StackEntry], total: TrendAccumulator
+    ) -> None:
+        """Aggregate one constructed trend (the reversed DFS path)."""
+        self._charge_trend()
+        accumulator: Optional[TrendAccumulator] = None
+        for entry in reversed(path):
+            if accumulator is None:
+                accumulator = TrendAccumulator.singleton(entry.event, entry.variable, plan.targets)
+            else:
+                accumulator = accumulator.extended(entry.event, entry.variable)
+        if accumulator is not None:
+            total.merge(accumulator)

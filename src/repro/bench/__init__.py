@@ -1,0 +1,69 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 9).
+
+The harness measures the three metrics the paper reports -- latency,
+throughput and peak memory -- for any registered execution approach over
+any workload, sweeps the parameters the paper varies (events per window,
+predicate selectivity, number of trend groups, event matching semantics)
+and renders the resulting series as text tables that mirror Figures 5-10.
+
+Absolute numbers differ from the paper's 16-core JVM testbed; the harness
+is about reproducing the *shape* of each chart: which approach wins, by
+roughly what factor, and where approaches stop terminating.
+"""
+
+from repro.bench.metrics import RunMetrics, RunStatus
+from repro.bench.harness import measure_run, sweep
+from repro.bench.ablation import (
+    granularity_ablation,
+    mixed_vs_event_workload,
+    run_ablation_sweep,
+    summarize_ablation,
+    type_vs_event_workload,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentOutcome,
+    ExperimentSpec,
+    render_experiments_markdown,
+    run_experiments,
+)
+from repro.bench.plots import ascii_chart, chart_results, series_from_results
+from repro.bench.reporting import format_series_table, format_capability_table
+from repro.bench.workloads import (
+    FigureWorkload,
+    figure10_grouping_workload,
+    figure5_contiguous_workload,
+    figure6_next_match_workload,
+    figure7_any_all_workload,
+    figure8_any_online_workload,
+    figure9_selectivity_workload,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutcome",
+    "ExperimentSpec",
+    "FigureWorkload",
+    "RunMetrics",
+    "RunStatus",
+    "ascii_chart",
+    "chart_results",
+    "figure10_grouping_workload",
+    "figure5_contiguous_workload",
+    "figure6_next_match_workload",
+    "figure7_any_all_workload",
+    "figure8_any_online_workload",
+    "figure9_selectivity_workload",
+    "format_capability_table",
+    "format_series_table",
+    "granularity_ablation",
+    "measure_run",
+    "mixed_vs_event_workload",
+    "render_experiments_markdown",
+    "run_ablation_sweep",
+    "run_experiments",
+    "series_from_results",
+    "summarize_ablation",
+    "sweep",
+    "type_vs_event_workload",
+]

@@ -1,0 +1,135 @@
+"""Measurement harness: run an approach over a workload and record metrics."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.registry import get_approach
+from repro.bench.metrics import RunMetrics, RunStatus
+from repro.errors import ExecutionAbortedError, UnsupportedQueryError
+from repro.events.event import Event
+from repro.query.query import Query
+
+
+def measure_run(
+    approach: str,
+    query: Query,
+    events: Sequence[Event],
+    workload: str = "workload",
+    parameter: object = None,
+    cost_budget: Optional[int] = None,
+    approach_kwargs: Optional[Dict[str, object]] = None,
+    track_allocations: bool = True,
+) -> RunMetrics:
+    """Evaluate ``query`` with ``approach`` over ``events`` and measure it.
+
+    Parameters
+    ----------
+    approach:
+        Registry name (``cogra``, ``sase``, ``flink``, ``greta``, ``aseq``).
+    cost_budget:
+        Upper bound on the work a two-step approach may perform; exceeding
+        it yields a ``DNF`` (did-not-finish) data point instead of hanging
+        the benchmark machine.
+    track_allocations:
+        Record peak allocations with :mod:`tracemalloc`.  Disable for the
+        tightest timing loops (tracemalloc adds overhead).
+    """
+    kwargs = dict(approach_kwargs or {})
+    kwargs.setdefault("cost_budget", cost_budget)
+    instance = get_approach(approach, **kwargs)
+    events = list(events)
+    metrics = RunMetrics(
+        approach=approach,
+        workload=workload,
+        parameter=parameter,
+        events=len(events),
+    )
+
+    try:
+        instance.check_supported(query)
+    except UnsupportedQueryError as exc:
+        metrics.status = RunStatus.UNSUPPORTED
+        metrics.extra["reason"] = str(exc)
+        return metrics
+
+    if track_allocations:
+        tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        results = instance.run(query, events)
+        elapsed = time.perf_counter() - started
+        metrics.status = RunStatus.OK
+        metrics.result_rows = len(results)
+        metrics.total_trend_count = sum(result.trend_count for result in results)
+    except ExecutionAbortedError as exc:
+        elapsed = time.perf_counter() - started
+        metrics.status = RunStatus.DID_NOT_FINISH
+        metrics.extra["reason"] = str(exc)
+    except UnsupportedQueryError as exc:
+        elapsed = time.perf_counter() - started
+        metrics.status = RunStatus.UNSUPPORTED
+        metrics.extra["reason"] = str(exc)
+    finally:
+        if track_allocations:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            metrics.peak_memory_bytes = peak
+
+    metrics.latency_ms = elapsed * 1000.0
+    metrics.throughput = len(events) / elapsed if elapsed > 0 else 0.0
+    metrics.peak_storage_units = instance.peak_storage_units
+    if hasattr(instance, "workload_size"):
+        metrics.extra["workload_size"] = getattr(instance, "workload_size")
+    metrics.extra["constructed_trends"] = instance.constructed_trends
+    return metrics
+
+
+def sweep(
+    approaches: Iterable[str],
+    workloads: Iterable,
+    cost_budget: Optional[int] = None,
+    approach_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    track_allocations: bool = True,
+) -> List[RunMetrics]:
+    """Run every approach over every workload point.
+
+    ``workloads`` yields objects with ``name``, ``parameter``, ``query`` and
+    ``events`` attributes (see :mod:`repro.bench.workloads`).  Approaches
+    that already failed to finish at a smaller parameter value of the same
+    sweep are skipped for larger values, mirroring the paper's handling of
+    non-terminating configurations.
+    """
+    results: List[RunMetrics] = []
+    gave_up: set = set()
+    for workload in workloads:
+        for approach in approaches:
+            if approach in gave_up:
+                results.append(
+                    RunMetrics(
+                        approach=approach,
+                        workload=workload.name,
+                        parameter=workload.parameter,
+                        events=len(workload.events),
+                        status=RunStatus.DID_NOT_FINISH,
+                        extra={"reason": "skipped: smaller configuration already timed out"},
+                    )
+                )
+                continue
+            kwargs = (approach_kwargs or {}).get(approach)
+            metrics = measure_run(
+                approach,
+                workload.query,
+                workload.events,
+                workload=workload.name,
+                parameter=workload.parameter,
+                cost_budget=cost_budget,
+                approach_kwargs=kwargs,
+                track_allocations=track_allocations,
+            )
+            results.append(metrics)
+            if metrics.status is RunStatus.DID_NOT_FINISH:
+                gave_up.add(approach)
+    return results

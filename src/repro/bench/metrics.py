@@ -1,0 +1,97 @@
+"""Measurement records produced by the benchmark harness."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class RunStatus(enum.Enum):
+    """Outcome of one measured run."""
+
+    OK = "ok"
+    #: the approach exceeded its cost budget -- reported like the paper's
+    #: "does not terminate" data points
+    DID_NOT_FINISH = "dnf"
+    #: the approach cannot express the query (Table 9)
+    UNSUPPORTED = "unsupported"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class RunMetrics:
+    """Latency / throughput / memory of one (approach, workload) run."""
+
+    approach: str
+    workload: str
+    parameter: object
+    events: int
+    status: RunStatus = RunStatus.OK
+    #: end-to-end processing latency in milliseconds
+    latency_ms: float = 0.0
+    #: processed events per second
+    throughput: float = 0.0
+    #: peak resident allocations measured with tracemalloc, in bytes
+    peak_memory_bytes: int = 0
+    #: machine-independent memory metric: stored events / pointers / aggregates
+    peak_storage_units: int = 0
+    #: total number of finished trends reported by the approach
+    total_trend_count: int = 0
+    #: number of result rows (groups x windows)
+    result_rows: int = 0
+    #: free-form extras (workload size of flattened approaches, notes, ...)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """True when the run completed within its budget."""
+        return self.status is RunStatus.OK
+
+    def cell(self, metric: str) -> str:
+        """Render one metric for the report tables."""
+        if self.status is RunStatus.UNSUPPORTED:
+            return "n/s"
+        if self.status is RunStatus.DID_NOT_FINISH:
+            return "DNF"
+        value = getattr(self, metric)
+        if metric == "latency_ms":
+            return f"{value:,.1f}"
+        if metric == "throughput":
+            return f"{value:,.0f}"
+        if metric in ("peak_memory_bytes", "peak_storage_units"):
+            return f"{int(value):,}"
+        return str(value)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (used to dump results to JSON)."""
+        return {
+            "approach": self.approach,
+            "workload": self.workload,
+            "parameter": self.parameter,
+            "events": self.events,
+            "status": self.status.value,
+            "latency_ms": self.latency_ms,
+            "throughput": self.throughput,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "peak_storage_units": self.peak_storage_units,
+            "total_trend_count": self.total_trend_count,
+            "result_rows": self.result_rows,
+            **{f"extra_{key}": value for key, value in self.extra.items()},
+        }
+
+
+def speedup(baseline: RunMetrics, contender: RunMetrics) -> Optional[float]:
+    """Latency ratio baseline/contender, or ``None`` if either did not finish."""
+    if not (baseline.finished and contender.finished) or contender.latency_ms == 0:
+        return None
+    return baseline.latency_ms / contender.latency_ms
+
+
+def memory_reduction(baseline: RunMetrics, contender: RunMetrics) -> Optional[float]:
+    """Storage-unit ratio baseline/contender, or ``None`` if not comparable."""
+    if not (baseline.finished and contender.finished) or contender.peak_storage_units == 0:
+        return None
+    return baseline.peak_storage_units / contender.peak_storage_units

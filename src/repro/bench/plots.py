@@ -1,0 +1,173 @@
+"""ASCII charts of benchmark sweeps.
+
+The paper's evaluation section presents its results as log-scale line
+charts (latency / memory / throughput over events per window, predicate
+selectivity or group count).  This module renders the same charts as plain
+text so the benchmark harness and the CLI can show the *shape* of each
+figure -- who wins, by how many orders of magnitude, where an approach stops
+terminating -- without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.metrics import RunMetrics
+
+#: Markers assigned to series in the order they appear.
+MARKERS = "ox+*#@%&"
+
+
+def _format_value(value: float) -> str:
+    """Compact numeric label for axis ticks."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6 or magnitude < 1e-2:
+        return f"{value:.0e}"
+    if magnitude >= 100:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 18,
+    log_y: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (label -> [(x, y), ...]) as an ASCII chart.
+
+    Points with non-positive y values are dropped when ``log_y`` is set.
+    Each series gets one marker character; a legend mapping markers to
+    labels is appended below the chart.
+    """
+    cleaned: Dict[str, List[Tuple[float, float]]] = {}
+    for label, points in series.items():
+        kept = [
+            (float(x), float(y))
+            for x, y in points
+            if y is not None and (y > 0 or not log_y)
+        ]
+        if kept:
+            cleaned[label] = kept
+    if not cleaned:
+        return f"{title}\n(no finite data points)"
+
+    all_x = [x for points in cleaned.values() for x, _ in points]
+    all_y = [y for points in cleaned.values() for _, y in points]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+
+    def scale_y(value: float) -> float:
+        if log_y:
+            low, high = math.log10(y_min), math.log10(y_max)
+            position = math.log10(value)
+        else:
+            low, high = y_min, y_max
+            position = value
+        if high == low:
+            return 0.5
+        return (position - low) / (high - low)
+
+    def scale_x(value: float) -> float:
+        if x_max == x_min:
+            return 0.5
+        return (value - x_min) / (x_max - x_min)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(cleaned.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in points:
+            column = min(width - 1, int(round(scale_x(x) * (width - 1))))
+            row = min(height - 1, int(round(scale_y(y) * (height - 1))))
+            grid[height - 1 - row][column] = marker
+
+    axis_width = max(len(_format_value(y_max)), len(_format_value(y_min)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    scale_note = "log scale" if log_y else "linear scale"
+    if y_label:
+        lines.append(f"{y_label} ({scale_note})")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _format_value(y_max)
+        elif row_index == height - 1:
+            label = _format_value(y_min)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(axis_width)} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    x_axis = f"{_format_value(x_min)}{' ' * max(1, width - len(_format_value(x_min)) - len(_format_value(x_max)))}{_format_value(x_max)}"
+    lines.append(" " * (axis_width + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (axis_width + 2) + x_label)
+    legend = "  ".join(
+        f"{MARKERS[index % len(MARKERS)]} = {label}" for index, label in enumerate(cleaned)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def series_from_results(
+    results: Sequence[RunMetrics],
+    metric: str = "latency_ms",
+    parameter_to_x=None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Group finished runs into per-approach series for :func:`ascii_chart`.
+
+    ``parameter_to_x`` converts the swept parameter to a number; by default
+    numeric parameters are used as-is and strings like ``"50%"`` are parsed
+    numerically where possible.
+    """
+    def default_to_x(parameter) -> Optional[float]:
+        if isinstance(parameter, (int, float)):
+            return float(parameter)
+        if isinstance(parameter, str):
+            stripped = parameter.strip().rstrip("%")
+            try:
+                return float(stripped)
+            except ValueError:
+                return None
+        return None
+
+    converter = parameter_to_x or default_to_x
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for result in results:
+        if not result.finished:
+            continue
+        x = converter(result.parameter)
+        if x is None:
+            continue
+        series.setdefault(result.approach, []).append((x, float(getattr(result, metric))))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def chart_results(
+    results: Sequence[RunMetrics],
+    metric: str = "latency_ms",
+    title: str = "",
+    x_label: str = "events per window",
+    log_y: bool = True,
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """Render one figure of the paper directly from harness results."""
+    series = series_from_results(results, metric=metric)
+    return ascii_chart(
+        series,
+        title=title,
+        x_label=x_label,
+        y_label=metric,
+        log_y=log_y,
+        width=width,
+        height=height,
+    )

@@ -1,0 +1,95 @@
+"""Text rendering of benchmark results in the shape of the paper's figures."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.registry import capability_table
+from repro.bench.metrics import RunMetrics
+
+#: metric label -> RunMetrics attribute
+METRIC_ATTRIBUTES = {
+    "latency (ms)": "latency_ms",
+    "throughput (events/s)": "throughput",
+    "peak memory (bytes)": "peak_memory_bytes",
+    "stored units": "peak_storage_units",
+    "trend count": "total_trend_count",
+}
+
+
+def format_series_table(
+    title: str,
+    results: Sequence[RunMetrics],
+    metric: str = "latency (ms)",
+    parameter_label: str = "events per window",
+) -> str:
+    """Render one chart of the paper as a text table.
+
+    Rows are the swept parameter values, columns the approaches, cells the
+    chosen metric; unsupported approaches show ``n/s`` and configurations
+    that exceeded their cost budget show ``DNF`` -- exactly how the paper
+    reports non-terminating runs.
+    """
+    attribute = METRIC_ATTRIBUTES.get(metric, metric)
+    approaches: List[str] = []
+    parameters: List[object] = []
+    for result in results:
+        if result.approach not in approaches:
+            approaches.append(result.approach)
+        if result.parameter not in parameters:
+            parameters.append(result.parameter)
+    by_key: Dict = {(r.parameter, r.approach): r for r in results}
+
+    header = [parameter_label] + approaches
+    rows = [header]
+    for parameter in parameters:
+        row = [str(parameter)]
+        for approach in approaches:
+            result = by_key.get((parameter, approach))
+            row.append(result.cell(attribute) if result is not None else "-")
+        rows.append(row)
+
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_capability_table() -> str:
+    """Render Table 9 (expressive power of the approaches)."""
+    table = capability_table()
+    columns = ["approach"] + list(next(iter(table.values())).keys())
+    rows = [columns]
+    for name, row in table.items():
+        rows.append([name] + [row[column] for column in columns[1:]])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(columns))]
+    lines = ["Table 9: expressive power of the event aggregation approaches"]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def dump_results(results: Iterable[RunMetrics], path: Path) -> None:
+    """Write raw results as JSON for later inspection."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [result.as_dict() for result in results]
+    path.write_text(json.dumps(payload, indent=2, default=str))
+
+
+def summarize_winner(
+    results: Sequence[RunMetrics], metric: str = "latency_ms", lower_is_better: bool = True
+) -> Optional[str]:
+    """Name of the approach with the best metric among finished runs."""
+    finished = [result for result in results if result.finished]
+    if not finished:
+        return None
+    chooser = min if lower_is_better else max
+    return chooser(finished, key=lambda result: getattr(result, metric)).approach

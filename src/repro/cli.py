@@ -1,0 +1,363 @@
+"""Command line interface of the COGRA reproduction.
+
+The CLI exposes the pieces a user typically wants without writing code:
+
+``cogra explain``
+    Parse a textual query and print the COGRA configuration chosen by the
+    static analyzer (granularity, predecessor types, predicate classes).
+
+``cogra run``
+    Evaluate a textual query over one of the synthetic data sets and print
+    the per-group aggregation results.
+
+``cogra figures``
+    Re-run the paper's evaluation sweeps (Figures 5-10) and print the
+    latency / memory / throughput tables.
+
+``cogra capabilities``
+    Print the expressive-power matrix of all approaches (Table 9).
+
+``cogra cost``
+    Print the static cost model report for a query (Table 3 growth class,
+    complexity of the selected granularity, storage estimates).
+
+``cogra ablation``
+    Run the granularity ablation (type/mixed vs. event granularity on the
+    same executor) and print the latency / storage tables.
+
+``cogra experiments``
+    Run the full experiment suite (every figure and table of Section 9)
+    and optionally write the EXPERIMENTS.md report.
+
+``cogra generate``
+    Generate one of the synthetic data sets and write it to a CSV file.
+
+``cogra stats``
+    Print workload statistics (event rate, type mixture, trend groups,
+    adjacent-predicate selectivity) of a generated or loaded stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analyzer.cost import compare_granularities, estimate_cost
+from repro.analyzer.plan import plan_query
+from repro.baselines.registry import available_approaches
+from repro.bench.ablation import (
+    mixed_vs_event_workload,
+    run_ablation_sweep,
+    type_vs_event_workload,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    render_experiments_markdown,
+    run_experiments,
+)
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_capability_table, format_series_table
+from repro.bench import workloads as figure_workloads
+from repro.core.engine import CograEngine
+from repro.datasets.io import read_stream_csv, write_eoddata_csv, write_stream_csv
+from repro.datasets.physical_activity import (
+    PhysicalActivityConfig,
+    generate_physical_activity_stream,
+)
+from repro.datasets.ridesharing import RidesharingConfig, generate_ridesharing_stream
+from repro.datasets.statistics import adjacent_selectivity, describe_stream
+from repro.datasets.stock import StockConfig, generate_stock_stream
+from repro.datasets.transportation import (
+    TransportationConfig,
+    generate_transportation_stream,
+)
+from repro.query.parser import parse_query
+
+#: dataset name -> (config class, generator)
+DATASETS = {
+    "physical_activity": (PhysicalActivityConfig, generate_physical_activity_stream),
+    "stock": (StockConfig, generate_stock_stream),
+    "transportation": (TransportationConfig, generate_transportation_stream),
+    "ridesharing": (RidesharingConfig, generate_ridesharing_stream),
+}
+
+#: figure name -> workload builder
+FIGURES = {
+    "figure5": figure_workloads.figure5_contiguous_workload,
+    "figure6": figure_workloads.figure6_next_match_workload,
+    "figure7": figure_workloads.figure7_any_all_workload,
+    "figure8": figure_workloads.figure8_any_online_workload,
+    "figure9": figure_workloads.figure9_selectivity_workload,
+    "figure10": figure_workloads.figure10_grouping_workload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cogra",
+        description="COGRA: coarse-grained online event trend aggregation (SIGMOD 2019 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    explain = commands.add_parser("explain", help="print the plan of a textual query")
+    explain.add_argument("query", help="query text or path to a file containing it")
+
+    run = commands.add_parser("run", help="run a textual query over a synthetic data set")
+    run.add_argument("query", help="query text or path to a file containing it")
+    run.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
+    run.add_argument("--events", type=int, default=5000, help="number of events to generate")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
+    run.add_argument(
+        "--input",
+        default=None,
+        help="read the stream from this CSV file instead of generating it",
+    )
+    run.add_argument(
+        "--granularity",
+        choices=["pattern", "type", "mixed", "event"],
+        default=None,
+        help="force a finer (still correct) aggregate granularity",
+    )
+
+    figures = commands.add_parser("figures", help="reproduce the paper's evaluation sweeps")
+    figures.add_argument(
+        "names",
+        nargs="*",
+        default=sorted(FIGURES),
+        help="figures to run (default: all), e.g. figure7 figure9",
+    )
+    figures.add_argument(
+        "--budget",
+        type=int,
+        default=200_000,
+        help="cost budget for the two-step baselines (constructed trends)",
+    )
+    figures.add_argument(
+        "--approaches",
+        nargs="*",
+        default=None,
+        help="subset of approaches to run (default: all registered)",
+    )
+
+    commands.add_parser("capabilities", help="print the expressive power matrix (Table 9)")
+
+    cost = commands.add_parser("cost", help="print the static cost model report for a query")
+    cost.add_argument("query", help="query text or path to a file containing it")
+    cost.add_argument("--events", type=int, default=10_000, help="assumed events per window")
+    cost.add_argument(
+        "--compare",
+        action="store_true",
+        help="also estimate every finer granularity that is still correct",
+    )
+
+    ablation = commands.add_parser(
+        "ablation", help="run the granularity ablation (same executor, forced granularities)"
+    )
+    ablation.add_argument(
+        "--events",
+        nargs="*",
+        type=int,
+        default=[500, 1000, 2000],
+        help="events per window of the sweep points",
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="run every table/figure experiment and render EXPERIMENTS.md"
+    )
+    experiments.add_argument(
+        "names",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help="experiments to run (default: all, in paper order), e.g. figure7 tables567",
+    )
+    experiments.add_argument("--scale", choices=["quick", "full"], default="quick")
+    experiments.add_argument("--budget", type=int, default=50_000)
+    experiments.add_argument(
+        "--out", default=None, help="write the markdown report to this path"
+    )
+
+    generate = commands.add_parser("generate", help="generate a synthetic data set as CSV")
+    generate.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
+    generate.add_argument("--events", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output CSV path")
+    generate.add_argument(
+        "--format",
+        choices=["csv", "eoddata"],
+        default="csv",
+        help="generic stream CSV or the EODData-style stock format",
+    )
+
+    stats = commands.add_parser("stats", help="print workload statistics of a stream")
+    stats.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
+    stats.add_argument("--events", type=int, default=10_000)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--input", default=None, help="read the stream from this CSV file")
+    stats.add_argument("--group", default=None, help="grouping attribute to count trend groups")
+    stats.add_argument(
+        "--selectivity",
+        default=None,
+        help="attribute whose falling-value selectivity is reported (e.g. price)",
+    )
+    return parser
+
+
+def _load_query_text(argument: str) -> str:
+    try:
+        with open(argument, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return argument
+
+
+def _command_explain(args) -> int:
+    query = parse_query(_load_query_text(args.query))
+    plan = plan_query(query)
+    print(query.describe())
+    print()
+    print(plan.describe())
+    return 0
+
+
+def _generate_or_load(args):
+    """Build the input stream for run/stats: a CSV file or a generator."""
+    if getattr(args, "input", None):
+        return read_stream_csv(args.input)
+    config_class, generator = DATASETS[args.dataset]
+    config = config_class(event_count=args.events, seed=args.seed)
+    return generator(config)
+
+
+def _command_run(args) -> int:
+    query = parse_query(_load_query_text(args.query))
+    stream = _generate_or_load(args)
+    engine = CograEngine(query, granularity=args.granularity)
+    results = engine.run(stream)
+    print(f"# {len(results)} result rows (granularity: {engine.granularity})")
+    for result in results[: args.limit]:
+        print(result.as_dict())
+    if len(results) > args.limit:
+        print(f"... {len(results) - args.limit} more rows")
+    return 0
+
+
+def _command_figures(args) -> int:
+    approaches = args.approaches or available_approaches()
+    for name in args.names:
+        if name not in FIGURES:
+            print(f"unknown figure {name!r}; available: {', '.join(sorted(FIGURES))}")
+            return 2
+        points = FIGURES[name]()
+        results = sweep(approaches, points, cost_budget=args.budget)
+        for metric in ("latency (ms)", "peak memory (bytes)", "throughput (events/s)"):
+            print(format_series_table(f"{name} — {metric}", results, metric=metric))
+            print()
+    return 0
+
+
+def _command_capabilities(_args) -> int:
+    print(format_capability_table())
+    return 0
+
+
+def _command_cost(args) -> int:
+    query = parse_query(_load_query_text(args.query))
+    print(estimate_cost(query, events_per_window=args.events).describe())
+    if args.compare:
+        print()
+        for granularity, estimate in compare_granularities(query, args.events).items():
+            print(f"--- forced granularity: {granularity} ---")
+            print(estimate.describe())
+            print()
+    return 0
+
+
+def _command_ablation(args) -> int:
+    event_counts = tuple(args.events)
+    sweeps = {
+        "type-eligible query (q3 trend query, no adjacent predicates)": run_ablation_sweep(
+            type_vs_event_workload(event_counts=event_counts)
+        ),
+        "mixed-eligible query (q3 with the price predicate)": run_ablation_sweep(
+            mixed_vs_event_workload(event_counts=event_counts)
+        ),
+    }
+    for title, results in sweeps.items():
+        for metric in ("latency (ms)", "stored units"):
+            print(format_series_table(f"Ablation — {title} — {metric}", results, metric=metric))
+            print()
+    return 0
+
+
+def _command_experiments(args) -> int:
+    unknown = [name for name in args.names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments {unknown}; available: {', '.join(sorted(EXPERIMENTS))}")
+        return 2
+    outcomes = run_experiments(args.names, scale=args.scale, budget=args.budget)
+    markdown = render_experiments_markdown(outcomes, scale=args.scale)
+    if args.out:
+        Path(args.out).write_text(markdown)
+        print(f"wrote {args.out} ({len(markdown.splitlines())} lines)")
+    else:
+        print(markdown)
+    return 0
+
+
+def _command_generate(args) -> int:
+    config_class, generator = DATASETS[args.dataset]
+    stream = generator(config_class(event_count=args.events, seed=args.seed))
+    if args.format == "eoddata":
+        written = write_eoddata_csv(stream, args.out)
+    else:
+        written = write_stream_csv(stream, args.out)
+    print(f"wrote {written} events to {args.out}")
+    return 0
+
+
+def _command_stats(args) -> int:
+    stream = list(_generate_or_load(args))
+    group = args.group
+    if group is None and stream:
+        # sensible defaults per data set schema
+        for candidate in ("company", "patient", "passenger", "driver"):
+            if stream[0].has(candidate):
+                group = candidate
+                break
+    numeric = (args.selectivity,) if args.selectivity else ()
+    stats = describe_stream(
+        stream, name=args.input or args.dataset, group_attribute=group, numeric_attributes=numeric
+    )
+    print(stats.describe())
+    if args.selectivity:
+        selectivity = adjacent_selectivity(
+            stream, args.selectivity, ">", partition_attribute=group
+        )
+        print(f"falling-{args.selectivity} selectivity: {selectivity:.2%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cogra`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "explain": _command_explain,
+        "run": _command_run,
+        "figures": _command_figures,
+        "capabilities": _command_capabilities,
+        "cost": _command_cost,
+        "ablation": _command_ablation,
+        "experiments": _command_experiments,
+        "generate": _command_generate,
+        "stats": _command_stats,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""COGRA runtime: incremental coarse-grained event trend aggregation.
+
+The package implements the paper's contribution:
+
+* :mod:`repro.core.aggregate_state` -- incremental aggregate cells
+  (Table 8: COUNT, MIN, MAX, SUM, AVG at every granularity),
+* :mod:`repro.core.type_grained` -- Algorithm 1 (ANY, no adjacent predicates),
+* :mod:`repro.core.mixed_grained` -- Algorithm 2 (ANY with adjacent predicates),
+* :mod:`repro.core.pattern_grained` -- Algorithm 3 (NEXT / CONT),
+* :mod:`repro.core.executor` -- sliding windows, grouping and result emission,
+* :mod:`repro.core.engine` -- the public facade :class:`CograEngine`.
+"""
+
+from repro.core.aggregate_state import TrendAccumulator
+from repro.core.base import SubstreamAggregator, create_aggregator
+from repro.core.engine import CograEngine
+from repro.core.event_grained import EventGrainedAggregator
+from repro.core.executor import QueryExecutor
+from repro.core.results import GroupResult
+from repro.core.type_grained import TypeGrainedAggregator
+from repro.core.mixed_grained import MixedGrainedAggregator
+from repro.core.pattern_grained import PatternGrainedAggregator
+
+__all__ = [
+    "CograEngine",
+    "EventGrainedAggregator",
+    "GroupResult",
+    "MixedGrainedAggregator",
+    "PatternGrainedAggregator",
+    "QueryExecutor",
+    "SubstreamAggregator",
+    "TrendAccumulator",
+    "TypeGrainedAggregator",
+    "create_aggregator",
+]

@@ -1,0 +1,95 @@
+"""Event-grained aggregator: the finest granularity (GRETA's strategy).
+
+The mixed-grained aggregator of Section 5 degenerates to *event* granularity
+when every pattern variable appears on the predecessor side of some adjacent
+predicate (``Tt = ∅``).  This module implements that extreme case as its own
+aggregator so that
+
+* the granularity selector can report :class:`~repro.analyzer.granularity.
+  Granularity.EVENT` and dispatch to a dedicated implementation, and
+* ablation studies can force a coarser-eligible query down to event
+  granularity and measure exactly what the coarse-grained strategies save
+  (see :mod:`repro.bench.ablation`).
+
+One accumulator is kept per matched event binding -- the node set of the
+GRETA graph -- and processing a new event touches every stored node of a
+predecessor variable.  Time complexity is ``O(n^2)`` and space ``Θ(n)`` per
+sub-stream, which is exactly the complexity the paper attributes to GRETA
+and improves upon with the type/mixed/pattern granularities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analyzer.plan import CograPlan
+from repro.core.aggregate_state import TrendAccumulator
+from repro.core.base import SubstreamAggregator
+from repro.events.event import Event
+
+
+class EventGrainedAggregator(SubstreamAggregator):
+    """Maintains one trend accumulator per matched event binding."""
+
+    def __init__(self, plan: CograPlan):
+        super().__init__(plan)
+        #: variable -> list of (event, accumulator of trends ending at that event)
+        self._nodes: Dict[str, List[Tuple[Event, TrendAccumulator]]] = {
+            variable: [] for variable in plan.automaton.variables
+        }
+        #: accumulator of all finished trends seen so far
+        self._final = TrendAccumulator.zero(plan.targets)
+
+    # -- hot path -----------------------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        """Insert ``event`` into the graph and update the affected accumulators."""
+        plan = self.plan
+        variables = plan.candidate_variables(event)
+        if not variables:
+            return  # irrelevant events are skipped under skip-till-any-match
+        self.events_processed += 1
+
+        staged: List[Tuple[str, TrendAccumulator]] = []
+        for variable in variables:
+            predecessor = TrendAccumulator.zero(plan.targets)
+            for predecessor_variable in plan.automaton.pred_types(variable):
+                for stored_event, stored_cell in self._nodes[predecessor_variable]:
+                    if plan.adjacency_satisfied(
+                        stored_event, predecessor_variable, event, variable
+                    ):
+                        predecessor.merge(stored_cell)
+            cell = predecessor.extended(event, variable)
+            if plan.is_start(variable):
+                cell.merge(TrendAccumulator.singleton(event, variable, plan.targets))
+            staged.append((variable, cell))
+
+        # Staged updates are applied only after every binding has been
+        # computed against the pre-event graph, so an event bound to several
+        # variables is never its own predecessor (Section 8).
+        for variable, cell in staged:
+            self._nodes[variable].append((event, cell))
+            if plan.is_end(variable):
+                self._final.merge(cell)
+
+    # -- results -------------------------------------------------------------------
+
+    def final_accumulator(self) -> TrendAccumulator:
+        return self._final.copy()
+
+    def stored_nodes(self, variable: str) -> List[Tuple[Event, TrendAccumulator]]:
+        """Stored (event, accumulator) pairs of ``variable`` (for inspection)."""
+        return list(self._nodes[variable])
+
+    # -- memory accounting -------------------------------------------------------------
+
+    def storage_units(self) -> int:
+        units = self._final.storage_units
+        for entries in self._nodes.values():
+            for _, cell in entries:
+                # the stored event itself counts as one unit besides its cell
+                units += 1 + cell.storage_units
+        return units
+
+    def stored_event_count(self) -> int:
+        return sum(len(entries) for entries in self._nodes.values())

@@ -1,0 +1,180 @@
+"""Runtime executor: windows, grouping and result emission (Section 7).
+
+The executor consumes a time-ordered event stream and routes every event to
+one sub-stream aggregator per (window, group) combination.  Aggregator
+instances are created lazily on the first event of a sub-stream and torn
+down as soon as their window expires, at which point the aggregation result
+of every group in the window is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analyzer.plan import CograPlan, plan_query
+from repro.core.base import SubstreamAggregator, create_aggregator
+from repro.core.partitioner import window_bounds
+from repro.core.results import GroupResult
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.query.query import Query
+
+
+class QueryExecutor:
+    """Evaluates one event trend aggregation query over a stream.
+
+    Parameters
+    ----------
+    query:
+        The query to evaluate, or an already-computed :class:`CograPlan`.
+    emit_empty_groups:
+        When True, groups whose final trend count is zero are still emitted
+        (with ``COUNT(*) = 0`` and ``None`` extrema).  Defaults to False,
+        matching the usual CEP behaviour of reporting only matched groups.
+    aggregator_factory:
+        Callable mapping a plan to a fresh sub-stream aggregator.  Defaults
+        to :func:`~repro.core.base.create_aggregator`; the negation
+        extension substitutes negation-aware aggregators here.
+    """
+
+    def __init__(self, query, emit_empty_groups: bool = False, aggregator_factory=None):
+        if isinstance(query, CograPlan):
+            self.plan = query
+        elif isinstance(query, Query):
+            self.plan = plan_query(query)
+        else:
+            raise TypeError(f"expected a Query or CograPlan, got {type(query).__name__}")
+        self.query = self.plan.query
+        self.emit_empty_groups = emit_empty_groups
+        self._aggregator_factory = aggregator_factory or create_aggregator
+
+        self._aggregators: Dict[Tuple[int, Tuple], SubstreamAggregator] = {}
+        self._window_groups: Dict[int, Set[Tuple]] = {}
+        self._results: List[GroupResult] = []
+        self._last_time: Optional[float] = None
+        self._events_seen = 0
+        self._relevant_types = frozenset(
+            self.plan.automaton.variable_types[variable]
+            for variable in self.plan.automaton.variables
+        )
+
+    # -- streaming interface -------------------------------------------------------
+
+    def process(self, event: Event) -> List[GroupResult]:
+        """Feed one event; return the results of windows that just closed."""
+        if self._last_time is not None and event.time < self._last_time:
+            raise StreamOrderError(
+                f"event at time {event.time} arrived after time {self._last_time}"
+            )
+        self._last_time = event.time
+        self._events_seen += 1
+
+        emitted = self._close_expired_windows(event.time)
+
+        if self._is_filtered_out(event):
+            return emitted
+
+        key = self.plan.partition_key(event)
+        window = self.query.window
+        window_ids = [0] if window is None else window.windows_of(event.time)
+        for window_id in window_ids:
+            aggregator = self._aggregators.get((window_id, key))
+            if aggregator is None:
+                aggregator = self._aggregator_factory(self.plan)
+                self._aggregators[(window_id, key)] = aggregator
+                self._window_groups.setdefault(window_id, set()).add(key)
+            aggregator.process(event)
+        return emitted
+
+    def run(self, events: Iterable[Event]) -> List[GroupResult]:
+        """Process a whole stream and return every emitted result."""
+        collected: List[GroupResult] = []
+        for event in events:
+            collected.extend(self.process(event))
+        collected.extend(self.flush())
+        return collected
+
+    def flush(self) -> List[GroupResult]:
+        """Close every remaining window and return its results."""
+        emitted: List[GroupResult] = []
+        for window_id in sorted(self._window_groups):
+            emitted.extend(self._emit_window(window_id))
+        return emitted
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def events_seen(self) -> int:
+        """Number of events fed into the executor so far."""
+        return self._events_seen
+
+    def open_window_count(self) -> int:
+        """Number of windows currently maintained."""
+        return len(self._window_groups)
+
+    def open_group_count(self) -> int:
+        """Number of (window, group) aggregators currently maintained."""
+        return len(self._aggregators)
+
+    def storage_units(self) -> int:
+        """Scalar values currently stored across every open aggregator.
+
+        This is the machine-independent memory metric used by the
+        benchmark harness to reproduce the paper's memory charts.
+        """
+        return sum(aggregator.storage_units() for aggregator in self._aggregators.values())
+
+    def stored_event_count(self) -> int:
+        """Matched events currently stored across every open aggregator."""
+        return sum(
+            aggregator.stored_event_count() for aggregator in self._aggregators.values()
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _is_filtered_out(self, event: Event) -> bool:
+        """Local predicates filter events of pattern types (Section 7).
+
+        Events of types that do not occur in the pattern are never filtered
+        here: they are invisible to the skip-till semantics but must still
+        reach the pattern-grained aggregator to break contiguity.
+        """
+        if event.event_type not in self._relevant_types:
+            return False
+        return not self.plan.candidate_variables(event)
+
+    def _close_expired_windows(self, time: float) -> List[GroupResult]:
+        window = self.query.window
+        if window is None:
+            return []
+        emitted: List[GroupResult] = []
+        expired = [
+            window_id
+            for window_id in self._window_groups
+            if window.window_end(window_id) <= time
+        ]
+        for window_id in sorted(expired):
+            emitted.extend(self._emit_window(window_id))
+        return emitted
+
+    def _emit_window(self, window_id: int) -> List[GroupResult]:
+        keys = self._window_groups.pop(window_id, set())
+        start, end = window_bounds(self.query.window, window_id)
+        emitted: List[GroupResult] = []
+        for key in sorted(keys, key=repr):
+            aggregator = self._aggregators.pop((window_id, key))
+            accumulator = aggregator.final_accumulator()
+            if accumulator.trend_count == 0 and not self.emit_empty_groups:
+                continue
+            group = dict(zip(self.plan.partition_attributes, key))
+            emitted.append(
+                GroupResult(
+                    window_id=window_id,
+                    window_start=start,
+                    window_end=end,
+                    group=group,
+                    values=accumulator.results(self.query.aggregates),
+                    trend_count=accumulator.trend_count,
+                )
+            )
+        return emitted

@@ -1,0 +1,79 @@
+"""Result records emitted by the runtime executor."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class GroupResult:
+    """Aggregation result of one group within one window.
+
+    Attributes
+    ----------
+    window_id:
+        Identifier of the sliding window (``wid`` of Section 7), or ``0``
+        for queries without a WITHIN clause.
+    window_start / window_end:
+        Time interval covered by the window (``None`` when unbounded).
+    group:
+        Mapping from grouping attribute name to its value for this group.
+    values:
+        Mapping from RETURN-clause column name (e.g. ``"COUNT(*)"``,
+        ``"MIN(M.rate)"``) to the aggregate value.
+    trend_count:
+        Number of finished trends in the group (``COUNT(*)`` even when it
+        was not requested), useful for filtering empty groups.
+    """
+
+    __slots__ = ("window_id", "window_start", "window_end", "group", "values", "trend_count")
+
+    def __init__(
+        self,
+        window_id: int,
+        window_start: Optional[float],
+        window_end: Optional[float],
+        group: Dict[str, object],
+        values: Dict[str, object],
+        trend_count: int,
+    ):
+        self.window_id = window_id
+        self.window_start = window_start
+        self.window_end = window_end
+        self.group = group
+        self.values = values
+        self.trend_count = trend_count
+
+    @property
+    def group_key(self) -> Tuple:
+        """The group as a hashable tuple of values (attribute order of the query)."""
+        return tuple(self.group.values())
+
+    def __getitem__(self, column: str):
+        """Access a RETURN-clause value or a grouping attribute by name."""
+        if column in self.values:
+            return self.values[column]
+        return self.group[column]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view: grouping attributes, values and window metadata."""
+        row: Dict[str, object] = {"window_id": self.window_id}
+        row.update(self.group)
+        row.update(self.values)
+        return row
+
+    def __repr__(self) -> str:
+        group = ", ".join(f"{k}={v!r}" for k, v in self.group.items())
+        values = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        return f"GroupResult(window={self.window_id}, {{{group}}}, {{{values}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupResult):
+            return NotImplemented
+        return (
+            self.window_id == other.window_id
+            and self.group == other.group
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.window_id, tuple(sorted(self.group.items()))))

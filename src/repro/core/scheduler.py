@@ -1,0 +1,130 @@
+"""Time-driven stream transaction scheduler (Section 8, parallel processing).
+
+The paper processes all events that carry the same application timestamp as
+one *stream transaction*: for every timestamp ``t`` the scheduler waits
+until all transactions with smaller timestamps have completed, then wraps
+the events with timestamp ``t`` into a transaction and submits it.
+
+In this single-process reproduction the scheduler provides the same
+ordering guarantees without threads: it buffers events per timestamp,
+releases complete transactions in timestamp order and dispatches the events
+of a transaction to one or more executors (one per partition, mirroring the
+per-sub-stream parallelism the paper describes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.executor import QueryExecutor
+from repro.core.results import GroupResult
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+
+
+class StreamTransaction:
+    """All events sharing one application timestamp."""
+
+    __slots__ = ("time", "events")
+
+    def __init__(self, time: float, events: Sequence[Event]):
+        self.time = time
+        self.events = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"StreamTransaction(t={self.time:g}, {len(self.events)} events)"
+
+
+class TimeDrivenScheduler:
+    """Groups events into per-timestamp transactions and dispatches them.
+
+    Parameters
+    ----------
+    executor_factory:
+        Zero-argument callable creating a fresh :class:`QueryExecutor`
+        (or any object with ``process``/``flush``) per partition.
+    partition_function:
+        Maps an event to a partition identifier; all events of a partition
+        are handled by the same executor.  Defaults to a single partition.
+    """
+
+    def __init__(
+        self,
+        executor_factory: Callable[[], QueryExecutor],
+        partition_function: Optional[Callable[[Event], object]] = None,
+    ):
+        self._executor_factory = executor_factory
+        self._partition_function = partition_function or (lambda event: 0)
+        self._executors: Dict[object, QueryExecutor] = {}
+        self._pending_time: Optional[float] = None
+        self._pending_events: List[Event] = []
+        self._completed_transactions = 0
+
+    # -- feeding ------------------------------------------------------------------
+
+    def submit(self, event: Event) -> List[GroupResult]:
+        """Buffer ``event``; dispatch the previous transaction if it is complete."""
+        emitted: List[GroupResult] = []
+        if self._pending_time is None:
+            self._pending_time = event.time
+        elif event.time < self._pending_time:
+            raise StreamOrderError(
+                f"event at time {event.time} arrived after transaction {self._pending_time}"
+            )
+        elif event.time > self._pending_time:
+            emitted.extend(self._dispatch_pending())
+            self._pending_time = event.time
+        self._pending_events.append(event)
+        return emitted
+
+    def run(self, events: Iterable[Event]) -> List[GroupResult]:
+        """Process a finite stream transactionally and return all results."""
+        emitted: List[GroupResult] = []
+        for event in events:
+            emitted.extend(self.submit(event))
+        emitted.extend(self.finish())
+        return emitted
+
+    def finish(self) -> List[GroupResult]:
+        """Dispatch the last transaction and flush every executor."""
+        emitted = self._dispatch_pending()
+        for executor in self._executors.values():
+            emitted.extend(executor.flush())
+        return emitted
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def completed_transactions(self) -> int:
+        """Number of stream transactions dispatched so far."""
+        return self._completed_transactions
+
+    @property
+    def partition_count(self) -> int:
+        """Number of partitions (executors) created so far."""
+        return len(self._executors)
+
+    def executors(self) -> Dict[object, QueryExecutor]:
+        """Mapping from partition identifier to its executor."""
+        return dict(self._executors)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _dispatch_pending(self) -> List[GroupResult]:
+        if not self._pending_events:
+            return []
+        transaction = StreamTransaction(self._pending_time, self._pending_events)
+        self._pending_events = []
+        emitted: List[GroupResult] = []
+        for event in transaction.events:
+            partition = self._partition_function(event)
+            executor = self._executors.get(partition)
+            if executor is None:
+                executor = self._executor_factory()
+                self._executors[partition] = executor
+            emitted.extend(executor.process(event))
+        self._completed_transactions += 1
+        return emitted

@@ -1,0 +1,97 @@
+"""Synthetic physical-activity monitoring stream (PAMAP2 substitute).
+
+The paper's first real data set contains heart-rate reports of 14 people
+performing 18 activities.  The generator reproduces the schema and the
+properties the evaluation depends on:
+
+* one ``Measurement`` event per report with ``patient``, ``activity`` and
+  ``rate`` attributes,
+* a configurable number of patients (the trend groups of q1),
+* heart rates following a per-patient random walk whose upward-step
+  probability controls how long the contiguously increasing runs are (the
+  trends detected by q1 under the contiguous semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.datasets.generators import StreamConfig, seeded_rng, spread_timestamps
+from repro.events.event import Event
+from repro.events.stream import EventStream
+
+#: Activities considered "passive" by query q1.
+PASSIVE_ACTIVITIES = ("lying", "sitting", "standing", "watching_tv", "reading")
+#: Remaining activities of the PAMAP2 protocol (18 activities in total).
+ACTIVE_ACTIVITIES = (
+    "walking",
+    "running",
+    "cycling",
+    "nordic_walking",
+    "ascending_stairs",
+    "descending_stairs",
+    "vacuum_cleaning",
+    "ironing",
+    "rope_jumping",
+    "playing_soccer",
+    "car_driving",
+    "folding_laundry",
+    "house_cleaning",
+)
+
+
+@dataclass
+class PhysicalActivityConfig(StreamConfig):
+    """Knobs of the physical-activity generator."""
+
+    #: number of monitored patients (trend groups); the paper uses 14
+    patients: int = 14
+    #: probability that a measurement belongs to a passive activity
+    passive_probability: float = 0.7
+    #: probability that the heart rate increases from one report to the next;
+    #: controls the length of contiguously increasing runs
+    increase_probability: float = 0.55
+    #: bounds and step of the heart-rate random walk
+    rate_start: float = 70.0
+    rate_step: float = 3.0
+    rate_minimum: float = 40.0
+    rate_maximum: float = 200.0
+    #: activities drawn for passive / active reports
+    passive_activities: tuple = field(default=PASSIVE_ACTIVITIES)
+    active_activities: tuple = field(default=ACTIVE_ACTIVITIES)
+
+
+def generate_physical_activity_stream(
+    config: PhysicalActivityConfig = PhysicalActivityConfig(),
+) -> EventStream:
+    """Generate a time-ordered stream of ``Measurement`` events."""
+    rng = seeded_rng(config.seed)
+    rates = {patient: config.rate_start + rng.uniform(-10, 10) for patient in range(config.patients)}
+    events: List[Event] = []
+    for sequence, time in enumerate(spread_timestamps(config)):
+        patient = rng.randrange(config.patients)
+        passive = rng.random() < config.passive_probability
+        activity = (
+            rng.choice(config.passive_activities)
+            if passive
+            else rng.choice(config.active_activities)
+        )
+        direction = 1.0 if rng.random() < config.increase_probability else -1.0
+        rate = rates[patient] + direction * rng.uniform(0.0, config.rate_step)
+        rate = min(max(rate, config.rate_minimum), config.rate_maximum)
+        rates[patient] = rate
+        events.append(
+            Event(
+                "Measurement",
+                time,
+                {
+                    "patient": patient,
+                    "activity": activity,
+                    "activity_class": "passive" if passive else "active",
+                    "rate": round(rate, 2),
+                },
+                sequence=sequence,
+            )
+        )
+    return EventStream(events, name="physical_activity")

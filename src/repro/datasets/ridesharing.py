@@ -1,0 +1,73 @@
+"""Synthetic ridesharing (Uber-style) trip stream for query q2.
+
+Query q2 of the paper counts the Uber pool trips a driver completes when
+some riders cancel after contacting the driver::
+
+    SEQ(Accept, (SEQ(Call, Cancel))+, Finish)
+
+The ridesharing use case is a motivating example rather than an evaluation
+data set, so this generator only needs to produce plausible trip sessions:
+each driver repeatedly accepts a trip, receives a number of call/cancel
+pairs (interleaved with irrelevant in-transit events that
+skip-till-next-match is allowed to skip) and finishes the trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.datasets.generators import StreamConfig, seeded_rng
+from repro.events.event import Event
+from repro.events.stream import EventStream, sort_events
+
+
+@dataclass
+class RidesharingConfig(StreamConfig):
+    """Knobs of the ridesharing generator."""
+
+    #: number of drivers (the grouping attribute of q2)
+    drivers: int = 25
+    #: minimal number of call/cancel pairs per trip (0 allows clean trips,
+    #: which the negation example counts)
+    min_cancellations: int = 1
+    #: maximal number of call/cancel pairs per trip
+    max_cancellations: int = 3
+    #: probability of an irrelevant in-transit event between trip events
+    in_transit_probability: float = 0.3
+
+
+def generate_ridesharing_stream(config: RidesharingConfig = RidesharingConfig()) -> EventStream:
+    """Generate a time-ordered stream of ridesharing session events."""
+    rng = seeded_rng(config.seed)
+    events: List[Event] = []
+    step = 1.0 / config.events_per_second if config.events_per_second > 0 else 1.0
+    clocks = {driver: rng.uniform(0.0, step * config.drivers) for driver in range(config.drivers)}
+    session_counter = 0
+
+    def emit(event_type: str, driver: int, session: int) -> None:
+        time = clocks[driver]
+        events.append(
+            Event(
+                event_type,
+                time,
+                {"driver": driver, "session": session, "rider": rng.randrange(10_000)},
+            )
+        )
+        clocks[driver] = time + step * config.drivers * rng.uniform(0.5, 1.5)
+
+    while len(events) < config.event_count:
+        driver = rng.randrange(config.drivers)
+        session_counter += 1
+        emit("Accept", driver, session_counter)
+        for _ in range(rng.randint(config.min_cancellations, config.max_cancellations)):
+            if rng.random() < config.in_transit_probability:
+                emit("InTransit", driver, session_counter)
+            emit("Call", driver, session_counter)
+            emit("Cancel", driver, session_counter)
+        if rng.random() < config.in_transit_probability:
+            emit("DropOff", driver, session_counter)
+        emit("Finish", driver, session_counter)
+
+    ordered = sort_events(events[: config.event_count])
+    return EventStream(ordered, name="ridesharing")

@@ -1,0 +1,75 @@
+"""Synthetic stock transaction stream (EODData substitute).
+
+The paper's second real data set contains 225k transactions of 19 companies
+in 10 sectors.  The generator reproduces the schema (time stamp, company,
+sector, transaction type, volume, price) and the properties the evaluation
+depends on: the number of companies/sectors (trend groups) and the
+probability that a price decreases from one transaction to the next, which
+is exactly the selectivity of q3's ``A.price > NEXT(A).price`` predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.datasets.generators import StreamConfig, seeded_rng, spread_timestamps
+from repro.events.event import Event
+from repro.events.stream import EventStream
+
+
+@dataclass
+class StockConfig(StreamConfig):
+    """Knobs of the stock transaction generator."""
+
+    #: number of companies (the paper's data set has 19)
+    companies: int = 19
+    #: number of industrial sectors (the paper's data set has 10)
+    sectors: int = 10
+    #: probability that a company's price decreases between transactions;
+    #: this is the selectivity of the "price falls" adjacent predicate
+    decrease_probability: float = 0.5
+    #: price random-walk parameters: a multiplicative walk keeps prices
+    #: strictly positive and keeps every step a strict increase or decrease,
+    #: so ``decrease_probability`` translates directly into the selectivity
+    #: of the ``A.price > NEXT(A).price`` predicate
+    price_start: float = 100.0
+    price_volatility: float = 0.02
+    #: maximum transaction volume
+    max_volume: int = 1000
+
+
+def generate_stock_stream(config: StockConfig = StockConfig()) -> EventStream:
+    """Generate a time-ordered stream of ``Stock`` transaction events."""
+    rng = seeded_rng(config.seed)
+    sector_of: Dict[int, int] = {
+        company: company % config.sectors for company in range(config.companies)
+    }
+    prices: Dict[int, float] = {
+        company: config.price_start + rng.uniform(-20, 20)
+        for company in range(config.companies)
+    }
+    events: List[Event] = []
+    for sequence, time in enumerate(spread_timestamps(config)):
+        company = rng.randrange(config.companies)
+        step = rng.uniform(0.1, 1.0) * config.price_volatility
+        if rng.random() < config.decrease_probability:
+            price = prices[company] * (1.0 - step)
+        else:
+            price = prices[company] * (1.0 + step)
+        prices[company] = price
+        events.append(
+            Event(
+                "Stock",
+                time,
+                {
+                    "company": company,
+                    "sector": sector_of[company],
+                    "price": round(price, 6),
+                    "volume": rng.randrange(1, config.max_volume),
+                    "transaction": rng.choice(("buy", "sell")),
+                },
+                sequence=sequence,
+            )
+        )
+    return EventStream(events, name="stock")

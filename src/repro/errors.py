@@ -1,0 +1,69 @@
+"""Exception hierarchy for the COGRA reproduction.
+
+Every error raised by the library derives from :class:`CograError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from planning or runtime
+errors.
+"""
+
+from __future__ import annotations
+
+
+class CograError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QueryParseError(CograError):
+    """Raised when the textual query language cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class InvalidPatternError(CograError):
+    """Raised when a pattern violates the structural rules of the model.
+
+    Examples: an empty sequence, a Kleene operator applied to nothing, or a
+    pattern in which the same variable name is bound twice.
+    """
+
+
+class InvalidQueryError(CograError):
+    """Raised when a query is structurally valid but semantically unusable.
+
+    Examples: an aggregate referring to a variable that does not occur in
+    the pattern, a window whose slide is non-positive, or a semantics that
+    an approach does not support.
+    """
+
+
+class UnsupportedQueryError(CograError):
+    """Raised by an execution approach that cannot evaluate a query.
+
+    The baselines reproduce the expressive-power limits of the original
+    systems (Table 9 of the paper): for instance A-Seq refuses queries with
+    predicates on adjacent events and GRETA refuses the contiguous
+    semantics.
+    """
+
+
+class PlanningError(CograError):
+    """Raised when the static analyzer cannot derive a COGRA configuration."""
+
+
+class StreamOrderError(CograError):
+    """Raised when events are fed to an executor out of timestamp order."""
+
+
+class ExecutionAbortedError(CograError):
+    """Raised when an execution exceeds a configured cost budget.
+
+    The benchmark harness uses cost budgets to reproduce the paper's
+    "does not terminate" data points without actually hanging the test
+    machine.
+    """
+
+    def __init__(self, message: str, events_processed: int = 0):
+        super().__init__(message)
+        self.events_processed = events_processed

@@ -1,0 +1,24 @@
+"""Event and stream model used by every component of the library.
+
+The event model follows Section 2.1 of the paper: an event is an immutable
+message with a numeric timestamp, an event type and a set of attributes.
+Streams are timestamp-ordered sequences of events.
+"""
+
+from repro.events.event import Event, EventSchema, attribute_names
+from repro.events.stream import (
+    EventStream,
+    merge_streams,
+    sort_events,
+    validate_order,
+)
+
+__all__ = [
+    "Event",
+    "EventSchema",
+    "EventStream",
+    "attribute_names",
+    "merge_streams",
+    "sort_events",
+    "validate_order",
+]

@@ -1,0 +1,128 @@
+"""Event streams: ordered sequences of events plus helpers to build them.
+
+A stream in this library is simply an iterable of :class:`Event` objects in
+non-decreasing timestamp order.  :class:`EventStream` wraps a concrete list
+with convenience accessors used by the data-set generators, the benchmark
+harness and the tests; the execution engines accept any iterable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+
+
+def sort_events(events: Iterable[Event]) -> List[Event]:
+    """Return ``events`` sorted by time and re-numbered with arrival indices.
+
+    Ties on the timestamp keep their original relative order (stable sort)
+    and the resulting events receive consecutive ``sequence`` numbers so
+    that the total order used throughout the library is unambiguous.
+    """
+    ordered = sorted(events, key=lambda e: (e.time, e.sequence))
+    return [
+        event if event.sequence == index else event.replace(sequence=index)
+        for index, event in enumerate(ordered)
+    ]
+
+
+def validate_order(events: Iterable[Event]) -> None:
+    """Raise :class:`StreamOrderError` if ``events`` is not time-ordered."""
+    previous: Optional[Event] = None
+    for index, event in enumerate(events):
+        if previous is not None and event.order_key < previous.order_key:
+            raise StreamOrderError(
+                f"event #{index} at time {event.time} arrives after an event "
+                f"at time {previous.time}"
+            )
+        previous = event
+
+
+def merge_streams(*streams: Iterable[Event]) -> List[Event]:
+    """Merge several time-ordered streams into one time-ordered list."""
+    merged = list(
+        heapq.merge(*streams, key=lambda e: (e.time, e.sequence))
+    )
+    return sort_events(merged)
+
+
+class EventStream:
+    """A finite, materialised, time-ordered event stream.
+
+    The constructor sorts its input, so callers may pass events in any
+    order.  The class behaves like a read-only sequence of events and adds
+    the small set of statistics the benchmark harness reports (event count,
+    duration, types present, distinct values of a partition attribute).
+    """
+
+    def __init__(self, events: Iterable[Event], name: str = "stream"):
+        self.name = name
+        self._events: List[Event] = sort_events(events)
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def __repr__(self) -> str:
+        return f"EventStream({self.name!r}, {len(self)} events)"
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The underlying ordered list of events."""
+        return self._events
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the stream in seconds (0 when empty)."""
+        if not self._events:
+            return 0.0
+        return self._events[-1].time - self._events[0].time
+
+    def event_types(self) -> frozenset:
+        """Set of event type names that occur in the stream."""
+        return frozenset(event.event_type for event in self._events)
+
+    def distinct_values(self, attribute: str) -> frozenset:
+        """Distinct values of ``attribute`` over events that carry it."""
+        return frozenset(
+            event.get(attribute)
+            for event in self._events
+            if event.has(attribute)
+        )
+
+    # -- transformations ---------------------------------------------------
+
+    def filter(self, predicate: Callable[[Event], bool], name: Optional[str] = None) -> "EventStream":
+        """Return a new stream with the events satisfying ``predicate``."""
+        return EventStream(
+            (event for event in self._events if predicate(event)),
+            name=name or f"{self.name}|filtered",
+        )
+
+    def of_types(self, *event_types: str) -> "EventStream":
+        """Return a new stream restricted to the given event types."""
+        allowed = frozenset(event_types)
+        return self.filter(lambda e: e.event_type in allowed, name=f"{self.name}|{sorted(allowed)}")
+
+    def take(self, count: int) -> "EventStream":
+        """Return a new stream with the first ``count`` events."""
+        return EventStream(self._events[:count], name=f"{self.name}|take({count})")
+
+    def within(self, start_time: float, end_time: float) -> "EventStream":
+        """Return events with ``start_time <= time < end_time``."""
+        return self.filter(
+            lambda e: start_time <= e.time < end_time,
+            name=f"{self.name}|[{start_time},{end_time})",
+        )

@@ -1,0 +1,187 @@
+"""Pattern rewritings for the syntactic-sugar operators (Section 8).
+
+The paper observes that Kleene star and optional sub-patterns do not add
+expressive power::
+
+    SEQ(Pi*, Pj) = SEQ(Pi+, Pj) | Pj
+    SEQ(Pi?, Pj) = SEQ(Pi, Pj)  | Pj
+
+:func:`desugar_pattern` applies these equalities bottom-up, producing an
+equivalent pattern built only from atoms, SEQ, Kleene plus and disjunction
+-- the fragment every COGRA aggregator handles natively.  Because a
+rewritten pattern may mention the same variable in several alternatives of
+a disjunction, alternatives are kept as separate queries by
+:func:`split_disjunction` when an engine prefers to evaluate them
+independently.
+
+:func:`expand_min_trend_length` implements the paper's treatment of minimal
+trend length constraints for the common single-variable Kleene pattern:
+``A+`` with minimal length ``k`` is unrolled to ``SEQ(A, ..., A, A+)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import InvalidPatternError
+from repro.query.ast import (
+    Disjunction,
+    EventTypePattern,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    Pattern,
+    Sequence,
+)
+
+
+def desugar_pattern(pattern: Pattern) -> Pattern:
+    """Rewrite Kleene star and optional sub-patterns into the core fragment.
+
+    The result contains only event type atoms, SEQ, Kleene plus, negation
+    and disjunction.  Sub-patterns that can match the empty trend at the top
+    level (a bare ``A*``) are rejected, mirroring the paper's assumption
+    that a query matches at least one event.
+    """
+    rewritten = _desugar(pattern)
+    if isinstance(rewritten, _OptionalMarker):
+        # A top-level star/optional may match the empty trend; the empty
+        # alternative carries no events and is dropped (Section 2.1 assumes
+        # trends of length >= 1).
+        rewritten = rewritten.inner
+    if rewritten is None:
+        raise InvalidPatternError(
+            f"pattern {pattern!r} matches only the empty trend after desugaring"
+        )
+    return rewritten
+
+
+def _desugar(pattern: Pattern):
+    """Return the rewritten pattern, or ``None`` when only the empty match remains."""
+    if isinstance(pattern, EventTypePattern):
+        return EventTypePattern(pattern.event_type, pattern.variable)
+
+    if isinstance(pattern, KleenePlus):
+        inner = _desugar(pattern.inner)
+        if isinstance(inner, _OptionalMarker):
+            # (P?)+ == P* : one or more optional blocks reduce to P+ | empty.
+            return _optional(KleenePlus(inner.inner))
+        if inner is None:
+            return None
+        return KleenePlus(inner)
+
+    if isinstance(pattern, KleeneStar):
+        # P* == P+ | empty ; the empty alternative is expressed by the caller
+        # (a sequence simply drops the part, a top-level star is rejected).
+        inner = _desugar(pattern.inner)
+        if isinstance(inner, _OptionalMarker):
+            inner = inner.inner
+        if inner is None:
+            return None
+        return _optional(KleenePlus(inner))
+
+    if isinstance(pattern, OptionalPattern):
+        inner = _desugar(pattern.inner)
+        if isinstance(inner, _OptionalMarker):
+            return inner
+        if inner is None:
+            return None
+        return _optional(inner)
+
+    if isinstance(pattern, Negation):
+        inner = _desugar(pattern.inner)
+        if isinstance(inner, _OptionalMarker):
+            inner = inner.inner
+        if inner is None:
+            return None
+        return Negation(inner)
+
+    if isinstance(pattern, Sequence):
+        parts = [_desugar(part) for part in pattern.parts]
+        return _desugar_sequence(parts)
+
+    if isinstance(pattern, Disjunction):
+        alternatives = [_desugar(alt) for alt in pattern.alternatives]
+        alternatives = [
+            alt.inner if isinstance(alt, _OptionalMarker) else alt for alt in alternatives
+        ]
+        concrete = [alt for alt in alternatives if alt is not None]
+        if not concrete:
+            return None
+        flattened: List[Pattern] = []
+        for alternative in concrete:
+            if isinstance(alternative, Disjunction):
+                flattened.extend(alternative.alternatives)
+            else:
+                flattened.append(alternative)
+        if len(flattened) == 1:
+            return flattened[0]
+        return Disjunction(flattened)
+
+    raise InvalidPatternError(f"cannot desugar pattern node {type(pattern).__name__}")
+
+
+class _OptionalMarker:
+    """Wrapper marking 'this part may be present or absent' inside a sequence."""
+
+    def __init__(self, inner: Pattern):
+        self.inner = inner
+
+
+def _optional(inner: Pattern) -> "_OptionalMarker":
+    return _OptionalMarker(inner)
+
+
+def _desugar_sequence(parts: List) -> Pattern:
+    """Expand optional markers in a sequence into a disjunction of sequences."""
+    combinations: List[List[Pattern]] = [[]]
+    for part in parts:
+        if part is None:
+            continue
+        if isinstance(part, _OptionalMarker):
+            with_part = [combo + [part.inner] for combo in combinations]
+            without_part = [list(combo) for combo in combinations]
+            combinations = with_part + without_part
+        else:
+            combinations = [combo + [part] for combo in combinations]
+
+    alternatives: List[Pattern] = []
+    seen = set()
+    for combo in combinations:
+        if not combo:
+            continue
+        candidate = combo[0] if len(combo) == 1 else Sequence(combo)
+        key = repr(candidate)
+        if key not in seen:
+            seen.add(key)
+            alternatives.append(candidate)
+    if not alternatives:
+        return None
+    if len(alternatives) == 1:
+        return alternatives[0]
+    return Disjunction(alternatives)
+
+
+def expand_min_trend_length(pattern: Pattern, min_length: int) -> Pattern:
+    """Unroll ``A+`` to ``SEQ(A, ..., A, A+)`` for a minimal trend length.
+
+    Only the single-variable Kleene pattern is supported (the case discussed
+    in the paper); other shapes raise :class:`InvalidPatternError`.  The
+    unrolled occurrences receive fresh variable names (``A__1``, ...) but
+    keep the original event type, so aggregates over the original variable
+    must be rewritten by the caller.
+    """
+    if min_length <= 1:
+        return pattern
+    if not isinstance(pattern, KleenePlus) or not isinstance(pattern.inner, EventTypePattern):
+        raise InvalidPatternError(
+            "minimal trend length expansion is only defined for single-variable "
+            "Kleene patterns such as A+"
+        )
+    atom = pattern.inner
+    prefix = [
+        EventTypePattern(atom.event_type, f"{atom.variable}__{index}")
+        for index in range(1, min_length)
+    ]
+    return Sequence(prefix + [KleenePlus(EventTypePattern(atom.event_type, atom.variable))])

@@ -1,0 +1,76 @@
+"""Query model: patterns, semantics, predicates, aggregates, windows.
+
+This package implements Definition 6 of the paper (the event trend
+aggregation query) together with a fluent builder and a parser for the
+SASE-style textual syntax used by the example queries q1-q3.
+"""
+
+from repro.query.aggregates import (
+    AggregateFunction,
+    AggregateSpec,
+    avg,
+    count_star,
+    count_type,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.query.ast import (
+    EventTypePattern,
+    Kleene,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    Disjunction,
+    Pattern,
+    Sequence,
+    atom,
+    kleene_plus,
+    sequence,
+)
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+from repro.query.predicates import (
+    AdjacentPredicate,
+    EquivalencePredicate,
+    LocalPredicate,
+    Predicate,
+    comparison,
+)
+from repro.query.query import Query
+from repro.query.semantics import Semantics
+from repro.query.windows import WindowSpec
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateSpec",
+    "AdjacentPredicate",
+    "Disjunction",
+    "EquivalencePredicate",
+    "EventTypePattern",
+    "Kleene",
+    "KleenePlus",
+    "KleeneStar",
+    "LocalPredicate",
+    "Negation",
+    "OptionalPattern",
+    "Pattern",
+    "Predicate",
+    "Query",
+    "QueryBuilder",
+    "Semantics",
+    "Sequence",
+    "WindowSpec",
+    "atom",
+    "avg",
+    "comparison",
+    "count_star",
+    "count_type",
+    "kleene_plus",
+    "max_of",
+    "min_of",
+    "parse_query",
+    "sequence",
+    "sum_of",
+]

@@ -1,0 +1,157 @@
+"""Aggregation functions of the RETURN clause (Section 2.3 of the paper).
+
+COGRA supports the distributive aggregation functions COUNT, MIN, MAX and
+SUM as well as the algebraic function AVG, all of which can be maintained
+incrementally (Gray et al., Data Cube).  An :class:`AggregateSpec` names
+one output column of the query: the function, the pattern variable it
+ranges over and, except for COUNT, the attribute it aggregates.
+
+Semantics over a group of matched trends:
+
+* ``COUNT(*)``      -- number of trends.
+* ``COUNT(E)``      -- total number of events bound to variable ``E`` over
+  all trends (an event contributes once per trend that contains it).
+* ``MIN(E.attr)`` / ``MAX(E.attr)`` -- extremum of ``attr`` over events
+  bound to ``E`` in any trend of the group.
+* ``SUM(E.attr)``   -- sum of ``attr`` over events bound to ``E``, counted
+  once per trend containing the event.
+* ``AVG(E.attr)``   -- ``SUM(E.attr) / COUNT(E)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import InvalidQueryError
+
+
+class AggregateFunction(enum.Enum):
+    """The aggregation functions supported by the query language."""
+
+    COUNT = "COUNT"
+    MIN = "MIN"
+    MAX = "MAX"
+    SUM = "SUM"
+    AVG = "AVG"
+
+    @property
+    def needs_attribute(self) -> bool:
+        """True for functions that aggregate an attribute value."""
+        return self in (
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+            AggregateFunction.SUM,
+            AggregateFunction.AVG,
+        )
+
+    @property
+    def is_distributive(self) -> bool:
+        """True for COUNT/MIN/MAX/SUM (AVG is algebraic)."""
+        return self is not AggregateFunction.AVG
+
+
+class AggregateSpec:
+    """One aggregate column of the RETURN clause.
+
+    Parameters
+    ----------
+    function:
+        The aggregation function.
+    variable:
+        Pattern variable the aggregate ranges over, or ``None`` for
+        ``COUNT(*)``.
+    attribute:
+        Attribute aggregated by MIN/MAX/SUM/AVG; ``None`` for COUNT.
+    """
+
+    def __init__(
+        self,
+        function: AggregateFunction,
+        variable: Optional[str] = None,
+        attribute: Optional[str] = None,
+    ):
+        if function.needs_attribute and (variable is None or attribute is None):
+            raise InvalidQueryError(
+                f"{function.value} requires both a variable and an attribute, "
+                f"got variable={variable!r} attribute={attribute!r}"
+            )
+        if function is AggregateFunction.COUNT and attribute is not None:
+            raise InvalidQueryError("COUNT takes either '*' or a variable, not an attribute")
+        self.function = function
+        self.variable = variable
+        self.attribute = attribute
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_count_star(self) -> bool:
+        """True for ``COUNT(*)``."""
+        return self.function is AggregateFunction.COUNT and self.variable is None
+
+    @property
+    def target(self) -> Optional[tuple]:
+        """``(variable, attribute)`` target of the aggregate, if any.
+
+        ``COUNT(*)`` has no target; ``COUNT(E)`` has target ``(E, None)``.
+        """
+        if self.is_count_star:
+            return None
+        return (self.variable, self.attribute)
+
+    @property
+    def name(self) -> str:
+        """Column name used in result rows, e.g. ``MIN(M.rate)``."""
+        if self.is_count_star:
+            return "COUNT(*)"
+        if self.attribute is None:
+            return f"{self.function.value}({self.variable})"
+        return f"{self.function.value}({self.variable}.{self.attribute})"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AggregateSpec):
+            return NotImplemented
+        return (
+            self.function is other.function
+            and self.variable == other.variable
+            and self.attribute == other.attribute
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.function, self.variable, self.attribute))
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def count_star() -> AggregateSpec:
+    """``COUNT(*)`` -- the number of matched trends per group."""
+    return AggregateSpec(AggregateFunction.COUNT)
+
+
+def count_type(variable: str) -> AggregateSpec:
+    """``COUNT(E)`` -- total occurrences of variable ``E`` over all trends."""
+    return AggregateSpec(AggregateFunction.COUNT, variable)
+
+
+def min_of(variable: str, attribute: str) -> AggregateSpec:
+    """``MIN(E.attr)``."""
+    return AggregateSpec(AggregateFunction.MIN, variable, attribute)
+
+
+def max_of(variable: str, attribute: str) -> AggregateSpec:
+    """``MAX(E.attr)``."""
+    return AggregateSpec(AggregateFunction.MAX, variable, attribute)
+
+
+def sum_of(variable: str, attribute: str) -> AggregateSpec:
+    """``SUM(E.attr)``."""
+    return AggregateSpec(AggregateFunction.SUM, variable, attribute)
+
+
+def avg(variable: str, attribute: str) -> AggregateSpec:
+    """``AVG(E.attr)`` = ``SUM(E.attr) / COUNT(E)``."""
+    return AggregateSpec(AggregateFunction.AVG, variable, attribute)

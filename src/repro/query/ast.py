@@ -1,0 +1,320 @@
+"""Pattern abstract syntax tree (Definition 1 of the paper).
+
+A pattern is built from
+
+* event type atoms ``E`` (optionally bound to a variable, e.g. ``Stock A``),
+* Kleene plus ``P+``,
+* event sequences ``SEQ(P1, P2, ...)``,
+
+plus the extension operators sketched in Section 8 of the paper: Kleene
+star, optional sub-patterns, negation and disjunction.  The core COGRA
+aggregators operate on the plus/sequence fragment; the extension operators
+are rewritten or planned around by :mod:`repro.extensions`.
+
+Variables
+---------
+The paper assumes that an event type occurs at most once in a pattern and
+identifies automaton states with event types.  Real queries (q3 of the
+paper: ``SEQ(Stock A+, Stock B+)``) reuse a type under different aliases.
+We therefore distinguish the *event type* (what arrives on the stream) from
+the *variable* (the name of the pattern position).  When no alias is given
+the variable defaults to the type name, which recovers the paper's setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence as Seq, Tuple
+
+from repro.errors import InvalidPatternError
+
+
+class Pattern:
+    """Base class of all pattern AST nodes."""
+
+    #: True for nodes that can match the empty trend (star / optional).
+    matches_empty: bool = False
+
+    # -- structural queries -------------------------------------------------
+
+    def children(self) -> Tuple["Pattern", ...]:
+        """Immediate sub-patterns of this node."""
+        return ()
+
+    def walk(self) -> Iterator["Pattern"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def leaves(self) -> List["EventTypePattern"]:
+        """All event type atoms, left to right."""
+        return [node for node in self.walk() if isinstance(node, EventTypePattern)]
+
+    def variables(self) -> List[str]:
+        """Variable names bound by the pattern, left to right."""
+        return [leaf.variable for leaf in self.leaves() if not leaf.negated_context]
+
+    def event_types(self) -> List[str]:
+        """Event type names referenced by the pattern, left to right."""
+        return [leaf.event_type for leaf in self.leaves()]
+
+    @property
+    def length(self) -> int:
+        """Number of event type occurrences in the pattern (Definition 1)."""
+        return len(self.leaves())
+
+    @property
+    def is_kleene(self) -> bool:
+        """True when the pattern contains a Kleene plus or star operator."""
+        return any(isinstance(node, Kleene) for node in self.walk())
+
+    @property
+    def has_negation(self) -> bool:
+        """True when the pattern contains a negated sub-pattern."""
+        return any(isinstance(node, Negation) for node in self.walk())
+
+    @property
+    def has_disjunction(self) -> bool:
+        """True when the pattern contains a disjunction."""
+        return any(isinstance(node, Disjunction) for node in self.walk())
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidPatternError` for structurally broken patterns.
+
+        A variable may not occur twice in positions that can appear in the
+        same trend (e.g. ``SEQ(A, A)``); different alternatives of a
+        disjunction may reuse a variable, which arises naturally when Kleene
+        star / optional sub-patterns are desugared (Section 8).  A reused
+        variable must always match the same event type.
+        """
+        _check_variable_occurrences(self)
+        types_of_variable: Dict[str, str] = {}
+        for leaf in self.leaves():
+            known = types_of_variable.setdefault(leaf.variable, leaf.event_type)
+            if known != leaf.event_type:
+                raise InvalidPatternError(
+                    f"variable {leaf.variable!r} is bound to both event types "
+                    f"{known!r} and {leaf.event_type!r}"
+                )
+        if self.length == 0:
+            raise InvalidPatternError("a pattern must contain at least one event type")
+
+    def variable_types(self) -> Dict[str, str]:
+        """Mapping from variable name to the event type it matches."""
+        return {leaf.variable: leaf.event_type for leaf in self.leaves()}
+
+    # -- misc ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+class EventTypePattern(Pattern):
+    """A single event type occurrence, optionally bound to a variable.
+
+    ``EventTypePattern("Stock", "A")`` matches one event of type ``Stock``
+    and binds it to the variable ``A``.
+    """
+
+    def __init__(self, event_type: str, variable: Optional[str] = None):
+        if not event_type:
+            raise InvalidPatternError("event type name must be non-empty")
+        self.event_type = event_type
+        self.variable = variable or event_type
+        #: set by Negation.__init__ for leaves under a negated sub-pattern
+        self.negated_context = False
+
+    def _key(self) -> tuple:
+        return (self.event_type, self.variable)
+
+    def __repr__(self) -> str:
+        if self.variable != self.event_type:
+            return f"{self.event_type} {self.variable}"
+        return self.event_type
+
+
+class Sequence(Pattern):
+    """``SEQ(P1, ..., Pk)``: sub-patterns matched in temporal order."""
+
+    def __init__(self, parts: Seq[Pattern]):
+        parts = tuple(parts)
+        if len(parts) < 1:
+            raise InvalidPatternError("SEQ requires at least one sub-pattern")
+        self.parts = parts
+
+    def children(self) -> Tuple[Pattern, ...]:
+        return self.parts
+
+    @property
+    def matches_empty(self) -> bool:  # type: ignore[override]
+        return all(part.matches_empty for part in self.parts)
+
+    def _key(self) -> tuple:
+        return tuple(self.parts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(part) for part in self.parts)
+        return f"SEQ({inner})"
+
+
+class Kleene(Pattern):
+    """Common base class of Kleene plus and Kleene star."""
+
+    def __init__(self, inner: Pattern):
+        self.inner = inner
+
+    def children(self) -> Tuple[Pattern, ...]:
+        return (self.inner,)
+
+    def _key(self) -> tuple:
+        return (self.inner,)
+
+
+class KleenePlus(Kleene):
+    """``P+``: one or more matches of ``P`` in temporal order."""
+
+    def __repr__(self) -> str:
+        if isinstance(self.inner, EventTypePattern):
+            return f"{self.inner!r}+"
+        return f"({self.inner!r})+"
+
+
+class KleeneStar(Kleene):
+    """``P*``: zero or more matches of ``P`` (syntactic sugar, Section 8)."""
+
+    matches_empty = True
+
+    def __repr__(self) -> str:
+        if isinstance(self.inner, EventTypePattern):
+            return f"{self.inner!r}*"
+        return f"({self.inner!r})*"
+
+
+class OptionalPattern(Pattern):
+    """``P?``: zero or one match of ``P`` (syntactic sugar, Section 8)."""
+
+    matches_empty = True
+
+    def __init__(self, inner: Pattern):
+        self.inner = inner
+
+    def children(self) -> Tuple[Pattern, ...]:
+        return (self.inner,)
+
+    def _key(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        if isinstance(self.inner, EventTypePattern):
+            return f"{self.inner!r}?"
+        return f"({self.inner!r})?"
+
+
+class Negation(Pattern):
+    """``NOT P``: the sub-pattern must not match between its neighbours.
+
+    Negation is an extension operator (Section 8 of the paper).  The leaves
+    below a negation are flagged so that they do not contribute variables
+    to the positive part of the query.
+    """
+
+    matches_empty = True
+
+    def __init__(self, inner: Pattern):
+        self.inner = inner
+        for leaf in inner.leaves():
+            leaf.negated_context = True
+
+    def children(self) -> Tuple[Pattern, ...]:
+        return (self.inner,)
+
+    def _key(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"NOT({self.inner!r})"
+
+
+class Disjunction(Pattern):
+    """``P1 | P2 | ...``: any one alternative matches (Section 8)."""
+
+    def __init__(self, alternatives: Seq[Pattern]):
+        alternatives = tuple(alternatives)
+        if len(alternatives) < 2:
+            raise InvalidPatternError("a disjunction requires at least two alternatives")
+        self.alternatives = alternatives
+
+    def children(self) -> Tuple[Pattern, ...]:
+        return self.alternatives
+
+    @property
+    def matches_empty(self) -> bool:  # type: ignore[override]
+        return any(alt.matches_empty for alt in self.alternatives)
+
+    def _key(self) -> tuple:
+        return tuple(self.alternatives)
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(alt) for alt in self.alternatives)
+
+
+def _check_variable_occurrences(pattern: Pattern) -> frozenset:
+    """Return the variables of ``pattern``; reject co-occurring duplicates.
+
+    Two occurrences of the same variable are co-occurring when they are not
+    separated by a disjunction, i.e. they could both bind events of one
+    trend.
+    """
+    if isinstance(pattern, EventTypePattern):
+        return frozenset({pattern.variable})
+    if isinstance(pattern, Disjunction):
+        collected: set = set()
+        for alternative in pattern.alternatives:
+            collected |= _check_variable_occurrences(alternative)
+        return frozenset(collected)
+    collected: set = set()
+    for child in pattern.children():
+        child_variables = _check_variable_occurrences(child)
+        overlap = collected & child_variables
+        if overlap:
+            raise InvalidPatternError(
+                f"variables {sorted(overlap)} occur more than once in positions "
+                "that can appear in the same trend; alias repeated occurrences, "
+                "e.g. SEQ(A1+, B, A2)"
+            )
+        collected |= child_variables
+    return frozenset(collected)
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def atom(event_type: str, variable: Optional[str] = None) -> EventTypePattern:
+    """Shorthand for :class:`EventTypePattern`."""
+    return EventTypePattern(event_type, variable)
+
+
+def kleene_plus(pattern_or_type, variable: Optional[str] = None) -> KleenePlus:
+    """``kleene_plus("A")`` == ``A+``; also accepts a sub-pattern."""
+    if isinstance(pattern_or_type, Pattern):
+        return KleenePlus(pattern_or_type)
+    return KleenePlus(EventTypePattern(pattern_or_type, variable))
+
+
+def sequence(*parts) -> Sequence:
+    """``sequence(a, b, c)`` == ``SEQ(a, b, c)``; strings become atoms."""
+    resolved = [
+        part if isinstance(part, Pattern) else EventTypePattern(part)
+        for part in parts
+    ]
+    return Sequence(resolved)

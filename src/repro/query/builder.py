@@ -1,0 +1,169 @@
+"""Fluent builder for event trend aggregation queries.
+
+The builder is the recommended programmatic entry point::
+
+    query = (
+        QueryBuilder()
+        .pattern(kleene_plus("Measurement", "M"))
+        .semantics("contiguous")
+        .aggregate(min_of("M", "rate"))
+        .aggregate(max_of("M", "rate"))
+        .where_local("M", lambda e: e["activity"] == "passive",
+                     "M.activity = passive")
+        .where_adjacent(comparison("M", "rate", "<", "M"))
+        .group_by("patient")
+        .within(minutes=10, slide_seconds=30)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Union
+
+from repro.errors import InvalidQueryError
+from repro.events.event import Event
+from repro.query.aggregates import AggregateSpec, count_star
+from repro.query.ast import Pattern
+from repro.query.predicates import (
+    AdjacentPredicate,
+    EquivalencePredicate,
+    LocalPredicate,
+    Predicate,
+)
+from repro.query.query import Query
+from repro.query.semantics import Semantics
+from repro.query.windows import WindowSpec
+
+
+class QueryBuilder:
+    """Incrementally assemble a :class:`~repro.query.query.Query`."""
+
+    def __init__(self, name: str = ""):
+        self._name = name
+        self._pattern: Optional[Pattern] = None
+        self._semantics: Semantics = Semantics.SKIP_TILL_ANY_MATCH
+        self._aggregates: List[AggregateSpec] = []
+        self._predicates: List[Predicate] = []
+        self._group_by: List[str] = []
+        self._return_attributes: List[str] = []
+        self._window: Optional[WindowSpec] = None
+        self._min_trend_length = 1
+
+    # -- clauses ---------------------------------------------------------------
+
+    def named(self, name: str) -> "QueryBuilder":
+        """Set the query name used in logs and benchmark reports."""
+        self._name = name
+        return self
+
+    def pattern(self, pattern: Pattern) -> "QueryBuilder":
+        """Set the PATTERN clause."""
+        self._pattern = pattern
+        return self
+
+    def semantics(self, semantics: Union[Semantics, str]) -> "QueryBuilder":
+        """Set the SEMANTICS clause (accepts a :class:`Semantics` or a name)."""
+        if isinstance(semantics, str):
+            semantics = Semantics.parse(semantics)
+        self._semantics = semantics
+        return self
+
+    def aggregate(self, *specs: AggregateSpec) -> "QueryBuilder":
+        """Append aggregate columns to the RETURN clause."""
+        self._aggregates.extend(specs)
+        return self
+
+    def returning(self, *attributes: str) -> "QueryBuilder":
+        """Append plain (non-aggregate) columns to the RETURN clause."""
+        self._return_attributes.extend(attributes)
+        return self
+
+    def where(self, predicate: Predicate) -> "QueryBuilder":
+        """Append an arbitrary predicate to the WHERE clause."""
+        self._predicates.append(predicate)
+        return self
+
+    def where_local(
+        self,
+        variable: Optional[str],
+        condition: Callable[[Event], bool],
+        description: str = "",
+    ) -> "QueryBuilder":
+        """Append a predicate on a single event."""
+        self._predicates.append(LocalPredicate(variable, condition, description))
+        return self
+
+    def where_attribute_equals(
+        self, variable: Optional[str], attribute: str, value: Any
+    ) -> "QueryBuilder":
+        """Append ``Var.attribute = constant``."""
+        self._predicates.append(LocalPredicate.attribute_equals(variable, attribute, value))
+        return self
+
+    def where_attribute_compare(
+        self, variable: Optional[str], attribute: str, op: str, value: Any
+    ) -> "QueryBuilder":
+        """Append ``Var.attribute <op> constant`` (op in <, <=, >, >=, =, !=)."""
+        self._predicates.append(
+            LocalPredicate.attribute_compare(variable, attribute, op, value)
+        )
+        return self
+
+    def where_equivalence(self, attribute: str, variable: Optional[str] = None) -> "QueryBuilder":
+        """Append an equivalence predicate ``[attr]`` / ``[Var.attr]``."""
+        self._predicates.append(EquivalencePredicate(attribute, variable))
+        return self
+
+    def where_adjacent(self, predicate: AdjacentPredicate) -> "QueryBuilder":
+        """Append a predicate on adjacent events."""
+        self._predicates.append(predicate)
+        return self
+
+    def group_by(self, *attributes: str) -> "QueryBuilder":
+        """Set / extend the GROUP-BY clause."""
+        self._group_by.extend(attributes)
+        return self
+
+    def within(
+        self,
+        seconds: float = 0.0,
+        minutes: float = 0.0,
+        hours: float = 0.0,
+        slide_seconds: float = 0.0,
+        slide_minutes: float = 0.0,
+    ) -> "QueryBuilder":
+        """Set the WITHIN/SLIDE clause from second/minute/hour amounts."""
+        size = seconds + 60.0 * minutes + 3600.0 * hours
+        slide = slide_seconds + 60.0 * slide_minutes
+        self._window = WindowSpec(size, slide or size)
+        return self
+
+    def window(self, window: Optional[WindowSpec]) -> "QueryBuilder":
+        """Set the WITHIN/SLIDE clause from an explicit :class:`WindowSpec`."""
+        self._window = window
+        return self
+
+    def min_trend_length(self, length: int) -> "QueryBuilder":
+        """Constrain the minimal trend length (Section 8 extension)."""
+        self._min_trend_length = length
+        return self
+
+    # -- build ------------------------------------------------------------------
+
+    def build(self) -> Query:
+        """Validate the collected clauses and return the query."""
+        if self._pattern is None:
+            raise InvalidQueryError("a query requires a PATTERN clause")
+        aggregates = self._aggregates or [count_star()]
+        return Query(
+            pattern=self._pattern,
+            semantics=self._semantics,
+            aggregates=aggregates,
+            predicates=self._predicates,
+            group_by=self._group_by,
+            window=self._window,
+            return_attributes=self._return_attributes or list(self._group_by),
+            min_trend_length=self._min_trend_length,
+            name=self._name,
+        )

@@ -1,0 +1,485 @@
+"""Parser for the SASE-style textual query language used in the paper.
+
+The syntax follows the example queries q1-q3 of the paper::
+
+    RETURN driver, COUNT(*)
+    PATTERN SEQ(Accept, (SEQ(Call, Cancel))+, Finish)
+    SEMANTICS skip-till-next-match
+    WHERE [driver]
+    GROUP-BY driver
+    WITHIN 10 minutes SLIDE 30 seconds
+
+Clauses may appear on one line or many, in any order, and only RETURN and
+PATTERN are mandatory.  The WHERE clause understands
+
+* equivalence predicates   ``[attr]`` and ``[Var.attr]``,
+* local predicates         ``Var.attr <op> constant``,
+* adjacent predicates      ``Var.attr <op> NEXT(Var).attr`` and
+  ``Var1.attr <op> Var2.attr`` (the left side refers to the predecessor
+  event of the adjacent pair).
+
+Constants may be numbers, single-quoted strings or bare identifiers (which
+are treated as strings, so ``M.activity = passive`` compares against the
+string ``"passive"``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import QueryParseError
+from repro.query.aggregates import (
+    AggregateFunction,
+    AggregateSpec,
+)
+from repro.query.ast import (
+    Disjunction,
+    EventTypePattern,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    Pattern,
+    Sequence,
+)
+from repro.query.predicates import (
+    AdjacentPredicate,
+    EquivalencePredicate,
+    LocalPredicate,
+    OPERATORS,
+    comparison,
+)
+from repro.query.query import Query
+from repro.query.semantics import Semantics
+from repro.query.windows import WindowSpec, duration_to_seconds
+
+_CLAUSE_KEYWORDS = ("RETURN", "PATTERN", "SEMANTICS", "WHERE", "GROUP-BY", "WITHIN")
+
+_CLAUSE_RE = re.compile(
+    r"\b(RETURN|PATTERN|SEMANTICS|WHERE|GROUP-BY|GROUP\s+BY|WITHIN)\b",
+    re.IGNORECASE,
+)
+
+
+def parse_query(text: str, name: str = "") -> Query:
+    """Parse a textual query into a :class:`~repro.query.query.Query`."""
+    clauses = _split_clauses(text)
+    if "PATTERN" not in clauses:
+        raise QueryParseError("the query has no PATTERN clause")
+
+    pattern = parse_pattern(clauses["PATTERN"])
+    variables = set(pattern.variables()) | set(
+        leaf.variable for leaf in pattern.leaves()
+    )
+
+    semantics = Semantics.SKIP_TILL_ANY_MATCH
+    if "SEMANTICS" in clauses:
+        try:
+            semantics = Semantics.parse(clauses["SEMANTICS"])
+        except ValueError as exc:
+            raise QueryParseError(str(exc)) from exc
+
+    return_attributes: List[str] = []
+    aggregates: List[AggregateSpec] = []
+    if "RETURN" in clauses:
+        return_attributes, aggregates = _parse_return(clauses["RETURN"], variables)
+
+    predicates = []
+    if "WHERE" in clauses:
+        predicates = _parse_where(clauses["WHERE"], variables)
+
+    group_by: List[str] = []
+    if "GROUP-BY" in clauses:
+        group_by = _parse_group_by(clauses["GROUP-BY"], variables)
+
+    window = None
+    if "WITHIN" in clauses:
+        window = _parse_window(clauses["WITHIN"])
+
+    return Query(
+        pattern=pattern,
+        semantics=semantics,
+        aggregates=aggregates,
+        predicates=predicates,
+        group_by=group_by,
+        window=window,
+        return_attributes=return_attributes,
+        name=name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# clause splitting
+# ---------------------------------------------------------------------------
+
+
+def _split_clauses(text: str) -> dict:
+    """Split the query text into clause-name -> clause-body."""
+    matches = list(_CLAUSE_RE.finditer(text))
+    if not matches:
+        raise QueryParseError("no query clauses found")
+    clauses: dict = {}
+    for index, match in enumerate(matches):
+        keyword = re.sub(r"\s+", "-", match.group(1).upper())
+        start = match.end()
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(text)
+        body = text[start:end].strip()
+        if keyword in clauses:
+            raise QueryParseError(f"duplicate {keyword} clause")
+        clauses[keyword] = body
+    return clauses
+
+
+# ---------------------------------------------------------------------------
+# PATTERN clause
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(SEQ\b|NOT\b|[A-Za-z_][A-Za-z_0-9]*|\(|\)|,|\+|\*|\?|\|)",
+    re.IGNORECASE,
+)
+
+
+def _tokenize_pattern(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryParseError(
+                f"unexpected character {text[position]!r} in pattern", position
+            )
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _PatternParser:
+    """Recursive-descent parser for the PATTERN clause."""
+
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError("unexpected end of pattern")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.next()
+        if actual != token:
+            raise QueryParseError(f"expected {token!r} but found {actual!r} in pattern")
+
+    # grammar: disjunct := postfix ('|' postfix)*
+    def parse(self) -> Pattern:
+        pattern = self.parse_disjunct()
+        if self.peek() is not None:
+            raise QueryParseError(f"trailing token {self.peek()!r} in pattern")
+        return pattern
+
+    def parse_disjunct(self) -> Pattern:
+        alternatives = [self.parse_postfix()]
+        while self.peek() == "|":
+            self.next()
+            alternatives.append(self.parse_postfix())
+        if len(alternatives) == 1:
+            return alternatives[0]
+        return Disjunction(alternatives)
+
+    def parse_postfix(self) -> Pattern:
+        pattern = self.parse_primary()
+        while self.peek() in ("+", "*", "?"):
+            token = self.next()
+            if token == "+":
+                pattern = KleenePlus(pattern)
+            elif token == "*":
+                pattern = KleeneStar(pattern)
+            else:
+                pattern = OptionalPattern(pattern)
+        return pattern
+
+    def parse_primary(self) -> Pattern:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError("unexpected end of pattern")
+        upper = token.upper()
+        if upper == "SEQ":
+            self.next()
+            self.expect("(")
+            parts = [self.parse_disjunct()]
+            while self.peek() == ",":
+                self.next()
+                parts.append(self.parse_disjunct())
+            self.expect(")")
+            return Sequence(parts)
+        if upper == "NOT":
+            self.next()
+            if self.peek() == "(":
+                self.next()
+                inner = self.parse_disjunct()
+                self.expect(")")
+            else:
+                # bare form "NOT C" negating a single event type atom
+                inner = self.parse_postfix()
+            return Negation(inner)
+        if token == "(":
+            self.next()
+            inner = self.parse_disjunct()
+            self.expect(")")
+            return inner
+        # event type atom, optionally followed by an alias identifier
+        event_type = self.next()
+        alias = None
+        nxt = self.peek()
+        if nxt is not None and re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", nxt) and nxt.upper() not in ("SEQ", "NOT"):
+            alias = self.next()
+        return EventTypePattern(event_type, alias)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the body of a PATTERN clause."""
+    tokens = _tokenize_pattern(text)
+    if not tokens:
+        raise QueryParseError("empty PATTERN clause")
+    return _PatternParser(tokens).parse()
+
+
+# ---------------------------------------------------------------------------
+# RETURN clause
+# ---------------------------------------------------------------------------
+
+_AGGREGATE_RE = re.compile(
+    r"^(COUNT|MIN|MAX|SUM|AVG)\s*\(\s*([^)]*)\s*\)$", re.IGNORECASE
+)
+
+
+def _parse_return(text: str, variables: set) -> Tuple[List[str], List[AggregateSpec]]:
+    attributes: List[str] = []
+    aggregates: List[AggregateSpec] = []
+    for item in _split_commas(text):
+        item = item.strip()
+        if not item:
+            continue
+        match = _AGGREGATE_RE.match(item)
+        if match:
+            aggregates.append(_parse_aggregate(match, variables))
+        else:
+            attributes.append(_strip_variable_prefix(item, variables))
+    if not aggregates:
+        raise QueryParseError("the RETURN clause must contain at least one aggregate")
+    return attributes, aggregates
+
+
+def _parse_aggregate(match: "re.Match", variables: set) -> AggregateSpec:
+    function = AggregateFunction[match.group(1).upper()]
+    argument = match.group(2).strip()
+    if function is AggregateFunction.COUNT:
+        if argument in ("*", ""):
+            return AggregateSpec(function)
+        if "." in argument:
+            raise QueryParseError(
+                f"COUNT takes '*' or a variable, got {argument!r}"
+            )
+        _require_variable(argument, variables)
+        return AggregateSpec(function, argument)
+    if "." not in argument:
+        raise QueryParseError(
+            f"{function.value} requires an argument of the form Var.attribute, got {argument!r}"
+        )
+    variable, attribute = argument.split(".", 1)
+    variable = variable.strip()
+    attribute = attribute.strip()
+    _require_variable(variable, variables)
+    return AggregateSpec(function, variable, attribute)
+
+
+def _require_variable(variable: str, variables: set) -> None:
+    if variable not in variables:
+        raise QueryParseError(
+            f"{variable!r} is not a variable of the pattern (known: {sorted(variables)})"
+        )
+
+
+def _strip_variable_prefix(item: str, variables: set) -> str:
+    """``A.company`` -> ``company`` when ``A`` is a pattern variable."""
+    if "." in item:
+        prefix, rest = item.split(".", 1)
+        if prefix.strip() in variables:
+            return rest.strip()
+    return item
+
+
+# ---------------------------------------------------------------------------
+# WHERE clause
+# ---------------------------------------------------------------------------
+
+_EQUIVALENCE_RE = re.compile(r"^\[\s*([A-Za-z_][\w]*)(?:\.([A-Za-z_][\w]*))?\s*\]$")
+_OPERAND_RE = re.compile(
+    r"^(?:(NEXT)\s*\(\s*([A-Za-z_][\w]*)\s*\)|([A-Za-z_][\w]*))\s*\.\s*([A-Za-z_][\w]*)$",
+    re.IGNORECASE,
+)
+_COMPARISON_RE = re.compile(r"\s*(<=|>=|!=|<>|==|=|<|>)\s*")
+
+
+def _parse_where(text: str, variables: set) -> List:
+    predicates = []
+    for term in re.split(r"\bAND\b", text, flags=re.IGNORECASE):
+        term = term.strip()
+        if not term:
+            continue
+        predicates.append(_parse_predicate(term, variables))
+    return predicates
+
+
+def _parse_predicate(term: str, variables: set):
+    equivalence = _EQUIVALENCE_RE.match(term)
+    if equivalence:
+        first, second = equivalence.group(1), equivalence.group(2)
+        if second is None:
+            return EquivalencePredicate(first)
+        if first not in variables:
+            raise QueryParseError(
+                f"equivalence predicate {term!r} refers to unknown variable {first!r}"
+            )
+        return EquivalencePredicate(second, first)
+
+    parts = _COMPARISON_RE.split(term)
+    if len(parts) != 3:
+        raise QueryParseError(f"cannot parse WHERE term {term!r}")
+    left_text, op, right_text = (part.strip() for part in parts)
+    if op not in OPERATORS:
+        raise QueryParseError(f"unknown comparison operator {op!r} in {term!r}")
+
+    left = _parse_operand(left_text, variables)
+    right = _parse_operand(right_text, variables)
+
+    if left is None and right is None:
+        raise QueryParseError(f"WHERE term {term!r} does not reference any event")
+
+    # constant on one side -> local predicate
+    if left is not None and right is None:
+        value = _parse_constant(right_text)
+        return LocalPredicate.attribute_compare(left[1], left[2], op, value)
+    if left is None and right is not None:
+        value = _parse_constant(left_text)
+        flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        return LocalPredicate.attribute_compare(right[1], right[2], flipped, value)
+
+    # both sides reference events -> adjacent predicate
+    left_is_next, left_var, left_attr = left
+    right_is_next, right_var, right_attr = right
+    if left_is_next and right_is_next:
+        raise QueryParseError(f"both sides of {term!r} use NEXT(); at most one may")
+    if left_is_next:
+        # NEXT(X).attr OP Y.attr : the NEXT() side is the successor event.
+        flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        return comparison(right_var, right_attr, flipped, left_var, left_attr)
+    # X.attr OP NEXT(Y).attr  or  X.attr OP Y.attr: left side is the predecessor.
+    return comparison(left_var, left_attr, op, right_var, right_attr)
+
+
+def _parse_operand(text: str, variables: set):
+    """Return ``(is_next, variable, attribute)`` or ``None`` for constants."""
+    match = _OPERAND_RE.match(text)
+    if not match:
+        return None
+    is_next = match.group(1) is not None
+    variable = match.group(2) if is_next else match.group(3)
+    attribute = match.group(4)
+    if variable not in variables:
+        # A dotted name whose prefix is not a variable is treated as a constant
+        # (this should not normally happen in well-formed queries).
+        return None
+    return (is_next, variable, attribute)
+
+
+def _parse_constant(text: str) -> Any:
+    """Parse a constant: number, quoted string or bare identifier."""
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    return text
+
+
+# ---------------------------------------------------------------------------
+# GROUP-BY and WITHIN clauses
+# ---------------------------------------------------------------------------
+
+
+def _parse_group_by(text: str, variables: set) -> List[str]:
+    attributes = []
+    for item in _split_commas(text):
+        item = item.strip()
+        if item:
+            attributes.append(_strip_variable_prefix(item, variables))
+    return attributes
+
+
+_WINDOW_RE = re.compile(
+    r"^\s*([\d.]+)\s*([A-Za-z]+)\s*(?:SLIDE\s+([\d.]+)\s*([A-Za-z]+))?\s*$",
+    re.IGNORECASE,
+)
+
+
+def _parse_window(text: str) -> WindowSpec:
+    match = _WINDOW_RE.match(text)
+    if not match:
+        raise QueryParseError(f"cannot parse WITHIN clause {text!r}")
+    size = duration_to_seconds(float(match.group(1)), match.group(2))
+    if match.group(3) is not None:
+        slide = duration_to_seconds(float(match.group(3)), match.group(4))
+    else:
+        slide = size
+    return WindowSpec(size, slide)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _split_commas(text: str) -> List[str]:
+    """Split on commas that are not nested inside parentheses."""
+    items: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current))
+    return items

@@ -1,0 +1,104 @@
+"""Event matching semantics (Section 2.2 of the paper).
+
+Three semantics constrain how contiguous the events of a trend must be:
+
+* ``SKIP_TILL_ANY_MATCH`` (ANY) -- the most flexible semantics; any event
+  may be skipped, so every subset of relevant events that respects the
+  pattern structure forms a trend.
+* ``SKIP_TILL_NEXT_MATCH`` (NEXT) -- relevant events must be matched,
+  irrelevant events may be skipped.
+* ``CONTIGUOUS`` (CONT) -- no event at all may occur between two adjacent
+  events of a trend.
+
+The containment relation is ``CONT ⊆ NEXT ⊆ ANY`` (Figure 2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Semantics(enum.Enum):
+    """The three event matching semantics supported by COGRA."""
+
+    SKIP_TILL_ANY_MATCH = "skip-till-any-match"
+    SKIP_TILL_NEXT_MATCH = "skip-till-next-match"
+    CONTIGUOUS = "contiguous"
+
+    # -- aliases used throughout the paper ---------------------------------
+
+    @property
+    def short_name(self) -> str:
+        """Short label used in the paper's tables (ANY / NEXT / CONT)."""
+        return _SHORT_NAMES[self]
+
+    @property
+    def is_any(self) -> bool:
+        """True for skip-till-any-match."""
+        return self is Semantics.SKIP_TILL_ANY_MATCH
+
+    @property
+    def is_next(self) -> bool:
+        """True for skip-till-next-match."""
+        return self is Semantics.SKIP_TILL_NEXT_MATCH
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True for the contiguous semantics."""
+        return self is Semantics.CONTIGUOUS
+
+    def is_at_most_as_flexible_as(self, other: "Semantics") -> bool:
+        """Return True when every trend under ``self`` is a trend under ``other``.
+
+        This encodes the containment relation of Figure 2:
+        ``CONT <= NEXT <= ANY``.
+        """
+        return _FLEXIBILITY[self] <= _FLEXIBILITY[other]
+
+    @classmethod
+    def parse(cls, text: str) -> "Semantics":
+        """Parse a semantics name as written in the SEMANTICS clause.
+
+        Accepts the full names (``skip-till-any-match``), the short names
+        (``any``, ``next``, ``cont``/``contiguous``), case-insensitively,
+        with ``-``, ``_`` or spaces as separators.
+        """
+        normalized = text.strip().lower().replace("_", "-").replace(" ", "-")
+        for member in cls:
+            if normalized == member.value:
+                return member
+        aliases = {
+            "any": cls.SKIP_TILL_ANY_MATCH,
+            "skip-till-any": cls.SKIP_TILL_ANY_MATCH,
+            "stam": cls.SKIP_TILL_ANY_MATCH,
+            "next": cls.SKIP_TILL_NEXT_MATCH,
+            "skip-till-next": cls.SKIP_TILL_NEXT_MATCH,
+            "stnm": cls.SKIP_TILL_NEXT_MATCH,
+            "cont": cls.CONTIGUOUS,
+            "contiguous": cls.CONTIGUOUS,
+        }
+        if normalized in aliases:
+            return aliases[normalized]
+        raise ValueError(f"unknown event matching semantics: {text!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SHORT_NAMES = {
+    Semantics.SKIP_TILL_ANY_MATCH: "ANY",
+    Semantics.SKIP_TILL_NEXT_MATCH: "NEXT",
+    Semantics.CONTIGUOUS: "CONT",
+}
+
+#: Flexibility rank used for the containment relation (higher = more trends).
+_FLEXIBILITY = {
+    Semantics.CONTIGUOUS: 0,
+    Semantics.SKIP_TILL_NEXT_MATCH: 1,
+    Semantics.SKIP_TILL_ANY_MATCH: 2,
+}
+
+#: Semantics evaluated with a single-predecessor (pattern-grained) strategy.
+SINGLE_PREDECESSOR_SEMANTICS = frozenset(
+    {Semantics.SKIP_TILL_NEXT_MATCH, Semantics.CONTIGUOUS}
+)

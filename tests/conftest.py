@@ -1,0 +1,95 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.datasets.queries import running_example_query, running_example_stream
+from repro.events.event import Event
+from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+from repro.query.aggregates import count_star
+
+
+@pytest.fixture
+def figure2_stream():
+    """The paper's running example stream: a1 b2 a3 a4 c5 b6 a7 b8."""
+    return running_example_stream()
+
+
+@pytest.fixture
+def figure2_pattern():
+    """The paper's running example pattern (SEQ(A+, B))+."""
+    return KleenePlus(sequence(kleene_plus("A"), atom("B")))
+
+
+@pytest.fixture
+def count_query_factory(figure2_pattern):
+    """Factory building COUNT(*) queries over the running example pattern."""
+
+    def build(semantics: str = "skip-till-any-match", **kwargs):
+        builder = (
+            QueryBuilder("figure2")
+            .pattern(figure2_pattern)
+            .semantics(semantics)
+            .aggregate(count_star())
+        )
+        for predicate in kwargs.get("predicates", []):
+            builder.where(predicate)
+        if "window" in kwargs:
+            builder.window(kwargs["window"])
+        if "group_by" in kwargs:
+            builder.group_by(*kwargs["group_by"])
+        return builder.build()
+
+    return build
+
+
+@pytest.fixture
+def any_count_query(count_query_factory):
+    """COUNT(*) over (SEQ(A+,B))+ under skip-till-any-match."""
+    return count_query_factory("skip-till-any-match")
+
+
+def make_events(spec: str) -> list:
+    """Build a stream from a compact spec like ``"a1 b2 a3"``.
+
+    Letters become upper-case event types, numbers become timestamps, and an
+    optional ``=value`` suffix sets a ``value`` attribute
+    (e.g. ``"a1=5 a2=3"``).
+    """
+    events = []
+    for token in spec.split():
+        if "=" in token:
+            token, raw_value = token.split("=")
+            value = float(raw_value)
+        else:
+            value = None
+        event_type = token[0].upper()
+        time = float(token[1:])
+        attributes = {} if value is None else {"value": value}
+        events.append(Event(event_type, time, attributes))
+    return events
+
+
+@pytest.fixture
+def event_spec():
+    """Expose :func:`make_events` to tests as a fixture."""
+    return make_events
+
+
+@pytest.fixture
+def running_example():
+    """(query, stream) pair of the paper's running example under ANY."""
+    return running_example_query(), running_example_stream()

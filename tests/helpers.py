@@ -1,0 +1,49 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Tuple
+
+from repro.core.results import GroupResult
+
+
+def results_by_key(results: Iterable[GroupResult]) -> Dict[Tuple, Dict[str, object]]:
+    """Index results by (window id, sorted group items) for comparison."""
+    indexed: Dict[Tuple, Dict[str, object]] = {}
+    for result in results:
+        key = (result.window_id, tuple(sorted(result.group.items())))
+        assert key not in indexed, f"duplicate result for {key}"
+        indexed[key] = dict(result.values)
+    return indexed
+
+
+def assert_values_close(left: Dict[str, object], right: Dict[str, object], context="") -> None:
+    """Compare two value mappings, tolerating floating point rounding."""
+    assert left.keys() == right.keys(), f"{context}: columns differ: {left.keys()} vs {right.keys()}"
+    for column in left:
+        a, b = left[column], right[column]
+        if isinstance(a, float) or isinstance(b, float):
+            assert a is not None and b is not None, f"{context}/{column}: {a!r} vs {b!r}"
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9), (
+                f"{context}/{column}: {a!r} != {b!r}"
+            )
+        else:
+            assert a == b, f"{context}/{column}: {a!r} != {b!r}"
+
+
+def assert_results_equal(left: Iterable[GroupResult], right: Iterable[GroupResult]) -> None:
+    """Assert two result sets agree on groups, windows and aggregate values."""
+    left_indexed = results_by_key(left)
+    right_indexed = results_by_key(right)
+    assert left_indexed.keys() == right_indexed.keys(), (
+        f"result keys differ: only-left={set(left_indexed) - set(right_indexed)}, "
+        f"only-right={set(right_indexed) - set(left_indexed)}"
+    )
+    for key in left_indexed:
+        assert_values_close(left_indexed[key], right_indexed[key], context=str(key))
+
+
+def total_trend_count(results: Iterable[GroupResult]) -> int:
+    """Sum of COUNT(*) over all result rows."""
+    return sum(result.trend_count for result in results)

@@ -1,0 +1,155 @@
+"""Tests for the granularity ablation harness and the experiment runner."""
+
+import pytest
+
+from repro.analyzer.granularity import Granularity
+from repro.bench.ablation import (
+    ablation_label,
+    granularity_ablation,
+    mixed_vs_event_workload,
+    run_ablation_sweep,
+    summarize_ablation,
+    type_vs_event_workload,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    render_experiments_markdown,
+    run_experiments,
+)
+from repro.bench.metrics import RunStatus
+from repro.datasets.queries import (
+    running_example_query,
+    running_example_stream,
+    stock_trend_query,
+    transportation_query,
+)
+from repro.datasets.stock import StockConfig, generate_stock_stream
+
+
+#: tiny sweep sizes so the experiment tests stay fast
+SCALES["tiny"] = {
+    "figure5": (60, 120),
+    "figure6": (60, 120),
+    "figure7": (20, 40),
+    "figure8": (60, 120),
+    "figure9": (0.2, 0.8),
+    "figure10": (3, 6),
+    "ablation_type": (60, 120),
+    "ablation_mixed": (60,),
+}
+
+
+@pytest.fixture(scope="module")
+def small_stock_stream():
+    return list(generate_stock_stream(StockConfig(event_count=300, seed=51)))
+
+
+class TestGranularityAblation:
+    def test_labels_and_granularities(self, small_stock_stream):
+        query = stock_trend_query(window=None)
+        results = granularity_ablation(query, small_stock_stream)
+        labels = [result.approach for result in results]
+        assert labels == ["cogra[type]", "cogra[mixed]", "cogra[event]"]
+        assert all(result.finished for result in results)
+
+    def test_all_granularities_report_the_same_trend_count(self, small_stock_stream):
+        query = stock_trend_query(window=None)
+        results = granularity_ablation(query, small_stock_stream)
+        counts = {result.total_trend_count for result in results}
+        assert len(counts) == 1
+
+    def test_coarse_granularity_stores_less(self, small_stock_stream):
+        query = stock_trend_query(window=None)
+        results = {
+            result.approach: result
+            for result in granularity_ablation(query, small_stock_stream)
+        }
+        assert (
+            results["cogra[type]"].peak_storage_units
+            < results["cogra[event]"].peak_storage_units
+        )
+
+    def test_pattern_queries_have_a_single_arm(self, small_stock_stream):
+        query = transportation_query(semantics="skip-till-next-match", window=None)
+        results = granularity_ablation(query, small_stock_stream)
+        assert [result.approach for result in results] == ["cogra[pattern]"]
+
+    def test_explicit_granularity_subset(self, small_stock_stream):
+        query = stock_trend_query(window=None)
+        results = granularity_ablation(
+            query, small_stock_stream, granularities=[Granularity.EVENT]
+        )
+        assert [result.approach for result in results] == ["cogra[event]"]
+
+    def test_label_helper(self):
+        assert ablation_label(Granularity.TYPE) == "cogra[type]"
+
+    def test_sweep_and_summary(self):
+        results = run_ablation_sweep(type_vs_event_workload(event_counts=(60, 120)))
+        summary = summarize_ablation(results)
+        assert set(summary) == {"cogra[type]", "cogra[mixed]", "cogra[event]"}
+        assert all(bucket["points"] == 2 for bucket in summary.values())
+        assert (
+            summary["cogra[type]"]["storage_units"]
+            <= summary["cogra[event]"]["storage_units"]
+        )
+
+    def test_mixed_workload_offers_mixed_and_event_arms(self):
+        results = run_ablation_sweep(mixed_vs_event_workload(event_counts=(60,)))
+        assert {result.approach for result in results} == {"cogra[mixed]", "cogra[event]"}
+
+
+class TestExperimentRunner:
+    def test_registry_covers_every_artefact(self):
+        assert set(EXPERIMENTS) == {
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "tables567",
+            "tables349",
+            "ablation",
+        }
+
+    def test_running_example_experiment_reports_paper_counts(self):
+        outcome = run_experiments(["tables567"], scale="tiny")[0]
+        assert "ANY=43" in outcome.findings[0]
+        assert "NEXT=8" in outcome.findings[0]
+        assert "CONT=2" in outcome.findings[0]
+        assert len(outcome.tables) == 3
+
+    def test_static_tables_experiment(self):
+        outcome = run_experiments(["tables349"], scale="tiny")[0]
+        text = "\n".join(outcome.tables)
+        assert "exponential" in text
+        assert "Table 9" in text
+        assert "pattern" in text
+
+    def test_figure7_experiment_shape(self):
+        outcome = run_experiments(["figure7"], scale="tiny", budget=2000)[0]
+        cogra_rows = [r for r in outcome.results if r.approach == "cogra"]
+        assert cogra_rows and all(r.status is RunStatus.OK for r in cogra_rows)
+        assert any("latency" in table for table in outcome.tables)
+        assert outcome.findings  # at least one comparison or DNF note
+
+    def test_ablation_experiment(self):
+        outcome = run_experiments(["ablation"], scale="tiny")[0]
+        assert any("fewer units" in finding or "faster" in finding for finding in outcome.findings)
+
+    def test_unknown_experiment_or_scale_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["nope"], scale="tiny")
+        with pytest.raises(ValueError):
+            run_experiments(["figure7"], scale="galactic")
+
+    def test_markdown_rendering(self):
+        outcomes = run_experiments(["tables567", "tables349"], scale="tiny")
+        markdown = render_experiments_markdown(outcomes, scale="tiny", generated_on="2026-06-17")
+        assert markdown.startswith("# EXPERIMENTS")
+        assert "## Tables 5-7" in markdown
+        assert "## Tables 3, 4 and 9" in markdown
+        assert "2026-06-17" in markdown
+        assert "```" in markdown

@@ -1,0 +1,171 @@
+"""Tests for the incremental aggregate cells (Table 8 of the paper)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aggregate_state import TrendAccumulator
+from repro.events.event import Event
+from repro.errors import InvalidQueryError
+from repro.query.aggregates import avg, count_star, count_type, max_of, min_of, sum_of
+
+TARGETS = (("A", "x"), ("B", None))
+
+
+def acc(targets=TARGETS):
+    return TrendAccumulator.zero(targets)
+
+
+def a(time, x):
+    return Event("A", time, {"x": x})
+
+
+def b(time):
+    return Event("B", time)
+
+
+class TestBasicOperations:
+    def test_zero_is_empty(self):
+        accumulator = acc()
+        assert accumulator.is_empty
+        assert accumulator.trend_count == 0
+        assert accumulator.result_value(count_star()) == 0
+
+    def test_singleton_records_one_trend_and_event(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        assert accumulator.trend_count == 1
+        assert accumulator.result_value(count_type("A")) == 1
+        assert accumulator.result_value(min_of("A", "x")) == 5
+        assert accumulator.result_value(max_of("A", "x")) == 5
+        assert accumulator.result_value(sum_of("A", "x")) == 5
+
+    def test_singleton_of_other_variable_does_not_touch_targets(self):
+        accumulator = TrendAccumulator.singleton(b(1), "B", TARGETS)
+        assert accumulator.result_value(count_type("B")) == 1
+        assert accumulator.result_value(count_type("A")) == 0
+        assert accumulator.result_value(min_of("A", "x")) is None
+
+    def test_extend_empty_stays_empty(self):
+        assert acc().extended(a(1, 5), "A").is_empty
+
+    def test_extend_updates_targets_per_trend(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        accumulator.merge(TrendAccumulator.singleton(a(2, 7), "A", TARGETS))
+        extended = accumulator.extended(a(3, 6), "A")
+        # two trends, each gaining one A event with x = 6
+        assert extended.trend_count == 2
+        assert extended.result_value(count_type("A")) == 4
+        assert extended.result_value(sum_of("A", "x")) == 5 + 7 + 6 + 6
+        assert extended.result_value(min_of("A", "x")) == 5
+        assert extended.result_value(max_of("A", "x")) == 7
+
+    def test_merge_adds_counts_and_combines_extrema(self):
+        left = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        right = TrendAccumulator.singleton(a(2, 9), "A", TARGETS)
+        left.merge(right)
+        assert left.trend_count == 2
+        assert left.result_value(min_of("A", "x")) == 5
+        assert left.result_value(max_of("A", "x")) == 9
+
+    def test_merge_with_empty_is_identity(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        before = accumulator.results([count_star(), sum_of("A", "x")])
+        accumulator.merge(acc())
+        assert accumulator.results([count_star(), sum_of("A", "x")]) == before
+
+    def test_merged_is_non_destructive(self):
+        left = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        right = TrendAccumulator.singleton(a(2, 9), "A", TARGETS)
+        combined = left.merged(right)
+        assert combined.trend_count == 2
+        assert left.trend_count == 1
+
+    def test_copy_is_independent(self):
+        original = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        duplicate = original.copy()
+        duplicate.merge(TrendAccumulator.singleton(a(2, 9), "A", TARGETS))
+        assert original.trend_count == 1
+        assert duplicate.trend_count == 2
+
+    def test_extending_with_missing_attribute_keeps_extrema(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        extended = accumulator.extended(Event("A", 2.0), "A")
+        assert extended.result_value(min_of("A", "x")) == 5
+        assert extended.result_value(count_type("A")) == 2
+
+
+class TestResultExtraction:
+    def test_avg_is_sum_over_count(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        accumulator = accumulator.extended(a(2, 7), "A")
+        assert accumulator.result_value(avg("A", "x")) == pytest.approx(6.0)
+
+    def test_avg_of_empty_is_none(self):
+        assert acc().result_value(avg("A", "x")) is None
+
+    def test_count_of_variable_without_attribute_target(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", (("A", "x"),))
+        assert accumulator.result_value(count_type("A")) == 1
+
+    def test_unplanned_target_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            acc().result_value(min_of("Z", "x"))
+
+    def test_results_mapping(self):
+        accumulator = TrendAccumulator.singleton(a(1, 5), "A", TARGETS)
+        mapping = accumulator.results([count_star(), min_of("A", "x")])
+        assert mapping == {"COUNT(*)": 1, "MIN(A.x)": 5}
+
+    def test_storage_units_scale_with_targets(self):
+        assert acc().storage_units == 1 + 4 * len(TARGETS)
+        assert TrendAccumulator.zero(()).storage_units == 1
+
+    def test_repr_mentions_counts(self):
+        assert "trends=1" in repr(TrendAccumulator.singleton(a(1, 5), "A", TARGETS))
+
+
+values = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def accumulators(draw):
+    accumulator = TrendAccumulator.zero(TARGETS)
+    for index in range(draw(st.integers(min_value=0, max_value=4))):
+        accumulator.merge(
+            TrendAccumulator.singleton(a(index, draw(values)), "A", TARGETS)
+        )
+    return accumulator
+
+
+class TestAlgebraicProperties:
+    """Merge is a commutative, associative operation with `zero` as identity."""
+
+    @given(accumulators(), accumulators())
+    def test_merge_commutative(self, left, right):
+        specs = [count_star(), count_type("A"), sum_of("A", "x"), min_of("A", "x"), max_of("A", "x")]
+        assert left.merged(right).results(specs) == right.merged(left).results(specs)
+
+    @given(accumulators(), accumulators(), accumulators())
+    def test_merge_associative(self, x, y, z):
+        specs = [count_star(), sum_of("A", "x"), min_of("A", "x")]
+        assert x.merged(y.merged(z)).results(specs) == x.merged(y).merged(z).results(specs)
+
+    @given(accumulators())
+    def test_zero_is_identity(self, accumulator):
+        specs = [count_star(), sum_of("A", "x"), max_of("A", "x")]
+        assert accumulator.merged(TrendAccumulator.zero(TARGETS)).results(specs) == accumulator.results(specs)
+
+    @given(accumulators(), values)
+    def test_extend_distributes_over_merge(self, accumulator, value):
+        """extend(m1 ⊕ m2, e) == extend(m1, e) ⊕ extend(m2, e)."""
+        other = TrendAccumulator.singleton(a(99, 1), "A", TARGETS)
+        event = a(100, value)
+        specs = [count_star(), count_type("A"), sum_of("A", "x"), min_of("A", "x"), max_of("A", "x")]
+        merged_then_extended = accumulator.merged(other).extended(event, "A")
+        extended_then_merged = accumulator.extended(event, "A").merged(other.extended(event, "A"))
+        assert merged_then_extended.results(specs) == extended_then_merged.results(specs)
+
+    @given(accumulators())
+    def test_extend_preserves_trend_count(self, accumulator):
+        assert accumulator.extended(a(100, 3), "A").trend_count == accumulator.trend_count

@@ -1,0 +1,210 @@
+"""Tests for the predicate classifier, granularity selector and query plan."""
+
+import pytest
+
+from repro.analyzer.classifier import classify_predicates
+from repro.analyzer.granularity import Granularity, granularity_table, select_granularity, split_variables
+from repro.analyzer.automaton import PatternAutomaton
+from repro.analyzer.plan import plan_query
+from repro.events.event import Event
+from repro.query.aggregates import avg, count_star, min_of, sum_of
+from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+from repro.query.predicates import comparison
+from repro.query.semantics import Semantics
+
+FIGURE2 = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+
+
+def build(semantics="skip-till-any-match", pattern=FIGURE2, predicates=(), group_by=(), aggregates=None):
+    builder = QueryBuilder().pattern(pattern).semantics(semantics)
+    for spec in aggregates or [count_star()]:
+        builder.aggregate(spec)
+    for predicate in predicates:
+        builder.where(predicate)
+    if group_by:
+        builder.group_by(*group_by)
+    return builder.build()
+
+
+class TestPredicateClassifier:
+    def test_q1_classification(self):
+        query = parse_query(
+            """
+            RETURN patient, MIN(M.rate) PATTERN Measurement M+ SEMANTICS contiguous
+            WHERE [patient] AND M.rate < NEXT(M).rate AND M.activity = passive
+            GROUP-BY patient WITHIN 10 minutes SLIDE 30 seconds
+            """
+        )
+        classification = classify_predicates(query)
+        assert len(classification.local_predicates) == 1
+        assert classification.partition_attributes == ("patient",)
+        assert len(classification.adjacent_predicates) == 1
+        assert classification.has_adjacent_predicates
+        assert classification.adjacent_between("M", "M")
+        assert not classification.adjacent_between("M", "X")
+
+    def test_variable_scoped_equivalence_becomes_adjacency(self):
+        query = build(
+            pattern=sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B")),
+            predicates=[],
+        )
+        query = (
+            QueryBuilder()
+            .pattern(sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B")))
+            .aggregate(count_star())
+            .where_equivalence("company", "A")
+            .build()
+        )
+        classification = classify_predicates(query)
+        adjacency = classification.adjacent_between("A", "A")
+        assert len(adjacency) == 1
+        same = (Event("Stock", 1, {"company": 1}), Event("Stock", 2, {"company": 1}))
+        different = (Event("Stock", 1, {"company": 1}), Event("Stock", 2, {"company": 2}))
+        assert adjacency[0].evaluate(*same)
+        assert not adjacency[0].evaluate(*different)
+
+    def test_local_for_merges_global_and_variable_predicates(self):
+        query = (
+            QueryBuilder()
+            .pattern(kleene_plus("A"))
+            .aggregate(count_star())
+            .where_local(None, lambda e: e.get("x", 0) > 0, "x positive")
+            .where_local("A", lambda e: e.get("y", 0) > 0, "y positive")
+            .build()
+        )
+        classification = classify_predicates(query)
+        assert len(classification.local_for("A")) == 2
+
+    def test_describe_lists_every_class(self):
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN A+ WHERE [g] AND A.x = 1 AND A.x < NEXT(A).x"
+        )
+        text = classify_predicates(query).describe()
+        assert "local" in text and "partition" in text and "adjacent" in text
+
+
+class TestGranularitySelection:
+    """Table 4 of the paper."""
+
+    def test_any_without_adjacent_predicates_is_type_grained(self):
+        plan = plan_query(build("skip-till-any-match"))
+        assert plan.granularity is Granularity.TYPE
+
+    def test_any_with_adjacent_predicates_is_mixed_grained(self):
+        plan = plan_query(build("skip-till-any-match", predicates=[comparison("B", "x", "<", "A")]))
+        assert plan.granularity is Granularity.MIXED
+        assert plan.event_grained == {"B"}
+        assert plan.type_grained == {"A"}
+
+    def test_next_and_cont_are_pattern_grained_even_with_predicates(self):
+        for semantics in ("skip-till-next-match", "contiguous"):
+            plan = plan_query(build(semantics, predicates=[comparison("A", "x", "<", "A")]))
+            assert plan.granularity is Granularity.PATTERN
+
+    def test_all_variables_constrained_degrades_to_event_grained(self):
+        predicates = [comparison("A", "x", "<", "A"), comparison("B", "x", "<", "A"),
+                      comparison("A", "x", "<", "B")]
+        plan = plan_query(build("skip-till-any-match", predicates=predicates))
+        assert plan.granularity is Granularity.EVENT
+        assert plan.type_grained == frozenset()
+
+    def test_vacuous_adjacent_predicate_keeps_type_granularity(self):
+        # B can never precede B in (SEQ(A+,B))+, so the predicate never applies
+        plan = plan_query(build("skip-till-any-match", predicates=[comparison("B", "x", "<", "B")]))
+        assert plan.granularity is Granularity.TYPE
+
+    def test_split_variables_theorem_5_1(self):
+        query = build("skip-till-any-match", predicates=[comparison("A", "x", "<", "B")])
+        automaton = PatternAutomaton(query.pattern)
+        type_grained, event_grained = split_variables(automaton, classify_predicates(query))
+        assert event_grained == {"A"}
+        assert type_grained == {"B"}
+
+    def test_granularity_table_matches_paper(self):
+        table = granularity_table()
+        assert table[("ANY", False)] == "type"
+        assert table[("ANY", True)] == "mixed"
+        assert table[("NEXT", False)] == "pattern"
+        assert table[("NEXT", True)] == "pattern"
+        assert table[("CONT", False)] == "pattern"
+        assert table[("CONT", True)] == "pattern"
+
+    def test_keeps_events_flag(self):
+        assert Granularity.MIXED.keeps_events
+        assert Granularity.EVENT.keeps_events
+        assert not Granularity.TYPE.keeps_events
+        assert not Granularity.PATTERN.keeps_events
+
+
+class TestCograPlan:
+    def test_targets_derived_from_aggregates(self):
+        query = build(aggregates=[count_star(), min_of("A", "x"), avg("B", "y")])
+        plan = plan_query(query)
+        assert ("A", "x") in plan.targets
+        assert ("B", "y") in plan.targets
+
+    def test_candidate_variables_respect_local_predicates(self):
+        query = (
+            QueryBuilder()
+            .pattern(kleene_plus("Measurement", "M"))
+            .aggregate(count_star())
+            .where_attribute_equals("M", "activity", "passive")
+            .build()
+        )
+        plan = plan_query(query)
+        passive = Event("Measurement", 1.0, {"activity": "passive"})
+        active = Event("Measurement", 2.0, {"activity": "running"})
+        other = Event("Other", 3.0)
+        assert plan.candidate_variables(passive) == ("M",)
+        assert plan.candidate_variables(active) == ()
+        assert plan.candidate_variables(other) == ()
+
+    def test_candidate_variables_multi_occurrence(self):
+        query = build(pattern=sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B")))
+        plan = plan_query(query)
+        assert plan.candidate_variables(Event("Stock", 1.0)) == ("A", "B")
+
+    def test_adjacency_requires_pred_type_time_and_predicates(self):
+        query = build(predicates=[comparison("A", "x", "<", "A")])
+        plan = plan_query(query)
+        early = Event("A", 1.0, {"x": 1})
+        late = Event("A", 2.0, {"x": 5})
+        assert plan.adjacency_satisfied(early, "A", late, "A")
+        assert not plan.adjacency_satisfied(late, "A", early, "A")  # time order
+        assert not plan.adjacency_satisfied(early, "B", late, "B")  # B cannot precede B
+        decreasing = Event("A", 3.0, {"x": 0})
+        assert not plan.adjacency_satisfied(late, "A", decreasing, "A")  # predicate
+
+    def test_partition_key_uses_group_by_and_equivalence(self):
+        query = (
+            QueryBuilder()
+            .pattern(kleene_plus("A"))
+            .aggregate(count_star())
+            .group_by("region")
+            .where_equivalence("customer")
+            .build()
+        )
+        plan = plan_query(query)
+        event = Event("A", 1.0, {"region": "eu", "customer": 42})
+        assert plan.partition_attributes == ("region", "customer")
+        assert plan.partition_key(event) == ("eu", 42)
+
+    def test_is_start_is_end(self):
+        plan = plan_query(build())
+        assert plan.is_start("A") and not plan.is_start("B")
+        assert plan.is_end("B") and not plan.is_end("A")
+
+    def test_describe_contains_granularity_and_pattern(self):
+        plan = plan_query(build())
+        text = plan.describe()
+        assert "granularity : type" in text
+        assert "predTypes(A)" in text
+
+    def test_semantics_property(self):
+        assert plan_query(build("contiguous")).semantics is Semantics.CONTIGUOUS
+
+    def test_sum_target(self):
+        plan = plan_query(build(aggregates=[sum_of("A", "x")]))
+        assert ("A", "x") in plan.targets

@@ -1,0 +1,122 @@
+"""Tests for the FSA pattern analyzer (Section 3.1, Figure 4)."""
+
+import pytest
+
+from repro.analyzer.automaton import PatternAutomaton
+from repro.errors import InvalidPatternError
+from repro.query.ast import (
+    Disjunction,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    atom,
+    kleene_plus,
+    sequence,
+)
+from repro.query.parser import parse_pattern
+
+
+class TestFigure4RunningExample:
+    """P = (SEQ(A+, B))+ : the automaton of Figure 4."""
+
+    @pytest.fixture
+    def automaton(self):
+        return PatternAutomaton(KleenePlus(sequence(kleene_plus("A"), atom("B"))))
+
+    def test_start_and_end_types(self, automaton):
+        assert automaton.start_variables == {"A"}
+        assert automaton.end_variables == {"B"}
+        assert automaton.mid_variables == frozenset()
+
+    def test_predecessor_types(self, automaton):
+        assert automaton.pred_types("A") == {"A", "B"}
+        assert automaton.pred_types("B") == {"A"}
+
+    def test_successor_types(self, automaton):
+        assert automaton.succ_types("A") == {"A", "B"}
+        assert automaton.succ_types("B") == {"A"}
+
+    def test_length_and_type_lookup(self, automaton):
+        assert automaton.length == 2
+        assert automaton.variables_for_type("A") == ("A",)
+        assert automaton.variables_for_type("C") == ()
+        assert automaton.is_relevant_type("B")
+        assert not automaton.is_relevant_type("C")
+
+    def test_describe_mentions_pred_types(self, automaton):
+        text = automaton.describe()
+        assert "predTypes(A)" in text and "predTypes(B)" in text
+
+
+class TestOtherPatterns:
+    def test_single_kleene(self):
+        automaton = PatternAutomaton(kleene_plus("A"))
+        assert automaton.start_variables == {"A"}
+        assert automaton.end_variables == {"A"}
+        assert automaton.pred_types("A") == {"A"}
+
+    def test_fixed_sequence(self):
+        automaton = PatternAutomaton(sequence("A", "B", "C"))
+        assert automaton.pred_types("A") == frozenset()
+        assert automaton.pred_types("B") == {"A"}
+        assert automaton.pred_types("C") == {"B"}
+        assert automaton.mid_variables == {"B"}
+
+    def test_two_kleene_sequence_q3(self):
+        automaton = PatternAutomaton(sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B")))
+        assert automaton.pred_types("A") == {"A"}
+        assert automaton.pred_types("B") == {"A", "B"}
+        assert automaton.start_variables == {"A"}
+        assert automaton.end_variables == {"B"}
+        # an event of type Stock can be bound to either variable
+        assert automaton.variables_for_type("Stock") == ("A", "B")
+
+    def test_q2_trip_pattern(self):
+        pattern = parse_pattern("SEQ(Accept, (SEQ(Call, Cancel))+, Finish)")
+        automaton = PatternAutomaton(pattern)
+        assert automaton.start_variables == {"Accept"}
+        assert automaton.end_variables == {"Finish"}
+        assert automaton.pred_types("Call") == {"Accept", "Cancel"}
+        assert automaton.pred_types("Cancel") == {"Call"}
+        assert automaton.pred_types("Finish") == {"Cancel"}
+        assert automaton.mid_variables == {"Call", "Cancel"}
+
+    def test_kleene_star_in_the_middle(self):
+        automaton = PatternAutomaton(sequence(atom("A"), KleeneStar(atom("B")), atom("C")))
+        # B may be skipped entirely, so C can directly follow A
+        assert automaton.pred_types("C") == {"A", "B"}
+        assert automaton.pred_types("B") == {"A", "B"}
+
+    def test_optional_at_the_start(self):
+        automaton = PatternAutomaton(sequence(OptionalPattern(atom("A")), atom("B")))
+        assert automaton.start_variables == {"A", "B"}
+        assert automaton.pred_types("B") == {"A"}
+
+    def test_disjunction(self):
+        automaton = PatternAutomaton(sequence(atom("A"), Disjunction([atom("B"), atom("C")]), atom("D")))
+        assert automaton.pred_types("B") == {"A"}
+        assert automaton.pred_types("C") == {"A"}
+        assert automaton.pred_types("D") == {"B", "C"}
+
+    def test_top_level_disjunction_of_kleenes(self):
+        automaton = PatternAutomaton(Disjunction([kleene_plus("A"), kleene_plus("B")]))
+        assert automaton.start_variables == {"A", "B"}
+        assert automaton.end_variables == {"A", "B"}
+        assert automaton.pred_types("A") == {"A"}
+        assert automaton.pred_types("B") == {"B"}
+
+    def test_negated_subpattern_excluded_from_positive_automaton(self):
+        automaton = PatternAutomaton(sequence(atom("A"), Negation(atom("B")), atom("C")))
+        assert set(automaton.variables) == {"A", "C"}
+        assert automaton.pred_types("C") == {"A"}
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(InvalidPatternError):
+            PatternAutomaton(sequence(atom("A"), atom("A")))
+
+    def test_repeated_type_with_aliases_keeps_states_distinct(self):
+        automaton = PatternAutomaton(sequence(kleene_plus("A", "A1"), atom("B"), atom("A", "A2")))
+        assert automaton.pred_types("A2") == {"B"}
+        assert automaton.pred_types("A1") == {"A1"}
+        assert automaton.variables_for_type("A") == ("A1", "A2")

@@ -1,0 +1,48 @@
+"""Tests for the ``cogra`` command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+Q_TEXT = "RETURN company, COUNT(*) PATTERN Stock A+ SEMANTICS any GROUP-BY company"
+
+
+class TestCli:
+    def test_capabilities_prints_table_9(self, capsys):
+        assert main(["capabilities"]) == 0
+        output = capsys.readouterr().out
+        assert "cogra" in output and "flink" in output
+        assert "Kleene closure" in output
+
+    def test_explain_prints_plan(self, capsys):
+        assert main(["explain", Q_TEXT]) == 0
+        output = capsys.readouterr().out
+        assert "granularity : type" in output
+        assert "PATTERN" in output
+
+    def test_explain_reads_query_from_file(self, tmp_path, capsys):
+        path = tmp_path / "query.cep"
+        path.write_text(Q_TEXT)
+        assert main(["explain", str(path)]) == 0
+        assert "granularity" in capsys.readouterr().out
+
+    def test_run_on_synthetic_dataset(self, capsys):
+        assert main(["run", Q_TEXT, "--dataset", "stock", "--events", "200", "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "result rows" in output
+        assert "COUNT(*)" in output
+
+    def test_figures_with_unknown_name_fails(self, capsys):
+        assert main(["figures", "figure99"]) == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_figures_runs_a_small_sweep(self, capsys):
+        # restrict to the online approaches so the smoke run stays fast
+        assert main(["figures", "figure10", "--approaches", "cogra", "--budget", "1000"]) == 0
+        output = capsys.readouterr().out
+        assert "figure10" in output
+        assert "latency" in output
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,171 @@
+"""Tests for reading/writing event streams in the paper's file formats."""
+
+import math
+
+import pytest
+
+from repro.core.engine import CograEngine
+from repro.datasets.io import (
+    PAMAP2_PASSIVE_ACTIVITIES,
+    read_eoddata_csv,
+    read_pamap2_file,
+    read_stream_csv,
+    replicate_stream,
+    write_eoddata_csv,
+    write_pamap2_file,
+    write_stream_csv,
+)
+from repro.datasets.physical_activity import (
+    PhysicalActivityConfig,
+    generate_physical_activity_stream,
+)
+from repro.datasets.queries import stock_trend_query
+from repro.datasets.stock import StockConfig, generate_stock_stream
+from repro.errors import InvalidQueryError
+from repro.events.event import Event
+
+from helpers import assert_results_equal
+
+
+@pytest.fixture(scope="module")
+def stock_stream():
+    return list(generate_stock_stream(StockConfig(event_count=200, seed=31)))
+
+
+@pytest.fixture(scope="module")
+def activity_stream():
+    return list(
+        generate_physical_activity_stream(PhysicalActivityConfig(event_count=200, seed=32))
+    )
+
+
+class TestGenericCsv:
+    def test_roundtrip_preserves_events(self, tmp_path, stock_stream):
+        path = tmp_path / "stock.csv"
+        written = write_stream_csv(stock_stream, path)
+        assert written == len(stock_stream)
+        restored = read_stream_csv(path)
+        assert len(restored) == len(stock_stream)
+        for original, loaded in zip(stock_stream, restored):
+            assert loaded.event_type == original.event_type
+            assert loaded.time == original.time
+            assert loaded.get("company") == original.get("company")
+            assert loaded.get("price") == pytest.approx(original.get("price"))
+
+    def test_roundtrip_query_results_agree(self, tmp_path, stock_stream):
+        path = tmp_path / "stock.csv"
+        write_stream_csv(stock_stream, path)
+        restored = read_stream_csv(path)
+        query = stock_trend_query(window=None)
+        assert_results_equal(
+            CograEngine(query).run(stock_stream), CograEngine(query).run(restored)
+        )
+
+    def test_explicit_attribute_selection(self, tmp_path, stock_stream):
+        path = tmp_path / "narrow.csv"
+        write_stream_csv(stock_stream, path, attributes=["company", "price"])
+        restored = read_stream_csv(path)
+        assert all(not event.has("volume") for event in restored)
+        assert all(event.has("price") for event in restored)
+
+    def test_missing_values_become_absent_attributes(self, tmp_path):
+        events = [Event("A", 1.0, {"x": 1}), Event("A", 2.0, {"y": 2})]
+        path = tmp_path / "sparse.csv"
+        write_stream_csv(events, path)
+        restored = list(read_stream_csv(path))
+        assert restored[0].has("x") and not restored[0].has("y")
+        assert restored[1].has("y") and not restored[1].has("x")
+
+    def test_reading_a_non_stream_csv_fails(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(InvalidQueryError):
+            read_stream_csv(path)
+
+    def test_value_types_are_inferred(self, tmp_path):
+        events = [Event("A", 1.0, {"i": 3, "f": 2.5, "s": "text"})]
+        path = tmp_path / "typed.csv"
+        write_stream_csv(events, path)
+        restored = list(read_stream_csv(path))[0]
+        assert restored.get("i") == 3 and isinstance(restored.get("i"), int)
+        assert restored.get("f") == pytest.approx(2.5)
+        assert restored.get("s") == "text"
+
+
+class TestPamap2Format:
+    def test_roundtrip_measurement_events(self, tmp_path, activity_stream):
+        path = tmp_path / "subject101.dat"
+        written = write_pamap2_file(activity_stream, path)
+        assert written == len(activity_stream)
+        restored = read_pamap2_file(path, patient=101)
+        assert len(restored) == written
+        first = restored[0]
+        assert first.event_type == "Measurement"
+        assert first.get("patient") == 101
+        assert isinstance(first.get("rate"), float)
+        assert first.get("activity_class") in ("passive", "active")
+
+    def test_rows_without_heart_rate_are_dropped(self, tmp_path):
+        path = tmp_path / "nan.dat"
+        path.write_text("1.0 1 NaN\n2.0 2 80.0\n3.0 0 75.0\n")
+        restored = read_pamap2_file(path, patient=5)
+        assert len(restored) == 1
+        assert restored[0].get("rate") == 80.0
+
+    def test_passive_classification_uses_activity_ids(self, tmp_path):
+        passive_id = sorted(PAMAP2_PASSIVE_ACTIVITIES)[0]
+        path = tmp_path / "class.dat"
+        path.write_text(f"1.0 {passive_id} 70.0\n2.0 24 140.0\n")
+        restored = list(read_pamap2_file(path, patient=1))
+        assert restored[0].get("activity_class") == "passive"
+        assert restored[1].get("activity_class") == "active"
+
+
+class TestEoddataFormat:
+    def test_roundtrip_stock_events(self, tmp_path, stock_stream):
+        path = tmp_path / "eod.csv"
+        written = write_eoddata_csv(stock_stream, path)
+        assert written == len(stock_stream)
+        restored = read_eoddata_csv(path)
+        assert len(restored) == written
+        for original, loaded in zip(stock_stream, restored):
+            assert loaded.get("company") == original.get("company")
+            assert loaded.get("price") == pytest.approx(original.get("price"))
+            assert loaded.get("sector") == original.get("sector")
+
+    def test_missing_columns_are_reported(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Symbol,Price\nIBM,120\n")
+        with pytest.raises(InvalidQueryError):
+            read_eoddata_csv(path)
+
+    def test_non_stock_events_are_ignored_on_write(self, tmp_path):
+        events = [Event("Stock", 1.0, {"company": 1, "sector": 0, "price": 9.0}),
+                  Event("News", 2.0, {"headline": "x"})]
+        path = tmp_path / "mixed.csv"
+        assert write_eoddata_csv(events, path) == 1
+
+
+class TestReplication:
+    def test_replication_multiplies_event_count(self, stock_stream):
+        replicated = replicate_stream(stock_stream, copies=3)
+        assert len(replicated) == 3 * len(stock_stream)
+
+    def test_replication_keeps_time_order(self, stock_stream):
+        replicated = list(replicate_stream(stock_stream, copies=2, gap_seconds=5.0))
+        assert all(
+            earlier.order_key <= later.order_key
+            for earlier, later in zip(replicated, replicated[1:])
+        )
+        span = stock_stream[-1].time - stock_stream[0].time
+        assert replicated[-1].time == pytest.approx(stock_stream[-1].time + span + 5.0)
+
+    def test_single_copy_is_identity_sized(self, stock_stream):
+        assert len(replicate_stream(stock_stream, copies=1)) == len(stock_stream)
+
+    def test_zero_copies_is_rejected(self, stock_stream):
+        with pytest.raises(InvalidQueryError):
+            replicate_stream(stock_stream, copies=0)
+
+    def test_empty_stream_replicates_to_empty(self):
+        assert len(replicate_stream([], copies=4)) == 0

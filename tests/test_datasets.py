@@ -1,0 +1,153 @@
+"""Tests for the synthetic data-set generators (paper workload substitutes)."""
+
+import pytest
+
+from repro.datasets import (
+    PhysicalActivityConfig,
+    RidesharingConfig,
+    StockConfig,
+    TransportationConfig,
+    generate_physical_activity_stream,
+    generate_ridesharing_stream,
+    generate_stock_stream,
+    generate_transportation_stream,
+)
+from repro.datasets.generators import StreamConfig, random_walk, seeded_rng, spread_timestamps
+from repro.events.stream import validate_order
+
+
+class TestGeneratorUtilities:
+    def test_seeded_rng_is_deterministic(self):
+        assert seeded_rng(3).random() == seeded_rng(3).random()
+
+    def test_random_walk_respects_bounds_and_length(self):
+        walk = random_walk(seeded_rng(1), 200, start=50, step=5, minimum=40, maximum=60)
+        assert len(walk) == 200
+        assert all(40 <= value <= 60 for value in walk)
+
+    def test_random_walk_up_probability_extremes(self):
+        rng = seeded_rng(2)
+        rising = random_walk(rng, 50, start=0, step=1, up_probability=1.0)
+        assert rising == sorted(rising)
+
+    def test_spread_timestamps(self):
+        config = StreamConfig(event_count=10, events_per_second=2.0)
+        times = list(spread_timestamps(config))
+        assert len(times) == 10
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(0.5)
+        assert config.duration_seconds == pytest.approx(5.0)
+
+
+class TestPhysicalActivity:
+    def test_schema_and_size(self):
+        stream = generate_physical_activity_stream(PhysicalActivityConfig(event_count=300, seed=1))
+        assert len(stream) == 300
+        assert stream.event_types() == {"Measurement"}
+        event = stream[0]
+        assert event.has("patient") and event.has("activity") and event.has("rate")
+        assert event["activity_class"] in ("passive", "active")
+
+    def test_patient_count_matches_paper(self):
+        stream = generate_physical_activity_stream(PhysicalActivityConfig(event_count=2000, seed=1))
+        assert len(stream.distinct_values("patient")) == 14
+
+    def test_determinism(self):
+        config = PhysicalActivityConfig(event_count=100, seed=5)
+        first = generate_physical_activity_stream(config)
+        second = generate_physical_activity_stream(config)
+        assert list(first) == list(second)
+
+    def test_rates_within_bounds_and_ordered_stream(self):
+        config = PhysicalActivityConfig(event_count=500, seed=2)
+        stream = generate_physical_activity_stream(config)
+        validate_order(stream)
+        assert all(config.rate_minimum <= e["rate"] <= config.rate_maximum for e in stream)
+
+    def test_increase_probability_controls_run_length(self):
+        rising = generate_physical_activity_stream(
+            PhysicalActivityConfig(event_count=500, seed=3, increase_probability=0.95, patients=1)
+        )
+        falling = generate_physical_activity_stream(
+            PhysicalActivityConfig(event_count=500, seed=3, increase_probability=0.05, patients=1)
+        )
+        def increases(stream):
+            events = list(stream)
+            return sum(1 for a, b in zip(events, events[1:]) if b["rate"] > a["rate"])
+        assert increases(rising) > increases(falling)
+
+
+class TestStock:
+    def test_schema_and_group_counts_match_paper(self):
+        stream = generate_stock_stream(StockConfig(event_count=2000, seed=1))
+        assert stream.event_types() == {"Stock"}
+        assert len(stream.distinct_values("company")) == 19
+        assert len(stream.distinct_values("sector")) == 10
+        event = stream[0]
+        assert event.has("price") and event.has("volume") and event.has("transaction")
+
+    def test_decrease_probability_controls_predicate_selectivity(self):
+        def decrease_fraction(probability):
+            stream = list(
+                generate_stock_stream(
+                    StockConfig(event_count=2000, seed=4, decrease_probability=probability, companies=1)
+                )
+            )
+            pairs = list(zip(stream, stream[1:]))
+            return sum(1 for a, b in pairs if b["price"] < a["price"]) / len(pairs)
+
+        assert decrease_fraction(0.9) > 0.7
+        assert decrease_fraction(0.1) < 0.3
+
+    def test_prices_stay_positive(self):
+        stream = generate_stock_stream(StockConfig(event_count=1000, seed=5, decrease_probability=0.9))
+        assert all(event["price"] > 0 for event in stream)
+
+    def test_determinism(self):
+        config = StockConfig(event_count=50, seed=9)
+        assert list(generate_stock_stream(config)) == list(generate_stock_stream(config))
+
+
+class TestTransportation:
+    def test_schema_and_trip_structure(self):
+        stream = generate_transportation_stream(TransportationConfig(event_count=400, seed=1))
+        assert len(stream) == 400
+        assert {"Enter", "Wait", "Board", "Exit"} <= stream.event_types() | {"Enter", "Wait", "Board", "Exit"}
+        event = stream[0]
+        assert event.has("passenger") and event.has("station") and event.has("waiting")
+
+    def test_passenger_count_is_configurable(self):
+        stream = generate_transportation_stream(
+            TransportationConfig(event_count=600, seed=2, passengers=5)
+        )
+        assert len(stream.distinct_values("passenger")) == 5
+
+    def test_waiting_time_bounds(self):
+        config = TransportationConfig(event_count=300, seed=3)
+        stream = generate_transportation_stream(config)
+        assert all(config.min_waiting <= e["waiting"] <= config.max_waiting for e in stream)
+
+    def test_stream_is_time_ordered(self):
+        validate_order(generate_transportation_stream(TransportationConfig(event_count=300, seed=4)))
+
+    def test_station_range(self):
+        config = TransportationConfig(event_count=300, seed=5, stations=10)
+        stream = generate_transportation_stream(config)
+        assert all(0 <= e["station"] < 10 for e in stream)
+
+
+class TestRidesharing:
+    def test_schema_and_types(self):
+        stream = generate_ridesharing_stream(RidesharingConfig(event_count=300, seed=1))
+        assert {"Accept", "Call", "Cancel", "Finish"} <= stream.event_types()
+        assert all(event.has("driver") and event.has("session") for event in stream)
+
+    def test_driver_count_is_configurable(self):
+        stream = generate_ridesharing_stream(RidesharingConfig(event_count=500, seed=2, drivers=7))
+        assert len(stream.distinct_values("driver")) == 7
+
+    def test_stream_is_time_ordered_and_deterministic(self):
+        config = RidesharingConfig(event_count=200, seed=3)
+        first = generate_ridesharing_stream(config)
+        validate_order(first)
+        assert list(first) == list(generate_ridesharing_stream(config))

@@ -1,0 +1,120 @@
+"""Tests for the Section 8 extensions: desugaring and related rewrites."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.trend_enumeration import enumerate_trends
+from repro.core.engine import CograEngine
+from repro.errors import InvalidPatternError
+from repro.events.event import Event
+from repro.extensions import desugar_pattern, expand_min_trend_length
+from repro.query.aggregates import count_star
+from repro.query.ast import (
+    Disjunction,
+    KleenePlus,
+    KleeneStar,
+    OptionalPattern,
+    Sequence,
+    atom,
+    kleene_plus,
+    sequence,
+)
+from repro.query.builder import QueryBuilder
+
+
+def count_query(pattern):
+    return QueryBuilder().pattern(pattern).aggregate(count_star()).build()
+
+
+def oracle_count(pattern, events):
+    return len(enumerate_trends(count_query(pattern), events))
+
+
+def stream(spec):
+    return [Event(token[0].upper(), float(index + 1)) for index, token in enumerate(spec.split())]
+
+
+class TestDesugaring:
+    def test_star_in_sequence_becomes_disjunction(self):
+        pattern = desugar_pattern(sequence(KleeneStar(atom("A")), atom("B")))
+        assert isinstance(pattern, Disjunction)
+        shapes = {repr(alternative) for alternative in pattern.alternatives}
+        assert shapes == {"SEQ(A+, B)", "B"}
+
+    def test_optional_in_sequence(self):
+        pattern = desugar_pattern(sequence(OptionalPattern(atom("A")), atom("B")))
+        shapes = {repr(alternative) for alternative in pattern.alternatives}
+        assert shapes == {"SEQ(A, B)", "B"}
+
+    def test_plus_and_atoms_unchanged(self):
+        original = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+        assert repr(desugar_pattern(original)) == repr(original)
+
+    def test_top_level_star_drops_empty_match(self):
+        assert repr(desugar_pattern(KleeneStar(atom("A")))) == "A+"
+
+    def test_nested_optional_star(self):
+        pattern = desugar_pattern(sequence(atom("A"), OptionalPattern(KleeneStar(atom("B"))), atom("C")))
+        shapes = {repr(alternative) for alternative in pattern.alternatives}
+        assert shapes == {"SEQ(A, B+, C)", "SEQ(A, C)"}
+
+    def test_disjunction_is_flattened(self):
+        pattern = desugar_pattern(Disjunction([atom("A"), Disjunction([atom("B"), atom("C")])]))
+        assert len(pattern.alternatives) == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(events=st.lists(st.sampled_from("ABC"), max_size=7))
+    def test_desugared_pattern_matches_same_trends(self, events):
+        """Oracle counts agree between the sugared and desugared patterns."""
+        stream_events = [Event(t, float(i + 1)) for i, t in enumerate(events)]
+        sugared = sequence(atom("A"), KleeneStar(atom("B")), atom("C"))
+        desugared = desugar_pattern(sugared)
+        assert oracle_count(sugared, stream_events) == oracle_count(desugared, stream_events)
+
+    @settings(max_examples=25, deadline=None)
+    @given(events=st.lists(st.sampled_from("ABC"), max_size=7))
+    def test_cogra_evaluates_desugared_like_the_oracle_evaluates_sugar(self, events):
+        stream_events = [Event(t, float(i + 1)) for i, t in enumerate(events)]
+        sugared = sequence(OptionalPattern(atom("A")), atom("B"), KleeneStar(atom("C")))
+        desugared = desugar_pattern(sugared)
+        engine_count = sum(
+            r.trend_count for r in CograEngine(count_query(desugared)).run(stream_events)
+        )
+        assert engine_count == oracle_count(sugared, stream_events)
+
+
+class TestDisjunctionSupport:
+    def test_cogra_counts_disjunction_natively(self):
+        pattern = Disjunction([kleene_plus("A"), kleene_plus("B")])
+        events = stream("a1 b2 a3")
+        engine_count = sum(r.trend_count for r in CograEngine(count_query(pattern)).run(events))
+        assert engine_count == oracle_count(pattern, events)
+        assert engine_count == 4  # {a1},{a3},{a1,a3},{b2}
+
+    def test_disjunction_inside_sequence(self):
+        pattern = sequence(atom("A"), Disjunction([atom("B"), atom("C")]), atom("D"))
+        events = stream("a1 b2 c3 d4")
+        engine_count = sum(r.trend_count for r in CograEngine(count_query(pattern)).run(events))
+        assert engine_count == oracle_count(pattern, events) == 2
+
+
+class TestMinTrendLength:
+    def test_expansion_shape(self):
+        pattern = expand_min_trend_length(kleene_plus("A"), 3)
+        assert isinstance(pattern, Sequence)
+        assert len(pattern.parts) == 3
+        assert repr(pattern) == "SEQ(A A__1, A A__2, A+)"
+
+    def test_expansion_of_length_one_is_identity(self):
+        pattern = kleene_plus("A")
+        assert expand_min_trend_length(pattern, 1) is pattern
+
+    def test_expansion_counts_long_trends_only(self):
+        expanded = expand_min_trend_length(kleene_plus("A"), 2)
+        events = stream("a1 a2 a3")
+        engine_count = sum(r.trend_count for r in CograEngine(count_query(expanded)).run(events))
+        assert engine_count == 4  # the three pairs plus the full triple
+
+    def test_unsupported_shapes_rejected(self):
+        with pytest.raises(InvalidPatternError):
+            expand_min_trend_length(sequence(atom("A"), atom("B")), 2)

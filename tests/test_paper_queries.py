@@ -1,0 +1,178 @@
+"""End-to-end tests of the paper's example queries q1-q3 on hand-made streams."""
+
+import pytest
+
+from repro.baselines import TrendOracle
+from repro.core.engine import CograEngine
+from repro.datasets import (
+    PhysicalActivityConfig,
+    StockConfig,
+    TransportationConfig,
+    generate_physical_activity_stream,
+    generate_stock_stream,
+    generate_transportation_stream,
+    healthcare_query,
+    ridesharing_query,
+    stock_trend_query,
+    transportation_query,
+)
+from repro.events.event import Event
+from helpers import assert_results_equal, total_trend_count
+
+
+def measurement(time, patient, rate, activity_class="passive"):
+    return Event(
+        "Measurement",
+        time,
+        {"patient": patient, "rate": rate, "activity_class": activity_class, "activity": "sitting"},
+    )
+
+
+class TestHealthcareQ1:
+    """q1: min / max heart rate of contiguously increasing measurements."""
+
+    def test_contiguously_increasing_run_detected(self):
+        query = healthcare_query(window=None)
+        engine = CograEngine(query)
+        stream = [
+            measurement(1, "p1", 60),
+            measurement(2, "p1", 65),
+            measurement(3, "p1", 72),
+            measurement(4, "p1", 70),   # rate drops: run ends
+            measurement(5, "p1", 75),
+        ]
+        results = engine.run(stream)
+        assert engine.granularity == "pattern"
+        assert len(results) == 1
+        row = results[0]
+        assert row["MIN(M.rate)"] == 60
+        assert row["MAX(M.rate)"] == 75
+        # trends: [60],[65],[72],[70],[75],[60,65],[65,72],[60,65,72],[70,75]
+        assert row.trend_count == 9
+
+    def test_active_measurements_are_filtered_not_breaking_contiguity(self):
+        query = healthcare_query(window=None)
+        stream = [
+            measurement(1, "p1", 60),
+            measurement(2, "p1", 100, activity_class="active"),
+            measurement(3, "p1", 65),
+        ]
+        results = CograEngine(query).run(stream)
+        # the active measurement is filtered by the local predicate before
+        # COGRA applies (Section 7), so (60, 65) is still contiguous
+        assert results[0].trend_count == 3
+
+    def test_patients_are_independent_groups(self):
+        query = healthcare_query(window=None)
+        stream = [
+            measurement(1, "p1", 60),
+            measurement(2, "p2", 90),
+            measurement(3, "p1", 70),
+        ]
+        results = {r.group["patient"]: r for r in CograEngine(query).run(stream)}
+        assert results["p1"]["MAX(M.rate)"] == 70
+        assert results["p2"]["MAX(M.rate)"] == 90
+
+    def test_sliding_window_bounds_results(self):
+        query = healthcare_query()  # 10 minutes sliding every 30 seconds
+        stream = [measurement(t, "p1", 60 + t) for t in range(0, 100, 10)]
+        results = CograEngine(query).run(stream)
+        assert results  # at least the first window reports a result
+        assert all(r.window_end - r.window_start == 600.0 for r in results)
+
+    def test_matches_oracle_on_generated_data(self):
+        query = healthcare_query(window=None)
+        stream = list(
+            generate_physical_activity_stream(PhysicalActivityConfig(event_count=150, seed=11))
+        )
+        assert_results_equal(CograEngine(query).run(stream), TrendOracle(query).run(stream))
+
+
+def trip_event(event_type, time, driver):
+    return Event(event_type, time, {"driver": driver})
+
+
+class TestRidesharingQ2:
+    """q2: count completed pool trips with call/cancel episodes per driver."""
+
+    def test_single_trip_counted_once(self):
+        query = ridesharing_query(window=None)
+        stream = [
+            trip_event("Accept", 1, "d1"),
+            trip_event("InTransit", 2, "d1"),
+            trip_event("Call", 3, "d1"),
+            trip_event("Cancel", 4, "d1"),
+            trip_event("Call", 5, "d1"),
+            trip_event("Cancel", 6, "d1"),
+            trip_event("Finish", 7, "d1"),
+        ]
+        engine = CograEngine(query)
+        results = engine.run(stream)
+        assert engine.granularity == "pattern"
+        assert total_trend_count(results) == 1
+        assert results[0].group["driver"] == "d1"
+
+    def test_trip_without_cancellation_is_not_matched(self):
+        query = ridesharing_query(window=None)
+        stream = [
+            trip_event("Accept", 1, "d1"),
+            trip_event("Finish", 2, "d1"),
+        ]
+        assert CograEngine(query).run(stream) == []
+
+    def test_drivers_partitioned(self):
+        query = ridesharing_query(window=None)
+        stream = []
+        time = 1
+        for driver in ("d1", "d2"):
+            for event_type in ("Accept", "Call", "Cancel", "Finish"):
+                stream.append(trip_event(event_type, time, driver))
+                time += 1
+        results = {r.group["driver"]: r.trend_count for r in CograEngine(query).run(stream)}
+        assert results == {"d1": 1, "d2": 1}
+
+    def test_transportation_variant_matches_oracle(self):
+        query = transportation_query(window=None)
+        stream = list(
+            generate_transportation_stream(TransportationConfig(event_count=150, seed=12))
+        )
+        assert_results_equal(CograEngine(query).run(stream), TrendOracle(query).run(stream))
+
+
+def stock(time, company, price, sector=0):
+    return Event("Stock", time, {"company": company, "sector": sector, "price": price})
+
+
+class TestStockQ3:
+    """q3 variation: down-trends per company under skip-till-any-match."""
+
+    def test_down_trends_counted_and_averaged(self):
+        query = stock_trend_query(window=None, with_price_predicate=True)
+        engine = CograEngine(query)
+        stream = [
+            stock(1, "c1", 10.0),
+            stock(2, "c1", 8.0),
+            stock(3, "c1", 9.0),
+            stock(4, "c1", 7.0),
+        ]
+        results = engine.run(stream)
+        assert engine.granularity == "event"
+        row = results[0]
+        # decreasing subsequences: {10},{8},{9},{7},{10,8},{10,9},{10,7},{8,7},
+        # {9,7},{10,8,7},{10,9,7}
+        assert row.trend_count == 11
+
+    def test_companies_form_groups(self):
+        query = stock_trend_query(window=None)
+        stream = [stock(1, "c1", 10.0), stock(2, "c2", 20.0), stock(3, "c1", 11.0)]
+        results = {r.group["company"]: r.trend_count for r in CograEngine(query).run(stream)}
+        assert results == {"c1": 3, "c2": 1}
+
+    def test_without_predicate_granularity_is_type(self):
+        engine = CograEngine(stock_trend_query(window=None, with_price_predicate=False))
+        assert engine.granularity == "type"
+
+    def test_matches_oracle_on_generated_data(self):
+        query = stock_trend_query(window=None, with_price_predicate=True)
+        stream = list(generate_stock_stream(StockConfig(event_count=120, seed=13)))
+        assert_results_equal(CograEngine(query).run(stream), TrendOracle(query).run(stream))

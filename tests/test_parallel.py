@@ -1,0 +1,158 @@
+"""Tests for partition-parallel execution (Section 9.4 scalability structure)."""
+
+import pytest
+
+from repro.analyzer.plan import plan_query
+from repro.core.engine import CograEngine
+from repro.core.parallel import ParallelExecutor, partition_stream
+from repro.core.scheduler import TimeDrivenScheduler
+from repro.core.executor import QueryExecutor
+from repro.datasets.queries import (
+    healthcare_query,
+    stock_trend_query,
+    transportation_query,
+)
+from repro.datasets.physical_activity import (
+    PhysicalActivityConfig,
+    generate_physical_activity_stream,
+)
+from repro.datasets.stock import StockConfig, generate_stock_stream
+from repro.datasets.transportation import (
+    TransportationConfig,
+    generate_transportation_stream,
+)
+from repro.errors import InvalidQueryError
+from repro.events.event import Event
+from repro.query.aggregates import count_star
+from repro.query.builder import QueryBuilder
+from repro.query.ast import kleene_plus
+
+from helpers import assert_results_equal
+
+
+@pytest.fixture(scope="module")
+def stock_stream():
+    return list(generate_stock_stream(StockConfig(event_count=600, seed=41)))
+
+
+@pytest.fixture(scope="module")
+def transportation_stream():
+    return list(
+        generate_transportation_stream(TransportationConfig(event_count=600, seed=42))
+    )
+
+
+class TestPartitionStream:
+    def test_partitions_by_group_attribute(self, stock_stream):
+        plan = plan_query(stock_trend_query(window=None))
+        partitions = partition_stream(plan, stock_stream)
+        assert len(partitions) == len({event.get("company") for event in stock_stream})
+        assert sum(len(bucket) for bucket in partitions.values()) == len(stock_stream)
+
+    def test_partition_order_is_arrival_order(self, stock_stream):
+        plan = plan_query(stock_trend_query(window=None))
+        partitions = partition_stream(plan, stock_stream)
+        for bucket in partitions.values():
+            assert all(
+                earlier.order_key <= later.order_key
+                for earlier, later in zip(bucket, bucket[1:])
+            )
+
+    def test_query_without_grouping_uses_single_partition(self, event_spec):
+        query = (
+            QueryBuilder("ungrouped")
+            .pattern(kleene_plus("A"))
+            .semantics("skip-till-any-match")
+            .aggregate(count_star())
+            .build()
+        )
+        partitions = partition_stream(plan_query(query), event_spec("a1 a2 a3"))
+        assert list(partitions.keys()) == [()]
+
+
+class TestParallelMatchesSequential:
+    @pytest.mark.parametrize("workers", [1, 2, 4, None])
+    def test_stock_query_any_semantics(self, stock_stream, workers):
+        query = stock_trend_query(window=None)
+        sequential = CograEngine(query).run(stock_stream)
+        parallel = ParallelExecutor(query, workers=workers).run(stock_stream)
+        assert_results_equal(sequential, parallel)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_transportation_query_next_semantics(self, transportation_stream, workers):
+        query = transportation_query(semantics="skip-till-next-match", window=None)
+        sequential = CograEngine(query).run(transportation_stream)
+        parallel = ParallelExecutor(query, workers=workers).run(transportation_stream)
+        assert_results_equal(sequential, parallel)
+
+    def test_healthcare_query_with_sliding_window(self):
+        stream = list(
+            generate_physical_activity_stream(
+                PhysicalActivityConfig(event_count=400, seed=43)
+            )
+        )
+        query = healthcare_query(semantics="contiguous")
+        sequential = CograEngine(query).run(stream)
+        parallel = ParallelExecutor(query, workers=4).run(stream)
+        assert_results_equal(sequential, parallel)
+
+    def test_results_are_deterministically_ordered(self, stock_stream):
+        query = stock_trend_query(window=None)
+        first = ParallelExecutor(query, workers=4).run(stock_stream)
+        second = ParallelExecutor(query, workers=2).run(stock_stream)
+        assert [r.group for r in first] == [r.group for r in second]
+        assert [r.window_id for r in first] == [r.window_id for r in second]
+
+
+class TestParallelExecutorBehaviour:
+    def test_partition_statistics_are_recorded(self, stock_stream):
+        query = stock_trend_query(window=None)
+        executor = ParallelExecutor(query, workers=2)
+        executor.run(stock_stream)
+        assert executor.partition_count > 1
+        assert sum(executor.partition_sizes.values()) == len(stock_stream)
+
+    def test_empty_stream_returns_no_results(self):
+        executor = ParallelExecutor(stock_trend_query(window=None))
+        assert executor.run([]) == []
+        assert executor.partition_count == 0
+
+    def test_invalid_worker_count_is_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            ParallelExecutor(stock_trend_query(window=None), workers=0)
+
+    def test_accepts_precomputed_plan(self, stock_stream):
+        plan = plan_query(stock_trend_query(window=None))
+        executor = ParallelExecutor(plan, workers=2)
+        results = executor.run(stock_stream)
+        assert results
+
+    def test_rejects_unknown_query_type(self):
+        with pytest.raises(TypeError):
+            ParallelExecutor("RETURN COUNT(*) PATTERN A+")
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_with_partition_function_matches_sequential(self, stock_stream):
+        query = stock_trend_query(window=None)
+        sequential = CograEngine(query).run(stock_stream)
+        scheduler = TimeDrivenScheduler(
+            executor_factory=lambda: QueryExecutor(query),
+            partition_function=lambda event: event.get("company"),
+        )
+        transactional = scheduler.run(stock_stream)
+        assert_results_equal(sequential, transactional)
+        assert scheduler.partition_count == len(
+            {event.get("company") for event in stock_stream}
+        )
+
+    def test_scheduler_counts_transactions_per_timestamp(self):
+        events = [
+            Event("A", 1.0, {"company": 1}),
+            Event("A", 1.0, {"company": 2}),
+            Event("A", 2.0, {"company": 1}),
+        ]
+        query = stock_trend_query(window=None)
+        scheduler = TimeDrivenScheduler(executor_factory=lambda: QueryExecutor(query))
+        scheduler.run(events)
+        assert scheduler.completed_transactions == 2

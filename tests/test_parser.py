@@ -1,0 +1,180 @@
+"""Tests for the textual query language parser (queries q1-q3 of the paper)."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.events.event import Event
+from repro.query.ast import KleenePlus, Sequence
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.predicates import AdjacentPredicate, EquivalencePredicate, LocalPredicate
+from repro.query.semantics import Semantics
+
+Q1 = """
+RETURN patient, MIN(M.rate), MAX(M.rate)
+PATTERN Measurement M+
+SEMANTICS contiguous
+WHERE [patient] AND M.rate < NEXT(M).rate AND M.activity = passive
+GROUP-BY patient
+WITHIN 10 minutes SLIDE 30 seconds
+"""
+
+Q2 = """
+RETURN driver, COUNT(*)
+PATTERN SEQ(Accept, (SEQ(Call, Cancel))+, Finish)
+SEMANTICS skip-till-next-match
+WHERE [driver] GROUP-BY driver
+WITHIN 10 minutes SLIDE 30 seconds
+"""
+
+Q3 = """
+RETURN sector, A.company, B.company, AVG(B.price)
+PATTERN SEQ(Stock A+, Stock B+)
+SEMANTICS skip-till-any-match
+WHERE [A.company] AND [B.company] AND A.price > NEXT(A).price
+GROUP-BY sector, A.company, B.company
+WITHIN 10 minutes SLIDE 10 seconds
+"""
+
+
+class TestPaperQueries:
+    def test_q1_clauses(self):
+        query = parse_query(Q1, name="q1")
+        assert query.semantics is Semantics.CONTIGUOUS
+        assert isinstance(query.pattern, KleenePlus)
+        assert query.pattern.variables() == ["M"]
+        assert [spec.name for spec in query.aggregates] == ["MIN(M.rate)", "MAX(M.rate)"]
+        assert query.return_attributes == ("patient",)
+        assert query.group_by == ("patient",)
+        assert query.window.size == 600.0 and query.window.slide == 30.0
+        kinds = {type(p) for p in query.predicates}
+        assert kinds == {EquivalencePredicate, AdjacentPredicate, LocalPredicate}
+
+    def test_q1_local_predicate_compares_string(self):
+        query = parse_query(Q1)
+        local = query.local_predicates[0]
+        assert local.evaluate(Event("Measurement", 1.0, {"activity": "passive"}))
+        assert not local.evaluate(Event("Measurement", 1.0, {"activity": "running"}))
+
+    def test_q1_adjacent_predicate_orientation(self):
+        query = parse_query(Q1)
+        adjacent = query.adjacent_predicates[0]
+        slow = Event("Measurement", 1.0, {"rate": 60})
+        fast = Event("Measurement", 2.0, {"rate": 80})
+        assert adjacent.evaluate(slow, fast)
+        assert not adjacent.evaluate(fast, slow)
+
+    def test_q2_pattern_structure(self):
+        query = parse_query(Q2)
+        assert query.semantics is Semantics.SKIP_TILL_NEXT_MATCH
+        assert isinstance(query.pattern, Sequence)
+        assert query.pattern.variables() == ["Accept", "Call", "Cancel", "Finish"]
+        assert query.pattern.is_kleene
+        assert query.aggregates[0].is_count_star
+        assert query.group_by == ("driver",)
+        assert query.partition_attributes == ("driver",)
+
+    def test_q3_aliases_and_variable_scoped_grouping(self):
+        query = parse_query(Q3)
+        assert query.pattern.variables() == ["A", "B"]
+        assert query.pattern.event_types() == ["Stock", "Stock"]
+        # variable-scoped grouping attributes are stripped to plain names
+        assert query.group_by == ("sector", "company", "company")
+        equivalences = query.equivalence_predicates
+        assert {p.variable for p in equivalences} == {"A", "B"}
+        assert query.has_adjacent_predicates
+        assert query.window.slide == 10.0
+
+
+class TestPatternSyntax:
+    def test_simple_kleene(self):
+        pattern = parse_pattern("Measurement M+")
+        assert isinstance(pattern, KleenePlus)
+        assert pattern.variables() == ["M"]
+
+    def test_nested_kleene(self):
+        pattern = parse_pattern("(SEQ(A+, B))+")
+        assert repr(pattern) == "(SEQ(A+, B))+"
+
+    def test_star_optional_and_disjunction(self):
+        assert repr(parse_pattern("A*")) == "A*"
+        assert repr(parse_pattern("A?")) == "A?"
+        assert repr(parse_pattern("A | B")) == "A | B"
+        assert repr(parse_pattern("NOT(B)")) == "NOT(B)"
+
+    def test_seq_requires_parentheses(self):
+        with pytest.raises(QueryParseError):
+            parse_pattern("SEQ A, B")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_pattern("SEQ(A, B")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_pattern("A ++ ;")
+        with pytest.raises(QueryParseError):
+            parse_pattern("")
+
+
+class TestClauseHandling:
+    def test_missing_pattern_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN COUNT(*) SEMANTICS any")
+
+    def test_missing_aggregate_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN patient PATTERN A+")
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN COUNT(*) PATTERN A+ PATTERN B+")
+
+    def test_semantics_defaults_to_any(self):
+        query = parse_query("RETURN COUNT(*) PATTERN A+")
+        assert query.semantics is Semantics.SKIP_TILL_ANY_MATCH
+        assert query.window is None
+
+    def test_group_by_alternate_spelling(self):
+        query = parse_query("RETURN COUNT(*) PATTERN A+ GROUP BY region")
+        assert query.group_by == ("region",)
+
+    def test_within_without_slide_is_tumbling(self):
+        query = parse_query("RETURN COUNT(*) PATTERN A+ WITHIN 5 minutes")
+        assert query.window.size == 300.0
+        assert query.window.slide == 300.0
+
+    def test_unknown_aggregate_variable_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN MIN(X.rate) PATTERN A+")
+
+    def test_constant_parsing(self):
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN A+ WHERE A.price > 10 AND A.kind = 'buy' AND A.flag = true"
+        )
+        locals_ = query.local_predicates
+        assert len(locals_) == 3
+        event = Event("A", 1.0, {"price": 20, "kind": "buy", "flag": True})
+        assert all(p.evaluate(event) for p in locals_)
+
+    def test_constant_on_left_side_flips_operator(self):
+        query = parse_query("RETURN COUNT(*) PATTERN A+ WHERE 10 < A.price")
+        assert query.local_predicates[0].evaluate(Event("A", 1.0, {"price": 20}))
+        assert not query.local_predicates[0].evaluate(Event("A", 1.0, {"price": 5}))
+
+    def test_adjacent_predicate_with_next_on_left(self):
+        query = parse_query("RETURN COUNT(*) PATTERN A+ WHERE NEXT(A).price > A.price")
+        adjacent = query.adjacent_predicates[0]
+        assert adjacent.evaluate(Event("A", 1, {"price": 1}), Event("A", 2, {"price": 2}))
+        assert not adjacent.evaluate(Event("A", 1, {"price": 2}), Event("A", 2, {"price": 1}))
+
+    def test_cross_variable_adjacent_predicate(self):
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN SEQ(A+, B+) WHERE A.price > B.price"
+        )
+        adjacent = query.adjacent_predicates[0]
+        assert adjacent.predecessor_variable == "A"
+        assert adjacent.successor_variable == "B"
+
+    def test_unparseable_where_term_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN COUNT(*) PATTERN A+ WHERE price ~ 3")

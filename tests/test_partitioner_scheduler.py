@@ -1,0 +1,111 @@
+"""Tests for stream partitioning helpers and the time-driven scheduler."""
+
+import pytest
+
+from repro.core.executor import QueryExecutor
+from repro.core.partitioner import (
+    filter_local_predicates,
+    group_key,
+    partition_by_group,
+    substreams,
+    window_bounds,
+    windows_of,
+)
+from repro.core.scheduler import StreamTransaction, TimeDrivenScheduler
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.query.aggregates import count_star
+from repro.query.ast import kleene_plus
+from repro.query.builder import QueryBuilder
+from repro.query.windows import WindowSpec
+from helpers import total_trend_count
+
+
+def query_with(window=None, group_by=()):
+    builder = QueryBuilder().pattern(kleene_plus("A")).aggregate(count_star()).window(window)
+    if group_by:
+        builder.group_by(*group_by)
+    return builder.build()
+
+
+class TestPartitioner:
+    def test_group_key_and_partition(self):
+        events = [Event("A", 1, {"g": 1}), Event("A", 2, {"g": 2}), Event("A", 3, {"g": 1})]
+        assert group_key(events[0], ("g",)) == (1,)
+        groups = partition_by_group(events, ("g",))
+        assert {key: len(value) for key, value in groups.items()} == {(1,): 2, (2,): 1}
+
+    def test_windows_of_without_window(self):
+        assert windows_of(Event("A", 5.0), None) == [0]
+        assert window_bounds(None, 0) == (None, None)
+
+    def test_substreams_replicate_into_overlapping_windows(self):
+        query = query_with(window=WindowSpec(10.0, 5.0), group_by=("g",))
+        events = [Event("A", 7.0, {"g": 1})]
+        keys = [key for key, _ in substreams(query, events)]
+        assert keys == [(0, (1,)), (1, (1,))]
+
+    def test_substreams_separate_groups(self):
+        query = query_with(group_by=("g",))
+        events = [Event("A", 1, {"g": 1}), Event("A", 2, {"g": 2})]
+        result = dict(substreams(query, events))
+        assert len(result) == 2
+        assert all(len(events) == 1 for events in result.values())
+
+    def test_filter_local_predicates_keeps_foreign_types(self):
+        query = (
+            QueryBuilder()
+            .pattern(kleene_plus("A"))
+            .aggregate(count_star())
+            .where_attribute_equals("A", "keep", True)
+            .build()
+        )
+        events = [
+            Event("A", 1, {"keep": True}),
+            Event("A", 2, {"keep": False}),
+            Event("Z", 3, {}),
+        ]
+        filtered = filter_local_predicates(query, events)
+        assert [e.event_type for e in filtered] == ["A", "Z"]
+
+    def test_filter_without_local_predicates_is_identity(self):
+        query = query_with()
+        events = [Event("A", 1), Event("Z", 2)]
+        assert filter_local_predicates(query, events) == events
+
+
+class TestScheduler:
+    def test_transactions_group_equal_timestamps(self):
+        query = query_with()
+        scheduler = TimeDrivenScheduler(lambda: QueryExecutor(query))
+        events = [Event("A", 1.0), Event("A", 1.0, sequence=1), Event("A", 2.0)]
+        results = scheduler.run(events)
+        assert scheduler.completed_transactions == 2
+        assert total_trend_count(results) == 7  # three A's -> 7 trends
+
+    def test_transaction_record(self):
+        transaction = StreamTransaction(2.0, [Event("A", 2.0)])
+        assert len(transaction) == 1
+        assert "t=2" in repr(transaction)
+
+    def test_partitioned_execution_matches_single_executor(self):
+        query = query_with(group_by=("g",))
+        events = [Event("A", t, {"g": t % 2}) for t in range(1, 7)]
+        single = QueryExecutor(query).run(events)
+        scheduler = TimeDrivenScheduler(
+            lambda: QueryExecutor(query), partition_function=lambda e: e.get("g")
+        )
+        partitioned = scheduler.run(events)
+        assert scheduler.partition_count == 2
+        assert total_trend_count(partitioned) == total_trend_count(single)
+
+    def test_out_of_order_submission_rejected(self):
+        scheduler = TimeDrivenScheduler(lambda: QueryExecutor(query_with()))
+        scheduler.submit(Event("A", 5.0))
+        with pytest.raises(StreamOrderError):
+            scheduler.submit(Event("A", 1.0))
+
+    def test_executors_accessible(self):
+        scheduler = TimeDrivenScheduler(lambda: QueryExecutor(query_with()))
+        scheduler.run([Event("A", 1.0)])
+        assert len(scheduler.executors()) == 1

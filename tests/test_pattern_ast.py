@@ -1,0 +1,127 @@
+"""Unit tests for the pattern AST (Definition 1 and Section 8 operators)."""
+
+import pytest
+
+from repro.errors import InvalidPatternError
+from repro.query.ast import (
+    Disjunction,
+    EventTypePattern,
+    KleenePlus,
+    KleeneStar,
+    Negation,
+    OptionalPattern,
+    Sequence,
+    atom,
+    kleene_plus,
+    sequence,
+)
+
+
+class TestConstruction:
+    def test_atom_defaults_variable_to_type(self):
+        leaf = atom("Stock")
+        assert leaf.event_type == "Stock"
+        assert leaf.variable == "Stock"
+
+    def test_atom_with_alias(self):
+        leaf = atom("Stock", "A")
+        assert leaf.variable == "A"
+        assert "Stock A" in repr(leaf)
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(InvalidPatternError):
+            EventTypePattern("")
+
+    def test_sequence_requires_parts(self):
+        with pytest.raises(InvalidPatternError):
+            Sequence([])
+
+    def test_disjunction_requires_two_alternatives(self):
+        with pytest.raises(InvalidPatternError):
+            Disjunction([atom("A")])
+
+    def test_kleene_plus_helper_accepts_type_and_pattern(self):
+        assert isinstance(kleene_plus("A"), KleenePlus)
+        assert isinstance(kleene_plus(sequence("A", "B")), KleenePlus)
+
+    def test_sequence_helper_turns_strings_into_atoms(self):
+        pattern = sequence("A", kleene_plus("B"), "C")
+        assert pattern.event_types() == ["A", "B", "C"]
+
+
+class TestStructuralQueries:
+    def test_length_counts_event_type_occurrences(self):
+        pattern = sequence(atom("Accept"), KleenePlus(sequence("Call", "Cancel")), "Finish")
+        assert pattern.length == 4
+
+    def test_variables_in_left_to_right_order(self):
+        pattern = sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B"))
+        assert pattern.variables() == ["A", "B"]
+        assert pattern.event_types() == ["Stock", "Stock"]
+
+    def test_is_kleene(self):
+        assert kleene_plus("A").is_kleene
+        assert KleenePlus(sequence("A", "B")).is_kleene
+        assert not sequence("A", "B").is_kleene
+        assert KleeneStar(atom("A")).is_kleene
+
+    def test_has_negation_and_disjunction(self):
+        pattern = sequence(atom("A"), Negation(atom("B")), atom("C"))
+        assert pattern.has_negation
+        assert not pattern.has_disjunction
+        disjunction = Disjunction([atom("A"), atom("B")])
+        assert disjunction.has_disjunction
+
+    def test_matches_empty_flags(self):
+        assert KleeneStar(atom("A")).matches_empty
+        assert OptionalPattern(atom("A")).matches_empty
+        assert not KleenePlus(atom("A")).matches_empty
+        assert Sequence([KleeneStar(atom("A")), OptionalPattern(atom("B"))]).matches_empty
+        assert not Sequence([KleeneStar(atom("A")), atom("B")]).matches_empty
+
+    def test_walk_and_leaves(self):
+        pattern = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+        leaf_variables = [leaf.variable for leaf in pattern.leaves()]
+        assert leaf_variables == ["A", "B"]
+        assert len(list(pattern.walk())) == 5  # plus, seq, plus, A, B
+
+    def test_variable_types_mapping(self):
+        pattern = sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B"))
+        assert pattern.variable_types() == {"A": "Stock", "B": "Stock"}
+
+    def test_negated_leaves_do_not_bind_variables(self):
+        pattern = sequence(atom("A"), Negation(atom("B")), atom("C"))
+        assert pattern.variables() == ["A", "C"]
+
+
+class TestValidation:
+    def test_duplicate_variables_rejected(self):
+        pattern = sequence(atom("A"), atom("A"))
+        with pytest.raises(InvalidPatternError):
+            pattern.validate()
+
+    def test_aliased_repetition_is_allowed(self):
+        pattern = sequence(kleene_plus("A", "A1"), atom("B"), atom("A", "A2"))
+        pattern.validate()
+
+    def test_valid_pattern_passes(self):
+        KleenePlus(sequence(kleene_plus("A"), atom("B"))).validate()
+
+
+class TestEqualityAndRepr:
+    def test_structural_equality(self):
+        assert kleene_plus("A") == kleene_plus("A")
+        assert sequence("A", "B") == sequence("A", "B")
+        assert sequence("A", "B") != sequence("B", "A")
+        assert KleeneStar(atom("A")) != KleenePlus(atom("A"))
+
+    def test_hashability(self):
+        patterns = {kleene_plus("A"), kleene_plus("A"), sequence("A", "B")}
+        assert len(patterns) == 2
+
+    def test_repr_round_trips_structure(self):
+        pattern = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+        assert repr(pattern) == "(SEQ(A+, B))+"
+        assert repr(Disjunction([atom("A"), atom("B")])) == "A | B"
+        assert repr(OptionalPattern(atom("A"))) == "A?"
+        assert repr(Negation(atom("B"))) == "NOT(B)"

@@ -1,0 +1,148 @@
+"""Tests for the pattern-grained aggregator (Algorithm 3, Table 7 of the paper)."""
+
+import pytest
+
+from repro.analyzer.plan import plan_query
+from repro.core.pattern_grained import PatternGrainedAggregator
+from repro.events.event import Event
+from repro.query.aggregates import count_star, max_of, min_of, sum_of
+from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+from repro.query.predicates import comparison
+
+FIGURE2 = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+
+
+def make_plan(semantics, pattern=FIGURE2, aggregates=None, predicates=()):
+    builder = QueryBuilder().pattern(pattern).semantics(semantics)
+    for spec in aggregates or [count_star()]:
+        builder.aggregate(spec)
+    for predicate in predicates:
+        builder.where(predicate)
+    return plan_query(builder.build())
+
+
+def feed(aggregator, events):
+    for event in events:
+        aggregator.process(event)
+    return aggregator
+
+
+class TestTable7RunningExample:
+    def test_next_match_final_count_is_8(self, figure2_stream):
+        aggregator = feed(PatternGrainedAggregator(make_plan("skip-till-next-match")), figure2_stream)
+        assert aggregator.trend_count == 8
+
+    def test_contiguous_final_count_is_2(self, figure2_stream):
+        aggregator = feed(PatternGrainedAggregator(make_plan("contiguous")), figure2_stream)
+        assert aggregator.trend_count == 2
+
+    def test_next_match_intermediate_counts(self, figure2_stream):
+        """The bold column of Table 7: e.count of the last matched event."""
+        aggregator = PatternGrainedAggregator(make_plan("skip-till-next-match"))
+        expected_last_counts = [1, 1, 2, 3, 3, 3, 4, 4]
+        expected_final = [0, 1, 1, 1, 1, 4, 4, 8]
+        for event, last, final in zip(figure2_stream, expected_last_counts, expected_final):
+            aggregator.process(event)
+            assert aggregator.last_cell.trend_count == last, f"after {event}"
+            assert aggregator.final_accumulator().trend_count == final, f"after {event}"
+
+    def test_contiguous_intermediate_counts(self, figure2_stream):
+        """The italic column of Table 7: c5 invalidates the partial trends."""
+        aggregator = PatternGrainedAggregator(make_plan("contiguous"))
+        expected_last_counts = [1, 1, 2, 3, 0, 0, 1, 1]
+        expected_final = [0, 1, 1, 1, 1, 1, 1, 2]
+        for event, last, final in zip(figure2_stream, expected_last_counts, expected_final):
+            aggregator.process(event)
+            assert aggregator.last_cell.trend_count == last, f"after {event}"
+            assert aggregator.final_accumulator().trend_count == final, f"after {event}"
+
+    def test_contiguous_resets_last_event_on_irrelevant_type(self, figure2_stream):
+        aggregator = PatternGrainedAggregator(make_plan("contiguous"))
+        for event in figure2_stream[:5]:  # up to and including c5
+            aggregator.process(event)
+        assert aggregator.last_event is None
+
+    def test_next_match_keeps_last_event_on_irrelevant_type(self, figure2_stream):
+        aggregator = PatternGrainedAggregator(make_plan("skip-till-next-match"))
+        for event in figure2_stream[:5]:
+            aggregator.process(event)
+        assert aggregator.last_event is not None
+        assert aggregator.last_event.time == 4.0
+
+    def test_constant_space(self, figure2_stream):
+        aggregator = PatternGrainedAggregator(make_plan("skip-till-next-match"))
+        sizes = set()
+        for event in figure2_stream:
+            aggregator.process(event)
+            sizes.add(aggregator.storage_units())
+        assert len(sizes) <= 2  # with / without a stored last event
+        assert aggregator.stored_event_count() == 1
+
+
+class TestContiguousWithPredicates:
+    def test_increasing_runs(self):
+        """q1-style: contiguous increasing values of a single Kleene variable."""
+        plan = make_plan(
+            "contiguous",
+            pattern=kleene_plus("M"),
+            aggregates=[count_star(), min_of("M", "x"), max_of("M", "x")],
+            predicates=[comparison("M", "x", "<", "M")],
+        )
+        values = [1, 2, 3, 2, 5]
+        events = [Event("M", t, {"x": v}) for t, v in enumerate(values, start=1)]
+        aggregator = feed(PatternGrainedAggregator(plan), events)
+        results = aggregator.results()
+        # increasing contiguous runs: [1],[2],[3],[2],[5],[1,2],[2,3],[1,2,3],[2,5]
+        assert results["COUNT(*)"] == 9
+        assert results["MIN(M.x)"] == 1
+        assert results["MAX(M.x)"] == 5
+
+    def test_failed_predicate_restarts_chain_under_contiguous(self):
+        plan = make_plan(
+            "contiguous", pattern=kleene_plus("M"), predicates=[comparison("M", "x", "<", "M")]
+        )
+        events = [Event("M", 1, {"x": 5}), Event("M", 2, {"x": 3}), Event("M", 3, {"x": 7})]
+        aggregator = feed(PatternGrainedAggregator(plan), events)
+        # runs: [5], [3], [7], [3,7]
+        assert aggregator.trend_count == 4
+
+    def test_sum_aggregate(self):
+        plan = make_plan(
+            "skip-till-next-match", pattern=kleene_plus("M"), aggregates=[sum_of("M", "x")]
+        )
+        events = [Event("M", 1, {"x": 1}), Event("M", 2, {"x": 2}), Event("M", 3, {"x": 3})]
+        aggregator = feed(PatternGrainedAggregator(plan), events)
+        # NEXT over M+ matches every contiguous run: [1],[2],[3],[1,2],[2,3],[1,2,3]
+        assert aggregator.results()["SUM(M.x)"] == 1 + 2 + 3 + 3 + 5 + 6
+
+
+class TestFixedSequenceUnderNextMatch:
+    def test_q2_like_trip_pattern(self):
+        """SEQ(Accept, (SEQ(Call, Cancel))+, Finish) under skip-till-next-match."""
+        pattern = sequence(atom("Accept"), KleenePlus(sequence(atom("Call"), atom("Cancel"))), atom("Finish"))
+        plan = make_plan("skip-till-next-match", pattern=pattern)
+        events = [
+            Event("Accept", 1),
+            Event("InTransit", 2),     # irrelevant, skipped
+            Event("Call", 3),
+            Event("Cancel", 4),
+            Event("Call", 5),
+            Event("Cancel", 6),
+            Event("Finish", 7),
+        ]
+        aggregator = feed(PatternGrainedAggregator(plan), events)
+        assert aggregator.trend_count == 1
+
+    def test_contiguous_trip_broken_by_noise(self):
+        pattern = sequence(atom("Accept"), KleenePlus(sequence(atom("Call"), atom("Cancel"))), atom("Finish"))
+        plan = make_plan("contiguous", pattern=pattern)
+        events = [
+            Event("Accept", 1),
+            Event("Call", 2),
+            Event("Cancel", 3),
+            Event("Noise", 4),
+            Event("Finish", 5),
+        ]
+        aggregator = feed(PatternGrainedAggregator(plan), events)
+        assert aggregator.trend_count == 0

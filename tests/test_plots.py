@@ -1,0 +1,98 @@
+"""Tests for the ASCII chart rendering of benchmark sweeps."""
+
+import pytest
+
+from repro.bench.metrics import RunMetrics, RunStatus
+from repro.bench.plots import ascii_chart, chart_results, series_from_results
+
+
+def make_metrics(approach, parameter, latency, status=RunStatus.OK):
+    metrics = RunMetrics(approach=approach, workload="w", parameter=parameter, events=100)
+    metrics.status = status
+    metrics.latency_ms = latency
+    metrics.peak_storage_units = int(latency * 10)
+    return metrics
+
+
+class TestAsciiChart:
+    def test_chart_contains_title_axis_and_legend(self):
+        chart = ascii_chart(
+            {"cogra": [(1, 10), (2, 20)], "sase": [(1, 100), (2, 10_000)]},
+            title="Figure 7",
+            x_label="events",
+            y_label="latency",
+        )
+        assert "Figure 7" in chart
+        assert "o = cogra" in chart and "x = sase" in chart
+        assert "latency" in chart
+        assert "log scale" in chart
+
+    def test_log_scale_drops_non_positive_points(self):
+        chart = ascii_chart({"a": [(1, 0), (2, 10)]}, log_y=True)
+        # only one finite point remains; the chart must still render
+        assert "a" in chart
+
+    def test_empty_series_renders_placeholder(self):
+        assert "no finite data points" in ascii_chart({}, title="empty")
+        assert "no finite data points" in ascii_chart({"a": [(1, 0)]}, log_y=True)
+
+    def test_linear_scale_is_supported(self):
+        chart = ascii_chart({"a": [(1, 1), (2, 2)]}, log_y=False)
+        assert "linear scale" not in chart  # only shown when a y label is given
+        chart = ascii_chart({"a": [(1, 1), (2, 2)]}, log_y=False, y_label="value")
+        assert "linear scale" in chart
+
+    def test_single_point_series(self):
+        chart = ascii_chart({"a": [(5, 42)]})
+        assert "42" in chart
+
+    def test_extreme_values_use_scientific_notation(self):
+        chart = ascii_chart({"a": [(1, 1e-6), (2, 1e9)]})
+        assert "1e+09" in chart or "1e9" in chart
+
+
+class TestSeriesFromResults:
+    def test_groups_by_approach_and_sorts_by_parameter(self):
+        results = [
+            make_metrics("cogra", 200, 2.0),
+            make_metrics("cogra", 100, 1.0),
+            make_metrics("sase", 100, 50.0),
+        ]
+        series = series_from_results(results)
+        assert series["cogra"] == [(100.0, 1.0), (200.0, 2.0)]
+        assert series["sase"] == [(100.0, 50.0)]
+
+    def test_unfinished_runs_are_skipped(self):
+        results = [
+            make_metrics("cogra", 100, 1.0),
+            make_metrics("sase", 100, 0.0, status=RunStatus.DID_NOT_FINISH),
+        ]
+        series = series_from_results(results)
+        assert "sase" not in series
+
+    def test_percentage_parameters_are_parsed(self):
+        results = [make_metrics("cogra", "50%", 1.0), make_metrics("cogra", "90%", 2.0)]
+        series = series_from_results(results)
+        assert series["cogra"] == [(50.0, 1.0), (90.0, 2.0)]
+
+    def test_non_numeric_parameters_are_dropped(self):
+        results = [make_metrics("cogra", "workload-a", 1.0)]
+        assert series_from_results(results) == {}
+
+    def test_other_metrics_can_be_charted(self):
+        results = [make_metrics("cogra", 100, 1.0), make_metrics("cogra", 200, 2.0)]
+        series = series_from_results(results, metric="peak_storage_units")
+        assert series["cogra"] == [(100.0, 10.0), (200.0, 20.0)]
+
+
+class TestChartResults:
+    def test_chart_from_metrics(self):
+        results = [
+            make_metrics("cogra", 100, 1.0),
+            make_metrics("cogra", 200, 2.0),
+            make_metrics("flink", 100, 1000.0),
+        ]
+        chart = chart_results(results, title="Figure 7 shape", x_label="events per window")
+        assert "Figure 7 shape" in chart
+        assert "cogra" in chart and "flink" in chart
+        assert "events per window" in chart

@@ -1,0 +1,136 @@
+"""Unit tests for WHERE-clause predicates and RETURN-clause aggregates."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.events.event import Event
+from repro.query.aggregates import (
+    AggregateFunction,
+    AggregateSpec,
+    avg,
+    count_star,
+    count_type,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.query.predicates import (
+    AdjacentPredicate,
+    EquivalencePredicate,
+    LocalPredicate,
+    comparison,
+)
+
+
+class TestLocalPredicate:
+    def test_callable_condition(self):
+        predicate = LocalPredicate("M", lambda e: e["rate"] > 50, "M.rate > 50")
+        assert predicate.evaluate(Event("Measurement", 1.0, {"rate": 70}))
+        assert not predicate.evaluate(Event("Measurement", 1.0, {"rate": 40}))
+        assert predicate.describe() == "M.rate > 50"
+
+    def test_attribute_equals(self):
+        predicate = LocalPredicate.attribute_equals("M", "activity", "passive")
+        assert predicate.evaluate(Event("Measurement", 1.0, {"activity": "passive"}))
+        assert not predicate.evaluate(Event("Measurement", 1.0, {"activity": "running"}))
+
+    def test_attribute_compare_handles_missing_attribute(self):
+        predicate = LocalPredicate.attribute_compare("M", "rate", ">", 10)
+        assert not predicate.evaluate(Event("Measurement", 1.0, {}))
+        assert predicate.evaluate(Event("Measurement", 1.0, {"rate": 20}))
+
+    @pytest.mark.parametrize(
+        "op,value,rate,expected",
+        [("<", 10, 5, True), ("<=", 10, 10, True), (">", 10, 10, False),
+         (">=", 10, 10, True), ("=", 10, 10, True), ("!=", 10, 10, False)],
+    )
+    def test_all_operators(self, op, value, rate, expected):
+        predicate = LocalPredicate.attribute_compare(None, "rate", op, value)
+        assert predicate.evaluate(Event("M", 1.0, {"rate": rate})) is expected
+
+
+class TestEquivalencePredicate:
+    def test_stream_partitioning_form(self):
+        predicate = EquivalencePredicate("driver")
+        assert predicate.is_stream_partitioning
+        assert predicate.describe() == "[driver]"
+        assert predicate.key(Event("Accept", 1.0, {"driver": 9})) == 9
+
+    def test_variable_scoped_form(self):
+        predicate = EquivalencePredicate("company", "A")
+        assert not predicate.is_stream_partitioning
+        assert predicate.describe() == "[A.company]"
+
+
+class TestAdjacentPredicate:
+    def test_comparison_uses_next_notation(self):
+        predicate = comparison("M", "rate", "<", "M")
+        earlier = Event("Measurement", 1.0, {"rate": 60})
+        later = Event("Measurement", 2.0, {"rate": 70})
+        assert predicate.evaluate(earlier, later)
+        assert not predicate.evaluate(later, earlier)
+        assert "NEXT(M)" in predicate.describe()
+
+    def test_comparison_across_variables_and_attributes(self):
+        predicate = comparison("A", "price", ">", "B", "limit")
+        assert predicate.applies_to("A", "B")
+        assert not predicate.applies_to("B", "A")
+        assert predicate.evaluate(
+            Event("Stock", 1.0, {"price": 10}), Event("Stock", 2.0, {"limit": 5})
+        )
+
+    def test_missing_attribute_fails_closed(self):
+        predicate = comparison("A", "price", ">", "A")
+        assert not predicate.evaluate(Event("Stock", 1.0, {}), Event("Stock", 2.0, {"price": 3}))
+
+    def test_custom_condition(self):
+        predicate = AdjacentPredicate("A", "B", lambda a, b: a["x"] == b["x"], "same x")
+        assert predicate.evaluate(Event("A", 1, {"x": 1}), Event("B", 2, {"x": 1}))
+        assert predicate.describe() == "same x"
+
+
+class TestAggregateSpec:
+    def test_count_star(self):
+        spec = count_star()
+        assert spec.is_count_star
+        assert spec.name == "COUNT(*)"
+        assert spec.target is None
+
+    def test_count_of_variable(self):
+        spec = count_type("M")
+        assert not spec.is_count_star
+        assert spec.name == "COUNT(M)"
+        assert spec.target == ("M", None)
+
+    @pytest.mark.parametrize(
+        "factory,name",
+        [
+            (min_of, "MIN(M.rate)"),
+            (max_of, "MAX(M.rate)"),
+            (sum_of, "SUM(M.rate)"),
+            (avg, "AVG(M.rate)"),
+        ],
+    )
+    def test_attribute_aggregates(self, factory, name):
+        spec = factory("M", "rate")
+        assert spec.name == name
+        assert spec.target == ("M", "rate")
+
+    def test_attribute_functions_require_attribute(self):
+        with pytest.raises(InvalidQueryError):
+            AggregateSpec(AggregateFunction.MIN, "M", None)
+        with pytest.raises(InvalidQueryError):
+            AggregateSpec(AggregateFunction.SUM, None, "rate")
+
+    def test_count_rejects_attribute(self):
+        with pytest.raises(InvalidQueryError):
+            AggregateSpec(AggregateFunction.COUNT, "M", "rate")
+
+    def test_equality_and_hash(self):
+        assert min_of("M", "rate") == min_of("M", "rate")
+        assert min_of("M", "rate") != max_of("M", "rate")
+        assert len({count_star(), count_star(), count_type("M")}) == 2
+
+    def test_distributive_flag(self):
+        assert AggregateFunction.SUM.is_distributive
+        assert not AggregateFunction.AVG.is_distributive

@@ -1,0 +1,140 @@
+"""Tests for the Query object (Definition 6) and the fluent builder."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.query.aggregates import count_star, min_of
+from repro.query.ast import atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+from repro.query.predicates import EquivalencePredicate, comparison
+from repro.query.query import Query
+from repro.query.semantics import Semantics
+from repro.query.windows import WindowSpec
+
+
+class TestQueryValidation:
+    def test_minimal_query(self):
+        query = Query(kleene_plus("A"), Semantics.SKIP_TILL_ANY_MATCH, [count_star()])
+        assert query.window is None
+        assert query.partition_attributes == ()
+
+    def test_aggregate_over_unknown_variable_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kleene_plus("A"), Semantics.SKIP_TILL_ANY_MATCH, [min_of("Z", "x")])
+
+    def test_adjacent_predicate_over_unknown_variable_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(
+                kleene_plus("A"),
+                Semantics.SKIP_TILL_ANY_MATCH,
+                [count_star()],
+                predicates=[comparison("A", "x", "<", "Z")],
+            )
+
+    def test_equivalence_predicate_over_unknown_variable_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(
+                kleene_plus("A"),
+                Semantics.SKIP_TILL_ANY_MATCH,
+                [count_star()],
+                predicates=[EquivalencePredicate("x", "Z")],
+            )
+
+    def test_query_requires_an_aggregate(self):
+        with pytest.raises(InvalidQueryError):
+            Query(kleene_plus("A"), Semantics.SKIP_TILL_ANY_MATCH, [])
+
+    def test_min_trend_length_must_be_positive(self):
+        with pytest.raises(InvalidQueryError):
+            Query(
+                kleene_plus("A"),
+                Semantics.SKIP_TILL_ANY_MATCH,
+                [count_star()],
+                min_trend_length=0,
+            )
+
+    def test_partition_attributes_deduplicate_and_keep_order(self):
+        query = Query(
+            kleene_plus("A"),
+            Semantics.SKIP_TILL_ANY_MATCH,
+            [count_star()],
+            predicates=[EquivalencePredicate("region"), EquivalencePredicate("customer")],
+            group_by=["customer"],
+        )
+        assert query.partition_attributes == ("customer", "region")
+
+    def test_has_adjacent_predicates_includes_variable_scoped_equivalence(self):
+        query = Query(
+            kleene_plus("A"),
+            Semantics.SKIP_TILL_ANY_MATCH,
+            [count_star()],
+            predicates=[EquivalencePredicate("company", "A")],
+        )
+        assert query.has_adjacent_predicates
+
+    def test_describe_lists_all_clauses(self):
+        query = Query(
+            sequence(atom("A"), atom("B")),
+            Semantics.CONTIGUOUS,
+            [count_star()],
+            group_by=["g"],
+            window=WindowSpec(60.0, 10.0),
+            return_attributes=["g"],
+        )
+        text = query.describe()
+        for keyword in ("RETURN", "PATTERN", "SEMANTICS", "GROUP-BY", "WITHIN"):
+            assert keyword in text
+        assert "contiguous" in text
+
+
+class TestQueryBuilder:
+    def test_builder_requires_pattern(self):
+        with pytest.raises(InvalidQueryError):
+            QueryBuilder().aggregate(count_star()).build()
+
+    def test_builder_defaults(self):
+        query = QueryBuilder().pattern(kleene_plus("A")).build()
+        assert query.semantics is Semantics.SKIP_TILL_ANY_MATCH
+        assert [spec.name for spec in query.aggregates] == ["COUNT(*)"]
+
+    def test_builder_full_query(self):
+        query = (
+            QueryBuilder("demo")
+            .pattern(kleene_plus("Measurement", "M"))
+            .semantics("contiguous")
+            .aggregate(min_of("M", "rate"))
+            .where_attribute_equals("M", "activity", "passive")
+            .where_attribute_compare("M", "rate", ">", 40)
+            .where_adjacent(comparison("M", "rate", "<", "M"))
+            .where_equivalence("patient")
+            .group_by("patient")
+            .within(minutes=10, slide_seconds=30)
+            .returning("patient")
+            .min_trend_length(1)
+            .named("q1")
+            .build()
+        )
+        assert query.name == "q1"
+        assert query.semantics is Semantics.CONTIGUOUS
+        assert query.window == WindowSpec(600.0, 30.0)
+        assert len(query.local_predicates) == 2
+        assert len(query.adjacent_predicates) == 1
+        assert query.partition_attributes == ("patient",)
+        assert query.return_attributes == ("patient",)
+
+    def test_within_without_slide_is_tumbling(self):
+        query = QueryBuilder().pattern(kleene_plus("A")).within(seconds=30).build()
+        assert query.window.slide == 30.0
+
+    def test_window_object_passthrough(self):
+        window = WindowSpec(5.0, 1.0)
+        query = QueryBuilder().pattern(kleene_plus("A")).window(window).build()
+        assert query.window is window
+
+    def test_return_attributes_default_to_group_by(self):
+        query = QueryBuilder().pattern(kleene_plus("A")).group_by("g").build()
+        assert query.return_attributes == ("g",)
+
+    def test_repr(self):
+        query = QueryBuilder("x").pattern(kleene_plus("A")).build()
+        assert "x" in repr(query)

@@ -1,0 +1,125 @@
+"""Unit tests for the semantics enum and the sliding window specification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidQueryError
+from repro.query.semantics import Semantics
+from repro.query.windows import WindowSpec, duration_to_seconds
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("skip-till-any-match", Semantics.SKIP_TILL_ANY_MATCH),
+            ("SKIP_TILL_ANY_MATCH", Semantics.SKIP_TILL_ANY_MATCH),
+            ("any", Semantics.SKIP_TILL_ANY_MATCH),
+            ("skip till next match", Semantics.SKIP_TILL_NEXT_MATCH),
+            ("next", Semantics.SKIP_TILL_NEXT_MATCH),
+            ("contiguous", Semantics.CONTIGUOUS),
+            ("CONT", Semantics.CONTIGUOUS),
+        ],
+    )
+    def test_parse_accepts_paper_spellings(self, text, expected):
+        assert Semantics.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Semantics.parse("sometimes")
+
+    def test_short_names(self):
+        assert Semantics.SKIP_TILL_ANY_MATCH.short_name == "ANY"
+        assert Semantics.SKIP_TILL_NEXT_MATCH.short_name == "NEXT"
+        assert Semantics.CONTIGUOUS.short_name == "CONT"
+
+    def test_flags(self):
+        assert Semantics.SKIP_TILL_ANY_MATCH.is_any
+        assert Semantics.SKIP_TILL_NEXT_MATCH.is_next
+        assert Semantics.CONTIGUOUS.is_contiguous
+
+    def test_containment_relation_of_figure_2(self):
+        cont, nxt, any_ = (
+            Semantics.CONTIGUOUS,
+            Semantics.SKIP_TILL_NEXT_MATCH,
+            Semantics.SKIP_TILL_ANY_MATCH,
+        )
+        assert cont.is_at_most_as_flexible_as(nxt)
+        assert nxt.is_at_most_as_flexible_as(any_)
+        assert cont.is_at_most_as_flexible_as(any_)
+        assert not any_.is_at_most_as_flexible_as(cont)
+        assert any_.is_at_most_as_flexible_as(any_)
+
+
+class TestWindowSpec:
+    def test_window_intervals(self):
+        window = WindowSpec(600.0, 30.0)
+        assert window.window_interval(0) == (0.0, 600.0)
+        assert window.window_interval(2) == (60.0, 660.0)
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(InvalidQueryError):
+            WindowSpec(0.0)
+        with pytest.raises(InvalidQueryError):
+            WindowSpec(10.0, -1.0)
+
+    def test_windows_of_overlapping(self):
+        window = WindowSpec(10.0, 5.0)
+        assert window.windows_of(0.0) == [0]
+        assert window.windows_of(7.0) == [0, 1]
+        assert window.windows_of(12.0) == [1, 2]
+
+    def test_windows_of_tumbling(self):
+        window = WindowSpec(10.0)
+        assert window.is_tumbling
+        assert window.windows_of(3.0) == [0]
+        assert window.windows_of(10.0) == [1]
+
+    def test_slide_defaults_to_size(self):
+        assert WindowSpec(10.0).slide == 10.0
+
+    def test_windows_per_event(self):
+        assert WindowSpec(600.0, 30.0).windows_per_event == 20
+        assert WindowSpec(10.0, 10.0).windows_per_event == 1
+
+    def test_iter_windows_covers_interval(self):
+        window = WindowSpec(10.0, 5.0)
+        assert list(window.iter_windows(0.0, 21.0)) == [0, 1, 2, 3, 4]
+
+    def test_negative_time_has_no_window(self):
+        assert WindowSpec(10.0, 5.0).windows_of(-1.0) == []
+
+    def test_of_constructor_with_units(self):
+        window = WindowSpec.of(10, "minutes", 30, "seconds")
+        assert window.size == 600.0
+        assert window.slide == 30.0
+
+    def test_duration_units(self):
+        assert duration_to_seconds(2, "hours") == 7200.0
+        assert duration_to_seconds(1.5, "min") == 90.0
+        with pytest.raises(InvalidQueryError):
+            duration_to_seconds(1, "fortnights")
+
+    def test_equality_and_hash(self):
+        assert WindowSpec(10, 5) == WindowSpec(10, 5)
+        assert WindowSpec(10, 5) != WindowSpec(10, 2)
+        assert len({WindowSpec(10, 5), WindowSpec(10, 5)}) == 1
+
+    @given(
+        size=st.integers(min_value=1, max_value=100),
+        slide=st.integers(min_value=1, max_value=100),
+        time=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    )
+    def test_windows_of_is_consistent_with_intervals(self, size, slide, time):
+        """Every reported window contains the timestamp, neighbours do not."""
+        window = WindowSpec(float(size), float(slide))
+        windows = window.windows_of(time)
+        for window_id in windows:
+            start, end = window.window_interval(window_id)
+            assert start <= time < end
+        # windows not reported but adjacent to the reported range must not contain it
+        if windows:
+            for window_id in (windows[0] - 1, windows[-1] + 1):
+                if window_id >= 0:
+                    start, end = window.window_interval(window_id)
+                    assert not (start <= time < end)

@@ -1,0 +1,142 @@
+"""Tests for the stream statistics helpers."""
+
+import pytest
+
+from repro.datasets.statistics import (
+    adjacent_selectivity,
+    describe_stream,
+    events_per_group,
+    load_imbalance,
+    type_mixture,
+    window_event_counts,
+)
+from repro.datasets.stock import StockConfig, generate_stock_stream
+from repro.datasets.transportation import (
+    TransportationConfig,
+    generate_transportation_stream,
+)
+from repro.events.event import Event
+from repro.query.windows import WindowSpec
+
+
+@pytest.fixture(scope="module")
+def stock_stream():
+    return list(generate_stock_stream(StockConfig(event_count=3000, seed=11)))
+
+
+class TestDescribeStream:
+    def test_basic_counters(self, stock_stream):
+        stats = describe_stream(
+            stock_stream,
+            name="stock",
+            group_attribute="company",
+            numeric_attributes=("price",),
+        )
+        assert stats.event_count == len(stock_stream)
+        assert stats.group_count == len({e.get("company") for e in stock_stream})
+        assert stats.type_counts == {"Stock": len(stock_stream)}
+        assert stats.duration_seconds > 0
+        assert stats.events_per_second > 0
+
+    def test_attribute_summary_bounds(self, stock_stream):
+        stats = describe_stream(stock_stream, numeric_attributes=("price",))
+        summary = stats.attribute_summaries["price"]
+        prices = [e.get("price") for e in stock_stream]
+        assert summary.minimum == pytest.approx(min(prices))
+        assert summary.maximum == pytest.approx(max(prices))
+        assert summary.count == len(prices)
+        assert min(prices) <= summary.mean <= max(prices)
+
+    def test_describe_renders_every_section(self, stock_stream):
+        stats = describe_stream(
+            stock_stream, name="stock", group_attribute="company", numeric_attributes=("price",)
+        )
+        text = stats.describe()
+        assert "stock" in text
+        assert "trend groups" in text
+        assert "price" in text
+
+    def test_empty_stream(self):
+        stats = describe_stream([], name="empty")
+        assert stats.event_count == 0
+        assert stats.duration_seconds == 0.0
+        assert stats.type_counts == {}
+
+
+class TestTypeMixture:
+    def test_fractions_sum_to_one(self):
+        events = [Event("A", 1.0), Event("A", 2.0), Event("B", 3.0), Event("C", 4.0)]
+        mixture = type_mixture(events)
+        assert sum(mixture.values()) == pytest.approx(1.0)
+        assert mixture["A"] == pytest.approx(0.5)
+
+    def test_empty_stream_gives_empty_mixture(self):
+        assert type_mixture([]) == {}
+
+    def test_transportation_stream_contains_trip_types(self):
+        stream = generate_transportation_stream(
+            TransportationConfig(event_count=500, seed=12)
+        )
+        mixture = type_mixture(stream)
+        for event_type in ("Enter", "Wait", "Board", "Exit"):
+            assert event_type in mixture
+
+
+class TestAdjacentSelectivity:
+    def test_stock_generator_delivers_configured_selectivity(self):
+        for probability in (0.2, 0.5, 0.8):
+            stream = generate_stock_stream(
+                StockConfig(event_count=6000, seed=13, decrease_probability=probability)
+            )
+            measured = adjacent_selectivity(
+                stream, "price", ">", partition_attribute="company", event_type="Stock"
+            )
+            assert measured == pytest.approx(probability, abs=0.05)
+
+    def test_monotone_sequence_has_unit_selectivity(self):
+        events = [Event("A", float(i), {"value": float(-i)}) for i in range(10)]
+        assert adjacent_selectivity(events, "value", ">") == 1.0
+        assert adjacent_selectivity(events, "value", "<") == 0.0
+
+    def test_no_pairs_yields_zero(self):
+        assert adjacent_selectivity([Event("A", 1.0, {"value": 1})], "value") == 0.0
+
+    def test_partitioning_restricts_pairs(self):
+        events = [
+            Event("A", 1.0, {"value": 5, "key": "x"}),
+            Event("A", 2.0, {"value": 1, "key": "y"}),
+            Event("A", 3.0, {"value": 4, "key": "x"}),
+        ]
+        # within partition x: 5 > 4 holds for the single pair
+        assert adjacent_selectivity(events, "value", ">", partition_attribute="key") == 1.0
+        # without partitioning: pairs (5,1) and (1,4) -> one of two satisfied
+        assert adjacent_selectivity(events, "value", ">") == 0.5
+
+
+class TestGroupHelpers:
+    def test_events_per_group_counts_every_event(self, stock_stream):
+        counts = events_per_group(stock_stream, "company")
+        assert sum(counts.values()) == len(stock_stream)
+
+    def test_load_imbalance_of_even_stream_is_close_to_one(self, stock_stream):
+        assert load_imbalance(stock_stream, "company") == pytest.approx(1.0, abs=0.5)
+
+    def test_load_imbalance_of_skewed_stream(self):
+        events = [Event("A", float(i), {"g": 0 if i < 9 else 1}) for i in range(10)]
+        assert load_imbalance(events, "g") == pytest.approx(9 / 5)
+
+    def test_load_imbalance_without_groups_is_zero(self):
+        assert load_imbalance([Event("A", 1.0)], "missing") == 0.0
+
+
+class TestWindowEventCounts:
+    def test_tumbling_window_counts(self):
+        events = [Event("A", float(t)) for t in range(10)]
+        counts = dict(window_event_counts(events, WindowSpec(5.0, 5.0)))
+        assert counts == {0: 5, 1: 5}
+
+    def test_sliding_window_replicates_events(self):
+        events = [Event("A", float(t)) for t in range(10)]
+        counts = dict(window_event_counts(events, WindowSpec(10.0, 5.0)))
+        assert counts[0] == 10
+        assert counts[1] == 5

@@ -1,0 +1,128 @@
+"""Tests for the declarative trend enumerator (Definitions 2-4, Figure 2)."""
+
+import pytest
+
+from repro.analyzer.plan import plan_query
+from repro.baselines.trend_enumeration import TrendOracle, aggregate_trends, enumerate_trends
+from repro.events.event import Event
+from repro.query.aggregates import count_star, min_of, sum_of
+from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
+from repro.query.builder import QueryBuilder
+from repro.query.predicates import comparison
+from repro.query.windows import WindowSpec
+
+FIGURE2 = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+
+
+def build(semantics="skip-till-any-match", pattern=FIGURE2, predicates=(), window=None, group_by=()):
+    builder = QueryBuilder().pattern(pattern).semantics(semantics).aggregate(count_star()).window(window)
+    for predicate in predicates:
+        builder.where(predicate)
+    if group_by:
+        builder.group_by(*group_by)
+    return builder.build()
+
+
+def trend_times(events, trend):
+    return tuple(events[index].time for index, _ in trend)
+
+
+class TestFigure2Enumeration:
+    """The trends depicted in Figure 2 of the paper."""
+
+    def test_any_match_finds_43_trends(self, figure2_stream):
+        query = build("skip-till-any-match")
+        trends = enumerate_trends(query, figure2_stream)
+        assert len(trends) == 43
+
+    def test_next_match_finds_8_trends(self, figure2_stream):
+        query = build("skip-till-next-match")
+        trends = enumerate_trends(query, figure2_stream)
+        assert len(trends) == 8
+        times = {trend_times(figure2_stream, trend) for trend in trends}
+        # the example trends discussed in the paper
+        assert (3.0, 4.0, 6.0) in times          # (a3, a4, b6) is valid under NEXT
+        assert (3.0, 6.0) not in times           # (a3, b6) skips the relevant a4
+        assert (1.0, 2.0, 3.0, 4.0, 6.0, 7.0, 8.0) in times  # the longest trend
+
+    def test_contiguous_finds_the_two_trends_of_the_example(self, figure2_stream):
+        query = build("contiguous")
+        trends = enumerate_trends(query, figure2_stream)
+        times = {trend_times(figure2_stream, trend) for trend in trends}
+        assert times == {(1.0, 2.0), (7.0, 8.0)}
+
+    def test_any_contains_next_contains_cont(self, figure2_stream):
+        """The containment relation of Figure 2."""
+        any_trends = set(enumerate_trends(build("skip-till-any-match"), figure2_stream))
+        next_trends = set(enumerate_trends(build("skip-till-next-match"), figure2_stream))
+        cont_trends = set(enumerate_trends(build("contiguous"), figure2_stream))
+        assert cont_trends <= next_trends <= any_trends
+
+    def test_all_trends_start_with_a_and_end_with_b(self, figure2_stream):
+        for trend in enumerate_trends(build(), figure2_stream):
+            assert trend[0][1] == "A"
+            assert trend[-1][1] == "B"
+
+
+class TestPredicatesAndAggregation:
+    def test_adjacent_predicates_prune_trends(self):
+        query = build(pattern=kleene_plus("A"), predicates=[comparison("A", "x", "<", "A")])
+        events = [Event("A", 1, {"x": 5}), Event("A", 2, {"x": 3}), Event("A", 3, {"x": 7})]
+        trends = enumerate_trends(query, events)
+        assert len(trends) == 5
+
+    def test_min_trend_length_filter(self):
+        query = (
+            QueryBuilder()
+            .pattern(kleene_plus("A"))
+            .aggregate(count_star())
+            .min_trend_length(2)
+            .build()
+        )
+        events = [Event("A", 1), Event("A", 2), Event("A", 3)]
+        trends = enumerate_trends(query, events)
+        assert len(trends) == 4  # three pairs plus the full triple
+
+    def test_aggregate_trends_matches_manual_computation(self):
+        query = build(pattern=kleene_plus("A"))
+        plan = plan_query(
+            QueryBuilder()
+            .pattern(kleene_plus("A"))
+            .aggregate(count_star(), sum_of("A", "x"), min_of("A", "x"))
+            .build()
+        )
+        events = [Event("A", 1, {"x": 3}), Event("A", 2, {"x": 1})]
+        trends = enumerate_trends(query, events)
+        accumulator = aggregate_trends(plan, events, trends)
+        assert accumulator.trend_count == 3
+        assert accumulator.result_value(sum_of("A", "x")) == 3 + 1 + 4
+        assert accumulator.result_value(min_of("A", "x")) == 1
+
+    def test_duplicate_derivations_counted_once(self):
+        """(A+)+ derives the same event list many ways but it is one trend."""
+        query = build(pattern=KleenePlus(kleene_plus("A")))
+        events = [Event("A", 1), Event("A", 2), Event("A", 3)]
+        assert len(enumerate_trends(query, events)) == 7
+
+
+class TestOracleFullQuery:
+    def test_windows_and_groups(self):
+        query = build(
+            pattern=kleene_plus("A"), window=WindowSpec(10.0), group_by=("g",)
+        )
+        events = [
+            Event("A", 1, {"g": 1}),
+            Event("A", 2, {"g": 1}),
+            Event("A", 3, {"g": 2}),
+            Event("A", 12, {"g": 1}),
+        ]
+        oracle = TrendOracle(query)
+        results = {(r.window_id, r.group["g"]): r.trend_count for r in oracle.run(events)}
+        assert results == {(0, 1): 3, (0, 2): 1, (1, 1): 1}
+        assert oracle.total_trend_count(events) == 5
+
+    def test_trends_per_substream_exposed(self):
+        query = build(pattern=kleene_plus("A"), group_by=("g",))
+        events = [Event("A", 1, {"g": 1}), Event("A", 2, {"g": 2})]
+        per_substream = TrendOracle(query).trends_per_substream(events)
+        assert set(per_substream) == {(0, (1,)), (0, (2,))}

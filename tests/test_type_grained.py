@@ -1,0 +1,113 @@
+"""Tests for the type-grained aggregator (Algorithm 1, Table 5 of the paper)."""
+
+import pytest
+
+from repro.analyzer.plan import plan_query
+from repro.core.type_grained import TypeGrainedAggregator
+from repro.events.event import Event
+from repro.query.aggregates import count_star, count_type, max_of, min_of, sum_of
+from repro.query.builder import QueryBuilder
+from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
+
+FIGURE2 = KleenePlus(sequence(kleene_plus("A"), atom("B")))
+
+
+def make_plan(aggregates=None, pattern=FIGURE2):
+    builder = QueryBuilder().pattern(pattern).semantics("skip-till-any-match")
+    for spec in aggregates or [count_star()]:
+        builder.aggregate(spec)
+    return plan_query(builder.build())
+
+
+def feed(aggregator, events):
+    for event in events:
+        aggregator.process(event)
+    return aggregator
+
+
+class TestTable5RunningExample:
+    """Type-grained trend count over a1 b2 a3 a4 c5 b6 a7 b8 (Table 5)."""
+
+    def test_intermediate_type_counts_match_table_5(self, figure2_stream):
+        aggregator = TypeGrainedAggregator(make_plan())
+        # expected (A.count, B.count) after each event of Table 5
+        expected = [(1, 0), (1, 1), (4, 1), (10, 1), (10, 1), (10, 11), (32, 11), (32, 43)]
+        for event, (a_count, b_count) in zip(figure2_stream, expected):
+            aggregator.process(event)
+            assert aggregator.cell("A").trend_count == a_count, f"after {event}"
+            assert aggregator.cell("B").trend_count == b_count, f"after {event}"
+
+    def test_final_count_is_43(self, figure2_stream):
+        aggregator = feed(TypeGrainedAggregator(make_plan()), figure2_stream)
+        assert aggregator.trend_count == 43
+        assert aggregator.results()["COUNT(*)"] == 43
+
+    def test_irrelevant_event_is_skipped(self, figure2_stream):
+        aggregator = feed(TypeGrainedAggregator(make_plan()), figure2_stream)
+        # c5 is not counted as a processed (matched) event
+        assert aggregator.events_processed == 7
+
+    def test_storage_is_constant_in_stream_length(self, figure2_stream):
+        plan = make_plan()
+        aggregator = TypeGrainedAggregator(plan)
+        sizes = []
+        for event in figure2_stream:
+            aggregator.process(event)
+            sizes.append(aggregator.storage_units())
+        assert len(set(sizes)) == 1  # one accumulator per type, never more
+        assert aggregator.stored_event_count() == 0
+
+
+class TestOtherAggregates:
+    def test_min_max_sum_over_kleene_plus(self):
+        """A+ over values 3, 1, 2: trends are all non-empty subsequences."""
+        plan = make_plan(
+            aggregates=[count_star(), count_type("A"), min_of("A", "x"), max_of("A", "x"), sum_of("A", "x")],
+            pattern=kleene_plus("A"),
+        )
+        events = [Event("A", 1, {"x": 3}), Event("A", 2, {"x": 1}), Event("A", 3, {"x": 2})]
+        aggregator = feed(TypeGrainedAggregator(plan), events)
+        results = aggregator.results()
+        # subsequences: {3},{1},{2},{3,1},{3,2},{1,2},{3,1,2}
+        assert results["COUNT(*)"] == 7
+        assert results["COUNT(A)"] == 12
+        assert results["MIN(A.x)"] == 1
+        assert results["MAX(A.x)"] == 3
+        assert results["SUM(A.x)"] == 3 * 4 + 1 * 4 + 2 * 4
+
+    def test_aggregate_over_specific_variable_only(self):
+        plan = make_plan(aggregates=[count_star(), sum_of("B", "y")], pattern=sequence(atom("A"), atom("B")))
+        events = [Event("A", 1, {"y": 100}), Event("B", 2, {"y": 7})]
+        aggregator = feed(TypeGrainedAggregator(plan), events)
+        assert aggregator.results() == {"COUNT(*)": 1, "SUM(B.y)": 7}
+
+    def test_multi_occurrence_event_type_never_its_own_predecessor(self):
+        """SEQ(Stock A+, Stock B+): each Stock event binds to both variables."""
+        plan = make_plan(
+            aggregates=[count_star()],
+            pattern=sequence(kleene_plus("Stock", "A"), kleene_plus("Stock", "B")),
+        )
+        events = [Event("Stock", 1), Event("Stock", 2)]
+        aggregator = feed(TypeGrainedAggregator(plan), events)
+        # trends: (a1,b2) only (A-block then B-block, both non-empty)
+        assert aggregator.trend_count == 1
+
+    def test_empty_stream_yields_zero(self):
+        aggregator = TypeGrainedAggregator(make_plan())
+        assert aggregator.trend_count == 0
+        assert aggregator.final_accumulator().is_empty
+
+
+class TestFixedSequencePattern:
+    def test_seq_counts_pairs(self):
+        plan = make_plan(pattern=sequence(atom("A"), atom("B")))
+        events = [Event("A", 1), Event("A", 2), Event("B", 3), Event("B", 4)]
+        aggregator = feed(TypeGrainedAggregator(plan), events)
+        assert aggregator.trend_count == 4  # every (a, later b) pair
+
+    def test_longer_sequence(self):
+        plan = make_plan(pattern=sequence(atom("A"), atom("B"), atom("C")))
+        events = [Event("A", 1), Event("B", 2), Event("C", 3), Event("B", 4), Event("C", 5)]
+        aggregator = feed(TypeGrainedAggregator(plan), events)
+        # (a1,b2,c3), (a1,b2,c5), (a1,b4,c5)
+        assert aggregator.trend_count == 3
