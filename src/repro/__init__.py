@@ -52,12 +52,22 @@ from repro.query.predicates import (
 from repro.query.query import Query
 from repro.query.semantics import Semantics
 from repro.query.windows import WindowSpec
+from repro.streaming.emission import EmissionRecord
+from repro.streaming.ingest import (
+    BoundedDelayWatermark,
+    LatePolicy,
+    PunctuationWatermark,
+)
+from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.runtime import StreamingRuntime, group_results
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdjacentPredicate",
+    "BoundedDelayWatermark",
     "CograEngine",
+    "EmissionRecord",
     "EquivalencePredicate",
     "Event",
     "EventSchema",
@@ -67,14 +77,18 @@ __all__ = [
     "GroupResult",
     "KleenePlus",
     "KleeneStar",
+    "LatePolicy",
     "LocalPredicate",
     "Negation",
     "OptionalPattern",
     "ParallelExecutor",
+    "PunctuationWatermark",
     "Query",
     "QueryBuilder",
     "Semantics",
     "Sequence",
+    "StreamingMetrics",
+    "StreamingRuntime",
     "WindowSpec",
     "__version__",
     "atom",
@@ -82,6 +96,7 @@ __all__ = [
     "comparison",
     "count_star",
     "count_type",
+    "group_results",
     "kleene_plus",
     "max_of",
     "min_of",

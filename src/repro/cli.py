@@ -29,6 +29,11 @@ The CLI exposes the pieces a user typically wants without writing code:
     Run the full experiment suite (every figure and table of Section 9)
     and optionally write the EXPERIMENTS.md report.
 
+``cogra stream``
+    Run one or more queries as a streaming job over JSONL events read from
+    stdin or a file, with bounded out-of-order ingestion, watermark-driven
+    incremental emission, and metrics reporting.
+
 ``cogra generate``
     Generate one of the synthetic data sets and write it to a CSV file.
 
@@ -40,6 +45,7 @@ The CLI exposes the pieces a user typically wants without writing code:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -73,7 +79,15 @@ from repro.datasets.transportation import (
     TransportationConfig,
     generate_transportation_stream,
 )
+from repro.errors import InvalidEventError, LateEventError
 from repro.query.parser import parse_query
+from repro.streaming.ingest import LatePolicy, PunctuationWatermark
+from repro.streaming.jsonl import (
+    read_jsonl_events,
+    record_to_json_line,
+    write_jsonl_events,
+)
+from repro.streaming.runtime import StreamingRuntime
 
 #: dataset name -> (config class, generator)
 DATASETS = {
@@ -178,6 +192,54 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--budget", type=int, default=50_000)
     experiments.add_argument(
         "--out", default=None, help="write the markdown report to this path"
+    )
+
+    stream = commands.add_parser(
+        "stream", help="run queries as a streaming job over JSONL events"
+    )
+    stream.add_argument(
+        "queries",
+        nargs="+",
+        help="one or more query texts (or paths to files containing them)",
+    )
+    stream.add_argument(
+        "--input",
+        default="-",
+        help="JSONL event file, or '-' to read from stdin (default)",
+    )
+    stream.add_argument(
+        "--lateness",
+        type=float,
+        default=0.0,
+        help="bounded-disorder tolerance in seconds (watermark delay)",
+    )
+    stream.add_argument(
+        "--late-policy",
+        choices=[policy.value for policy in LatePolicy],
+        default=LatePolicy.DROP.value,
+        help="what to do with events arriving behind the watermark",
+    )
+    stream.add_argument(
+        "--punctuation-type",
+        default=None,
+        help="use punctuation watermarks carried by events of this type "
+        "instead of the bounded-delay strategy",
+    )
+    stream.add_argument(
+        "--late-output",
+        default=None,
+        help="with --late-policy side-channel: write this run's late events "
+        "to this JSONL file (truncated first) for out-of-band reprocessing",
+    )
+    stream.add_argument(
+        "--emit-empty-groups",
+        action="store_true",
+        help="also emit groups that matched no trend",
+    )
+    stream.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print throughput / latency / watermark-lag metrics to stderr",
     )
 
     generate = commands.add_parser("generate", help="generate a synthetic data set as CSV")
@@ -308,6 +370,118 @@ def _command_experiments(args) -> int:
     return 0
 
 
+def _command_stream(args) -> int:
+    side_channel = args.late_policy == LatePolicy.SIDE_CHANNEL.value
+    if args.late_output and not side_channel:
+        print(
+            "--late-output requires --late-policy side-channel "
+            f"(got {args.late_policy!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if side_channel and not args.late_output:
+        # without a sink the side channel would grow without bound and be
+        # discarded at exit, which is just --late-policy drop in disguise
+        print(
+            "--late-policy side-channel requires --late-output FILE "
+            "(where the late events are persisted for reprocessing)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.punctuation_type and args.lateness:
+        print(
+            "--lateness has no effect with --punctuation-type (the watermark "
+            "is carried by punctuation events); pass one or the other",
+            file=sys.stderr,
+        )
+        return 2
+    if args.lateness < 0:
+        print(
+            f"--lateness must be non-negative, got {args.lateness:g}",
+            file=sys.stderr,
+        )
+        return 2
+    strategy = None
+    if args.punctuation_type:
+        strategy = PunctuationWatermark(args.punctuation_type)
+    runtime = StreamingRuntime(
+        lateness=args.lateness,
+        watermark_strategy=strategy,
+        late_policy=args.late_policy,
+        emit_empty_groups=args.emit_empty_groups,
+    )
+    for index, text in enumerate(args.queries, start=1):
+        query = parse_query(_load_query_text(text), name=f"q{index}")
+        runtime.register(query)
+
+    if args.input == "-":
+        lines = sys.stdin
+        close = None
+    else:
+        try:
+            close = open(args.input, "r", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot open --input: {exc}", file=sys.stderr)
+            return 1
+        lines = close
+    late_sink = None
+    if args.late_output:
+        try:
+            # truncate: the file holds THIS run's late events -- appending
+            # across runs would silently replay stale events on reprocessing
+            late_sink = open(args.late_output, "w", encoding="utf-8")
+        except OSError as exc:
+            if close is not None:
+                close.close()
+            print(f"error: cannot open --late-output: {exc}", file=sys.stderr)
+            return 1
+
+    def drain_late_events() -> None:
+        """Persist side-channelled late events so they never pile up."""
+        if late_sink is not None:
+            write_jsonl_events(runtime.take_late_events(), late_sink)
+            late_sink.flush()
+
+    try:
+        # flush per line: incremental emission must reach a piped consumer
+        # immediately, not sit in the block buffer until end of stream
+        for event in read_jsonl_events(lines):
+            for record in runtime.process(event):
+                print(record_to_json_line(record), flush=True)
+            drain_late_events()
+        for record in runtime.flush():
+            print(record_to_json_line(record), flush=True)
+        drain_late_events()
+    except BrokenPipeError:
+        # the consumer (e.g. ``| head``) went away: stop emitting to stdout
+        # but still persist pending late events and fall through to the
+        # stderr reporting below (stderr is still open)
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+        drain_late_events()
+    except (InvalidEventError, LateEventError) as exc:
+        # the subcommand's documented failure modes (malformed wire input,
+        # --late-policy raise) get a one-line message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if close is not None:
+            close.close()
+        if late_sink is not None:
+            late_sink.close()
+
+    metrics = runtime.metrics
+    if metrics.late_events:
+        note = f"# {metrics.late_events} late events (policy: {args.late_policy})"
+        if args.late_output:
+            note += f", written to {args.late_output}"
+        print(note, file=sys.stderr)
+    if args.metrics:
+        print(metrics.describe(), file=sys.stderr)
+    return 0
+
+
 def _command_generate(args) -> int:
     config_class, generator = DATASETS[args.dataset]
     stream = generator(config_class(event_count=args.events, seed=args.seed))
@@ -353,6 +527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": _command_cost,
         "ablation": _command_ablation,
         "experiments": _command_experiments,
+        "stream": _command_stream,
         "generate": _command_generate,
         "stats": _command_stats,
     }

@@ -76,6 +76,7 @@ class CograEngine:
             self.negation_analysis = None
             self._aggregator_factory = None
         self._emit_empty_groups = emit_empty_groups
+        self._stream_active = False
         self._executor = self._build_executor()
 
     # -- constructors ----------------------------------------------------------------
@@ -98,14 +99,84 @@ class CograEngine:
 
     def process(self, event: Event) -> List[GroupResult]:
         """Feed one event; return results of any windows that closed."""
+        self._check_not_streaming("process")
         return self._executor.process(event)
 
     def flush(self) -> List[GroupResult]:
         """Close all open windows and return their results."""
+        self._check_not_streaming("flush")
         return self._executor.flush()
+
+    def advance_time(self, time: float) -> List[GroupResult]:
+        """Close (and return) windows ending at or before ``time``.
+
+        Used by the streaming runtime to drive window emission from
+        watermarks instead of event arrivals; see
+        :meth:`~repro.core.executor.QueryExecutor.advance_time`.
+        """
+        self._check_not_streaming("advance_time")
+        return self._executor.advance_time(time)
+
+    def _check_not_streaming(self, operation: str) -> None:
+        """Engine state is owned by an active stream() run; reject mutation."""
+        if self._stream_active:
+            raise RuntimeError(
+                f"cannot call {operation}() while one of this engine's "
+                "stream() runs is active; exhaust or close the generator "
+                "first, or use a separate engine"
+            )
+
+    def stream(
+        self,
+        events: Iterable[Event],
+        lateness: float = 0.0,
+        watermark_strategy=None,
+        late_policy="raise",
+    ):
+        """Evaluate the query over a possibly out-of-order stream, lazily.
+
+        Yields each :class:`GroupResult` as soon as the watermark passes its
+        window -- before end of stream -- instead of collecting everything
+        like :meth:`run`.  ``lateness`` bounds the tolerated disorder in
+        seconds; see :class:`~repro.streaming.runtime.StreamingRuntime` for
+        the full option set (this method is the single-query shortcut).
+
+        Events later than ``lateness`` allows raise
+        :class:`~repro.errors.LateEventError` by default, mirroring
+        :meth:`run`'s strictness on disorder -- pass ``late_policy="drop"``
+        (and use a :class:`~repro.streaming.runtime.StreamingRuntime`
+        directly when you need its metrics and side channel) to tolerate
+        loss instead.
+
+        The engine itself hosts the execution (it is reset first), so
+        :meth:`storage_units` and friends observe the streaming run.  The
+        engine is claimed *at the call*, not at first iteration: until the
+        returned iterator is exhausted or closed, any other mutation
+        (:meth:`run`, :meth:`process`, :meth:`flush`, :meth:`reset`, or a
+        second :meth:`stream`) raises :class:`RuntimeError` instead of
+        silently mixing two streams into one executor.
+        """
+        from repro.streaming.runtime import StreamingRuntime
+
+        runtime = StreamingRuntime(
+            lateness=lateness,
+            watermark_strategy=watermark_strategy,
+            late_policy=late_policy,
+        )
+        runtime.register(self)  # resets the engine, so claim afterwards
+        self._stream_active = True
+        return _StreamRun(self, self._stream_records(runtime, events))
+
+    def _stream_records(self, runtime, events: Iterable[Event]):
+        for event in events:
+            for record in runtime.process(event):
+                yield record.result
+        for record in runtime.flush():
+            yield record.result
 
     def reset(self) -> None:
         """Discard all runtime state while keeping the compiled plan."""
+        self._check_not_streaming("reset")
         self._executor = self._build_executor()
 
     def _build_executor(self) -> QueryExecutor:
@@ -116,6 +187,11 @@ class CograEngine:
         )
 
     # -- introspection ------------------------------------------------------------------
+
+    @property
+    def executor(self) -> QueryExecutor:
+        """The current runtime executor (replaced by :meth:`reset`)."""
+        return self._executor
 
     def explain(self) -> str:
         """Describe the COGRA configuration chosen by the static analyzer."""
@@ -142,3 +218,45 @@ class CograEngine:
 
     def __repr__(self) -> str:
         return f"CograEngine({self.query.name!r}, granularity={self.granularity})"
+
+
+class _StreamRun:
+    """Iterator returned by :meth:`CograEngine.stream`.
+
+    Owns the engine's ``_stream_active`` claim and releases it on
+    exhaustion, on any error raised mid-iteration, on :meth:`close`, and on
+    garbage collection -- including when the iterator was never started
+    (a bare generator's ``finally`` would not run in that case).
+    """
+
+    __slots__ = ("_engine", "_generator", "_released")
+
+    def __init__(self, engine: CograEngine, generator):
+        self._engine = engine
+        self._generator = generator
+        self._released = False
+
+    def __iter__(self) -> "_StreamRun":
+        return self
+
+    def __next__(self) -> GroupResult:
+        try:
+            return next(self._generator)
+        except BaseException:
+            # StopIteration, LateEventError, anything: a generator cannot
+            # be resumed after raising, so the claim can be released
+            self._release()
+            raise
+
+    def close(self) -> None:
+        """Abandon the stream and free the engine for other use."""
+        self._generator.close()
+        self._release()
+
+    def _release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._engine._stream_active = False
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        self._release()

@@ -50,7 +50,9 @@ class QueryExecutor:
 
         self._aggregators: Dict[Tuple[int, Tuple], SubstreamAggregator] = {}
         self._window_groups: Dict[int, Set[Tuple]] = {}
-        self._results: List[GroupResult] = []
+        #: smallest open window id, or None; window ends grow with the id,
+        #: so expiry checks can bail out in O(1) when nothing can close
+        self._min_open_window: Optional[int] = None
         self._last_time: Optional[float] = None
         self._events_seen = 0
         self._relevant_types = frozenset(
@@ -60,8 +62,13 @@ class QueryExecutor:
 
     # -- streaming interface -------------------------------------------------------
 
-    def process(self, event: Event) -> List[GroupResult]:
-        """Feed one event; return the results of windows that just closed."""
+    def process(self, event: Event, partition_key: Optional[Tuple] = None) -> List[GroupResult]:
+        """Feed one event; return the results of windows that just closed.
+
+        ``partition_key`` lets a caller that already computed the event's
+        grouping key (the streaming runtime routes one event to several
+        executors sharing the same partition attributes) skip recomputing it.
+        """
         if self._last_time is not None and event.time < self._last_time:
             raise StreamOrderError(
                 f"event at time {event.time} arrived after time {self._last_time}"
@@ -74,7 +81,7 @@ class QueryExecutor:
         if self._is_filtered_out(event):
             return emitted
 
-        key = self.plan.partition_key(event)
+        key = partition_key if partition_key is not None else self.plan.partition_key(event)
         window = self.query.window
         window_ids = [0] if window is None else window.windows_of(event.time)
         for window_id in window_ids:
@@ -83,6 +90,8 @@ class QueryExecutor:
                 aggregator = self._aggregator_factory(self.plan)
                 self._aggregators[(window_id, key)] = aggregator
                 self._window_groups.setdefault(window_id, set()).add(key)
+                if self._min_open_window is None or window_id < self._min_open_window:
+                    self._min_open_window = window_id
             aggregator.process(event)
         return emitted
 
@@ -99,7 +108,20 @@ class QueryExecutor:
         emitted: List[GroupResult] = []
         for window_id in sorted(self._window_groups):
             emitted.extend(self._emit_window(window_id))
+        self._min_open_window = None
         return emitted
+
+    def advance_time(self, time: float) -> List[GroupResult]:
+        """Declare that no event before ``time`` will arrive any more.
+
+        Emits (and evicts) every window whose end lies at or before ``time``
+        without processing an event -- the hook the streaming runtime uses to
+        drive window emission from watermarks instead of event arrivals.
+        Events processed afterwards must carry timestamps ``>= time``.
+        """
+        if self._last_time is None or time > self._last_time:
+            self._last_time = time
+        return self._close_expired_windows(time)
 
     # -- inspection ------------------------------------------------------------------
 
@@ -147,6 +169,11 @@ class QueryExecutor:
         window = self.query.window
         if window is None:
             return []
+        if (
+            self._min_open_window is None
+            or window.window_end(self._min_open_window) > time
+        ):
+            return []  # the earliest open window is still live
         emitted: List[GroupResult] = []
         expired = [
             window_id
@@ -155,6 +182,9 @@ class QueryExecutor:
         ]
         for window_id in sorted(expired):
             emitted.extend(self._emit_window(window_id))
+        self._min_open_window = (
+            min(self._window_groups) if self._window_groups else None
+        )
         return emitted
 
     def _emit_window(self, window_id: int) -> List[GroupResult]:

@@ -56,6 +56,34 @@ class StreamOrderError(CograError):
     """Raised when events are fed to an executor out of timestamp order."""
 
 
+class InvalidEventError(CograError):
+    """Raised when serialized event data (JSONL, checkpoints) is malformed.
+
+    Examples: a JSONL line without a ``type``/``time`` field, a non-numeric
+    timestamp, or an ``attributes`` value that is not an object.
+    """
+
+
+class LateEventError(StreamOrderError):
+    """Raised by the streaming runtime when an event arrives later than the
+    configured lateness bound allows and the late-event policy is ``raise``.
+    """
+
+    def __init__(self, message: str, event=None, watermark: float | None = None):
+        super().__init__(message)
+        self.event = event
+        self.watermark = watermark
+
+
+class CheckpointError(CograError):
+    """Raised when runtime state cannot be snapshotted or restored.
+
+    Examples: restoring a checkpoint into a runtime whose registered
+    queries differ from the checkpointed ones, or snapshotting an
+    aggregator class the checkpoint module does not know about.
+    """
+
+
 class ExecutionAbortedError(CograError):
     """Raised when an execution exceeds a configured cost budget.
 

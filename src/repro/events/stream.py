@@ -15,6 +15,14 @@ from repro.errors import StreamOrderError
 from repro.events.event import Event
 
 
+def _renumber(events: Iterable[Event]) -> List[Event]:
+    """Assign consecutive ``sequence`` numbers to already-ordered events."""
+    return [
+        event if event.sequence == index else event.replace(sequence=index)
+        for index, event in enumerate(events)
+    ]
+
+
 def sort_events(events: Iterable[Event]) -> List[Event]:
     """Return ``events`` sorted by time and re-numbered with arrival indices.
 
@@ -22,11 +30,7 @@ def sort_events(events: Iterable[Event]) -> List[Event]:
     and the resulting events receive consecutive ``sequence`` numbers so
     that the total order used throughout the library is unambiguous.
     """
-    ordered = sorted(events, key=lambda e: (e.time, e.sequence))
-    return [
-        event if event.sequence == index else event.replace(sequence=index)
-        for index, event in enumerate(ordered)
-    ]
+    return _renumber(sorted(events, key=lambda e: (e.time, e.sequence)))
 
 
 def validate_order(events: Iterable[Event]) -> None:
@@ -42,11 +46,28 @@ def validate_order(events: Iterable[Event]) -> None:
 
 
 def merge_streams(*streams: Iterable[Event]) -> List[Event]:
-    """Merge several time-ordered streams into one time-ordered list."""
-    merged = list(
-        heapq.merge(*streams, key=lambda e: (e.time, e.sequence))
-    )
-    return sort_events(merged)
+    """Merge several time-ordered streams into one time-ordered list.
+
+    ``heapq.merge`` already yields the events in ``(time, sequence)`` order
+    when every input is time-ordered, so the merged list only needs a
+    linear renumbering pass to assign consecutive arrival indices.  A
+    disordered input would silently corrupt the merge (the fresh sequence
+    numbers mask the disorder), so it raises :class:`StreamOrderError`.
+    """
+    merged: List[Event] = []
+    previous_key: Optional[tuple] = None
+    for event in heapq.merge(*streams, key=lambda e: (e.time, e.sequence)):
+        # compare the full (time, sequence) key: equal-time events with
+        # disordered sequences violate heapq.merge's precondition just as
+        # time regressions do, and renumbering would mask either
+        if previous_key is not None and event.order_key < previous_key:
+            raise StreamOrderError(
+                f"merge_streams requires (time, sequence)-ordered inputs: "
+                f"event with key {event.order_key} follows {previous_key}"
+            )
+        previous_key = event.order_key
+        merged.append(event)
+    return _renumber(merged)
 
 
 class EventStream:

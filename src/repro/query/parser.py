@@ -442,8 +442,12 @@ def _parse_group_by(text: str, variables: set) -> List[str]:
     return attributes
 
 
+# the number accepts scientific notation: describe() renders sub-0.1ms
+# windows (legal since the ms units) as e.g. "5e-05 seconds"
+_WINDOW_NUMBER = r"[\d.]+(?:[eE][+-]?\d+)?"
 _WINDOW_RE = re.compile(
-    r"^\s*([\d.]+)\s*([A-Za-z]+)\s*(?:SLIDE\s+([\d.]+)\s*([A-Za-z]+))?\s*$",
+    r"^\s*(" + _WINDOW_NUMBER + r")\s*([A-Za-z]+)\s*"
+    r"(?:SLIDE\s+(" + _WINDOW_NUMBER + r")\s*([A-Za-z]+))?\s*$",
     re.IGNORECASE,
 )
 

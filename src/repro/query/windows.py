@@ -16,6 +16,9 @@ from repro.errors import InvalidQueryError
 
 #: Convenient second counts for the textual WITHIN/SLIDE units.
 _UNIT_SECONDS = {
+    "millisecond": 0.001,
+    "milliseconds": 0.001,
+    "ms": 0.001,
     "second": 1.0,
     "seconds": 1.0,
     "sec": 1.0,

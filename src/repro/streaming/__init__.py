@@ -1,0 +1,62 @@
+"""Streaming runtime on top of the COGRA executors.
+
+This package turns the batch-oriented library into a production-style
+stream processor:
+
+* :mod:`repro.streaming.ingest` -- out-of-order ingestion with a bounded
+  lateness reorder buffer, watermark strategies and late-event policies;
+* :mod:`repro.streaming.runtime` -- :class:`StreamingRuntime`, evaluating
+  many registered queries over one input stream with shared routing;
+* :mod:`repro.streaming.emission` -- watermark-driven window emission and
+  eviction;
+* :mod:`repro.streaming.checkpoint` -- snapshot/restore of the complete
+  runtime state;
+* :mod:`repro.streaming.metrics` -- throughput, latency, watermark lag and
+  late-event counters;
+* :mod:`repro.streaming.jsonl` -- the JSON-lines wire format of the
+  ``cogra stream`` CLI subcommand.
+"""
+
+from repro.streaming.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.streaming.emission import EmissionController, EmissionRecord
+from repro.streaming.ingest import (
+    BoundedDelayWatermark,
+    IngestBatch,
+    LatePolicy,
+    OutOfOrderIngestor,
+    PunctuationWatermark,
+    WatermarkStrategy,
+)
+from repro.streaming.jsonl import (
+    event_from_json,
+    event_to_json,
+    read_jsonl_events,
+    write_jsonl_events,
+)
+from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.runtime import StreamingRuntime, group_results
+
+__all__ = [
+    "BoundedDelayWatermark",
+    "CHECKPOINT_VERSION",
+    "EmissionController",
+    "EmissionRecord",
+    "IngestBatch",
+    "LatePolicy",
+    "OutOfOrderIngestor",
+    "PunctuationWatermark",
+    "StreamingMetrics",
+    "StreamingRuntime",
+    "WatermarkStrategy",
+    "event_from_json",
+    "event_to_json",
+    "group_results",
+    "load_checkpoint",
+    "read_jsonl_events",
+    "save_checkpoint",
+    "write_jsonl_events",
+]

@@ -1,0 +1,316 @@
+"""Checkpointing: snapshot and restore of runtime execution state.
+
+A checkpoint captures everything an executor accumulated mid-stream -- per
+(window, group) aggregators, their :class:`~repro.core.aggregate_state.
+TrendAccumulator` cells, stored events, and the executor's clock -- as a
+tree of JSON-serialisable primitives.  Restoring the snapshot into a fresh
+runtime configured with the *same queries* continues the computation as if
+it had never stopped: the final results are identical, which the test suite
+asserts window by window.
+
+The snapshot format is structural, not pickled: every aggregator class
+registers an (extract, apply) handler pair below, so checkpoints are
+inspectable, diffable, and independent of Python object layout.  Unknown
+aggregator classes raise :class:`~repro.errors.CheckpointError` instead of
+silently writing an incomplete snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.aggregate_state import TrendAccumulator
+from repro.core.executor import QueryExecutor
+from repro.errors import CheckpointError
+from repro.events.event import Event
+from repro.streaming.jsonl import event_from_json, event_to_json
+
+#: bump when the snapshot layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# events and accumulators
+# ---------------------------------------------------------------------------
+
+
+def snapshot_event(event: Event) -> Dict[str, object]:
+    """JSON-safe representation of one event (the shared JSONL codec)."""
+    return event_to_json(event)
+
+
+def restore_event(state: Dict[str, object]) -> Event:
+    """Rebuild the event written by :func:`snapshot_event`."""
+    return event_from_json(state)
+
+
+def snapshot_accumulator(accumulator: TrendAccumulator) -> Dict[str, object]:
+    """JSON-safe representation of one trend accumulator."""
+    return {
+        "targets": [list(target) for target in accumulator.targets],
+        "trend_count": accumulator.trend_count,
+        # per-target [occurrence count, sum, min, max], aligned with targets
+        "states": [list(accumulator._states[target]) for target in accumulator.targets],
+    }
+
+
+def restore_accumulator(state: Dict[str, object]) -> TrendAccumulator:
+    """Rebuild the accumulator written by :func:`snapshot_accumulator`."""
+    targets = tuple((variable, attribute) for variable, attribute in state["targets"])
+    accumulator = TrendAccumulator(targets)
+    accumulator.trend_count = int(state["trend_count"])
+    for target, cell in zip(targets, state["states"]):
+        accumulator._states[target] = list(cell)
+    return accumulator
+
+
+def _snapshot_optional_event(event: Optional[Event]):
+    return None if event is None else snapshot_event(event)
+
+
+def _restore_optional_event(state) -> Optional[Event]:
+    return None if state is None else restore_event(state)
+
+
+def _snapshot_node_lists(nodes: Dict[str, List[Tuple[Event, TrendAccumulator]]]):
+    return {
+        variable: [
+            [snapshot_event(event), snapshot_accumulator(cell)] for event, cell in entries
+        ]
+        for variable, entries in nodes.items()
+    }
+
+
+def _restore_node_lists(state) -> Dict[str, List[Tuple[Event, TrendAccumulator]]]:
+    return {
+        variable: [
+            (restore_event(event_state), restore_accumulator(cell_state))
+            for event_state, cell_state in entries
+        ]
+        for variable, entries in state.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# aggregator state handlers
+# ---------------------------------------------------------------------------
+
+
+def _extract_pattern(aggregator) -> Dict[str, object]:
+    return {
+        "last_event": _snapshot_optional_event(aggregator._last_event),
+        "last_variable": aggregator._last_variable,
+        "last_cell": snapshot_accumulator(aggregator._last_cell),
+        "final": snapshot_accumulator(aggregator._final),
+    }
+
+
+def _apply_pattern(aggregator, state) -> None:
+    aggregator._last_event = _restore_optional_event(state["last_event"])
+    aggregator._last_variable = state["last_variable"]
+    aggregator._last_cell = restore_accumulator(state["last_cell"])
+    aggregator._final = restore_accumulator(state["final"])
+
+
+def _extract_type(aggregator) -> Dict[str, object]:
+    return {
+        "cells": {
+            variable: snapshot_accumulator(cell)
+            for variable, cell in aggregator._cells.items()
+        }
+    }
+
+
+def _apply_type(aggregator, state) -> None:
+    aggregator._cells = {
+        variable: restore_accumulator(cell) for variable, cell in state["cells"].items()
+    }
+
+
+def _extract_mixed(aggregator) -> Dict[str, object]:
+    return {
+        "type_cells": {
+            variable: snapshot_accumulator(cell)
+            for variable, cell in aggregator._type_cells.items()
+        },
+        "event_cells": _snapshot_node_lists(aggregator._event_cells),
+        "final": snapshot_accumulator(aggregator._final),
+    }
+
+
+def _apply_mixed(aggregator, state) -> None:
+    aggregator._type_cells = {
+        variable: restore_accumulator(cell)
+        for variable, cell in state["type_cells"].items()
+    }
+    aggregator._event_cells = _restore_node_lists(state["event_cells"])
+    aggregator._final = restore_accumulator(state["final"])
+
+
+def _extract_event(aggregator) -> Dict[str, object]:
+    return {
+        "nodes": _snapshot_node_lists(aggregator._nodes),
+        "final": snapshot_accumulator(aggregator._final),
+    }
+
+
+def _apply_event(aggregator, state) -> None:
+    aggregator._nodes = _restore_node_lists(state["nodes"])
+    aggregator._final = restore_accumulator(state["final"])
+
+
+def _extract_negation_type(aggregator) -> Dict[str, object]:
+    return {
+        "full": {
+            variable: snapshot_accumulator(cell)
+            for variable, cell in aggregator._full.items()
+        },
+        "compatible": [
+            [index, variable, snapshot_accumulator(cell)]
+            for (index, variable), cell in aggregator._compatible.items()
+        ],
+    }
+
+
+def _apply_negation_type(aggregator, state) -> None:
+    aggregator._full = {
+        variable: restore_accumulator(cell) for variable, cell in state["full"].items()
+    }
+    aggregator._compatible = {
+        (int(index), variable): restore_accumulator(cell)
+        for index, variable, cell in state["compatible"]
+    }
+
+
+def _extract_negation_event(aggregator) -> Dict[str, object]:
+    state = _extract_event(aggregator)
+    state["cutoffs"] = [
+        [index, variable, cutoff]
+        for (index, variable), cutoff in aggregator._cutoffs.items()
+    ]
+    return state
+
+
+def _apply_negation_event(aggregator, state) -> None:
+    _apply_event(aggregator, state)
+    aggregator._cutoffs = {
+        (int(index), variable): int(cutoff)
+        for index, variable, cutoff in state["cutoffs"]
+    }
+
+
+#: aggregator class name -> (extract, apply) state handlers
+_HANDLERS: Dict[str, Tuple[Callable, Callable]] = {
+    "PatternGrainedAggregator": (_extract_pattern, _apply_pattern),
+    "TypeGrainedAggregator": (_extract_type, _apply_type),
+    "MixedGrainedAggregator": (_extract_mixed, _apply_mixed),
+    "EventGrainedAggregator": (_extract_event, _apply_event),
+    # negation-aware variants (repro.extensions.negation); their immutable
+    # configuration (components, crossing edges) is rebuilt by the factory,
+    # only the mutable state travels through the checkpoint
+    "NegationPatternGrainedAggregator": (_extract_pattern, _apply_pattern),
+    "NegationTypeGrainedAggregator": (_extract_negation_type, _apply_negation_type),
+    "NegationEventGrainedAggregator": (_extract_negation_event, _apply_negation_event),
+}
+
+
+def snapshot_aggregator(aggregator) -> Dict[str, object]:
+    """JSON-safe representation of one sub-stream aggregator."""
+    class_name = type(aggregator).__name__
+    handlers = _HANDLERS.get(class_name)
+    if handlers is None:
+        raise CheckpointError(
+            f"aggregator class {class_name!r} has no registered checkpoint handler"
+        )
+    extract, _ = handlers
+    return {
+        "class": class_name,
+        "events_processed": aggregator.events_processed,
+        "state": extract(aggregator),
+    }
+
+
+def restore_aggregator_state(aggregator, snapshot: Dict[str, object]) -> None:
+    """Apply a snapshot to a freshly constructed aggregator of the same class."""
+    class_name = type(aggregator).__name__
+    if snapshot["class"] != class_name:
+        raise CheckpointError(
+            f"checkpoint holds a {snapshot['class']!r} aggregator but the plan "
+            f"builds {class_name!r}; was the query or granularity changed?"
+        )
+    _, apply = _HANDLERS[class_name]
+    aggregator.events_processed = int(snapshot["events_processed"])
+    apply(aggregator, snapshot["state"])
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+def snapshot_executor(executor: QueryExecutor) -> Dict[str, object]:
+    """JSON-safe representation of one executor's runtime state."""
+    return {
+        "query": executor.query.name,
+        "granularity": executor.plan.granularity.value,
+        "events_seen": executor.events_seen,
+        "last_time": executor._last_time,
+        "aggregators": [
+            [window_id, list(key), snapshot_aggregator(aggregator)]
+            for (window_id, key), aggregator in executor._aggregators.items()
+        ],
+    }
+
+
+def restore_executor(executor: QueryExecutor, state: Dict[str, object]) -> None:
+    """Restore a snapshot into an executor built from the same plan.
+
+    The executor's existing runtime state is discarded; its plan (and hence
+    aggregator factory) must match the checkpointed one, which is validated
+    via the recorded granularity and per-aggregator class names.
+    """
+    granularity = executor.plan.granularity.value
+    if state["granularity"] != granularity:
+        raise CheckpointError(
+            f"checkpoint was taken at granularity {state['granularity']!r} but "
+            f"the plan selects {granularity!r}"
+        )
+    executor._events_seen = int(state["events_seen"])
+    last_time = state["last_time"]
+    executor._last_time = None if last_time is None else float(last_time)
+    executor._aggregators = {}
+    executor._window_groups = {}
+    for window_id, key_values, aggregator_state in state["aggregators"]:
+        window_id = int(window_id)
+        key = tuple(key_values)
+        aggregator = executor._aggregator_factory(executor.plan)
+        restore_aggregator_state(aggregator, aggregator_state)
+        executor._aggregators[(window_id, key)] = aggregator
+        executor._window_groups.setdefault(window_id, set()).add(key)
+    executor._min_open_window = (
+        min(executor._window_groups) if executor._window_groups else None
+    )
+
+
+# ---------------------------------------------------------------------------
+# file persistence
+# ---------------------------------------------------------------------------
+
+
+def save_checkpoint(state: Dict[str, object], path) -> Path:
+    """Write a snapshot (e.g. ``StreamingRuntime.checkpoint()``) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(state, sort_keys=True))
+    return path
+
+
+def load_checkpoint(path) -> Dict[str, object]:
+    """Read a snapshot previously written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot load checkpoint {path}: {exc}") from exc

@@ -1,0 +1,124 @@
+"""JSON-lines event ingestion and result emission (CLI wire format).
+
+The ``cogra stream`` subcommand reads one JSON object per line, e.g.::
+
+    {"type": "Stock", "time": 3.0, "company": "IBM", "price": 101.5}
+    {"type": "Watermark", "time": 10.0}
+
+and writes one JSON object per emitted result.  The format is deliberately
+forgiving about where attributes live: they may be nested under an
+``"attributes"`` key or given as extra top-level keys, and ``"event_type"``
+is accepted as an alias of ``"type"``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, Iterator, TextIO, Union
+
+from repro.errors import InvalidEventError
+from repro.events.event import Event
+from repro.streaming.emission import EmissionRecord
+
+#: top-level keys that describe the event itself rather than its attributes
+_RESERVED_KEYS = frozenset({"type", "event_type", "time", "sequence", "attributes"})
+
+
+def event_from_json(obj: Dict[str, object], default_sequence: int = 0) -> Event:
+    """Build an event from one decoded JSON object.
+
+    ``default_sequence`` is used when the object carries no ``"sequence"``
+    field; :func:`read_jsonl_events` passes the arrival index so that
+    equal-timestamp events keep a strict total order (the same order
+    :func:`~repro.events.stream.sort_events` would assign), which the
+    executors' adjacency checks rely on.
+    """
+    event_type = obj.get("type", obj.get("event_type"))
+    if not isinstance(event_type, str):
+        raise InvalidEventError(
+            f"JSONL event needs a string 'type' (or 'event_type') field, got {obj!r}"
+        )
+    if "time" not in obj:
+        raise InvalidEventError(f"JSONL event needs a 'time' field, got {obj!r}")
+    nested = obj.get("attributes")
+    if nested is None:
+        nested = {}
+    elif not isinstance(nested, dict):
+        # checked before the falsy fallback so an empty array/string fails
+        # as loudly as a non-empty one would
+        raise InvalidEventError(
+            f"JSONL event 'attributes' must be an object, got {nested!r}"
+        )
+    attributes = dict(nested)
+    for key, value in obj.items():
+        if key not in _RESERVED_KEYS:
+            attributes[key] = value
+    raw_sequence = obj.get("sequence")
+    try:
+        time = float(obj["time"])
+        sequence = default_sequence if raw_sequence is None else int(raw_sequence)
+    except (TypeError, ValueError) as exc:
+        raise InvalidEventError(
+            f"JSONL event has a non-numeric 'time' or 'sequence': {obj!r}"
+        ) from exc
+    if not math.isfinite(time) or time < 0:
+        # a NaN timestamp would sit at the reorder-buffer heap head and
+        # block every later event forever; reject it loudly instead
+        raise InvalidEventError(
+            f"JSONL event 'time' must be a finite non-negative number: {obj!r}"
+        )
+    return Event(event_type, time, attributes, sequence=sequence)
+
+
+def event_to_json(event: Event) -> Dict[str, object]:
+    """The JSON object representation of ``event``.
+
+    The ``sequence`` is always written (even when 0) so that reading the
+    line back reproduces the event exactly instead of assigning a fresh
+    arrival index.
+    """
+    obj: Dict[str, object] = {
+        "type": event.event_type,
+        "time": event.time,
+        "sequence": event.sequence,
+    }
+    if event.attributes:
+        obj["attributes"] = dict(event.attributes)
+    return obj
+
+
+def read_jsonl_events(lines: Union[TextIO, Iterable[str]]) -> Iterator[Event]:
+    """Yield events from an iterable of JSONL lines (blank lines skipped).
+
+    Events without an explicit ``"sequence"`` field receive their arrival
+    index, so equal timestamps stay strictly ordered exactly as
+    :func:`~repro.events.stream.sort_events` would order them.
+    """
+    index = 0
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise InvalidEventError(
+                f"line {line_number} is not valid JSON: {exc}"
+            ) from exc
+        yield event_from_json(obj, default_sequence=index)
+        index += 1
+
+
+def write_jsonl_events(events: Iterable[Event], handle: TextIO) -> int:
+    """Write events as JSONL; return the number of lines written."""
+    written = 0
+    for event in events:
+        handle.write(json.dumps(event_to_json(event), sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+def record_to_json_line(record: EmissionRecord) -> str:
+    """One emitted result as a compact JSON line."""
+    return json.dumps(record.as_dict(), sort_keys=True, default=str)

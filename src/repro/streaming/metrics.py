@@ -1,0 +1,190 @@
+"""Operational metrics of the streaming runtime.
+
+:class:`StreamingMetrics` tracks the counters a production deployment would
+export: ingestion and emission throughput, per-event processing latency,
+watermark progress and lag, reorder-buffer occupancy and late-event
+accounting.  The counters are plain integers/floats so they can be included
+in checkpoints; the wall-clock timers are intentionally *not* checkpointed
+(a restored runtime starts fresh throughput measurements).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Dict, Optional
+
+
+class StreamingMetrics:
+    """Counters and timers describing one streaming runtime's progress."""
+
+    #: counter attributes included in snapshots (order is the report order)
+    COUNTERS = (
+        "events_ingested",
+        "events_released",
+        "events_buffered_peak",
+        "punctuations_seen",
+        "late_events_dropped",
+        "late_events_rerouted",
+        "results_emitted",
+    )
+
+    def __init__(self) -> None:
+        self.events_ingested = 0
+        self.events_released = 0
+        self.events_buffered_peak = 0
+        self.punctuations_seen = 0
+        self.late_events_dropped = 0
+        self.late_events_rerouted = 0
+        self.results_emitted = 0
+        self.watermark: float = -math.inf
+        self.max_event_time: float = -math.inf
+        self._started_at: Optional[float] = None
+        self._processing_seconds = 0.0
+        # counter values at the last restore: rates divide wall-clock time
+        # measured in THIS process, so they must use post-restore deltas,
+        # not lifetime totals carried over from the checkpoint
+        self._rate_base_ingested = 0
+        self._rate_base_released = 0
+
+    # -- recording hooks (called by the runtime) -----------------------------
+
+    def record_ingest(self, event_time: float, buffered: int) -> None:
+        """Account for one event entering the reorder buffer."""
+        if self._started_at is None:
+            self._started_at = _time.perf_counter()
+        self.events_ingested += 1
+        if event_time > self.max_event_time:
+            self.max_event_time = event_time
+        if buffered > self.events_buffered_peak:
+            self.events_buffered_peak = buffered
+
+    def record_release(self, count: int) -> None:
+        """Account for ``count`` events leaving the buffer toward executors."""
+        self.events_released += count
+
+    def record_watermark(self, watermark: float) -> None:
+        """Record watermark progress."""
+        if watermark > self.watermark:
+            self.watermark = watermark
+
+    def record_punctuation(self) -> None:
+        """Account for one punctuation (watermark-carrying) event."""
+        self.punctuations_seen += 1
+
+    def record_late(self, rerouted: bool) -> None:
+        """Account for one late event (dropped or sent to the side channel)."""
+        if rerouted:
+            self.late_events_rerouted += 1
+        else:
+            self.late_events_dropped += 1
+
+    def record_emission(self, count: int) -> None:
+        """Account for ``count`` emitted group results."""
+        self.results_emitted += count
+
+    def record_processing_seconds(self, seconds: float) -> None:
+        """Add wall-clock time spent inside executor hot paths."""
+        self._processing_seconds += seconds
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def late_events(self) -> int:
+        """Total late events, independent of the configured policy."""
+        return self.late_events_dropped + self.late_events_rerouted
+
+    def watermark_lag(self) -> float:
+        """Distance between the newest event seen and the watermark (seconds).
+
+        ``inf`` when events have been ingested but no watermark exists yet
+        (e.g. a punctuated source that never punctuates) -- emission is
+        stalled and the lag is unbounded; ``0.0`` before any event.
+        """
+        if math.isinf(self.max_event_time):
+            return 0.0
+        if math.isinf(self.watermark):
+            return math.inf
+        return max(0.0, self.max_event_time - self.watermark)
+
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the first ingested event."""
+        if self._started_at is None:
+            return 0.0
+        return _time.perf_counter() - self._started_at
+
+    def throughput(self) -> float:
+        """Ingested events per wall-clock second (0 before the first event).
+
+        After a checkpoint restore only the events ingested since the
+        restore count -- the carried-over totals were ingested in another
+        process whose wall-clock time is unknown here.
+        """
+        elapsed = self.elapsed_seconds()
+        if elapsed <= 0.0:
+            return 0.0
+        return (self.events_ingested - self._rate_base_ingested) / elapsed
+
+    def mean_latency_ms(self) -> float:
+        """Mean executor processing time per released event in milliseconds.
+
+        Like :meth:`throughput`, measured over the events released since
+        the last restore (the processing timer restarts at restore).
+        """
+        released = self.events_released - self._rate_base_released
+        if released <= 0:
+            return 0.0
+        return 1000.0 * self._processing_seconds / released
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Checkpointable counter state (timers excluded on purpose)."""
+        state: Dict[str, object] = {name: getattr(self, name) for name in self.COUNTERS}
+        state["watermark"] = None if math.isinf(self.watermark) else self.watermark
+        state["max_event_time"] = (
+            None if math.isinf(self.max_event_time) else self.max_event_time
+        )
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore the counters written by :meth:`snapshot`."""
+        for name in self.COUNTERS:
+            setattr(self, name, int(state.get(name, 0)))
+        watermark = state.get("watermark")
+        self.watermark = -math.inf if watermark is None else float(watermark)
+        max_time = state.get("max_event_time")
+        self.max_event_time = -math.inf if max_time is None else float(max_time)
+        # rate measurements start fresh: discard any timer state and anchor
+        # throughput/latency deltas at the restored counter values
+        self._started_at = None
+        self._processing_seconds = 0.0
+        self._rate_base_ingested = self.events_ingested
+        self._rate_base_released = self.events_released
+
+    # -- reporting -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Readable multi-line metrics report (CLI ``--metrics``)."""
+        watermark = "-" if math.isinf(self.watermark) else f"{self.watermark:g}"
+        lines = [
+            f"events ingested     : {self.events_ingested}",
+            f"events released     : {self.events_released}",
+            f"results emitted     : {self.results_emitted}",
+            f"late events         : {self.late_events} "
+            f"(dropped={self.late_events_dropped}, side-channel={self.late_events_rerouted})",
+            f"punctuations        : {self.punctuations_seen}",
+            f"buffer peak         : {self.events_buffered_peak}",
+            f"watermark           : {watermark}",
+            f"watermark lag (s)   : {self.watermark_lag():g}",
+            f"throughput (ev/s)   : {self.throughput():,.0f}",
+            f"mean latency (ms)   : {self.mean_latency_ms():.4f}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMetrics(ingested={self.events_ingested}, "
+            f"released={self.events_released}, late={self.late_events}, "
+            f"emitted={self.results_emitted})"
+        )

@@ -1,0 +1,486 @@
+"""The streaming runtime: many queries, one out-of-order input stream.
+
+:class:`StreamingRuntime` is the production-style counterpart of
+:meth:`CograEngine.run`:
+
+* any number of queries is registered against the same input stream;
+* events may arrive out of order within a configurable lateness bound --
+  the ingestion layer (:mod:`repro.streaming.ingest`) restores order and
+  generates watermarks;
+* every event is routed **once** through a shared type/partition index:
+  queries that cannot be affected by an event's type never see it, and
+  queries sharing the same partition attributes share one key computation;
+* window results are emitted incrementally as the watermark passes each
+  window's end (:mod:`repro.streaming.emission`), not at end of stream;
+* the whole runtime state can be checkpointed mid-stream and restored into
+  a fresh runtime with identical final results
+  (:mod:`repro.streaming.checkpoint`).
+
+Example
+-------
+::
+
+    runtime = StreamingRuntime(lateness=5.0)
+    runtime.register(query_text_1, name="q1")
+    runtime.register(query_text_2, name="q2")
+    for event in source:
+        for record in runtime.process(event):
+            publish(record.query, record.result)
+    for record in runtime.flush():
+        publish(record.query, record.result)
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.engine import CograEngine
+from repro.core.executor import QueryExecutor
+from repro.core.results import GroupResult
+from repro.errors import CheckpointError, LateEventError
+from repro.events.event import Event
+from repro.query.query import Query
+from repro.query.semantics import Semantics
+from repro.streaming.checkpoint import (
+    CHECKPOINT_VERSION,
+    restore_executor,
+    snapshot_executor,
+)
+from repro.streaming.emission import EmissionController, EmissionRecord
+from repro.streaming.ingest import (
+    BoundedDelayWatermark,
+    LatePolicy,
+    OutOfOrderIngestor,
+    WatermarkStrategy,
+)
+from repro.streaming.metrics import StreamingMetrics
+
+
+class RegisteredQuery:
+    """One query attached to the runtime, with its routing metadata."""
+
+    __slots__ = (
+        "name",
+        "engine",
+        "order",
+        "relevant_types",
+        "broadcast",
+        "partition_signature",
+    )
+
+    def __init__(self, name: str, engine: CograEngine, order: int = 0):
+        self.name = name
+        self.engine = engine
+        self.order = order
+        types = set(engine.executor._relevant_types)
+        if engine.negation_analysis is not None:
+            # negated event types never match the positive pattern but still
+            # invalidate trends, so the router must deliver them
+            types |= engine.negation_analysis.negated_types()
+        self.relevant_types = frozenset(types)
+        # contiguous semantics see *every* event (any event breaks
+        # contiguity), and emit_empty_groups makes even unmatched groups
+        # observable, so both disable type-based routing for this query
+        self.broadcast = (
+            engine.query.semantics is Semantics.CONTIGUOUS
+            or engine._emit_empty_groups
+        )
+        self.partition_signature: Tuple[str, ...] = engine.plan.partition_attributes
+
+    @property
+    def executor(self) -> QueryExecutor:
+        """The engine's current executor instance."""
+        return self.engine.executor
+
+    def __repr__(self) -> str:
+        return f"RegisteredQuery({self.name!r}, granularity={self.engine.granularity})"
+
+
+class StreamingRuntime:
+    """Executes registered queries over one out-of-order input stream.
+
+    Parameters
+    ----------
+    lateness:
+        Bounded-disorder tolerance in seconds: events may arrive up to this
+        much event time behind later events.  Ignored when an explicit
+        ``watermark_strategy`` is given.
+    watermark_strategy:
+        Optional :class:`~repro.streaming.ingest.WatermarkStrategy`
+        (e.g. :class:`~repro.streaming.ingest.PunctuationWatermark`).
+    late_policy:
+        What happens to events arriving behind the watermark; see
+        :class:`~repro.streaming.ingest.LatePolicy`.
+    emit_empty_groups:
+        Default for queries registered without an explicit setting.
+    """
+
+    def __init__(
+        self,
+        lateness: float = 0.0,
+        watermark_strategy: Optional[WatermarkStrategy] = None,
+        late_policy: Union[LatePolicy, str] = LatePolicy.DROP,
+        emit_empty_groups: bool = False,
+    ):
+        strategy = watermark_strategy or BoundedDelayWatermark(lateness)
+        self._ingestor = OutOfOrderIngestor(strategy, LatePolicy(late_policy))
+        self._controller = EmissionController()
+        self.metrics = StreamingMetrics()
+        self._emit_empty_groups = emit_empty_groups
+        self._queries: List[RegisteredQuery] = []
+        self._by_name: Dict[str, RegisteredQuery] = {}
+        #: event type -> queries routed by type (broadcast queries excluded)
+        self._routes: Dict[str, List[RegisteredQuery]] = {}
+        self._broadcast: List[RegisteredQuery] = []
+        #: event type -> routed + broadcast queries in registration order;
+        #: built once on first use (registration is frozen by then)
+        self._resolved_routes: Optional[Dict[str, List[RegisteredQuery]]] = None
+        self._flushed = False
+        #: set when a restore failed mid-application; the mixed state must
+        #: never process events (see :meth:`restore`)
+        self._poisoned = False
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        query: Union[Query, str, CograEngine],
+        name: Optional[str] = None,
+        granularity=None,
+        emit_empty_groups: Optional[bool] = None,
+    ) -> str:
+        """Attach a query (text, :class:`Query` or prepared engine).
+
+        Returns the name under which the query's results are emitted.
+        Registration is only allowed before the first event is processed.
+        """
+        if self.metrics.events_ingested or self.metrics.punctuations_seen:
+            # punctuations advance the watermark without counting as data
+            # events, and a query registered behind the watermark would see
+            # everything before it as late
+            raise RuntimeError(
+                "queries must be registered before the first event is ingested"
+            )
+        if isinstance(query, CograEngine):
+            if granularity is not None or emit_empty_groups is not None:
+                raise ValueError(
+                    "granularity/emit_empty_groups cannot be overridden on an "
+                    "already-built engine; configure the CograEngine instead"
+                )
+            if any(registered.engine is query for registered in self._queries):
+                raise ValueError(
+                    "this engine instance is already registered; engines own "
+                    "their executor state and cannot back two queries"
+                )
+            engine = query
+            engine.reset()
+        else:
+            engine = CograEngine(
+                query,
+                emit_empty_groups=(
+                    self._emit_empty_groups
+                    if emit_empty_groups is None
+                    else emit_empty_groups
+                ),
+                granularity=granularity,
+            )
+        name = name or engine.query.name
+        if name in self._by_name:
+            raise ValueError(f"a query named {name!r} is already registered")
+        registered = RegisteredQuery(name, engine, order=len(self._queries))
+        self._queries.append(registered)
+        self._by_name[name] = registered
+        if registered.broadcast:
+            self._broadcast.append(registered)
+        else:
+            for event_type in registered.relevant_types:
+                self._routes.setdefault(event_type, []).append(registered)
+        return name
+
+    @property
+    def query_names(self) -> List[str]:
+        """Names of the registered queries, in registration order."""
+        return [registered.name for registered in self._queries]
+
+    def engine(self, name: str) -> CograEngine:
+        """The engine evaluating the query registered under ``name``."""
+        return self._by_name[name].engine
+
+    # -- streaming -------------------------------------------------------------
+
+    def process(self, event: Event) -> List[EmissionRecord]:
+        """Ingest one (possibly out-of-order) event; return emitted results."""
+        if not self._queries:
+            raise RuntimeError("no queries are registered with this runtime")
+        if self._poisoned:
+            raise RuntimeError(
+                "a failed restore left this runtime in an inconsistent state; "
+                "create a new runtime (and retry the restore if desired)"
+            )
+        if self._flushed:
+            raise RuntimeError(
+                "this runtime was flushed; emitted windows cannot be reopened "
+                "(start a new runtime, or restore a checkpoint)"
+            )
+        try:
+            batch = self._ingestor.push(event)
+        except LateEventError:
+            # the raising policy still accounts for the event, so metrics
+            # stay consistent with the drop/side-channel paths
+            self.metrics.record_ingest(event.time, len(self._ingestor))
+            self.metrics.record_late(rerouted=False)
+            raise
+        if batch.punctuation:
+            self.metrics.record_punctuation()
+        else:
+            # batch.buffered is post-push occupancy from the ingestor itself;
+            # late events never entered the buffer and do not inflate it
+            self.metrics.record_ingest(event.time, batch.buffered)
+        if batch.late_event is not None:
+            self.metrics.record_late(
+                rerouted=self._ingestor.late_policy is LatePolicy.SIDE_CHANNEL
+            )
+            return []
+
+        records: List[EmissionRecord] = []
+        if batch.released:
+            self.metrics.record_release(len(batch.released))
+            started = _time.perf_counter()
+            for released in batch.released:
+                records.extend(self._route(released, batch.watermark))
+            self.metrics.record_processing_seconds(_time.perf_counter() - started)
+        if batch.advanced:
+            self.metrics.record_watermark(batch.watermark)
+            for registered in self._queries:
+                records.extend(
+                    self._controller.advance(
+                        registered.name, registered.executor, batch.watermark
+                    )
+                )
+        self.metrics.record_emission(len(records))
+        return records
+
+    def flush(self) -> List[EmissionRecord]:
+        """Drain the reorder buffer and close every open window."""
+        if self._poisoned:
+            raise RuntimeError(
+                "a failed restore left this runtime in an inconsistent state; "
+                "create a new runtime (and retry the restore if desired)"
+            )
+        records: List[EmissionRecord] = []
+        remaining = self._ingestor.drain()
+        if remaining:
+            self.metrics.record_release(len(remaining))
+            started = _time.perf_counter()
+            for released in remaining:
+                # drained events run past the watermark; windows they close
+                # are end-of-stream emissions, so the record context is inf
+                # (a stale finite watermark would violate wm >= window_end)
+                records.extend(self._route(released, math.inf))
+            self.metrics.record_processing_seconds(_time.perf_counter() - started)
+        for registered in self._queries:
+            records.extend(self._controller.close(registered.name, registered.executor))
+        self.metrics.record_emission(len(records))
+        self._flushed = True
+        return records
+
+    def run(self, events: Iterable[Event]) -> List[EmissionRecord]:
+        """Convenience: process a finite stream and flush at the end."""
+        records: List[EmissionRecord] = []
+        for event in events:
+            records.extend(self.process(event))
+        records.extend(self.flush())
+        return records
+
+    def _route(self, event: Event, watermark: float) -> List[EmissionRecord]:
+        """Deliver one in-order event to the queries its type can affect.
+
+        The partition key is computed once per distinct partition-attribute
+        signature and shared across the executors that use it.
+        """
+        if self._resolved_routes is None:
+            self._resolved_routes = self._resolve_routes()
+        keys: Dict[Tuple[str, ...], Tuple] = {}
+        records: List[EmissionRecord] = []
+        targets = self._resolved_routes.get(event.event_type, self._broadcast)
+        for registered in targets:
+            signature = registered.partition_signature
+            key = keys.get(signature)
+            if key is None:
+                key = registered.engine.plan.partition_key(event)
+                keys[signature] = key
+            results = registered.executor.process(event, partition_key=key)
+            if results:
+                records.extend(
+                    self._controller.collect(registered.name, results, watermark)
+                )
+        return records
+
+    def _resolve_routes(self) -> Dict[str, List[RegisteredQuery]]:
+        """Merge type-routed and broadcast queries per event type, once.
+
+        Registration is frozen after the first ingested event, so the
+        per-type target lists are static; events of a type no query routes
+        on fall back to the plain broadcast list.
+        """
+        return {
+            event_type: sorted(
+                list(routed) + self._broadcast,
+                key=lambda registered: registered.order,
+            )
+            for event_type, routed in self._routes.items()
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def watermark(self) -> float:
+        """Current watermark of the ingestion layer."""
+        return self._ingestor.watermark
+
+    @property
+    def buffered_events(self) -> int:
+        """Events currently held in the reorder buffer."""
+        return len(self._ingestor)
+
+    @property
+    def late_events(self) -> List[Event]:
+        """Side channel of late events (``LatePolicy.SIDE_CHANNEL``)."""
+        return list(self._ingestor.side_channel)
+
+    def take_late_events(self) -> List[Event]:
+        """Drain (return and clear) the late-event side channel.
+
+        Long-running jobs call this periodically to reprocess or persist
+        late events without the side channel growing without bound.
+        """
+        taken = self._ingestor.side_channel
+        self._ingestor.side_channel = []
+        return taken
+
+    def storage_units(self) -> int:
+        """Stored scalar aggregates across every registered executor."""
+        return sum(r.executor.storage_units() for r in self._queries)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the entire runtime state as JSON-safe primitives.
+
+        The snapshot does not embed the query definitions themselves -- like
+        restoring a stream-processing job from a savepoint, the caller
+        recreates the runtime with the same registered queries and then
+        calls :meth:`restore`.
+        """
+        if self._flushed:
+            raise CheckpointError("cannot checkpoint a runtime that was flushed")
+        if self._poisoned:
+            raise CheckpointError(
+                "cannot checkpoint a runtime whose restore failed mid-way"
+            )
+        return {
+            "version": CHECKPOINT_VERSION,
+            "queries": [
+                {
+                    "name": r.name,
+                    "granularity": r.engine.granularity,
+                    # the rendered query identifies the definition, so a
+                    # restore into a same-named but different query fails;
+                    # emit_empty_groups changes emission and routing, so it
+                    # is part of the identity too
+                    "definition": r.engine.query.describe(),
+                    "emit_empty_groups": r.engine._emit_empty_groups,
+                }
+                for r in self._queries
+            ],
+            "executors": {
+                r.name: snapshot_executor(r.executor) for r in self._queries
+            },
+            "ingest": self._ingestor.snapshot(),
+            "metrics": self.metrics.snapshot(),
+            "emitted_counts": dict(self._controller.emitted_counts),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot into this runtime.
+
+        The runtime must have the same queries registered (same names, same
+        order, same granularities) as the runtime the snapshot was taken
+        from; anything else raises :class:`~repro.errors.CheckpointError`.
+        """
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        try:
+            recorded = [
+                (
+                    q["name"],
+                    q["granularity"],
+                    q.get("definition"),
+                    bool(q.get("emit_empty_groups", False)),
+                )
+                for q in state["queries"]
+            ]
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+        current = [
+            (
+                r.name,
+                r.engine.granularity,
+                r.engine.query.describe(),
+                bool(r.engine._emit_empty_groups),
+            )
+            for r in self._queries
+        ]
+        if recorded != current:
+            names = [(entry[0], entry[1]) for entry in recorded]
+            raise CheckpointError(
+                f"registered queries do not match the checkpointed queries "
+                f"{names}: names, granularities, definitions and "
+                f"emit_empty_groups must be identical"
+            )
+        try:
+            for registered in self._queries:
+                registered.engine.reset()
+                restore_executor(
+                    registered.executor, state["executors"][registered.name]
+                )
+            self._ingestor.restore(state["ingest"])
+            self.metrics.restore(state["metrics"])
+            self._controller.emitted_counts = {
+                name: int(count) for name, count in state["emitted_counts"].items()
+            }
+        except Exception as exc:
+            # a failure mid-application leaves some executors restored and
+            # others fresh; poison the runtime so the inconsistent state can
+            # never silently process events
+            self._poisoned = True
+            if isinstance(exc, CheckpointError):
+                raise
+            # corrupt or hand-edited snapshots surface data errors of many
+            # shapes; the documented contract is a single error class
+            raise CheckpointError(f"cannot restore checkpoint: {exc}") from exc
+        self._poisoned = False
+        self._flushed = False
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingRuntime({len(self._queries)} queries, "
+            f"watermark={self._ingestor.watermark:g}, buffered={len(self._ingestor)})"
+        )
+
+
+def group_results(
+    records: Iterable[EmissionRecord], query: Optional[str] = None
+) -> List[GroupResult]:
+    """Extract plain :class:`GroupResult`s from emission records."""
+    return [
+        record.result
+        for record in records
+        if query is None or record.query == query
+    ]

@@ -125,6 +125,30 @@ class TestStreamHelpers:
         merged = merge_streams(left, right)
         assert [e.time for e in merged] == [1.0, 2.0, 3.0, 4.0]
 
+    def test_merge_streams_renumbers_consecutively(self):
+        left = sort_events([Event("A", 1.0), Event("A", 2.0), Event("A", 5.0)])
+        right = sort_events([Event("B", 1.5), Event("B", 4.0)])
+        merged = merge_streams(left, right)
+        assert [e.sequence for e in merged] == list(range(5))
+        assert merged == sort_events(left + right)
+
+    def test_merge_streams_rejects_disordered_input(self):
+        with pytest.raises(StreamOrderError):
+            merge_streams(
+                [Event("A", 5.0, sequence=0), Event("A", 1.0, sequence=1)],
+                [Event("B", 3.0, sequence=0)],
+            )
+
+    def test_merge_streams_rejects_disordered_sequences_at_equal_times(self):
+        with pytest.raises(StreamOrderError):
+            merge_streams([Event("A", 1.0, sequence=5), Event("A", 1.0, sequence=2)])
+
+    def test_merge_streams_keeps_tie_order_by_sequence(self):
+        left = [Event("A", 1.0, sequence=0), Event("A", 2.0, sequence=2)]
+        right = [Event("B", 1.0, sequence=1), Event("B", 2.0, sequence=3)]
+        merged = merge_streams(left, right)
+        assert [e.event_type for e in merged] == ["A", "B", "A", "B"]
+
     def test_attribute_names_union(self):
         events = [Event("A", 1.0, {"x": 1}), Event("B", 2.0, {"y": 2})]
         assert attribute_names(events) == {"x", "y"}

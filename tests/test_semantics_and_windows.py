@@ -100,6 +100,34 @@ class TestWindowSpec:
         with pytest.raises(InvalidQueryError):
             duration_to_seconds(1, "fortnights")
 
+    def test_millisecond_units(self):
+        assert duration_to_seconds(500, "ms") == 0.5
+        assert duration_to_seconds(1, "millisecond") == 0.001
+        assert duration_to_seconds(1500, "milliseconds") == 1.5
+
+    def test_sub_second_window_parses_and_round_trips(self):
+        from repro.query.parser import parse_query
+
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN A+ WITHIN 1500 ms SLIDE 500 milliseconds"
+        )
+        assert query.window == WindowSpec(1.5, 0.5)
+        # describe() renders the window in seconds; re-parsing it must yield
+        # the same window (round trip through the textual form)
+        reparsed = parse_query(query.describe())
+        assert reparsed.window == query.window
+
+    def test_tiny_window_round_trips_through_scientific_notation(self):
+        from repro.query.parser import parse_query
+
+        # describe() renders 5e-05 seconds; the parser must accept it back
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN A+ WITHIN 0.05 ms SLIDE 0.01 ms"
+        )
+        assert query.window == WindowSpec(5e-05, 1e-05)
+        reparsed = parse_query(query.describe())
+        assert reparsed.window == query.window
+
     def test_equality_and_hash(self):
         assert WindowSpec(10, 5) == WindowSpec(10, 5)
         assert WindowSpec(10, 5) != WindowSpec(10, 2)

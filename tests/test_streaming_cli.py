@@ -1,0 +1,325 @@
+"""Tests for the ``cogra stream`` CLI subcommand and the JSONL wire format."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import InvalidEventError
+from repro.events.event import Event
+from repro.streaming.jsonl import (
+    event_from_json,
+    event_to_json,
+    read_jsonl_events,
+    write_jsonl_events,
+)
+
+QUERY = (
+    "RETURN g, COUNT(*) PATTERN SEQ(A+, B) SEMANTICS skip-till-any-match "
+    "GROUP-BY g WITHIN 10 seconds"
+)
+
+
+def write_events(path, rows):
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+    return path
+
+
+def event_rows():
+    rows = []
+    for i in range(30):
+        rows.append(
+            {"type": "A" if i % 3 else "B", "time": float(i), "g": "x", "v": i % 5}
+        )
+    return rows
+
+
+class TestJsonlFormat:
+    def test_event_from_flat_json(self):
+        event = event_from_json({"type": "A", "time": 2.0, "g": "x", "v": 3})
+        assert event.event_type == "A"
+        assert event.attributes == {"g": "x", "v": 3}
+
+    def test_event_from_nested_attributes(self):
+        event = event_from_json(
+            {"event_type": "A", "time": 2.0, "sequence": 4, "attributes": {"g": "x"}}
+        )
+        assert event.sequence == 4
+        assert event["g"] == "x"
+
+    def test_event_requires_type_and_time(self):
+        with pytest.raises(InvalidEventError):
+            event_from_json({"time": 1.0})
+        with pytest.raises(InvalidEventError):
+            event_from_json({"type": "A"})
+
+    def test_event_rejects_non_object_attributes(self):
+        with pytest.raises(InvalidEventError):
+            event_from_json({"type": "A", "time": 1.0, "attributes": [1, 2]})
+        # falsy wrong-typed values must fail as loudly as non-empty ones
+        for bad in ([], "", 0, False):
+            with pytest.raises(InvalidEventError):
+                event_from_json({"type": "A", "time": 1.0, "attributes": bad})
+
+    def test_event_rejects_non_numeric_time_and_sequence(self):
+        with pytest.raises(InvalidEventError):
+            event_from_json({"type": "A", "time": None})
+        with pytest.raises(InvalidEventError):
+            event_from_json({"type": "A", "time": "abc"})
+        with pytest.raises(InvalidEventError):
+            event_from_json({"type": "A", "time": 1.0, "sequence": "x"})
+
+    def test_event_rejects_non_finite_and_negative_time(self):
+        for bad_time in (float("nan"), float("inf"), float("-inf"), -1.0):
+            with pytest.raises(InvalidEventError):
+                event_from_json({"type": "A", "time": bad_time})
+
+    def test_round_trip(self):
+        original = Event("A", 1.5, {"g": "x"}, sequence=2)
+        assert event_from_json(event_to_json(original)) == original
+
+    def test_read_write_jsonl(self, tmp_path):
+        events = [Event("A", 1.0, {"g": "x"}), Event("B", 2.0)]
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            assert write_jsonl_events(events, handle) == 2
+        with open(path, "r", encoding="utf-8") as handle:
+            assert list(read_jsonl_events(handle)) == events
+
+    def test_blank_lines_and_comments_skipped(self):
+        lines = ["", "# comment", json.dumps({"type": "A", "time": 1.0})]
+        assert len(list(read_jsonl_events(lines))) == 1
+
+    def test_invalid_json_reported_with_line_number(self):
+        with pytest.raises(InvalidEventError, match="line 1"):
+            list(read_jsonl_events(["not json"]))
+
+
+class TestEmissionRecordDict:
+    def test_query_attribution_survives_a_group_attribute_named_query(self):
+        from repro.core.results import GroupResult
+        from repro.streaming.emission import EmissionRecord
+
+        result = GroupResult(
+            window_id=0,
+            window_start=0.0,
+            window_end=10.0,
+            group={"query": "group-value"},
+            values={"COUNT(*)": 1},
+            trend_count=1,
+        )
+        row = EmissionRecord("my-query", result, watermark=12.0).as_dict()
+        assert row["query"] == "my-query"
+        assert row["watermark"] == 12.0
+
+
+class TestStreamCommand:
+    def test_stream_from_file_emits_jsonl_results(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert main(["stream", QUERY, "--input", str(path), "--lateness", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out, "no results emitted"
+        rows = [json.loads(line) for line in out]
+        assert all(row["query"] == "q1" for row in rows)
+        assert all("COUNT(*)" in row for row in rows)
+        # window 0 covers times 0..9 and is emitted incrementally (it carries
+        # the watermark that closed it), not at end of stream
+        assert "watermark" in rows[0]
+
+    def test_stream_multiple_queries(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        second = (
+            "RETURN g, COUNT(*) PATTERN SEQ(A+, B) SEMANTICS skip-till-next-match "
+            "GROUP-BY g WITHIN 10 seconds"
+        )
+        assert main(["stream", QUERY, second, "--input", str(path)]) == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert {row["query"] for row in rows} == {"q1", "q2"}
+
+    def test_stream_metrics_go_to_stderr(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert main(["stream", QUERY, "--input", str(path), "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "throughput" in err
+        assert "watermark" in err
+
+    def test_stream_reports_late_events(self, tmp_path, capsys):
+        rows = [
+            {"type": "A", "time": 50.0, "g": "x"},
+            {"type": "B", "time": 1.0, "g": "x"},  # far behind the watermark
+        ]
+        path = write_events(tmp_path / "late.jsonl", rows)
+        assert main(["stream", QUERY, "--input", str(path), "--lateness", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "1 late events" in err
+
+    def test_stream_late_output_writes_side_channel_jsonl(self, tmp_path, capsys):
+        rows = [
+            {"type": "A", "time": 50.0, "g": "x"},
+            {"type": "B", "time": 1.0, "g": "x"},  # late
+        ]
+        path = write_events(tmp_path / "late.jsonl", rows)
+        sink = tmp_path / "side.jsonl"
+        assert (
+            main(
+                [
+                    "stream",
+                    QUERY,
+                    "--input",
+                    str(path),
+                    "--lateness",
+                    "2",
+                    "--late-policy",
+                    "side-channel",
+                    "--late-output",
+                    str(sink),
+                ]
+            )
+            == 0
+        )
+        written = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [row["time"] for row in written] == [1.0]
+        assert "written to" in capsys.readouterr().err
+
+    def test_late_output_holds_only_the_current_runs_events(self, tmp_path):
+        sink = tmp_path / "side.jsonl"
+        sink.write_text('{"type": "Stale", "time": 0.0}\n')  # from a prior run
+        rows = [
+            {"type": "A", "time": 50.0, "g": "x"},
+            {"type": "B", "time": 1.0, "g": "x"},  # late
+        ]
+        path = write_events(tmp_path / "late.jsonl", rows)
+        args = [
+            "stream", QUERY, "--input", str(path), "--lateness", "2",
+            "--late-policy", "side-channel", "--late-output", str(sink),
+        ]
+        assert main(args) == 0
+        written = [json.loads(line) for line in sink.read_text().splitlines()]
+        # reprocessing the sink must not replay the previous run's events
+        assert [row["type"] for row in written] == ["B"]
+
+    def test_late_output_requires_side_channel_policy(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            ["stream", QUERY, "--input", str(path), "--late-output", str(tmp_path / "s.jsonl")]
+        )
+        assert code == 2
+        assert "side-channel" in capsys.readouterr().err
+
+    def test_side_channel_policy_requires_late_output(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            ["stream", QUERY, "--input", str(path), "--late-policy", "side-channel"]
+        )
+        assert code == 2
+        assert "--late-output" in capsys.readouterr().err
+
+    def test_lateness_conflicts_with_punctuation(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            [
+                "stream", QUERY, "--input", str(path),
+                "--lateness", "5", "--punctuation-type", "Tick",
+            ]
+        )
+        assert code == 2
+        assert "punctuation" in capsys.readouterr().err
+
+    def test_missing_input_file_gets_one_line_error(self, tmp_path, capsys):
+        code = main(["stream", QUERY, "--input", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error: cannot open --input")
+
+    def test_unwritable_late_output_gets_one_line_error(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            [
+                "stream", QUERY, "--input", str(path),
+                "--late-policy", "side-channel",
+                "--late-output", str(tmp_path),  # a directory is not writable
+            ]
+        )
+        assert code == 1
+        assert "cannot open --late-output" in capsys.readouterr().err
+
+    def test_negative_lateness_rejected(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(["stream", QUERY, "--input", str(path), "--lateness", "-5"])
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_malformed_event_gets_one_line_error(self, tmp_path, capsys):
+        path = write_events(tmp_path / "bad.jsonl", [{"type": "A"}])  # no time
+        assert main(["stream", QUERY, "--input", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "time" in err
+
+    def test_raise_policy_gets_one_line_error(self, tmp_path, capsys):
+        rows = [
+            {"type": "A", "time": 50.0, "g": "x"},
+            {"type": "B", "time": 1.0, "g": "x"},
+        ]
+        path = write_events(tmp_path / "late.jsonl", rows)
+        code = main(
+            ["stream", QUERY, "--input", str(path), "--late-policy", "raise"]
+        )
+        assert code == 1
+        assert "behind the watermark" in capsys.readouterr().err
+
+    def test_equal_timestamps_without_sequence_match_batch(self, tmp_path, capsys):
+        # JSONL events without a sequence field get arrival indices, so
+        # same-timestamp events still form adjacent pairs (as in batch mode)
+        rows = [
+            {"type": "A", "time": 1.0, "g": "x"},
+            {"type": "A", "time": 1.0, "g": "x"},
+            {"type": "B", "time": 2.0, "g": "x"},
+        ]
+        path = write_events(tmp_path / "ties.jsonl", rows)
+        assert main(["stream", QUERY, "--input", str(path)]) == 0
+        out = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        # SEQ(A+, B) under skip-till-any-match: {a1 b}, {a2 b}, {a1 a2 b}
+        assert out[0]["COUNT(*)"] == 3
+
+    def test_runtime_take_late_events_drains_the_side_channel(self):
+        from repro import Event, StreamingRuntime
+
+        runtime = StreamingRuntime(lateness=0.0, late_policy="side-channel")
+        runtime.register(QUERY, name="q")
+        runtime.process(Event("A", 50.0, {"g": "x"}))
+        runtime.process(Event("B", 1.0, {"g": "x"}))
+        assert [e.time for e in runtime.take_late_events()] == [1.0]
+        assert runtime.late_events == []
+
+    def test_stream_with_punctuation_watermarks(self, tmp_path, capsys):
+        rows = [
+            {"type": "A", "time": 1.0, "g": "x"},
+            {"type": "B", "time": 2.0, "g": "x"},
+            {"type": "Tick", "time": 30.0},
+            {"type": "A", "time": 31.0, "g": "x"},
+        ]
+        path = write_events(tmp_path / "punct.jsonl", rows)
+        assert (
+            main(
+                [
+                    "stream",
+                    QUERY,
+                    "--input",
+                    str(path),
+                    "--punctuation-type",
+                    "Tick",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(line) for line in out]
+        assert any(row.get("watermark") == 30.0 for row in rows)
+
+    def test_stream_from_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        payload = "".join(json.dumps(row) + "\n" for row in event_rows())
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        assert main(["stream", QUERY]) == 0
+        assert capsys.readouterr().out.strip()

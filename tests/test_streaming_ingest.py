@@ -1,0 +1,195 @@
+"""Tests for out-of-order ingestion: reorder buffer, watermarks, late events."""
+
+import math
+
+import pytest
+
+from repro.errors import LateEventError
+from repro.events.event import Event
+from repro.streaming.ingest import (
+    BoundedDelayWatermark,
+    LatePolicy,
+    OutOfOrderIngestor,
+    PunctuationWatermark,
+)
+
+
+def times(events):
+    return [event.time for event in events]
+
+
+class TestBoundedDelayWatermark:
+    def test_watermark_trails_max_time_by_delay(self):
+        strategy = BoundedDelayWatermark(5.0)
+        assert strategy.watermark() == -math.inf
+        strategy.observe(Event("A", 10.0))
+        assert strategy.watermark() == 5.0
+        strategy.observe(Event("A", 7.0))  # older events do not move it back
+        assert strategy.watermark() == 5.0
+        strategy.observe(Event("A", 20.0))
+        assert strategy.watermark() == 15.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedDelayWatermark(-1.0)
+
+    def test_snapshot_round_trip(self):
+        strategy = BoundedDelayWatermark(2.5)
+        strategy.observe(Event("A", 8.0))
+        restored = BoundedDelayWatermark(2.5)
+        restored.restore(strategy.snapshot())
+        assert restored.watermark() == strategy.watermark()
+
+    def test_restore_rejects_a_different_lateness_bound(self):
+        from repro.errors import CheckpointError
+
+        strategy = BoundedDelayWatermark(2.5)
+        with pytest.raises(CheckpointError):
+            BoundedDelayWatermark(0.0).restore(strategy.snapshot())
+
+
+class TestPunctuationWatermark:
+    def test_only_punctuations_advance_the_watermark(self):
+        strategy = PunctuationWatermark("Tick")
+        strategy.observe(Event("A", 100.0))
+        assert strategy.watermark() == -math.inf
+        strategy.observe(Event("Tick", 50.0))
+        assert strategy.watermark() == 50.0
+
+    def test_is_punctuation(self):
+        strategy = PunctuationWatermark("Tick")
+        assert strategy.is_punctuation(Event("Tick", 1.0))
+        assert not strategy.is_punctuation(Event("A", 1.0))
+
+    def test_snapshot_round_trip(self):
+        strategy = PunctuationWatermark("Tick")
+        strategy.observe(Event("Tick", 7.0))
+        restored = PunctuationWatermark("Tick")
+        restored.restore(strategy.snapshot())
+        assert restored.watermark() == 7.0
+
+    def test_restore_rejects_a_different_punctuation_type(self):
+        from repro.errors import CheckpointError
+
+        strategy = PunctuationWatermark("Tick")
+        with pytest.raises(CheckpointError):
+            PunctuationWatermark("Other").restore(strategy.snapshot())
+
+
+class TestReorderBuffer:
+    def test_in_order_stream_with_zero_lateness_flows_through(self):
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(0.0))
+        released = []
+        for t in (1.0, 2.0, 3.0):
+            released.extend(ingestor.push(Event("A", t)).released)
+        # with delay 0 the watermark equals the max time; an event at the
+        # watermark is held until the watermark strictly passes it (another
+        # event with the same timestamp may still arrive), so each release
+        # trails the arrivals by exactly the newest event
+        assert times(released) == [1.0, 2.0]
+        assert times(ingestor.drain()) == [3.0]
+
+    def test_disorder_within_the_bound_is_reordered(self):
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(5.0))
+        released = []
+        for t in (3.0, 1.0, 2.0, 9.0, 7.0, 15.0):
+            released.extend(ingestor.push(Event("A", t)).released)
+        released.extend(ingestor.drain())
+        assert times(released) == [1.0, 2.0, 3.0, 7.0, 9.0, 15.0]
+
+    def test_release_order_breaks_time_ties_by_sequence(self):
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(5.0))
+        ingestor.push(Event("B", 1.0, sequence=1))
+        ingestor.push(Event("A", 1.0, sequence=0))
+        released = ingestor.drain()
+        assert [event.sequence for event in released] == [0, 1]
+
+    def test_event_beyond_the_bound_is_late(self):
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(2.0))
+        ingestor.push(Event("A", 10.0))  # watermark is now 8.0
+        batch = ingestor.push(Event("A", 5.0))
+        assert batch.late_event is not None
+        assert batch.released == []
+        assert ingestor.dropped == 1
+
+    def test_event_at_the_watermark_is_not_late(self):
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(2.0))
+        ingestor.push(Event("A", 10.0))
+        batch = ingestor.push(Event("A", 8.0))  # exactly at the watermark
+        assert batch.late_event is None
+        # held, not released: a same-timestamp peer may still arrive
+        assert batch.released == []
+        assert times(ingestor.drain()) == [8.0, 10.0]
+
+    def test_equal_timestamps_never_straddle_the_watermark(self):
+        # regression: with release-at-equality, seq 2 would be released
+        # before the not-late seq 1 arrived, reaching executors out of
+        # (time, sequence) order
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(0.0))
+        released = []
+        released.extend(ingestor.push(Event("A", 5.0, sequence=2)).released)
+        batch = ingestor.push(Event("A", 5.0, sequence=1))
+        assert batch.late_event is None
+        released.extend(batch.released)
+        released.extend(ingestor.drain())
+        assert [event.sequence for event in released] == [1, 2]
+
+    def test_late_policy_raise(self):
+        ingestor = OutOfOrderIngestor(
+            BoundedDelayWatermark(0.0), late_policy=LatePolicy.RAISE
+        )
+        ingestor.push(Event("A", 10.0))
+        with pytest.raises(LateEventError) as excinfo:
+            ingestor.push(Event("A", 3.0))
+        assert excinfo.value.event.time == 3.0
+        assert excinfo.value.watermark == 10.0
+
+    def test_late_policy_side_channel(self):
+        ingestor = OutOfOrderIngestor(
+            BoundedDelayWatermark(0.0), late_policy="side-channel"
+        )
+        ingestor.push(Event("A", 10.0))
+        ingestor.push(Event("A", 3.0))
+        assert times(ingestor.side_channel) == [3.0]
+        assert ingestor.dropped == 0
+
+    def test_punctuation_releases_and_is_consumed(self):
+        ingestor = OutOfOrderIngestor(PunctuationWatermark("Tick"))
+        ingestor.push(Event("A", 2.0))
+        ingestor.push(Event("A", 1.0))
+        assert len(ingestor) == 2  # nothing released until a punctuation
+        batch = ingestor.push(Event("Tick", 5.0))
+        assert times(batch.released) == [1.0, 2.0]
+        assert batch.advanced
+
+    def test_snapshot_restores_buffer_and_accounting(self):
+        ingestor = OutOfOrderIngestor(
+            BoundedDelayWatermark(10.0), late_policy="side-channel"
+        )
+        for t in (5.0, 3.0, 20.0, 12.0):
+            ingestor.push(Event("A", t))
+        ingestor.push(Event("A", 1.0))  # late (watermark is 10.0)
+        state = ingestor.snapshot()
+
+        restored = OutOfOrderIngestor(
+            BoundedDelayWatermark(10.0), late_policy="side-channel"
+        )
+        restored.restore(state)
+        assert restored.watermark == ingestor.watermark
+        assert len(restored) == len(ingestor)
+        assert times(restored.side_channel) == [1.0]
+        assert times(restored.drain()) == times(ingestor.drain())
+
+    def test_restore_rejects_mismatched_configuration(self):
+        from repro.errors import CheckpointError
+
+        ingestor = OutOfOrderIngestor(BoundedDelayWatermark(5.0))
+        state = ingestor.snapshot()
+        strict = OutOfOrderIngestor(
+            BoundedDelayWatermark(5.0), late_policy=LatePolicy.RAISE
+        )
+        with pytest.raises(CheckpointError):
+            strict.restore(state)  # drop-policy checkpoint into a raise run
+        punctuated = OutOfOrderIngestor(PunctuationWatermark("Tick"))
+        with pytest.raises(CheckpointError):
+            punctuated.restore(state)  # different watermark strategy class
