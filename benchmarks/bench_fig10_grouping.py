@@ -13,7 +13,6 @@ import pytest
 
 from conftest import DEFAULT_BUDGET, save_report
 from repro.bench.harness import measure_run, sweep
-from repro.bench.metrics import RunStatus
 from repro.bench.reporting import format_series_table
 from repro.bench.workloads import figure10_grouping_workload
 

@@ -10,7 +10,7 @@ COGRA stays flat in memory and linear (lowest) in latency.
 
 import pytest
 
-from conftest import DEFAULT_BUDGET, save_report
+from conftest import save_report
 from repro.bench.harness import measure_run, sweep
 from repro.bench.reporting import format_series_table
 from repro.bench.workloads import figure8_any_online_workload

@@ -1,14 +1,19 @@
 """Parallel processing (Section 9.4): partition-parallel vs. sequential execution.
 
 The paper scales COGRA by processing the sub-streams induced by GROUP-BY and
-equivalence predicates independently.  In this single-process Python
-reproduction threads cannot add CPU parallelism (the GIL), so the benchmark
-verifies the *structural* claims instead of wall-clock speed-up:
+equivalence predicates independently.  Threads cannot add CPU parallelism
+for pure-Python hot loops (the GIL), so this benchmark verifies the
+*structural* claims of the thread-pool :class:`ParallelExecutor`:
 
 * partition-parallel execution returns exactly the sequential results,
 * its overhead over the sequential run is bounded, and
 * the per-partition event counts are balanced enough that a multi-process
-  deployment could scale near-linearly (low load imbalance).
+  deployment can scale near-linearly (low load imbalance).
+
+The multi-process deployment exists:
+:class:`~repro.streaming.sharded.ShardedRuntime` routes the same partition
+keys across worker processes, and ``bench_sharded_runtime.py`` measures its
+wall-clock speed-up per worker count.
 """
 
 import pytest

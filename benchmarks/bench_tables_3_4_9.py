@@ -9,7 +9,6 @@
 * Table 9 -- the expressive-power matrix of all five approaches.
 """
 
-import pytest
 
 from conftest import save_report
 from repro.baselines.trend_enumeration import enumerate_trends

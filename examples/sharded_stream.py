@@ -1,0 +1,96 @@
+"""Multi-process sharded streaming: partition parallelism without the GIL.
+
+The paper's parallel-processing argument (Sections 7-8): GROUP-BY and
+equivalence predicates split the stream into sub-streams that never
+interact, so they can run on different CPU cores.  This example
+
+1. generates the synthetic stock stream (19 companies = 19 partitions),
+2. runs the same trend query on a single-process ``StreamingRuntime`` and
+   on a ``ShardedRuntime`` with worker processes, checking the results are
+   identical,
+3. reports per-shard routing statistics and aggregate metrics, and
+4. takes a mid-stream checkpoint from the sharded run and restores it into
+   a runtime with a *different* worker count (checkpoints are topology
+   independent).
+
+Run with::
+
+    python examples/sharded_stream.py
+"""
+
+from repro.datasets.stock import StockConfig, generate_stock_stream
+from repro.events.stream import sort_events
+from repro.streaming.runtime import StreamingRuntime
+from repro.streaming.sharded import ShardedRuntime
+
+QUERY = """
+RETURN company, COUNT(*), MAX(S.price)
+PATTERN Stock S+
+SEMANTICS skip-till-any-match
+WHERE [company]
+GROUP-BY company
+WITHIN 60 seconds SLIDE 30 seconds
+"""
+
+WORKERS = 2
+
+
+def signature(records):
+    """Order-independent view of emitted results for comparison."""
+    rows = []
+    for record in records:
+        result = record.result
+        group = tuple(sorted(result.group.items()))
+        rows.append((result.window_id, group, result.trend_count))
+    return sorted(rows)
+
+
+def main() -> None:
+    events = sort_events(generate_stock_stream(StockConfig(event_count=6_000, seed=7)))
+
+    single = StreamingRuntime(lateness=0.0)
+    single.register(QUERY, name="trends")
+    single_records = single.run(events)
+
+    sharded = ShardedRuntime(workers=WORKERS, lateness=0.0)
+    sharded.register(QUERY, name="trends")
+    sharded_records = sharded.run(events)
+
+    assert signature(sharded_records) == signature(single_records), (
+        "sharded execution must emit exactly the single-process results"
+    )
+    print(f"events                : {len(events):,}")
+    print(f"results               : {len(sharded_records)} (same as single-process)")
+    print(f"throughput (parent)   : {sharded.metrics.throughput():,.0f} events/s")
+    print(sharded.shard_report())
+    print()
+
+    # mid-stream checkpoint under 2 workers, restore under 3
+    half = len(events) // 2
+    first = ShardedRuntime(workers=WORKERS, lateness=0.0)
+    first.register(QUERY, name="trends")
+    records = []
+    for event in events[:half]:
+        records.extend(first.process(event))
+    snapshot = first.checkpoint()
+    records.extend(first.drain_pending())
+    first.close()
+
+    resumed = ShardedRuntime(workers=WORKERS + 1, lateness=0.0)
+    resumed.register(QUERY, name="trends")
+    resumed.restore(snapshot)
+    for event in events[half:]:
+        records.extend(resumed.process(event))
+    records.extend(resumed.flush())
+
+    assert signature(records) == signature(single_records), (
+        "checkpoint/restore across worker counts must not change results"
+    )
+    print(
+        f"checkpoint roundtrip  : {WORKERS} workers -> snapshot -> "
+        f"{WORKERS + 1} workers, results identical"
+    )
+
+
+if __name__ == "__main__":
+    main()

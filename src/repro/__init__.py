@@ -60,6 +60,7 @@ from repro.streaming.ingest import (
 )
 from repro.streaming.metrics import StreamingMetrics
 from repro.streaming.runtime import StreamingRuntime, group_results
+from repro.streaming.sharded import ShardedRuntime
 
 __version__ = "1.0.0"
 
@@ -87,6 +88,7 @@ __all__ = [
     "QueryBuilder",
     "Semantics",
     "Sequence",
+    "ShardedRuntime",
     "StreamingMetrics",
     "StreamingRuntime",
     "WindowSpec",

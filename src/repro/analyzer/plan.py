@@ -12,7 +12,7 @@ A :class:`CograPlan` bundles everything the runtime executor needs:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analyzer.automaton import PatternAutomaton
 from repro.analyzer.classifier import PredicateClassification, classify_predicates

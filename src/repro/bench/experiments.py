@@ -45,7 +45,7 @@ from repro.bench.workloads import (
     figure9_selectivity_workload,
 )
 from repro.core.base import create_aggregator
-from repro.datasets.queries import running_example_query, running_example_stream
+from repro.datasets.queries import running_example_stream
 from repro.query.aggregates import count_star
 from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
 from repro.query.builder import QueryBuilder

@@ -79,7 +79,7 @@ from repro.datasets.transportation import (
     TransportationConfig,
     generate_transportation_stream,
 )
-from repro.errors import InvalidEventError, LateEventError
+from repro.errors import InvalidEventError, LateEventError, WorkerCrashError
 from repro.query.parser import parse_query
 from repro.streaming.ingest import LatePolicy, PunctuationWatermark
 from repro.streaming.jsonl import (
@@ -88,6 +88,7 @@ from repro.streaming.jsonl import (
     write_jsonl_events,
 )
 from repro.streaming.runtime import StreamingRuntime
+from repro.streaming.sharded import ShardedRuntime
 
 #: dataset name -> (config class, generator)
 DATASETS = {
@@ -235,6 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-empty-groups",
         action="store_true",
         help="also emit groups that matched no trend",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 shards the stream by partition key "
+        "(queries without partition attributes fall back to one shard)",
+    )
+    stream.add_argument(
+        "--ship-interval",
+        type=int,
+        default=64,
+        help="with --workers >1: events coalesced per worker batch; 1 "
+        "matches single-process emission timing and watermark stamps "
+        "(line order may still differ), larger values trade emission "
+        "latency for throughput",
     )
     stream.add_argument(
         "--metrics",
@@ -401,15 +418,37 @@ def _command_stream(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers < 1:
+        print(
+            f"--workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ship_interval < 1:
+        print(
+            f"--ship-interval must be at least 1, got {args.ship_interval}",
+            file=sys.stderr,
+        )
+        return 2
     strategy = None
     if args.punctuation_type:
         strategy = PunctuationWatermark(args.punctuation_type)
-    runtime = StreamingRuntime(
-        lateness=args.lateness,
-        watermark_strategy=strategy,
-        late_policy=args.late_policy,
-        emit_empty_groups=args.emit_empty_groups,
-    )
+    if args.workers > 1:
+        runtime = ShardedRuntime(
+            workers=args.workers,
+            lateness=args.lateness,
+            watermark_strategy=strategy,
+            late_policy=args.late_policy,
+            emit_empty_groups=args.emit_empty_groups,
+            ship_interval=args.ship_interval,
+        )
+    else:
+        runtime = StreamingRuntime(
+            lateness=args.lateness,
+            watermark_strategy=strategy,
+            late_policy=args.late_policy,
+            emit_empty_groups=args.emit_empty_groups,
+        )
     for index, text in enumerate(args.queries, start=1):
         query = parse_query(_load_query_text(text), name=f"q{index}")
         runtime.register(query)
@@ -460,12 +499,14 @@ def _command_stream(args) -> int:
         os.dup2(devnull, sys.stdout.fileno())
         os.close(devnull)
         drain_late_events()
-    except (InvalidEventError, LateEventError) as exc:
+    except (InvalidEventError, LateEventError, WorkerCrashError) as exc:
         # the subcommand's documented failure modes (malformed wire input,
-        # --late-policy raise) get a one-line message, not a traceback
+        # --late-policy raise, a crashed shard worker) get a one-line
+        # message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        runtime.close()  # stops sharded workers; no-op for the single runtime
         if close is not None:
             close.close()
         if late_sink is not None:
@@ -479,6 +520,8 @@ def _command_stream(args) -> int:
         print(note, file=sys.stderr)
     if args.metrics:
         print(metrics.describe(), file=sys.stderr)
+        if isinstance(runtime, ShardedRuntime):
+            print(runtime.shard_report(), file=sys.stderr)
     return 0
 
 

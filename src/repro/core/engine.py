@@ -132,6 +132,7 @@ class CograEngine:
         lateness: float = 0.0,
         watermark_strategy=None,
         late_policy="raise",
+        workers: int = 1,
     ):
         """Evaluate the query over a possibly out-of-order stream, lazily.
 
@@ -148,31 +149,63 @@ class CograEngine:
         directly when you need its metrics and side channel) to tolerate
         loss instead.
 
-        The engine itself hosts the execution (it is reset first), so
-        :meth:`storage_units` and friends observe the streaming run.  The
-        engine is claimed *at the call*, not at first iteration: until the
-        returned iterator is exhausted or closed, any other mutation
-        (:meth:`run`, :meth:`process`, :meth:`flush`, :meth:`reset`, or a
-        second :meth:`stream`) raises :class:`RuntimeError` instead of
-        silently mixing two streams into one executor.
-        """
-        from repro.streaming.runtime import StreamingRuntime
+        ``workers > 1`` runs the stream on a
+        :class:`~repro.streaming.sharded.ShardedRuntime`: one worker
+        process per hash-range of partition keys, with ingestion and
+        watermarking in this process.  Execution state then lives in the
+        workers, so :meth:`storage_units` and friends observe nothing;
+        results may also trail the input by a batching interval (they are
+        complete when the iterator is exhausted).  Queries without
+        partition attributes fall back to one shard with a warning.
 
-        runtime = StreamingRuntime(
-            lateness=lateness,
-            watermark_strategy=watermark_strategy,
-            late_policy=late_policy,
-        )
-        runtime.register(self)  # resets the engine, so claim afterwards
+        With ``workers=1`` the engine itself hosts the execution (it is
+        reset first), so :meth:`storage_units` and friends observe the
+        streaming run.  Either way the engine is claimed *at the call*, not
+        at first iteration: until the returned iterator is exhausted or
+        closed, any other mutation (:meth:`run`, :meth:`process`,
+        :meth:`flush`, :meth:`reset`, or a second :meth:`stream`) raises
+        :class:`RuntimeError` instead of silently mixing two streams into
+        one executor.
+        """
+        if workers > 1:
+            from repro.streaming.sharded import ShardedRuntime
+
+            runtime = ShardedRuntime(
+                workers=workers,
+                lateness=lateness,
+                watermark_strategy=watermark_strategy,
+                late_policy=late_policy,
+                emit_empty_groups=self._emit_empty_groups,
+            )
+            # the engine cannot host sharded execution (state lives in the
+            # worker processes); ship the definition at this engine's
+            # resolved granularity instead
+            runtime.register(
+                self.query, granularity=self.granularity
+            )
+            self.reset()
+        else:
+            from repro.streaming.runtime import StreamingRuntime
+
+            runtime = StreamingRuntime(
+                lateness=lateness,
+                watermark_strategy=watermark_strategy,
+                late_policy=late_policy,
+            )
+            runtime.register(self)  # resets the engine, so claim afterwards
         self._stream_active = True
         return _StreamRun(self, self._stream_records(runtime, events))
 
     def _stream_records(self, runtime, events: Iterable[Event]):
-        for event in events:
-            for record in runtime.process(event):
+        try:
+            for event in events:
+                for record in runtime.process(event):
+                    yield record.result
+            for record in runtime.flush():
                 yield record.result
-        for record in runtime.flush():
-            yield record.result
+        finally:
+            # stops ShardedRuntime workers on early close; no-op otherwise
+            runtime.close()
 
     def reset(self) -> None:
         """Discard all runtime state while keeping the compiled plan."""

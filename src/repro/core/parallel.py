@@ -7,20 +7,27 @@ parallel.  This module provides
 * :class:`ParallelExecutor` -- evaluates one query by splitting the stream
   on its partition attributes and running one
   :class:`~repro.core.executor.QueryExecutor` per partition on a thread
-  pool, and
-* :func:`partition_stream` -- the deterministic splitting helper it uses.
+  pool,
+* :func:`partition_stream` -- the deterministic splitting helper it uses, and
+* :func:`shard_index` -- the stable partition-key -> shard mapping shared
+  with the multi-process streaming deployment.
 
 Python threads do not give CPU parallelism for pure-Python hot loops (the
 GIL), so the executor's purpose in this reproduction is to demonstrate the
 *scalability structure* the paper describes -- partitions never interact, so
 results are identical to sequential execution regardless of the worker
-count -- and to provide the hook a C-accelerated or multi-process deployment
-would use.  The benchmark suite checks the structural property (identical
-results, per-partition isolation), not wall-clock speed-up.
+count.  The multi-process deployment this structure enables is
+:class:`~repro.streaming.sharded.ShardedRuntime`, which runs one worker
+*process* per hash-range of partition keys and achieves true CPU
+parallelism; this module stays the single-process, finite-stream
+counterpart.  The benchmark suite checks the structural property here
+(identical results, per-partition isolation) and measures wall-clock
+speed-up in ``benchmarks/bench_sharded_runtime.py``.
 """
 
 from __future__ import annotations
 
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -52,8 +59,28 @@ def partition_stream(
     return partitions
 
 
+def shard_index(key: PartitionKey, shard_count: int) -> int:
+    """Deterministic owner shard of a partition key.
+
+    Both the sharded streaming runtime's router and its checkpoint
+    splitter map keys to workers through this function, so a checkpoint
+    taken under one worker count restores correctly under another.  The
+    hash is CRC-32 of the key's ``repr`` rather than the builtin ``hash``:
+    per-process ``PYTHONHASHSEED`` randomisation would make workers and
+    parent disagree about key ownership.
+    """
+    if shard_count <= 1:
+        return 0
+    return zlib.crc32(repr(key).encode("utf-8")) % shard_count
+
+
 class ParallelExecutor:
     """Evaluate a query partition-parallel over a finite stream.
+
+    This is the single-process (thread pool) form of the paper's
+    partition parallelism; the multi-process streaming form is
+    :class:`~repro.streaming.sharded.ShardedRuntime`, which routes the
+    same partition keys across worker processes via :func:`shard_index`.
 
     Parameters
     ----------

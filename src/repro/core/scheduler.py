@@ -14,7 +14,7 @@ per-sub-stream parallelism the paper describes).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.executor import QueryExecutor
 from repro.core.results import GroupResult

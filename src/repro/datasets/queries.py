@@ -16,7 +16,6 @@ from repro.query.builder import QueryBuilder
 from repro.query.ast import KleenePlus, kleene_plus, sequence, atom
 from repro.query.predicates import comparison
 from repro.query.query import Query
-from repro.query.semantics import Semantics
 from repro.query.windows import WindowSpec
 
 

@@ -75,6 +75,20 @@ class LateEventError(StreamOrderError):
         self.watermark = watermark
 
 
+class WorkerCrashError(CograError):
+    """Raised when a sharded-runtime worker process dies unexpectedly.
+
+    Carries the shard index and the process exit code (or the remote
+    traceback text when the worker reported an error before exiting) so
+    operators can tell an OOM kill from a Python failure.
+    """
+
+    def __init__(self, message: str, shard: int | None = None, exitcode: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
+
+
 class CheckpointError(CograError):
     """Raised when runtime state cannot be snapshotted or restored.
 

@@ -56,6 +56,12 @@ class Event:
     def __setattr__(self, name: str, value: Any):  # pragma: no cover - guard
         raise AttributeError("Event instances are immutable")
 
+    def __reduce__(self):
+        # the default slot-state unpickling would call __setattr__ and hit
+        # the immutability guard; rebuild through the constructor instead
+        # (the sharded runtime ships events to worker processes via queues)
+        return (Event, (self.event_type, self.time, self.attributes, self.sequence))
+
     # -- attribute access -------------------------------------------------
 
     def __getitem__(self, attribute: str) -> Any:

@@ -44,7 +44,6 @@ from repro.query.ast import (
     Sequence,
 )
 from repro.query.predicates import (
-    AdjacentPredicate,
     EquivalencePredicate,
     LocalPredicate,
     OPERATORS,

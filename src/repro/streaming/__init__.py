@@ -9,6 +9,9 @@ stream processor:
   many registered queries over one input stream with shared routing;
 * :mod:`repro.streaming.emission` -- watermark-driven window emission and
   eviction;
+* :mod:`repro.streaming.sharded` -- :class:`ShardedRuntime`, the
+  multi-process deployment: one worker process per hash-range of partition
+  keys, fed by a single parent ingestor;
 * :mod:`repro.streaming.checkpoint` -- snapshot/restore of the complete
   runtime state;
 * :mod:`repro.streaming.metrics` -- throughput, latency, watermark lag and
@@ -39,6 +42,7 @@ from repro.streaming.jsonl import (
 )
 from repro.streaming.metrics import StreamingMetrics
 from repro.streaming.runtime import StreamingRuntime, group_results
+from repro.streaming.sharded import ShardedRuntime, ShardStats
 
 __all__ = [
     "BoundedDelayWatermark",
@@ -49,6 +53,8 @@ __all__ = [
     "LatePolicy",
     "OutOfOrderIngestor",
     "PunctuationWatermark",
+    "ShardStats",
+    "ShardedRuntime",
     "StreamingMetrics",
     "StreamingRuntime",
     "WatermarkStrategy",

@@ -141,6 +141,8 @@ class StreamingRuntime:
         #: set when a restore failed mid-application; the mixed state must
         #: never process events (see :meth:`restore`)
         self._poisoned = False
+        #: highest watermark handed to :meth:`process_ordered` so far
+        self._ordered_watermark = -math.inf
 
     # -- registration ----------------------------------------------------------
 
@@ -210,20 +212,24 @@ class StreamingRuntime:
 
     # -- streaming -------------------------------------------------------------
 
-    def process(self, event: Event) -> List[EmissionRecord]:
-        """Ingest one (possibly out-of-order) event; return emitted results."""
-        if not self._queries:
+    def _check_processable(self, require_open: bool = True) -> None:
+        """Shared guards of the event-facing entry points."""
+        if require_open and not self._queries:
             raise RuntimeError("no queries are registered with this runtime")
         if self._poisoned:
             raise RuntimeError(
                 "a failed restore left this runtime in an inconsistent state; "
                 "create a new runtime (and retry the restore if desired)"
             )
-        if self._flushed:
+        if require_open and self._flushed:
             raise RuntimeError(
                 "this runtime was flushed; emitted windows cannot be reopened "
                 "(start a new runtime, or restore a checkpoint)"
             )
+
+    def process(self, event: Event) -> List[EmissionRecord]:
+        """Ingest one (possibly out-of-order) event; return emitted results."""
+        self._check_processable()
         try:
             batch = self._ingestor.push(event)
         except LateEventError:
@@ -262,13 +268,54 @@ class StreamingRuntime:
         self.metrics.record_emission(len(records))
         return records
 
+    def process_ordered(
+        self, events: Iterable[Event], watermark: Optional[float] = None
+    ) -> List[EmissionRecord]:
+        """Apply already-ordered events, then advance emission to ``watermark``.
+
+        This bypasses the reorder buffer and the late-event policy: the
+        caller guarantees that ``events`` are in ``(time, sequence)`` order
+        and at or above every watermark previously passed here.  It exists
+        for deployments where ordering and watermarking happen *once*
+        upstream -- the sharded runtime's parent ingestor orders the stream
+        and ships watermarked batches to worker processes, each of which
+        hosts one of these runtimes -- but works just as well for replaying
+        a pre-sorted log without paying for the reorder heap.
+
+        ``watermark=None`` applies the events without advancing emission
+        (windows close only when an event walks past their end), mirroring
+        an ingestor push that released events without moving the watermark.
+        """
+        self._check_processable()
+        records: List[EmissionRecord] = []
+        context = (
+            self._ordered_watermark
+            if watermark is None
+            else max(watermark, self._ordered_watermark)
+        )
+        started = _time.perf_counter()
+        count = 0
+        for event in events:
+            count += 1
+            records.extend(self._route(event, context))
+        if count:
+            self.metrics.record_release(count)
+            self.metrics.record_processing_seconds(_time.perf_counter() - started)
+        if watermark is not None and watermark > self._ordered_watermark:
+            self._ordered_watermark = watermark
+            self.metrics.record_watermark(watermark)
+            for registered in self._queries:
+                records.extend(
+                    self._controller.advance(
+                        registered.name, registered.executor, watermark
+                    )
+                )
+        self.metrics.record_emission(len(records))
+        return records
+
     def flush(self) -> List[EmissionRecord]:
         """Drain the reorder buffer and close every open window."""
-        if self._poisoned:
-            raise RuntimeError(
-                "a failed restore left this runtime in an inconsistent state; "
-                "create a new runtime (and retry the restore if desired)"
-            )
+        self._check_processable(require_open=False)
         records: List[EmissionRecord] = []
         remaining = self._ingestor.drain()
         if remaining:
@@ -467,6 +514,16 @@ class StreamingRuntime:
             raise CheckpointError(f"cannot restore checkpoint: {exc}") from exc
         self._poisoned = False
         self._flushed = False
+        # ordered-mode emission resumes from the restored watermark
+        self._ordered_watermark = self.metrics.watermark
+
+    def close(self) -> None:
+        """Release resources held by the runtime (none for this class).
+
+        Exists so callers can treat :class:`StreamingRuntime` and
+        :class:`~repro.streaming.sharded.ShardedRuntime` (which must stop
+        its worker processes) uniformly.
+        """
 
     def __repr__(self) -> str:
         return (

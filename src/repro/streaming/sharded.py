@@ -1,0 +1,956 @@
+"""Multi-process sharded streaming runtime (Sections 7-8, "Parallel Processing").
+
+Equivalence predicates and the GROUP-BY clause partition the stream into
+sub-streams that never interact, so they can be processed on different CPU
+cores.  :class:`ShardedRuntime` exploits that with real processes -- the
+structure :class:`~repro.core.parallel.ParallelExecutor` demonstrates with
+threads, but free of the GIL:
+
+* the **parent** applies out-of-order ingestion exactly once -- one
+  :class:`~repro.streaming.ingest.OutOfOrderIngestor` restores order,
+  generates watermarks and handles late events -- and routes every released
+  event to the worker owning its partition key
+  (:func:`~repro.core.parallel.shard_index` over the key computed by
+  ``plan.partition_key``, the same computation
+  :func:`~repro.core.parallel.partition_stream` uses);
+* each **worker process** hosts a full
+  :class:`~repro.streaming.runtime.StreamingRuntime` for the registered
+  queries and consumes already-ordered, watermarked batches through
+  :meth:`~repro.streaming.runtime.StreamingRuntime.process_ordered`;
+* emitted windows travel back over a result queue and are **merged in
+  watermark order**: batches are numbered (epochs) and an epoch's records
+  are released only once every earlier epoch is complete;
+* :meth:`ShardedRuntime.checkpoint` composes the per-worker snapshots into
+  one runtime-level snapshot in the *same versioned schema*
+  :class:`~repro.streaming.runtime.StreamingRuntime` writes -- a sharded
+  checkpoint restores into a single-process runtime, a single-process
+  checkpoint restores into any worker count, and worker counts can change
+  between checkpoint and restore;
+* a worker that dies (OOM kill, segfault, uncaught error) is detected and
+  reported as :class:`~repro.errors.WorkerCrashError` instead of a hang.
+
+Queries without partition attributes cannot be sharded (every event maps to
+the same key); the runtime then falls back to a single shard and records the
+reason in :attr:`ShardedRuntime.fallback_reason`.
+
+Example
+-------
+::
+
+    runtime = ShardedRuntime(workers=4, lateness=5.0)
+    runtime.register(query_text, name="q")
+    for event in source:
+        for record in runtime.process(event):
+            publish(record.query, record.result)
+    for record in runtime.flush():
+        publish(record.query, record.result)
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import queue as _queue
+import time as _time
+import traceback
+import warnings
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.engine import CograEngine
+from repro.core.parallel import shard_index
+from repro.errors import CheckpointError, LateEventError, WorkerCrashError
+from repro.events.event import Event
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.streaming.checkpoint import (
+    CHECKPOINT_VERSION,
+    restore_executor,
+    snapshot_executor,
+)
+from repro.streaming.emission import EmissionRecord
+from repro.streaming.ingest import (
+    BoundedDelayWatermark,
+    LatePolicy,
+    OutOfOrderIngestor,
+    WatermarkStrategy,
+)
+from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.runtime import StreamingRuntime
+
+#: how long the parent waits for worker liveness before declaring a hang
+ACK_TIMEOUT_SECONDS = 120.0
+
+
+class ShardStats:
+    """Per-worker accounting the parent keeps while routing and merging."""
+
+    __slots__ = ("events_sent", "batches_sent", "records_merged", "processing_seconds")
+
+    def __init__(self) -> None:
+        self.events_sent = 0
+        self.batches_sent = 0
+        self.records_merged = 0
+        self.processing_seconds = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view for reports and tests."""
+        return {
+            "events_sent": self.events_sent,
+            "batches_sent": self.batches_sent,
+            "records_merged": self.records_merged,
+            "processing_seconds": self.processing_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStats(events={self.events_sent}, batches={self.batches_sent}, "
+            f"records={self.records_merged})"
+        )
+
+
+class _QuerySpec:
+    """Everything a worker needs to register one query (picklable)."""
+
+    __slots__ = ("name", "query", "granularity", "emit_empty_groups")
+
+    def __init__(
+        self,
+        name: str,
+        query: Query,
+        granularity: Optional[str],
+        emit_empty_groups: bool,
+    ):
+        self.name = name
+        self.query = query
+        self.granularity = granularity
+        self.emit_empty_groups = emit_empty_groups
+
+
+def _build_worker_runtime(specs: List[_QuerySpec]) -> StreamingRuntime:
+    """The runtime a worker process hosts: same queries, no reorder buffer.
+
+    The parent already ordered and watermarked the stream, so the worker
+    consumes it via :meth:`StreamingRuntime.process_ordered`; the worker's
+    own ingestor stays empty and its lateness bound is irrelevant.
+    """
+    runtime = StreamingRuntime(lateness=0.0)
+    for spec in specs:
+        runtime.register(
+            spec.query,
+            name=spec.name,
+            granularity=spec.granularity,
+            emit_empty_groups=spec.emit_empty_groups,
+        )
+    return runtime
+
+
+def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
+    """Body of one worker process.
+
+    Consumes operation tuples from ``inbox`` until the ``None`` sentinel and
+    acknowledges every operation on ``outbox`` as ``("ok", epoch, shard,
+    payload, processing_seconds)`` or ``("error", epoch, shard, traceback)``.
+    Takes plain queue-like objects so tests can run it synchronously in
+    process with pre-loaded :class:`queue.Queue` instances.
+    """
+    try:
+        runtime = _build_worker_runtime(specs)
+    except Exception:
+        outbox.put(("error", -1, shard, traceback.format_exc()))
+        return
+    outbox.put(("ok", -1, shard, "ready", 0.0))
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        op, epoch = message[0], message[1]
+        try:
+            started = _time.perf_counter()
+            if op == "batch":
+                events, watermark = message[2], message[3]
+                records = runtime.process_ordered(events, watermark)
+                outbox.put(
+                    ("ok", epoch, shard, records, _time.perf_counter() - started)
+                )
+            elif op == "flush":
+                # final events run past the watermark, exactly like the
+                # single-process flush routing drained events at +inf; the
+                # +inf advance then closes every remaining window
+                records = runtime.process_ordered(message[2], math.inf)
+                records.extend(runtime.flush())
+                outbox.put(
+                    ("ok", epoch, shard, records, _time.perf_counter() - started)
+                )
+            elif op == "checkpoint":
+                payload = {
+                    "executors": {
+                        r.name: snapshot_executor(r.executor)
+                        for r in runtime._queries
+                    },
+                }
+                outbox.put(("ok", epoch, shard, payload, 0.0))
+            elif op == "restore":
+                executors = message[2]
+                for registered in runtime._queries:
+                    registered.engine.reset()
+                    if registered.name in executors:
+                        restore_executor(
+                            registered.executor, executors[registered.name]
+                        )
+                runtime._flushed = False
+                runtime._ordered_watermark = -math.inf
+                outbox.put(("ok", epoch, shard, None, 0.0))
+            else:
+                raise ValueError(f"unknown worker operation {op!r}")
+        except Exception:
+            outbox.put(("error", epoch, shard, traceback.format_exc()))
+            # the runtime state after a failed operation is unknown; stop
+            # consuming so the parent sees the shard as failed, not stuck
+            break
+
+
+class _Epoch:
+    """One shipped wave of work and the acknowledgements it still awaits."""
+
+    __slots__ = ("pending", "records")
+
+    def __init__(self, pending: set) -> None:
+        self.pending = pending
+        self.records: List[EmissionRecord] = []
+
+
+class ShardedRuntime:
+    """Executes registered queries across worker processes, one per hash-range.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (hash-ranges of partition keys).  Forced
+        to 1 -- with a diagnostic in :attr:`fallback_reason` -- when the
+        registered queries cannot be sharded consistently.
+    lateness / watermark_strategy / late_policy / emit_empty_groups:
+        As on :class:`~repro.streaming.runtime.StreamingRuntime`; ingestion
+        happens once, in the parent.
+    ship_interval:
+        How many ingested events to coalesce before shipping a wave (with
+        the newest watermark) to the workers.  ``1`` ships on every push,
+        so every record carries the same watermark stamp as in a
+        single-process run (record *order* within a wave is canonical --
+        window, then group, then query -- so multi-query jobs may
+        interleave differently), at the price of one IPC round per event;
+        larger values amortise the queue overhead and only delay *when*
+        windows are emitted, never *what* is emitted.
+    max_batch:
+        Hard outbox bound: a shard's pending events are shipped once they
+        reach this size even when ``ship_interval`` has not elapsed.
+    start_method:
+        Optional :mod:`multiprocessing` start method (default: ``fork``
+        when available, the platform default otherwise).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        lateness: float = 0.0,
+        watermark_strategy: Optional[WatermarkStrategy] = None,
+        late_policy: Union[LatePolicy, str] = LatePolicy.DROP,
+        emit_empty_groups: bool = False,
+        ship_interval: int = 64,
+        max_batch: int = 512,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"worker count must be at least 1, got {workers}")
+        if ship_interval < 1:
+            raise ValueError(f"ship_interval must be at least 1, got {ship_interval}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        self.workers = workers
+        strategy = watermark_strategy or BoundedDelayWatermark(lateness)
+        self._ingestor = OutOfOrderIngestor(strategy, LatePolicy(late_policy))
+        self.metrics = StreamingMetrics()
+        self._emit_empty_groups = emit_empty_groups
+        self._ship_interval = ship_interval
+        self._max_batch = max_batch
+        #: epochs allowed in flight before ingestion blocks on worker acks
+        self._max_inflight = 64
+        self._pushes_since_ship = 0
+        #: newest watermark not yet delivered to the workers, if any
+        self._pending_watermark: Optional[float] = None
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+
+        self._specs: List[_QuerySpec] = []
+        self._engines: Dict[str, CograEngine] = {}
+        #: the plan whose partition_key routes events (set at start)
+        self._routing_plan = None
+        self.shard_count = 0
+        #: why sharding degraded to a single shard, or None
+        self.fallback_reason: Optional[str] = None
+
+        self._procs: List = []
+        self._inboxes: List = []
+        self._ack_queue = None
+        self._started = False
+        self._flushed = False
+        self._poisoned = False
+        self._epoch = 0
+        self._inflight: Dict[int, _Epoch] = {}
+        self._outboxes: List[List[Event]] = []
+        self._ready_records: List[EmissionRecord] = []
+        self._emitted_counts: Dict[str, int] = {}
+        self.shard_stats: List[ShardStats] = []
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        query: Union[Query, str],
+        name: Optional[str] = None,
+        granularity=None,
+        emit_empty_groups: Optional[bool] = None,
+    ) -> str:
+        """Attach a query (text or :class:`~repro.query.query.Query`).
+
+        Mirrors :meth:`StreamingRuntime.register`, except that prepared
+        :class:`CograEngine` instances are rejected: engines own in-process
+        executor state that cannot be shipped to worker processes.
+        """
+        if isinstance(query, CograEngine):
+            raise TypeError(
+                "a prepared CograEngine cannot back a sharded query (its "
+                "executor state lives in this process); register the query "
+                "text or Query object instead"
+            )
+        if self._started:
+            raise RuntimeError(
+                "queries must be registered before the first event is ingested"
+            )
+        if isinstance(query, str):
+            query = parse_query(query)
+        flag = self._emit_empty_groups if emit_empty_groups is None else emit_empty_groups
+        # building the engine here validates the query, resolves the
+        # granularity the same way the workers will, and gives the parent
+        # the plan it routes with and the definition text checkpoints record
+        engine = CograEngine(query, emit_empty_groups=flag, granularity=granularity)
+        name = name or engine.query.name
+        if name in self._engines:
+            raise ValueError(f"a query named {name!r} is already registered")
+        self._specs.append(_QuerySpec(name, query, granularity, flag))
+        self._engines[name] = engine
+        return name
+
+    @property
+    def query_names(self) -> List[str]:
+        """Names of the registered queries, in registration order."""
+        return [spec.name for spec in self._specs]
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def _resolve_shard_count(self) -> int:
+        """Workers the stream can actually use, with the fallback diagnostic."""
+        signatures = {
+            name: engine.plan.partition_attributes
+            for name, engine in self._engines.items()
+        }
+        unpartitioned = sorted(name for name, sig in signatures.items() if not sig)
+        if unpartitioned:
+            self.fallback_reason = (
+                f"queries {unpartitioned} have no partition attributes "
+                "(no GROUP-BY or equivalence predicate), so the stream cannot "
+                "be split; running a single shard"
+            )
+        elif len(set(signatures.values())) > 1:
+            self.fallback_reason = (
+                f"registered queries partition on different attributes "
+                f"{sorted(set(signatures.values()))}; one event would belong "
+                "to different shards for different queries; running a single "
+                "shard"
+            )
+        if self.fallback_reason is not None:
+            if self.workers > 1:
+                warnings.warn(self.fallback_reason, RuntimeWarning, stacklevel=3)
+            return 1
+        return self.workers
+
+    def _start(self) -> None:
+        """Spawn the worker processes and wait for their ready handshakes."""
+        if not self._specs:
+            raise RuntimeError("no queries are registered with this runtime")
+        self.shard_count = self._resolve_shard_count()
+        self._routing_plan = self._engines[self._specs[0].name].plan
+        self._ack_queue = self._context.Queue()
+        self._inboxes = [self._context.Queue() for _ in range(self.shard_count)]
+        self._outboxes = [[] for _ in range(self.shard_count)]
+        self.shard_stats = [ShardStats() for _ in range(self.shard_count)]
+        self._procs = [
+            self._context.Process(
+                target=_worker_loop,
+                args=(shard, self._specs, self._inboxes[shard], self._ack_queue),
+                daemon=True,
+                name=f"cogra-shard-{shard}",
+            )
+            for shard in range(self.shard_count)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._started = True
+        ready = set()
+        while len(ready) < self.shard_count:
+            ack = self._next_ack()
+            if ack[1] != -1 or ack[3] != "ready":
+                raise WorkerCrashError(
+                    f"unexpected worker handshake {ack[:2]!r}", shard=ack[2]
+                )
+            ready.add(ack[2])
+
+    def close(self) -> None:
+        """Stop the worker processes (idempotent).
+
+        Called by :meth:`flush` on success and by users on error paths; a
+        closed runtime cannot process further events.
+        """
+        if not self._started:
+            self._started = True  # a closed runtime must not restart lazily
+            self._poisoned = True
+            return
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in self._inboxes + ([self._ack_queue] if self._ack_queue else []):
+            q.close()
+        self._procs = []
+        self._inboxes = []
+        self._ack_queue = None
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            if self._procs:
+                for proc in self._procs:
+                    if proc.is_alive():
+                        proc.terminate()
+        except Exception:
+            pass
+
+    # -- parent-side messaging -------------------------------------------------
+
+    def _fail(self, message: str, shard: Optional[int], exitcode=None) -> None:
+        self._poisoned = True
+        error = WorkerCrashError(message, shard=shard, exitcode=exitcode)
+        self.close()
+        raise error
+
+    def _next_ack(self):
+        """Blocking read of one acknowledgement, with crash detection."""
+        deadline = _time.monotonic() + ACK_TIMEOUT_SECONDS
+        while True:
+            try:
+                ack = self._ack_queue.get(timeout=0.2)
+            except _queue.Empty:
+                for shard, proc in enumerate(self._procs):
+                    if not proc.is_alive():
+                        self._fail(
+                            f"shard {shard} (pid {proc.pid}) exited with code "
+                            f"{proc.exitcode} while work was in flight",
+                            shard,
+                            exitcode=proc.exitcode,
+                        )
+                if _time.monotonic() > deadline:  # pragma: no cover - hang guard
+                    self._fail(
+                        f"no worker acknowledgement within {ACK_TIMEOUT_SECONDS:g}s",
+                        None,
+                    )
+                continue
+            if ack[0] == "error":
+                shard = ack[2]
+                self._fail(
+                    f"shard {shard} failed:\n{ack[3]}", shard, exitcode=None
+                )
+            return ack
+
+    def _apply_ack(self, ack) -> None:
+        """Fold one batch/flush/restore acknowledgement into its epoch."""
+        _, epoch, shard, records, seconds = ack
+        records = records or ()
+        entry = self._inflight.get(epoch)
+        if entry is None or shard not in entry.pending:  # pragma: no cover
+            raise WorkerCrashError(
+                f"shard {shard} acknowledged unknown epoch {epoch}", shard=shard
+            )
+        entry.pending.discard(shard)
+        entry.records.extend(records)
+        stats = self.shard_stats[shard]
+        stats.records_merged += len(records)
+        stats.processing_seconds += seconds
+        self.metrics.record_processing_seconds(seconds)
+
+    def _release_ready_epochs(self) -> None:
+        """Move completed epochs -- in order -- into the ready record list.
+
+        Records within one epoch come from disjoint shards; sorting by
+        (window, group, query) makes the merged order independent of ack
+        arrival and of the worker count.
+        """
+        while self._inflight:
+            first = min(self._inflight)
+            entry = self._inflight[first]
+            if entry.pending:
+                return
+            del self._inflight[first]
+            entry.records.sort(
+                key=lambda record: (
+                    record.result.window_id,
+                    repr(record.result.group_key),
+                    record.query,
+                )
+            )
+            for record in entry.records:
+                self._emitted_counts[record.query] = (
+                    self._emitted_counts.get(record.query, 0) + 1
+                )
+            self.metrics.record_emission(len(entry.records))
+            self._ready_records.extend(entry.records)
+
+    def _drain_acks(self, block: bool) -> None:
+        """Consume acknowledgements; with ``block`` wait until none in flight."""
+        while self._inflight:
+            self._release_ready_epochs()
+            if not self._inflight:
+                break
+            if block:
+                self._apply_ack(self._next_ack())
+            else:
+                try:
+                    ack = self._ack_queue.get_nowait()
+                except _queue.Empty:
+                    break
+                if ack[0] == "error":
+                    self._fail(
+                        f"shard {ack[2]} failed:\n{ack[3]}", ack[2], exitcode=None
+                    )
+                self._apply_ack(ack)
+        self._release_ready_epochs()
+
+    def _ship(self, op: str, shards: Iterable[int], payloads=None) -> int:
+        """Send one epoch of ``op`` messages to ``shards``; return the epoch."""
+        epoch = self._epoch
+        self._epoch += 1
+        shards = list(shards)
+        self._inflight[epoch] = _Epoch(set(shards))
+        for shard in shards:
+            proc = self._procs[shard]
+            if not proc.is_alive():
+                self._fail(
+                    f"shard {shard} (pid {proc.pid}) exited with code "
+                    f"{proc.exitcode} before epoch {epoch} could be sent",
+                    shard,
+                    exitcode=proc.exitcode,
+                )
+            message = payloads[shard] if payloads is not None else (op, epoch)
+            self._inboxes[shard].put(message)
+        return epoch
+
+    def _ship_outboxes(self, watermark: Optional[float]) -> None:
+        """Ship buffered events (and, with a watermark, an advance) as one epoch.
+
+        A watermark advance must reach *every* shard -- windows close on all
+        of them -- while a plain overflow ship only goes to shards that have
+        events.
+        """
+        self._pushes_since_ship = 0
+        self._pending_watermark = None
+        if watermark is None:
+            shards = [s for s in range(self.shard_count) if self._outboxes[s]]
+            if not shards:
+                return
+        else:
+            shards = list(range(self.shard_count))
+        payloads = {}
+        for shard in shards:
+            events = self._outboxes[shard]
+            payloads[shard] = ("batch", self._epoch, events, watermark)
+            stats = self.shard_stats[shard]
+            stats.events_sent += len(events)
+            stats.batches_sent += 1
+            self._outboxes[shard] = []
+        self._ship("batch", shards, payloads)
+
+    def _route_released(self, events: Iterable[Event]) -> None:
+        """Append released events to the outbox of the shard owning their key.
+
+        Uses the identical key computation as
+        :func:`~repro.core.parallel.partition_stream` (``plan.partition_key``)
+        so sharded, thread-parallel and sequential runs agree on partitions.
+        """
+        plan = self._routing_plan
+        count = self.shard_count
+        if count == 1:
+            self._outboxes[0].extend(events)
+            return
+        for event in events:
+            shard = shard_index(plan.partition_key(event), count)
+            self._outboxes[shard].append(event)
+
+    # -- streaming -------------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self._poisoned:
+            raise RuntimeError(
+                "this sharded runtime was closed after a failure; create a "
+                "new runtime (and restore the last checkpoint if desired)"
+            )
+        if self._flushed:
+            raise RuntimeError(
+                "this runtime was flushed and its workers stopped; create a "
+                "new ShardedRuntime (and restore a checkpoint there if desired)"
+            )
+
+    def process(self, event: Event) -> List[EmissionRecord]:
+        """Ingest one (possibly out-of-order) event; return merged emissions.
+
+        Emission is asynchronous: records surface once the owning worker has
+        acknowledged the batch and every earlier epoch is complete, so a
+        given call may return results triggered by earlier events.  All
+        records are delivered by the end of :meth:`flush`.
+        """
+        self._check_usable()
+        if not self._started:
+            self._start()
+        try:
+            batch = self._ingestor.push(event)
+        except LateEventError:
+            self.metrics.record_ingest(event.time, len(self._ingestor))
+            self.metrics.record_late(rerouted=False)
+            raise
+        if batch.punctuation:
+            self.metrics.record_punctuation()
+        else:
+            self.metrics.record_ingest(event.time, batch.buffered)
+        if batch.late_event is not None:
+            self.metrics.record_late(
+                rerouted=self._ingestor.late_policy is LatePolicy.SIDE_CHANNEL
+            )
+            return self._take_ready()
+        if batch.released:
+            self.metrics.record_release(len(batch.released))
+            self._route_released(batch.released)
+        if batch.advanced:
+            self.metrics.record_watermark(batch.watermark)
+            self._pending_watermark = batch.watermark
+        self._pushes_since_ship += 1
+        if self._pushes_since_ship >= self._ship_interval:
+            # carries the newest watermark (coalescing intermediate ones:
+            # emitting windows at a later watermark changes when results
+            # appear, never which results appear)
+            self._ship_outboxes(self._pending_watermark)
+        elif any(len(outbox) >= self._max_batch for outbox in self._outboxes):
+            self._ship_outboxes(self._pending_watermark)
+        while len(self._inflight) > self._max_inflight:
+            self._apply_ack(self._next_ack())
+            self._release_ready_epochs()
+        self._drain_acks(block=False)
+        return self._take_ready()
+
+    def _take_ready(self) -> List[EmissionRecord]:
+        ready = self._ready_records
+        self._ready_records = []
+        return ready
+
+    def drain_pending(self) -> List[EmissionRecord]:
+        """Collect records merged outside :meth:`process` calls.
+
+        Emission is asynchronous, so records can become ready while a
+        :meth:`checkpoint` quiesces the workers; callers interleaving
+        checkpoints with processing use this to pick them up immediately
+        instead of waiting for the next :meth:`process` return.
+        """
+        self._check_usable()
+        if not self._started:
+            return []
+        self._drain_acks(block=False)
+        return self._take_ready()
+
+    def flush(self) -> List[EmissionRecord]:
+        """Drain everything, close every window, and stop the workers."""
+        self._check_usable()
+        if not self._started:
+            self._start()
+        remaining = self._ingestor.drain()
+        if remaining:
+            self.metrics.record_release(len(remaining))
+            self._route_released(remaining)
+        # drained events ride inside the flush operation so each worker can
+        # route them past the watermark (+inf), like the single-process flush
+        payloads = {}
+        for shard in range(self.shard_count):
+            events = self._outboxes[shard]
+            payloads[shard] = ("flush", self._epoch, events)
+            stats = self.shard_stats[shard]
+            stats.events_sent += len(events)
+            stats.batches_sent += 1
+            self._outboxes[shard] = []
+        self._pushes_since_ship = 0
+        self._pending_watermark = None
+        self._ship("flush", range(self.shard_count), payloads)
+        self._drain_acks(block=True)
+        self._flushed = True
+        self.close()
+        return self._take_ready()
+
+    def run(self, events: Iterable[Event]) -> List[EmissionRecord]:
+        """Convenience: process a finite stream and flush at the end."""
+        records: List[EmissionRecord] = []
+        for event in events:
+            records.extend(self.process(event))
+        records.extend(self.flush())
+        return records
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def watermark(self) -> float:
+        """Current watermark of the (parent) ingestion layer."""
+        return self._ingestor.watermark
+
+    @property
+    def buffered_events(self) -> int:
+        """Events currently held in the parent reorder buffer."""
+        return len(self._ingestor)
+
+    @property
+    def late_events(self) -> List[Event]:
+        """Side channel of late events (``LatePolicy.SIDE_CHANNEL``)."""
+        return list(self._ingestor.side_channel)
+
+    def take_late_events(self) -> List[Event]:
+        """Drain (return and clear) the late-event side channel."""
+        taken = self._ingestor.side_channel
+        self._ingestor.side_channel = []
+        return taken
+
+    def shard_report(self) -> str:
+        """Readable per-shard routing/merging statistics."""
+        lines = [f"shards              : {self.shard_count} (of {self.workers} requested)"]
+        if self.fallback_reason:
+            lines.append(f"fallback            : {self.fallback_reason}")
+        for shard, stats in enumerate(self.shard_stats):
+            lines.append(
+                f"shard {shard}             : events={stats.events_sent} "
+                f"batches={stats.batches_sent} records={stats.records_merged} "
+                f"processing={stats.processing_seconds:.3f}s"
+            )
+        return "\n".join(lines)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the runtime in the single-process checkpoint schema.
+
+        The worker executors' states are merged per query, so the snapshot
+        is indistinguishable from one taken by a
+        :class:`~repro.streaming.runtime.StreamingRuntime` over the same
+        stream prefix -- it restores into a single-process runtime or into a
+        :class:`ShardedRuntime` with *any* worker count.  An informational
+        ``"sharded"`` key records the topology; restorers ignore it.
+        """
+        self._check_usable()
+        if not self._started:
+            self._start()
+        # events sitting in parent outboxes must be part of the workers'
+        # state, not lost between router and snapshot
+        self._ship_outboxes(self._pending_watermark)
+        self._drain_acks(block=True)
+        self._ship("checkpoint", range(self.shard_count))
+        shard_payloads: Dict[int, Dict] = {}
+        collected = 0
+        while collected < self.shard_count:
+            ack = self._next_ack()
+            if ack[0] == "ok" and isinstance(ack[3], dict) and "executors" in ack[3]:
+                shard_payloads[ack[2]] = ack[3]
+                collected += 1
+                self._inflight.pop(ack[1], None)
+            else:  # a straggling batch ack ahead of the checkpoint ack
+                self._apply_ack(ack)
+        self._release_ready_epochs()
+        executors = {
+            spec.name: _merge_executor_snapshots(
+                [shard_payloads[s]["executors"][spec.name] for s in sorted(shard_payloads)]
+            )
+            for spec in self._specs
+        }
+        return {
+            "version": CHECKPOINT_VERSION,
+            "queries": [
+                {
+                    "name": spec.name,
+                    "granularity": self._engines[spec.name].granularity,
+                    "definition": self._engines[spec.name].query.describe(),
+                    "emit_empty_groups": spec.emit_empty_groups,
+                }
+                for spec in self._specs
+            ],
+            "executors": executors,
+            "ingest": self._ingestor.snapshot(),
+            "metrics": self.metrics.snapshot(),
+            "emitted_counts": dict(self._emitted_counts),
+            "sharded": {"workers": self.shard_count},
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot (sharded or single-process) into this runtime.
+
+        The same queries must be registered (names, granularities,
+        definitions, ``emit_empty_groups``) as in the checkpointed runtime;
+        the worker count may differ -- every aggregator is re-routed to the
+        shard owning its partition key under *this* runtime's topology.
+        Pending records of this runtime's own timeline are discarded.
+        """
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        self._check_usable()
+        if not self._started:
+            self._start()
+        try:
+            recorded = [
+                (
+                    q["name"],
+                    q["granularity"],
+                    q.get("definition"),
+                    bool(q.get("emit_empty_groups", False)),
+                )
+                for q in state["queries"]
+            ]
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+        current = [
+            (
+                spec.name,
+                self._engines[spec.name].granularity,
+                self._engines[spec.name].query.describe(),
+                bool(spec.emit_empty_groups),
+            )
+            for spec in self._specs
+        ]
+        if recorded != current:
+            names = [(entry[0], entry[1]) for entry in recorded]
+            raise CheckpointError(
+                f"registered queries do not match the checkpointed queries "
+                f"{names}: names, granularities, definitions and "
+                f"emit_empty_groups must be identical"
+            )
+        # quiesce: outstanding epochs and unshipped events belong to the
+        # abandoned timeline
+        self._drain_acks(block=True)
+        self._ready_records = []
+        self._outboxes = [[] for _ in range(self.shard_count)]
+        self._pushes_since_ship = 0
+        self._pending_watermark = None
+        try:
+            splits = {
+                shard: {"executors": {}} for shard in range(self.shard_count)
+            }
+            for spec in self._specs:
+                per_shard = _split_executor_snapshot(
+                    state["executors"][spec.name], self.shard_count
+                )
+                for shard, snapshot in per_shard.items():
+                    splits[shard]["executors"][spec.name] = snapshot
+            self._ingestor.restore(state["ingest"])
+            self.metrics.restore(state["metrics"])
+            self._emitted_counts = {
+                name: int(count) for name, count in state["emitted_counts"].items()
+            }
+            payloads = {
+                shard: ("restore", self._epoch, splits[shard]["executors"])
+                for shard in range(self.shard_count)
+            }
+            self._ship("restore", range(self.shard_count), payloads)
+            self._drain_acks(block=True)
+        except WorkerCrashError:
+            raise  # _fail already poisoned the runtime and stopped the workers
+        except Exception as exc:
+            # the workers now hold a half-applied timeline; stop them so a
+            # failed restore cannot leak idle processes
+            self._poisoned = True
+            self.close()
+            if isinstance(exc, CheckpointError):
+                raise
+            raise CheckpointError(f"cannot restore checkpoint: {exc}") from exc
+        self._flushed = False
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRuntime({len(self._specs)} queries, "
+            f"workers={self.workers}, shards={self.shard_count or 'unstarted'}, "
+            f"watermark={self._ingestor.watermark:g})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# checkpoint merge/split helpers
+# ---------------------------------------------------------------------------
+
+
+def _merge_executor_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Combine per-shard executor snapshots into one single-process snapshot.
+
+    Shards hold disjoint (window, partition key) aggregators, so the merge
+    concatenates; entries are sorted for a deterministic, diffable snapshot.
+    """
+    first = snapshots[0]
+    aggregators = [entry for snapshot in snapshots for entry in snapshot["aggregators"]]
+    aggregators.sort(key=lambda entry: (entry[0], repr(entry[1])))
+    last_times = [s["last_time"] for s in snapshots if s["last_time"] is not None]
+    return {
+        "query": first["query"],
+        "granularity": first["granularity"],
+        "events_seen": sum(int(s["events_seen"]) for s in snapshots),
+        "last_time": max(last_times) if last_times else None,
+        "aggregators": aggregators,
+    }
+
+
+def _split_executor_snapshot(
+    snapshot: Dict[str, object], shard_count: int
+) -> Dict[int, Dict[str, object]]:
+    """Split one executor snapshot into per-shard snapshots by key ownership.
+
+    The inverse of :func:`_merge_executor_snapshots` under any shard count:
+    each aggregator entry goes to ``shard_index`` of its partition key.  The
+    scalar fields cannot be split faithfully, so every shard receives the
+    global ``last_time`` (protecting executor order checks) and shard 0
+    carries the full ``events_seen`` (so a later merge sums back to the
+    original).
+    """
+    per_shard: Dict[int, Dict[str, object]] = {}
+    for shard in range(shard_count):
+        per_shard[shard] = {
+            "query": snapshot["query"],
+            "granularity": snapshot["granularity"],
+            "events_seen": int(snapshot["events_seen"]) if shard == 0 else 0,
+            "last_time": snapshot["last_time"],
+            "aggregators": [],
+        }
+    for entry in snapshot["aggregators"]:
+        key = tuple(entry[1])
+        per_shard[shard_index(key, shard_count)]["aggregators"].append(entry)
+    return per_shard

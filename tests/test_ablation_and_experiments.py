@@ -19,8 +19,6 @@ from repro.bench.experiments import (
 )
 from repro.bench.metrics import RunStatus
 from repro.datasets.queries import (
-    running_example_query,
-    running_example_stream,
     stock_trend_query,
     transportation_query,
 )

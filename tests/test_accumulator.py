@@ -1,6 +1,5 @@
 """Tests for the incremental aggregate cells (Table 8 of the paper)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

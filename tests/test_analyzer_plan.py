@@ -1,9 +1,8 @@
 """Tests for the predicate classifier, granularity selector and query plan."""
 
-import pytest
 
 from repro.analyzer.classifier import classify_predicates
-from repro.analyzer.granularity import Granularity, granularity_table, select_granularity, split_variables
+from repro.analyzer.granularity import Granularity, granularity_table, split_variables
 from repro.analyzer.automaton import PatternAutomaton
 from repro.analyzer.plan import plan_query
 from repro.events.event import Event

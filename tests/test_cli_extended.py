@@ -1,6 +1,5 @@
 """Tests for the CLI sub-commands added on top of explain/run/figures."""
 
-import pytest
 
 from repro.cli import main
 

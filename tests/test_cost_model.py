@@ -1,6 +1,5 @@
 """Tests for the static cost model (Table 3 and the complexity theorems)."""
 
-import pytest
 
 from repro.analyzer.cost import (
     GrowthClass,

@@ -1,6 +1,5 @@
 """Tests for reading/writing event streams in the paper's file formats."""
 
-import math
 
 import pytest
 

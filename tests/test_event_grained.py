@@ -11,7 +11,6 @@ from repro.core.mixed_grained import MixedGrainedAggregator
 from repro.core.type_grained import TypeGrainedAggregator
 from repro.core.base import create_aggregator
 from repro.errors import PlanningError
-from repro.events.event import Event
 from repro.query.aggregates import count_star, min_of, sum_of
 from repro.query.ast import KleenePlus, atom, kleene_plus, sequence
 from repro.query.builder import QueryBuilder

@@ -37,6 +37,18 @@ class TestEvent:
         with pytest.raises(ValueError):
             Event("Stock", -1.0)
 
+    def test_pickle_roundtrip_preserves_immutability(self):
+        # events travel to sharded-runtime workers over queues; the default
+        # slot unpickling would trip the immutability guard
+        import pickle
+
+        event = Event("Stock", 2.5, {"company": "IBM", "price": 10.0}, sequence=7)
+        clone = pickle.loads(pickle.dumps(event))
+        assert clone == event
+        assert clone.sequence == 7
+        with pytest.raises(AttributeError):
+            clone.time = 3.0
+
     def test_immutability(self):
         event = Event("Stock", 1.0, {"price": 10})
         with pytest.raises(AttributeError):

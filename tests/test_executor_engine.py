@@ -6,7 +6,7 @@ from repro.core.engine import CograEngine
 from repro.core.executor import QueryExecutor
 from repro.errors import StreamOrderError
 from repro.events.event import Event
-from repro.query.aggregates import count_star, min_of
+from repro.query.aggregates import count_star
 from repro.query.ast import atom, kleene_plus, sequence
 from repro.query.builder import QueryBuilder
 from repro.query.windows import WindowSpec

@@ -24,7 +24,6 @@ from repro.core.parallel import ParallelExecutor
 from repro.datasets.io import read_stream_csv, write_stream_csv
 from repro.events.event import Event
 from repro.extensions.negation import (
-    analyze_negations,
     create_negation_aggregator,
     filter_trends_with_negations,
     plan_negated_query,

@@ -1,6 +1,5 @@
 """Tests for the mixed-grained aggregator (Algorithm 2, Table 6 of the paper)."""
 
-import pytest
 
 from repro.analyzer.plan import plan_query
 from repro.core.mixed_grained import MixedGrainedAggregator

@@ -1,6 +1,5 @@
 """End-to-end tests of the paper's example queries q1-q3 on hand-made streams."""
 
-import pytest
 
 from repro.baselines import TrendOracle
 from repro.core.engine import CograEngine

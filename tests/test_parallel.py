@@ -4,7 +4,7 @@ import pytest
 
 from repro.analyzer.plan import plan_query
 from repro.core.engine import CograEngine
-from repro.core.parallel import ParallelExecutor, partition_stream
+from repro.core.parallel import ParallelExecutor, partition_stream, shard_index
 from repro.core.scheduler import TimeDrivenScheduler
 from repro.core.executor import QueryExecutor
 from repro.datasets.queries import (
@@ -68,6 +68,48 @@ class TestPartitionStream:
         )
         partitions = partition_stream(plan_query(query), event_spec("a1 a2 a3"))
         assert list(partitions.keys()) == [()]
+
+
+class TestShardIndex:
+    def test_stable_and_in_range(self, stock_stream):
+        plan = plan_query(stock_trend_query(window=None))
+        for event in stock_stream[:50]:
+            key = plan.partition_key(event)
+            owner = shard_index(key, 4)
+            assert 0 <= owner < 4
+            assert owner == shard_index(key, 4), "shard owner must be stable"
+
+    def test_single_shard_owns_everything(self):
+        assert shard_index(("IBM",), 1) == 0
+        assert shard_index((), 1) == 0
+
+    def test_independent_of_hash_randomisation(self):
+        # builtin hash() varies with PYTHONHASHSEED across processes, which
+        # would break parent/worker agreement; crc32 of repr does not
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.core.parallel import shard_index;"
+            "print([shard_index((k,), 5) for k in ('IBM', 'ACME', 'INFY')])"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("1", "2")
+        }
+        assert len(outputs) == 1
+        assert outputs == {f"{[shard_index((k,), 5) for k in ('IBM', 'ACME', 'INFY')]}\n"}
+
+    def test_partitions_distribute_across_shards(self, stock_stream):
+        plan = plan_query(stock_trend_query(window=None))
+        keys = {plan.partition_key(event) for event in stock_stream}
+        owners = {shard_index(key, 4) for key in keys}
+        assert len(owners) > 1, "19 companies should span several shards"
 
 
 class TestParallelMatchesSequential:

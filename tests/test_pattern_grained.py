@@ -1,6 +1,5 @@
 """Tests for the pattern-grained aggregator (Algorithm 3, Table 7 of the paper)."""
 
-import pytest
 
 from repro.analyzer.plan import plan_query
 from repro.core.pattern_grained import PatternGrainedAggregator

@@ -1,6 +1,5 @@
 """Tests for the ASCII chart rendering of benchmark sweeps."""
 
-import pytest
 
 from repro.bench.metrics import RunMetrics, RunStatus
 from repro.bench.plots import ascii_chart, chart_results, series_from_results

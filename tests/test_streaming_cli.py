@@ -323,3 +323,52 @@ class TestStreamCommand:
         monkeypatch.setattr("sys.stdin", io.StringIO(payload))
         assert main(["stream", QUERY]) == 0
         assert capsys.readouterr().out.strip()
+
+    def test_stream_workers_matches_single_process(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert main(["stream", QUERY, "--input", str(path), "--lateness", "2"]) == 0
+        single = sorted(capsys.readouterr().out.strip().splitlines())
+        assert (
+            main(
+                [
+                    "stream",
+                    QUERY,
+                    "--input",
+                    str(path),
+                    "--lateness",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--ship-interval",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        sharded = sorted(capsys.readouterr().out.strip().splitlines())
+        assert sharded == single
+
+    def test_stream_workers_metrics_include_shard_report(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert (
+            main(
+                [
+                    "stream",
+                    QUERY,
+                    "--input",
+                    str(path),
+                    "--workers",
+                    "2",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "shards" in err
+        assert "shard 0" in err
+
+    def test_stream_rejects_non_positive_workers(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert main(["stream", QUERY, "--input", str(path), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err

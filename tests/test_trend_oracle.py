@@ -1,6 +1,5 @@
 """Tests for the declarative trend enumerator (Definitions 2-4, Figure 2)."""
 
-import pytest
 
 from repro.analyzer.plan import plan_query
 from repro.baselines.trend_enumeration import TrendOracle, aggregate_trends, enumerate_trends

@@ -1,6 +1,5 @@
 """Tests for the type-grained aggregator (Algorithm 1, Table 5 of the paper)."""
 
-import pytest
 
 from repro.analyzer.plan import plan_query
 from repro.core.type_grained import TypeGrainedAggregator
