@@ -1,8 +1,17 @@
-"""Streaming runtime demo: out-of-order events, many queries, checkpointing.
+"""Streaming pipeline demo: sources, sinks, incremental checkpoints, recovery.
 
-Simulates a live stock feed with bounded disorder, registers two queries
-against the same stream, emits window results as the watermark advances,
-checkpoints the runtime mid-stream, and resumes it from the snapshot.
+Simulates a live stock feed with bounded disorder and runs it through the
+pipeline driver (source -> ingest/watermark -> route -> execute -> emit ->
+sink) instead of a hand-rolled ingestion loop:
+
+1. two queries registered against one out-of-order stream, emitted into an
+   in-memory sink while an incremental :class:`CheckpointStore` snapshots
+   the runtime every 500 events (deltas + periodic base compaction);
+2. the run is *abandoned mid-stream* -- as if the process had died -- and a
+   fresh runtime resumes from the newest on-disk checkpoint, replaying only
+   the events the checkpoint had not ingested yet;
+3. the union of results (pre-crash + resumed, deduplicated by window like
+   any at-least-once consumer would) is identical to an uninterrupted run.
 
 Run with::
 
@@ -11,8 +20,15 @@ Run with::
 
 import json
 import random
+import tempfile
 
-from repro import CograEngine, StreamingRuntime, group_results
+from repro import (
+    CheckpointStore,
+    CograEngine,
+    MemorySink,
+    StreamingRuntime,
+    group_results,
+)
 from repro.datasets.stock import StockConfig, generate_stock_stream
 from repro.events.stream import sort_events
 
@@ -36,69 +52,78 @@ WITHIN 10 seconds SLIDE 10 seconds
 """
 
 
+def build_runtime() -> StreamingRuntime:
+    runtime = StreamingRuntime(lateness=LATENESS, late_policy="side-channel")
+    runtime.register(RISING_RUNS, name="rising-runs")
+    runtime.register(TRADE_VOLUME, name="trade-volume")
+    return runtime
+
+
+def distinct(records):
+    """At-least-once consumers deduplicate by window identity."""
+    return {
+        (r.query, r.result.window_id, tuple(sorted(r.result.group.items())),
+         tuple(sorted(r.result.values.items())))
+        for r in records
+    }
+
+
 def main() -> None:
     ordered = sort_events(generate_stock_stream(StockConfig(event_count=3000, seed=9)))
     # a "network" that delivers events up to LATENESS seconds out of order
     rng = random.Random(41)
     feed = sorted(ordered, key=lambda e: (e.time + rng.uniform(0.0, LATENESS), e.sequence))
 
-    runtime = StreamingRuntime(lateness=LATENESS, late_policy="side-channel")
-    runtime.register(RISING_RUNS, name="rising-runs")
-    runtime.register(TRADE_VOLUME, name="trade-volume")
-
+    # == 1: the uninterrupted pipeline run (the reference) ==
+    reference = build_runtime()
+    sink = MemorySink()
+    reference.run(feed, sink)
     print("== live emission (first 8 window results) ==")
-    shown = 0
-    records = []
-    after_checkpoint = []
-    checkpoint = None
-    for index, event in enumerate(feed):
-        for record in runtime.process(event):
-            records.append(record)
-            if checkpoint is not None:
-                after_checkpoint.append(record)
-            if shown < 8:
-                row = record.as_dict()
-                print(f"  wm={record.watermark:7.1f}  {json.dumps(row, default=str)}")
-                shown += 1
-        if index == len(feed) // 2 and checkpoint is None:
-            checkpoint = runtime.checkpoint()
-            print(f"-- checkpoint taken after {index + 1} events "
-                  f"({len(json.dumps(checkpoint))} bytes as JSON)")
-
-    tail = runtime.flush()
-    records.extend(tail)
-    after_checkpoint.extend(tail)
-    print(f"total results: {len(records)} "
-          f"({sum(1 for r in records if not r.is_final_flush)} emitted before end of stream)")
+    for record in sink.records[:8]:
+        print(f"  wm={record.watermark:7.1f}  "
+              f"{json.dumps(record.as_dict(), default=str)}")
+    incremental = sum(1 for r in sink.records if not r.is_final_flush)
+    print(f"total results: {len(sink.records)} "
+          f"({incremental} emitted before end of stream)")
     print()
     print("== runtime metrics ==")
-    print(runtime.metrics.describe())
+    print(reference.metrics.describe())
     print()
 
-    # resume from the checkpoint and replay the second half: identical output
-    resumed = StreamingRuntime(lateness=LATENESS, late_policy="side-channel")
-    resumed.register(RISING_RUNS, name="rising-runs")
-    resumed.register(TRADE_VOLUME, name="trade-volume")
-    resumed.restore(checkpoint)
-    replay = []
-    for event in feed[len(feed) // 2 + 1:]:
-        replay.extend(resumed.process(event))
-    replay.extend(resumed.flush())
+    # == 2: the same job, checkpointing every 500 events -- then it "dies" ==
+    store_dir = tempfile.mkdtemp(prefix="cogra-ckpt-")
+    with CheckpointStore(store_dir, compact_every=4) as store:
+        crashed = build_runtime()
+        survivors = []
+        for record in crashed.drive(
+            feed, checkpoint_store=store, checkpoint_interval=500
+        ):
+            survivors.append(record)
+            if len(survivors) >= len(sink.records) // 2:
+                break  # the "process dies" here: no flush, windows lost
+        print("== checkpoint chain at the moment of the crash ==")
+        for entry in store.entries:
+            print(f"  #{entry.checkpoint_id}  {entry.kind:<5}  "
+                  f"{entry.bytes_written:6d} bytes")
 
-    def signature(emitted):
-        return [
-            (r.query, r.result.window_id, tuple(sorted(r.result.group.items())),
-             tuple(sorted(r.result.values.items())))
-            for r in emitted
-        ]
+        # == 3: recover from the newest on-disk checkpoint ==
+        snapshot = store.load_latest()
+        ingested = snapshot["metrics"]["events_ingested"]
+        resumed = build_runtime()
+        resumed.restore(snapshot)
+        replay = list(resumed.drive(feed[ingested:]))
+        print()
+        print(f"== recovery: resumed from checkpoint at event {ingested}, "
+              f"replayed {len(feed) - ingested} events ==")
 
-    assert signature(replay) == signature(after_checkpoint)
-    print(f"== resumed from checkpoint: {len(replay)} results, identical to the "
-          "uninterrupted run's post-checkpoint output ==")
+        # at-least-once: windows emitted between the checkpoint and the crash
+        # are re-emitted by the resumed run; a consumer dedups by window
+        assert distinct(survivors) | distinct(replay) == distinct(sink.records)
+        print("pre-crash + resumed results == uninterrupted run (after dedup)")
 
     # sanity: the streaming run agrees with the batch engine on sorted input
     batch = CograEngine.from_text(RISING_RUNS).run(ordered)
-    streamed = group_results(records, query="rising-runs")
+    streamed = group_results(sink.records, query="rising-runs")
     assert {(r.window_id, tuple(r.group.items())) for r in batch} == {
         (r.window_id, tuple(r.group.items())) for r in streamed
     }

@@ -52,6 +52,7 @@ from repro.query.predicates import (
 from repro.query.query import Query
 from repro.query.semantics import Semantics
 from repro.query.windows import WindowSpec
+from repro.streaming.checkpoint import CheckpointStore
 from repro.streaming.emission import EmissionRecord
 from repro.streaming.ingest import (
     BoundedDelayWatermark,
@@ -61,25 +62,44 @@ from repro.streaming.ingest import (
 from repro.streaming.metrics import StreamingMetrics
 from repro.streaming.runtime import StreamingRuntime, group_results
 from repro.streaming.sharded import ShardedRuntime
+from repro.streaming.sources import (
+    CallbackSink,
+    EventSource,
+    IterableSource,
+    JsonlFileSink,
+    JsonlFileSource,
+    JsonlFileTailSource,
+    MemorySink,
+    Sink,
+    SocketJsonlSource,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdjacentPredicate",
     "BoundedDelayWatermark",
+    "CallbackSink",
+    "CheckpointStore",
     "CograEngine",
     "EmissionRecord",
     "EquivalencePredicate",
     "Event",
     "EventSchema",
+    "EventSource",
     "EventStream",
     "EventTypePattern",
     "Granularity",
     "GroupResult",
+    "IterableSource",
+    "JsonlFileSink",
+    "JsonlFileSource",
+    "JsonlFileTailSource",
     "KleenePlus",
     "KleeneStar",
     "LatePolicy",
     "LocalPredicate",
+    "MemorySink",
     "Negation",
     "OptionalPattern",
     "ParallelExecutor",
@@ -89,6 +109,8 @@ __all__ = [
     "Semantics",
     "Sequence",
     "ShardedRuntime",
+    "Sink",
+    "SocketJsonlSource",
     "StreamingMetrics",
     "StreamingRuntime",
     "WindowSpec",

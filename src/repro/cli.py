@@ -79,16 +79,20 @@ from repro.datasets.transportation import (
     TransportationConfig,
     generate_transportation_stream,
 )
-from repro.errors import InvalidEventError, LateEventError, WorkerCrashError
-from repro.query.parser import parse_query
-from repro.streaming.ingest import LatePolicy, PunctuationWatermark
-from repro.streaming.jsonl import (
-    read_jsonl_events,
-    record_to_json_line,
-    write_jsonl_events,
+from repro.errors import (
+    CheckpointError,
+    InvalidEventError,
+    LateEventError,
+    SourceError,
+    WorkerCrashError,
 )
+from repro.query.parser import parse_query
+from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.ingest import LatePolicy, PunctuationWatermark
+from repro.streaming.jsonl import record_to_json_line, write_jsonl_events
 from repro.streaming.runtime import StreamingRuntime
 from repro.streaming.sharded import ShardedRuntime
+from repro.streaming.sources import CallbackSink, EventSource, open_source
 
 #: dataset name -> (config class, generator)
 DATASETS = {
@@ -206,7 +210,39 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--input",
         default="-",
-        help="JSONL event file, or '-' to read from stdin (default)",
+        help="JSONL event file, or '-' to read from stdin (default); "
+        "shorthand for the file/stdin forms of --source",
+    )
+    stream.add_argument(
+        "--source",
+        default=None,
+        help="event source specification: '-' (stdin), a JSONL file path, "
+        "'tail:PATH' (follow a growing JSONL file), or 'tcp://HOST:PORT' "
+        "(connect to a JSONL socket); overrides --input",
+    )
+    stream.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory of the incremental checkpoint store; with "
+        "--checkpoint-interval the job checkpoints periodically, with "
+        "--recover it resumes from the newest checkpoint",
+    )
+    stream.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="checkpoint every N ingested events into --checkpoint-dir "
+        "(incremental deltas, periodically compacted)",
+    )
+    stream.add_argument(
+        "--recover",
+        action="store_true",
+        help="resume from the newest checkpoint in --checkpoint-dir (start "
+        "fresh when the store is empty): re-run the same command with the "
+        "same input -- for file and tail: sources the already-ingested "
+        "prefix of the replayed stream is skipped automatically; combined "
+        "with --checkpoint-interval and --workers >1 it also restarts "
+        "crashed shard workers from checkpoints instead of aborting",
     )
     stream.add_argument(
         "--lateness",
@@ -283,6 +319,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute whose falling-value selectivity is reported (e.g. price)",
     )
     return parser
+
+
+class _SkippingSource(EventSource):
+    """Drops the first ``skip`` events of a replayed source (``--recover``).
+
+    A restarted job re-reads the same JSONL file (or the same growing file)
+    from the beginning; the events the restored checkpoint already ingested
+    must not be counted twice.  Skipping by arrival index keeps sequence
+    numbers identical to the original run, so the restored reorder buffer
+    and the freshly read remainder line up exactly.
+    """
+
+    def __init__(self, source, skip: int):
+        self._source = source
+        self._skip = skip
+
+    def events(self):
+        for index, event in enumerate(self._source.events()):
+            if index < self._skip:
+                continue
+            yield event
+
+    def close(self) -> None:
+        self._source.close()
+
+
+def _close_store_quietly(store) -> None:
+    """Stop a checkpoint store on an error path (its writer thread included)."""
+    try:
+        store.close()
+    except CheckpointError:
+        pass  # the path is already reporting a more primary error
 
 
 def _load_query_text(argument: str) -> str:
@@ -430,6 +498,33 @@ def _command_stream(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print(
+            f"--checkpoint-interval must be at least 1, got {args.checkpoint_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_interval is not None and not args.checkpoint_dir:
+        print(
+            "--checkpoint-interval requires --checkpoint-dir DIR "
+            "(where the incremental checkpoints are stored)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.recover and not args.checkpoint_dir:
+        print(
+            "--recover requires --checkpoint-dir DIR (the store to resume from)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_dir and args.checkpoint_interval is None and not args.recover:
+        print(
+            "--checkpoint-dir does nothing by itself; add --checkpoint-interval N "
+            "to write periodic checkpoints and/or --recover to resume from the "
+            "store",
+            file=sys.stderr,
+        )
+        return 2
     strategy = None
     if args.punctuation_type:
         strategy = PunctuationWatermark(args.punctuation_type)
@@ -441,6 +536,14 @@ def _command_stream(args) -> int:
             late_policy=args.late_policy,
             emit_empty_groups=args.emit_empty_groups,
             ship_interval=args.ship_interval,
+            # --recover with periodic checkpoints also means "survive worker
+            # crashes": restart shards from the latest checkpoint instead of
+            # aborting.  Without an interval the replay buffers would never
+            # be trimmed (nothing calls checkpoint()) and the parent would
+            # retain every shipped event, so restarts stay disabled then.
+            max_restarts=(
+                3 if args.recover and args.checkpoint_interval else 0
+            ),
         )
     else:
         runtime = StreamingRuntime(
@@ -453,16 +556,67 @@ def _command_stream(args) -> int:
         query = parse_query(_load_query_text(text), name=f"q{index}")
         runtime.register(query)
 
-    if args.input == "-":
-        lines = sys.stdin
-        close = None
-    else:
+    spec_flag = "--source" if args.source else "--input"
+    try:
+        source = open_source(args.source if args.source else args.input)
+    except SourceError as exc:
+        print(f"error: cannot open {spec_flag}: {exc}", file=sys.stderr)
+        return 1
+
+    store = None
+    if args.checkpoint_dir:
         try:
-            close = open(args.input, "r", encoding="utf-8")
-        except OSError as exc:
-            print(f"error: cannot open --input: {exc}", file=sys.stderr)
+            store = CheckpointStore(args.checkpoint_dir, background=True)
+            if args.recover:
+                state = store.load_latest()
+                if state is None:
+                    print(
+                        f"# no checkpoint in {args.checkpoint_dir}; starting fresh",
+                        file=sys.stderr,
+                    )
+                else:
+                    runtime.restore(state)
+                    ingested = int(state["metrics"].get("events_ingested", 0))
+                    # punctuation events consumed source lines too without
+                    # counting as ingested data events; the skip must cover
+                    # every line the checkpointed run read
+                    consumed = ingested + int(
+                        state["metrics"].get("punctuations_seen", 0)
+                    )
+                    print(
+                        f"# resumed from checkpoint {store.latest_id()} "
+                        f"({ingested} events in)",
+                        file=sys.stderr,
+                    )
+                    # a replayable source re-delivers the stream from the
+                    # start (same file, or the same tailed file re-read);
+                    # the first `consumed` events are already inside the
+                    # restored state and must not be counted twice.  Live
+                    # sources (sockets, stdin pipes) deliver fresh data
+                    # instead -- skipping there would drop events.
+                    if getattr(source, "replayable", False):
+                        source = _SkippingSource(source, consumed)
+                        print(
+                            f"# skipping the {consumed} already-ingested "
+                            f"events of the replayed input",
+                            file=sys.stderr,
+                        )
+                    elif consumed:
+                        print(
+                            "# warning: this source type does not replay "
+                            "from the start; events are NOT skipped -- "
+                            "ensure the producer resumes where the "
+                            "checkpoint left off",
+                            file=sys.stderr,
+                        )
+        except (CheckpointError, WorkerCrashError) as exc:
+            source.close()
+            runtime.close()
+            if store is not None:
+                _close_store_quietly(store)
+            print(f"error: {exc}", file=sys.stderr)
             return 1
-        lines = close
+
     late_sink = None
     if args.late_output:
         try:
@@ -470,27 +624,32 @@ def _command_stream(args) -> int:
             # across runs would silently replay stale events on reprocessing
             late_sink = open(args.late_output, "w", encoding="utf-8")
         except OSError as exc:
-            if close is not None:
-                close.close()
+            source.close()
+            runtime.close()
+            if store is not None:
+                _close_store_quietly(store)
             print(f"error: cannot open --late-output: {exc}", file=sys.stderr)
             return 1
 
-    def drain_late_events() -> None:
+    def persist_late_events(late_events) -> None:
         """Persist side-channelled late events so they never pile up."""
-        if late_sink is not None:
-            write_jsonl_events(runtime.take_late_events(), late_sink)
-            late_sink.flush()
+        write_jsonl_events(late_events, late_sink)
+        late_sink.flush()
 
-    try:
+    def emit(record) -> None:
         # flush per line: incremental emission must reach a piped consumer
         # immediately, not sit in the block buffer until end of stream
-        for event in read_jsonl_events(lines):
-            for record in runtime.process(event):
-                print(record_to_json_line(record), flush=True)
-            drain_late_events()
-        for record in runtime.flush():
-            print(record_to_json_line(record), flush=True)
-        drain_late_events()
+        print(record_to_json_line(record), flush=True)
+
+    store_failed = False
+    try:
+        runtime.run(
+            source,
+            CallbackSink(emit),
+            checkpoint_store=store if args.checkpoint_interval else None,
+            checkpoint_interval=args.checkpoint_interval,
+            on_late=persist_late_events if late_sink is not None else None,
+        )
     except BrokenPipeError:
         # the consumer (e.g. ``| head``) went away: stop emitting to stdout
         # but still persist pending late events and fall through to the
@@ -498,19 +657,36 @@ def _command_stream(args) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         os.close(devnull)
-        drain_late_events()
-    except (InvalidEventError, LateEventError, WorkerCrashError) as exc:
+        if late_sink is not None and runtime.late_events:
+            persist_late_events(runtime.take_late_events())
+    except (
+        InvalidEventError,
+        LateEventError,
+        WorkerCrashError,
+        SourceError,
+        CheckpointError,
+    ) as exc:
         # the subcommand's documented failure modes (malformed wire input,
-        # --late-policy raise, a crashed shard worker) get a one-line
-        # message, not a traceback
+        # --late-policy raise, a crashed shard worker, a dropped source
+        # connection, an unusable checkpoint store) get a one-line message,
+        # not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
         runtime.close()  # stops sharded workers; no-op for the single runtime
-        if close is not None:
-            close.close()
         if late_sink is not None:
             late_sink.close()
+        if store is not None:
+            try:
+                store.close()  # waits for queued background writes
+            except CheckpointError as exc:
+                # the run's results are already out, but its checkpoints are
+                # not durable -- that must fail the command (see below; a
+                # return here would be swallowed by the finally block)
+                print(f"error: {exc}", file=sys.stderr)
+                store_failed = True
+    if store_failed:
+        return 1
 
     metrics = runtime.metrics
     if metrics.late_events:

@@ -138,7 +138,9 @@ class CograEngine:
 
         Yields each :class:`GroupResult` as soon as the watermark passes its
         window -- before end of stream -- instead of collecting everything
-        like :meth:`run`.  ``lateness`` bounds the tolerated disorder in
+        like :meth:`run`.  ``events`` may be any iterable or an
+        :class:`~repro.streaming.sources.EventSource` (a tailed JSONL file,
+        a socket, ...); ``lateness`` bounds the tolerated disorder in
         seconds; see :class:`~repro.streaming.runtime.StreamingRuntime` for
         the full option set (this method is the single-query shortcut).
 
@@ -198,10 +200,10 @@ class CograEngine:
 
     def _stream_records(self, runtime, events: Iterable[Event]):
         try:
-            for event in events:
-                for record in runtime.process(event):
-                    yield record.result
-            for record in runtime.flush():
+            # the runtimes' shared pipeline driver owns ingestion (and closes
+            # the source); ``events`` may equally be an EventSource -- e.g. a
+            # tailed file or socket (repro.streaming.sources)
+            for record in runtime.drive(events):
                 yield record.result
         finally:
             # stops ShardedRuntime workers on early close; no-op otherwise

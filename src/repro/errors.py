@@ -64,6 +64,15 @@ class InvalidEventError(CograError):
     """
 
 
+class SourceError(CograError):
+    """Raised when an event source cannot be opened or fails mid-stream.
+
+    Examples: a ``tcp://`` source whose peer refuses the connection or
+    drops it mid-line, a tailed JSONL file that cannot be opened, or a
+    malformed ``--source`` specification.
+    """
+
+
 class LateEventError(StreamOrderError):
     """Raised by the streaming runtime when an event arrives later than the
     configured lateness bound allows and the late-event policy is ``raise``.

@@ -12,8 +12,13 @@ stream processor:
 * :mod:`repro.streaming.sharded` -- :class:`ShardedRuntime`, the
   multi-process deployment: one worker process per hash-range of partition
   keys, fed by a single parent ingestor;
+* :mod:`repro.streaming.sources` -- the pipeline's two ends: pluggable
+  :class:`EventSource` implementations (in-memory, JSONL file, tailed
+  file, TCP socket) and :class:`Sink` implementations (callback, JSONL
+  file, in-memory) driven by ``runtime.run(source, sink)``;
 * :mod:`repro.streaming.checkpoint` -- snapshot/restore of the complete
-  runtime state;
+  runtime state, plus :class:`CheckpointStore`: incremental on-disk
+  checkpoints with periodic compaction and optional background writes;
 * :mod:`repro.streaming.metrics` -- throughput, latency, watermark lag and
   late-event counters;
 * :mod:`repro.streaming.jsonl` -- the JSON-lines wire format of the
@@ -22,6 +27,9 @@ stream processor:
 
 from repro.streaming.checkpoint import (
     CHECKPOINT_VERSION,
+    STORE_VERSION,
+    CheckpointEntry,
+    CheckpointStore,
     load_checkpoint,
     save_checkpoint,
 )
@@ -41,27 +49,55 @@ from repro.streaming.jsonl import (
     write_jsonl_events,
 )
 from repro.streaming.metrics import StreamingMetrics
-from repro.streaming.runtime import StreamingRuntime, group_results
+from repro.streaming.runtime import PipelineDriver, StreamingRuntime, group_results
 from repro.streaming.sharded import ShardedRuntime, ShardStats
+from repro.streaming.sources import (
+    CallbackSink,
+    EventSource,
+    IterableSource,
+    JsonlFileSink,
+    JsonlFileSource,
+    JsonlFileTailSource,
+    MemorySink,
+    Sink,
+    SocketJsonlSource,
+    as_source,
+    open_source,
+)
 
 __all__ = [
     "BoundedDelayWatermark",
     "CHECKPOINT_VERSION",
+    "CallbackSink",
+    "CheckpointEntry",
+    "CheckpointStore",
     "EmissionController",
     "EmissionRecord",
+    "EventSource",
     "IngestBatch",
+    "IterableSource",
+    "JsonlFileSink",
+    "JsonlFileSource",
+    "JsonlFileTailSource",
     "LatePolicy",
+    "MemorySink",
     "OutOfOrderIngestor",
+    "PipelineDriver",
     "PunctuationWatermark",
+    "STORE_VERSION",
     "ShardStats",
     "ShardedRuntime",
+    "Sink",
+    "SocketJsonlSource",
     "StreamingMetrics",
     "StreamingRuntime",
     "WatermarkStrategy",
+    "as_source",
     "event_from_json",
     "event_to_json",
     "group_results",
     "load_checkpoint",
+    "open_source",
     "read_jsonl_events",
     "save_checkpoint",
     "write_jsonl_events",

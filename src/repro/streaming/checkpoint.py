@@ -1,4 +1,4 @@
-"""Checkpointing: snapshot and restore of runtime execution state.
+"""Checkpointing: snapshot/restore of runtime state and the on-disk store.
 
 A checkpoint captures everything an executor accumulated mid-stream -- per
 (window, group) aggregators, their :class:`~repro.core.aggregate_state.
@@ -13,13 +13,26 @@ registers an (extract, apply) handler pair below, so checkpoints are
 inspectable, diffable, and independent of Python object layout.  Unknown
 aggregator classes raise :class:`~repro.errors.CheckpointError` instead of
 silently writing an incomplete snapshot.
+
+On top of the snapshot codec, :class:`CheckpointStore` persists a *chain*
+of checkpoints to a directory: full base snapshots plus **incremental
+deltas** (only the per-executor aggregators that changed since the previous
+checkpoint), periodically compacted into a fresh base.  Sustained update
+streams mutate a small working set of open windows per interval, so deltas
+stay small while full snapshots grow with total state -- the same argument
+that makes delta-based incremental view maintenance tractable.  The store
+can write in the caller's thread or on a background writer thread, so the
+driver loop's periodic checkpoints do not stall ingestion on disk I/O.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import queue as _queue
+import threading
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.aggregate_state import TrendAccumulator
 from repro.core.executor import QueryExecutor
@@ -77,7 +90,8 @@ def _restore_optional_event(state) -> Optional[Event]:
 def _snapshot_node_lists(nodes: Dict[str, List[Tuple[Event, TrendAccumulator]]]):
     return {
         variable: [
-            [snapshot_event(event), snapshot_accumulator(cell)] for event, cell in entries
+            [snapshot_event(event), snapshot_accumulator(cell)]
+            for event, cell in entries
         ]
         for variable, entries in nodes.items()
     }
@@ -295,7 +309,7 @@ def restore_executor(executor: QueryExecutor, state: Dict[str, object]) -> None:
 
 
 # ---------------------------------------------------------------------------
-# file persistence
+# file persistence (single snapshots)
 # ---------------------------------------------------------------------------
 
 
@@ -314,3 +328,432 @@ def load_checkpoint(path) -> Dict[str, object]:
         return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"cannot load checkpoint {path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# the incremental checkpoint store
+# ---------------------------------------------------------------------------
+
+#: bump when the store's file/manifest layout changes incompatibly
+STORE_VERSION = 1
+
+_MANIFEST_NAME = "MANIFEST.json"
+
+#: snapshot keys a delta always carries in full (they are small and change
+#: every interval); everything else top-level travels under "extra"
+_DELTA_FULL_KEYS = ("version", "queries", "ingest", "metrics", "emitted_counts")
+
+
+class CheckpointEntry:
+    """Metadata about one checkpoint written by :class:`CheckpointStore`."""
+
+    __slots__ = ("checkpoint_id", "kind", "path", "bytes_written")
+
+    def __init__(self, checkpoint_id: int, kind: str, path: Path, bytes_written: int):
+        self.checkpoint_id = checkpoint_id
+        self.kind = kind
+        self.path = path
+        self.bytes_written = bytes_written
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointEntry(id={self.checkpoint_id}, kind={self.kind!r}, "
+            f"bytes={self.bytes_written})"
+        )
+
+
+def _index_executor(state: Dict[str, object]) -> Dict[Tuple, str]:
+    """(window, key) -> canonical JSON of the aggregator entry's state."""
+    return {
+        (int(entry[0]), json.dumps(entry[1])): json.dumps(entry[2], sort_keys=True)
+        for entry in state["aggregators"]
+    }
+
+
+class CheckpointStore:
+    """A directory of incremental checkpoints with periodic compaction.
+
+    Layout: ``MANIFEST.json`` names the current chain -- one *base* file
+    holding a full snapshot, followed by *delta* files each holding only
+    the aggregator entries that changed (or disappeared) since the
+    previous checkpoint.  :meth:`load_latest` replays the chain back into
+    one full snapshot that restores into any runtime the snapshot schema
+    allows (single-process or sharded, any worker count).
+
+    Parameters
+    ----------
+    directory:
+        Where the chain lives.  Created if missing; an existing chain is
+        picked up (the first :meth:`save` then starts a fresh base, since
+        the in-memory diffing state is gone).
+    compact_every:
+        Chain length at which the next save writes a full base snapshot
+        and prunes the previous chain.  ``1`` makes every checkpoint a
+        full snapshot (no deltas).
+    background:
+        Write checkpoint files on a dedicated writer thread so the caller
+        (the driver loop) does not block on disk I/O.  :meth:`flush` joins
+        outstanding writes; a failed background write re-raises on the
+        next :meth:`save`, :meth:`flush` or :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        compact_every: int = 8,
+        background: bool = False,
+    ):
+        if compact_every < 1:
+            raise ValueError(f"compact_every must be at least 1, got {compact_every}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.compact_every = compact_every
+        #: metadata of every checkpoint written by THIS store instance
+        self.entries: List[CheckpointEntry] = []
+        self._manifest = self._read_manifest()
+        #: per-executor index of the last saved snapshot, for diffing
+        self._last_index: Optional[Dict[str, Dict[Tuple, str]]] = None
+        self._queue: Optional[_queue.Queue] = None
+        self._writer: Optional[threading.Thread] = None
+        self._write_error: Optional[BaseException] = None
+        self._closed = False
+        #: files superseded by the newest base, deleted after the manifest
+        #: stopped referencing them
+        self._prune: List[Path] = []
+        if background:
+            self._queue = _queue.Queue()
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="cogra-checkpoint-writer", daemon=True
+            )
+            self._writer.start()
+
+    # -- manifest --------------------------------------------------------------
+
+    def _read_manifest(self) -> Dict[str, object]:
+        path = self.directory / _MANIFEST_NAME
+        if not path.exists():
+            return {"store_version": STORE_VERSION, "next_id": 1, "chain": []}
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint store manifest {path} is unreadable or corrupt "
+                f"({exc}); delete the directory to start over, or point the "
+                f"store somewhere else"
+            ) from exc
+        version = manifest.get("store_version")
+        if version != STORE_VERSION:
+            raise CheckpointError(
+                f"checkpoint store at {self.directory} has layout version "
+                f"{version!r} but this build reads {STORE_VERSION}; recover "
+                f"with the matching build or start a fresh directory"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        path = self.directory / _MANIFEST_NAME
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(self._manifest, sort_keys=True))
+        os.replace(temporary, path)
+
+    # -- writing ---------------------------------------------------------------
+
+    def save(self, snapshot: Dict[str, object]) -> Optional[CheckpointEntry]:
+        """Persist one runtime snapshot; return what was written.
+
+        Synchronous stores return the :class:`CheckpointEntry` (kind and
+        bytes written); background stores hand the snapshot to the writer
+        thread and return ``None`` (use :meth:`flush` + :attr:`entries`).
+        """
+        self._check_open()
+        if snapshot.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"snapshot version {snapshot.get('version')!r} does not match "
+                f"this build's checkpoint version {CHECKPOINT_VERSION}; was it "
+                f"produced by runtime.checkpoint()?"
+            )
+        if self._queue is not None:
+            self._raise_pending_write_error()
+            self._queue.put(snapshot)
+            return None
+        entry = self._write(snapshot)
+        self._apply_prune()
+        return entry
+
+    def _write(self, snapshot: Dict[str, object]) -> CheckpointEntry:
+        checkpoint_id = int(self._manifest["next_id"])
+        self._manifest["next_id"] = checkpoint_id + 1
+        chain: List[Dict[str, object]] = self._manifest["chain"]
+        index = {
+            name: _index_executor(state)
+            for name, state in snapshot["executors"].items()
+        }
+        if self._last_index is None or len(chain) >= self.compact_every:
+            entry = self._write_base(checkpoint_id, snapshot, chain)
+        else:
+            entry = self._write_delta(checkpoint_id, snapshot, index, chain)
+        self._write_manifest()
+        self._last_index = index
+        self.entries.append(entry)
+        return entry
+
+    def _write_base(
+        self, checkpoint_id: int, snapshot: Dict[str, object], chain: List
+    ) -> CheckpointEntry:
+        name = f"base-{checkpoint_id:08d}.json"
+        payload = json.dumps(
+            {
+                "store_version": STORE_VERSION,
+                "kind": "base",
+                "id": checkpoint_id,
+                "snapshot": snapshot,
+            },
+            sort_keys=True,
+        )
+        (self.directory / name).write_text(payload)
+        previous = list(chain)
+        chain.clear()
+        chain.append({"id": checkpoint_id, "kind": "base", "file": name})
+        # the new base subsumes the old chain; prune after the manifest no
+        # longer references the files (_write writes it before returning,
+        # so defer deletion until then via the entry bookkeeping)
+        self._prune = [self.directory / item["file"] for item in previous]
+        return CheckpointEntry(
+            checkpoint_id, "base", self.directory / name, len(payload)
+        )
+
+    def _write_delta(
+        self,
+        checkpoint_id: int,
+        snapshot: Dict[str, object],
+        index: Dict[str, Dict[Tuple, str]],
+        chain: List,
+    ) -> CheckpointEntry:
+        executors: Dict[str, Dict[str, object]] = {}
+        for name, state in snapshot["executors"].items():
+            previous = self._last_index.get(name, {})
+            current = index[name]
+            # one key serialization per entry (the index already paid one);
+            # the diff runs on every periodic checkpoint, so this is hot
+            changed = []
+            for entry in state["aggregators"]:
+                key = (int(entry[0]), json.dumps(entry[1]))
+                if previous.get(key) != current[key]:
+                    changed.append(entry)
+            removed = [
+                [window_id, json.loads(key)]
+                for (window_id, key) in previous
+                if (window_id, key) not in current
+            ]
+            executors[name] = {
+                "events_seen": state["events_seen"],
+                "last_time": state["last_time"],
+                "changed": changed,
+                "removed": removed,
+            }
+        delta: Dict[str, object] = {
+            "store_version": STORE_VERSION,
+            "kind": "delta",
+            "id": checkpoint_id,
+            "parent": chain[-1]["id"],
+            "executors": executors,
+            "extra": {
+                key: value
+                for key, value in snapshot.items()
+                if key not in _DELTA_FULL_KEYS and key != "executors"
+            },
+        }
+        for key in _DELTA_FULL_KEYS:
+            delta[key] = snapshot[key]
+        name = f"delta-{checkpoint_id:08d}.json"
+        payload = json.dumps(delta, sort_keys=True)
+        (self.directory / name).write_text(payload)
+        chain.append({"id": checkpoint_id, "kind": "delta", "file": name})
+        self._prune = []
+        return CheckpointEntry(
+            checkpoint_id, "delta", self.directory / name, len(payload)
+        )
+
+    def _apply_prune(self) -> None:
+        for path in self._prune:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._prune = []
+
+    # -- reading ---------------------------------------------------------------
+
+    def load_latest(self) -> Optional[Dict[str, object]]:
+        """Reconstruct the newest checkpoint, or ``None`` for an empty store.
+
+        Replays the chain: the base snapshot, then every delta in order --
+        changed aggregator entries replace or extend the set, removed ones
+        (windows emitted and evicted between checkpoints) are dropped, and
+        the small whole-value sections (ingest, metrics, ...) are taken
+        from the newest delta.
+
+        Reading works on a closed store too -- closing only stops writes.
+        """
+        if self._queue is not None and not self._closed:
+            self.flush()
+        manifest = self._read_manifest()
+        chain: List[Dict[str, object]] = manifest["chain"]
+        if not chain:
+            return None
+        if chain[0].get("kind") != "base":
+            raise CheckpointError(
+                f"checkpoint store at {self.directory} has a chain that does "
+                f"not start with a base snapshot; the store is corrupt"
+            )
+        snapshot = self._read_file(chain[0])["snapshot"]
+        self._validate_snapshot_shape(snapshot, chain[0])
+        previous_id = int(chain[0]["id"])
+        for link in chain[1:]:
+            delta = self._read_file(link)
+            if delta.get("kind") != "delta":
+                raise CheckpointError(
+                    f"checkpoint {link.get('file')} should be a delta but "
+                    f"records kind {delta.get('kind')!r}; the store is corrupt"
+                )
+            if delta.get("parent") != previous_id:
+                raise CheckpointError(
+                    f"checkpoint {link.get('file')} continues checkpoint "
+                    f"{delta.get('parent')!r} but the chain is at "
+                    f"{previous_id}; the store is corrupt"
+                )
+            snapshot = self._apply_delta(snapshot, delta, link)
+            previous_id = int(delta["id"])
+        return snapshot
+
+    def _read_file(self, link: Dict[str, object]) -> Dict[str, object]:
+        path = self.directory / str(link["file"])
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint file {path} is missing, truncated or corrupt "
+                f"({exc}); the newest usable state is an earlier chain -- "
+                f"restore from a different store or restart the job"
+            ) from exc
+        version = payload.get("store_version")
+        if version != STORE_VERSION:
+            raise CheckpointError(
+                f"checkpoint file {path} has layout version {version!r} but "
+                f"this build reads {STORE_VERSION}"
+            )
+        return payload
+
+    @staticmethod
+    def _validate_snapshot_shape(snapshot, link) -> None:
+        if not isinstance(snapshot, dict) or "executors" not in snapshot:
+            raise CheckpointError(
+                f"checkpoint {link.get('file')} does not hold a runtime "
+                f"snapshot; the store is corrupt"
+            )
+
+    @staticmethod
+    def _apply_delta(
+        snapshot: Dict[str, object], delta: Dict[str, object], link
+    ) -> Dict[str, object]:
+        try:
+            executors: Dict[str, Dict[str, object]] = {}
+            for name, change in delta["executors"].items():
+                state = snapshot["executors"][name]
+                entries = {
+                    (int(entry[0]), json.dumps(entry[1])): entry
+                    for entry in state["aggregators"]
+                }
+                for entry in change["changed"]:
+                    entries[(int(entry[0]), json.dumps(entry[1]))] = entry
+                for window_id, key in change["removed"]:
+                    entries.pop((int(window_id), json.dumps(key)), None)
+                executors[name] = {
+                    "query": state["query"],
+                    "granularity": state["granularity"],
+                    "events_seen": change["events_seen"],
+                    "last_time": change["last_time"],
+                    "aggregators": [
+                        entries[key] for key in sorted(entries, key=repr)
+                    ],
+                }
+            rebuilt: Dict[str, object] = {"executors": executors}
+            for key in _DELTA_FULL_KEYS:
+                rebuilt[key] = delta[key]
+            rebuilt.update(delta.get("extra", {}))
+            return rebuilt
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint delta {link.get('file')} cannot be applied "
+                f"({exc}); the store is corrupt"
+            ) from exc
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Wait until every queued background write reached disk."""
+        self._check_open()
+        if self._queue is not None:
+            self._queue.join()
+        self._raise_pending_write_error()
+
+    def close(self) -> None:
+        """Flush outstanding writes and stop the writer thread (idempotent)."""
+        if self._closed:
+            return
+        if self._queue is not None:
+            self._queue.join()
+            self._queue.put(None)
+            self._writer.join()
+        self._closed = True
+        self._raise_pending_write_error()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CheckpointError("this checkpoint store was closed")
+
+    def _raise_pending_write_error(self) -> None:
+        if self._write_error is not None:
+            error, self._write_error = self._write_error, None
+            raise CheckpointError(
+                f"a background checkpoint write failed: {error}"
+            ) from error
+
+    def _writer_loop(self) -> None:
+        while True:
+            snapshot = self._queue.get()
+            if snapshot is None:
+                self._queue.task_done()
+                return
+            try:
+                self._write(snapshot)
+                self._apply_prune()
+            except BaseException as exc:  # surfaced on the caller's thread
+                self._write_error = exc
+            finally:
+                self._queue.task_done()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Checkpoints written by this store instance."""
+        return len(self.entries)
+
+    def latest_id(self) -> Optional[int]:
+        """Id of the newest checkpoint on disk, or ``None`` when empty."""
+        chain = self._read_manifest()["chain"]
+        return int(chain[-1]["id"]) if chain else None
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointStore({str(self.directory)!r}, "
+            f"compact_every={self.compact_every}, "
+            f"background={self._queue is not None})"
+        )

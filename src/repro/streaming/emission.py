@@ -35,14 +35,26 @@ class EmissionRecord:
         The emitted :class:`~repro.core.results.GroupResult`.
     watermark:
         Watermark value at emission time (``inf`` for end-of-stream flushes).
+    is_correction:
+        True for records produced by side-channel late-event replay
+        (:meth:`~repro.streaming.runtime.StreamingRuntime.reprocess_late`):
+        the record patches a window that was already emitted, it does not
+        replace it.
     """
 
-    __slots__ = ("query", "result", "watermark")
+    __slots__ = ("query", "result", "watermark", "is_correction")
 
-    def __init__(self, query: str, result: GroupResult, watermark: float):
+    def __init__(
+        self,
+        query: str,
+        result: GroupResult,
+        watermark: float,
+        is_correction: bool = False,
+    ):
         self.query = query
         self.result = result
         self.watermark = watermark
+        self.is_correction = is_correction
 
     @property
     def is_final_flush(self) -> bool:
@@ -60,10 +72,16 @@ class EmissionRecord:
         row["query"] = self.query
         if not math.isinf(self.watermark):
             row["watermark"] = self.watermark
+        if self.is_correction:
+            row["is_correction"] = True
         return row
 
     def __repr__(self) -> str:
-        return f"EmissionRecord({self.query!r}, wm={self.watermark:g}, {self.result!r})"
+        flag = ", correction" if self.is_correction else ""
+        return (
+            f"EmissionRecord({self.query!r}, wm={self.watermark:g}, "
+            f"{self.result!r}{flag})"
+        )
 
 
 class EmissionController:
@@ -103,7 +121,9 @@ class EmissionController:
         self, query: str, results: List[GroupResult], watermark: float
     ) -> List[EmissionRecord]:
         if results:
-            self.emitted_counts[query] = self.emitted_counts.get(query, 0) + len(results)
+            self.emitted_counts[query] = (
+                self.emitted_counts.get(query, 0) + len(results)
+            )
         return [EmissionRecord(query, result, watermark) for result in results]
 
     # -- introspection ---------------------------------------------------------

@@ -302,6 +302,16 @@ class OutOfOrderIngestor:
         else:
             self.dropped += 1
 
+    def take_side_channel(self) -> List[Event]:
+        """Drain (return and clear) the late-event side channel.
+
+        The runtimes expose this as ``take_late_events``; long-running jobs
+        call it periodically so the side channel cannot grow without bound.
+        """
+        taken = self.side_channel
+        self.side_channel = []
+        return taken
+
     # -- inspection ------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, Iterator, TextIO, Union
+from typing import Dict, Iterable, Iterator, Optional, TextIO, Union
 
 from repro.errors import InvalidEventError
 from repro.events.event import Event
@@ -88,6 +88,28 @@ def event_to_json(event: Event) -> Dict[str, object]:
     return obj
 
 
+def parse_jsonl_line(
+    line: str, default_sequence: int = 0, line_number: Optional[int] = None
+) -> Optional[Event]:
+    """Parse one JSONL line into an event; ``None`` for blanks and comments.
+
+    The single place the line-level wire rules live -- blank/``#`` skipping,
+    JSON decoding, arrival-index sequencing -- shared by
+    :func:`read_jsonl_events` (static files) and
+    :class:`~repro.streaming.sources.JsonlFileTailSource` (growing files),
+    so the two paths cannot drift apart.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        where = "line" if line_number is None else f"line {line_number}"
+        raise InvalidEventError(f"{where} is not valid JSON: {exc}") from exc
+    return event_from_json(obj, default_sequence=default_sequence)
+
+
 def read_jsonl_events(lines: Union[TextIO, Iterable[str]]) -> Iterator[Event]:
     """Yield events from an iterable of JSONL lines (blank lines skipped).
 
@@ -97,16 +119,10 @@ def read_jsonl_events(lines: Union[TextIO, Iterable[str]]) -> Iterator[Event]:
     """
     index = 0
     for line_number, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
+        event = parse_jsonl_line(line, default_sequence=index, line_number=line_number)
+        if event is None:
             continue
-        try:
-            obj = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise InvalidEventError(
-                f"line {line_number} is not valid JSON: {exc}"
-            ) from exc
-        yield event_from_json(obj, default_sequence=index)
+        yield event
         index += 1
 
 

@@ -12,11 +12,19 @@ from __future__ import annotations
 
 import math
 import time as _time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 
 class StreamingMetrics:
-    """Counters and timers describing one streaming runtime's progress."""
+    """Counters and timers describing one streaming runtime's progress.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic-seconds callable behind :meth:`elapsed_seconds` and
+        :meth:`throughput`.  Defaults to :func:`time.perf_counter`; tests
+        inject a fake clock so wall-clock-derived metrics are deterministic.
+    """
 
     #: counter attributes included in snapshots (order is the report order)
     COUNTERS = (
@@ -29,7 +37,8 @@ class StreamingMetrics:
         "results_emitted",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = _time.perf_counter if clock is None else clock
         self.events_ingested = 0
         self.events_released = 0
         self.events_buffered_peak = 0
@@ -52,7 +61,7 @@ class StreamingMetrics:
     def record_ingest(self, event_time: float, buffered: int) -> None:
         """Account for one event entering the reorder buffer."""
         if self._started_at is None:
-            self._started_at = _time.perf_counter()
+            self._started_at = self._clock()
         self.events_ingested += 1
         if event_time > self.max_event_time:
             self.max_event_time = event_time
@@ -111,7 +120,7 @@ class StreamingMetrics:
         """Wall-clock seconds since the first ingested event."""
         if self._started_at is None:
             return 0.0
-        return _time.perf_counter() - self._started_at
+        return self._clock() - self._started_at
 
     def throughput(self) -> float:
         """Ingested events per wall-clock second (0 before the first event).
@@ -172,7 +181,8 @@ class StreamingMetrics:
             f"events released     : {self.events_released}",
             f"results emitted     : {self.results_emitted}",
             f"late events         : {self.late_events} "
-            f"(dropped={self.late_events_dropped}, side-channel={self.late_events_rerouted})",
+            f"(dropped={self.late_events_dropped}, "
+            f"side-channel={self.late_events_rerouted})",
             f"punctuations        : {self.punctuations_seen}",
             f"buffer peak         : {self.events_buffered_peak}",
             f"watermark           : {watermark}",

@@ -23,6 +23,13 @@ Example
     runtime = StreamingRuntime(lateness=5.0)
     runtime.register(query_text_1, name="q1")
     runtime.register(query_text_2, name="q2")
+    runtime.run(
+        JsonlFileTailSource("events.jsonl"),
+        CallbackSink(lambda record: publish(record.query, record.result)),
+    )
+
+or, driving the loop by hand::
+
     for event in source:
         for record in runtime.process(event):
             publish(record.query, record.result)
@@ -34,17 +41,19 @@ from __future__ import annotations
 
 import math
 import time as _time
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.engine import CograEngine
 from repro.core.executor import QueryExecutor
 from repro.core.results import GroupResult
 from repro.errors import CheckpointError, LateEventError
 from repro.events.event import Event
+from repro.events.stream import sort_events
 from repro.query.query import Query
 from repro.query.semantics import Semantics
 from repro.streaming.checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointStore,
     restore_executor,
     snapshot_executor,
 )
@@ -56,6 +65,135 @@ from repro.streaming.ingest import (
     WatermarkStrategy,
 )
 from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.sources import EventSource, Sink, as_source
+
+
+def replay_corrections(
+    replay: "StreamingRuntime",
+    late: List[Event],
+    watermark: float,
+    metrics: StreamingMetrics,
+) -> List[EmissionRecord]:
+    """Run drained side-channel events through ``replay``; wrap as corrections.
+
+    The shared tail of ``reprocess_late`` on both runtimes: the late events
+    are sorted, applied via :meth:`StreamingRuntime.process_ordered`, every
+    still-open window flushed, and the results re-emitted flagged
+    ``is_correction=True`` with the live runtime's ``watermark`` as context
+    (counted in the live runtime's emission ``metrics``).
+    """
+    records = replay.process_ordered(sort_events(late), watermark=None)
+    records.extend(replay.flush())
+    corrections = [
+        EmissionRecord(record.query, record.result, watermark, is_correction=True)
+        for record in records
+    ]
+    metrics.record_emission(len(corrections))
+    return corrections
+
+
+class PipelineDriver:
+    """The source → process → emit → sink driver loop shared by the runtimes.
+
+    Subclasses provide the runtime interface the loop is written against:
+    ``process(event)`` / ``flush()`` / ``checkpoint()`` /
+    ``take_late_events()`` / ``drain_pending()`` -- both
+    :class:`StreamingRuntime` and
+    :class:`~repro.streaming.sharded.ShardedRuntime` do, so the CLI,
+    examples, benchmarks and :meth:`CograEngine.stream` stop hand-rolling
+    ingestion loops.  :meth:`drive` is the lazy form (a generator of
+    emission records), :meth:`run` the eager one (collect, or push into a
+    :class:`~repro.streaming.sources.Sink`).
+    """
+
+    def drive(
+        self,
+        events: Union[EventSource, Iterable[Event]],
+        *,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_interval: Optional[int] = None,
+        on_late: Optional[Callable[[List[Event]], None]] = None,
+    ) -> Iterator[EmissionRecord]:
+        """Pull events from a source, yield emission records as they emit.
+
+        Parameters
+        ----------
+        events:
+            An :class:`~repro.streaming.sources.EventSource` or any
+            iterable of events (adapted via
+            :func:`~repro.streaming.sources.as_source`).  The source is
+            closed when the generator finishes -- normally or not.
+        checkpoint_store / checkpoint_interval:
+            Together they enable periodic checkpointing: every
+            ``checkpoint_interval`` ingested events the runtime state is
+            snapshotted into the store (incremental deltas; see
+            :class:`~repro.streaming.checkpoint.CheckpointStore`, whose
+            ``background=True`` moves the disk write off this loop).
+        on_late:
+            Called with each batch of drained side-channel late events
+            (``LatePolicy.SIDE_CHANNEL``) so they are persisted or
+            reprocessed instead of piling up.
+        """
+        if (checkpoint_store is None) != (checkpoint_interval is None):
+            raise ValueError(
+                "checkpoint_store and checkpoint_interval enable periodic "
+                "checkpointing together; pass both or neither"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be at least 1, got {checkpoint_interval}"
+            )
+        source = as_source(events)
+        processed = 0
+        try:
+            for event in source.events():
+                yield from self.process(event)
+                if on_late is not None:
+                    late = self.take_late_events()
+                    if late:
+                        on_late(late)
+                processed += 1
+                if checkpoint_interval and processed % checkpoint_interval == 0:
+                    checkpoint_store.save(self.checkpoint())
+                    # a sharded checkpoint quiesces the workers; records that
+                    # became ready during the quiesce surface immediately
+                    yield from self.drain_pending()
+            yield from self.flush()
+            if on_late is not None:
+                late = self.take_late_events()
+                if late:
+                    on_late(late)
+        finally:
+            source.close()
+
+    def run(
+        self,
+        events: Union[EventSource, Iterable[Event]],
+        sink: Optional[Sink] = None,
+        *,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_interval: Optional[int] = None,
+        on_late: Optional[Callable[[List[Event]], None]] = None,
+    ) -> List[EmissionRecord]:
+        """Process a stream to completion and flush at the end.
+
+        Without a ``sink`` the emitted records are collected and returned
+        (the historical behaviour).  With one, every record goes to
+        ``sink.emit`` as it is produced and the returned list is empty --
+        the records left the pipeline already.  The sink is *not* closed;
+        it may outlive the run.
+        """
+        records = self.drive(
+            events,
+            checkpoint_store=checkpoint_store,
+            checkpoint_interval=checkpoint_interval,
+            on_late=on_late,
+        )
+        if sink is None:
+            return list(records)
+        for record in records:
+            sink.emit(record)
+        return []
 
 
 class RegisteredQuery:
@@ -98,7 +236,7 @@ class RegisteredQuery:
         return f"RegisteredQuery({self.name!r}, granularity={self.engine.granularity})"
 
 
-class StreamingRuntime:
+class StreamingRuntime(PipelineDriver):
     """Executes registered queries over one out-of-order input stream.
 
     Parameters
@@ -333,13 +471,14 @@ class StreamingRuntime:
         self._flushed = True
         return records
 
-    def run(self, events: Iterable[Event]) -> List[EmissionRecord]:
-        """Convenience: process a finite stream and flush at the end."""
-        records: List[EmissionRecord] = []
-        for event in events:
-            records.extend(self.process(event))
-        records.extend(self.flush())
-        return records
+    def drain_pending(self) -> List[EmissionRecord]:
+        """Records merged outside :meth:`process` calls -- none here.
+
+        Exists so the :class:`PipelineDriver` loop can treat this runtime
+        and the asynchronous :class:`~repro.streaming.sharded.ShardedRuntime`
+        uniformly.
+        """
+        return []
 
     def _route(self, event: Event, watermark: float) -> List[EmissionRecord]:
         """Deliver one in-order event to the queries its type can affect.
@@ -403,9 +542,41 @@ class StreamingRuntime:
         Long-running jobs call this periodically to reprocess or persist
         late events without the side channel growing without bound.
         """
-        taken = self._ingestor.side_channel
-        self._ingestor.side_channel = []
-        return taken
+        return self._ingestor.take_side_channel()
+
+    def reprocess_late(self) -> List[EmissionRecord]:
+        """Replay the side channel; emit correction records for its windows.
+
+        The late events' windows were already emitted (and their aggregate
+        state evicted), so they cannot be recomputed in place.  Instead the
+        drained events are replayed through a fresh runtime hosting the
+        same queries (via :meth:`process_ordered` -- the events are sorted
+        first) and the resulting window results are re-emitted flagged
+        ``is_correction=True``: each record carries the late events'
+        *additional* contribution to an already-published window, for the
+        consumer to merge (COUNT/SUM add, MIN/MAX combine).  Trends that
+        would have interleaved late and on-time events are beyond what an
+        evicted window can recover -- the record patches, it does not
+        replace.
+
+        Returns ``[]`` when the side channel is empty.  Usable while the
+        stream is live and after :meth:`flush`.
+        """
+        self._check_processable(require_open=False)
+        late = self._ingestor.take_side_channel()
+        if not late:
+            return []
+        replay = StreamingRuntime(lateness=0.0)
+        for registered in self._queries:
+            replay.register(
+                CograEngine(
+                    registered.engine.query,
+                    emit_empty_groups=registered.engine._emit_empty_groups,
+                    granularity=registered.engine.granularity,
+                ),
+                name=registered.name,
+            )
+        return replay_corrections(replay, late, self.watermark, self.metrics)
 
     def storage_units(self) -> int:
         """Stored scalar aggregates across every registered executor."""

@@ -26,8 +26,21 @@ threads, but free of the GIL:
   checkpoint restores into a single-process runtime, a single-process
   checkpoint restores into any worker count, and worker counts can change
   between checkpoint and restore;
-* a worker that dies (OOM kill, segfault, uncaught error) is detected and
-  reported as :class:`~repro.errors.WorkerCrashError` instead of a hang.
+* a worker that dies (OOM kill, segfault, uncaught error) is detected; with
+  ``max_restarts=0`` the run aborts with a
+  :class:`~repro.errors.WorkerCrashError`, with ``max_restarts > 0`` the
+  parent **recovers** the shard: it respawns the process, restores the
+  shard's slice of the latest checkpoint, and replays the batches shipped
+  since then from a parent-side replay buffer -- results are identical to a
+  run that never crashed (acknowledgements of replayed work are
+  deduplicated against what the dead incarnation already delivered).
+
+Recovery pairs naturally with the driver loop's periodic checkpointing
+(:meth:`~repro.streaming.runtime.PipelineDriver.run` with a
+:class:`~repro.streaming.checkpoint.CheckpointStore`): every checkpoint
+trims the replay buffers, bounding both recovery time and parent memory.
+Without checkpoints the buffers hold the whole stream since start -- still
+correct, just unbounded.
 
 Queries without partition attributes cannot be sharded (every event maps to
 the same key); the runtime then falls back to a single shard and records the
@@ -51,6 +64,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import queue as _queue
+import threading
 import time as _time
 import traceback
 import warnings
@@ -75,10 +89,46 @@ from repro.streaming.ingest import (
     WatermarkStrategy,
 )
 from repro.streaming.metrics import StreamingMetrics
-from repro.streaming.runtime import StreamingRuntime
+from repro.streaming.runtime import (
+    PipelineDriver,
+    StreamingRuntime,
+    replay_corrections,
+)
 
 #: how long the parent waits for worker liveness before declaring a hang
 ACK_TIMEOUT_SECONDS = 120.0
+
+#: epoch-space offset marking replayed operations: a batch originally
+#: shipped as epoch ``e`` is re-sent after a worker restart as epoch
+#: ``-(e + _REPLAY_OFFSET)``, so its acknowledgement can be matched to the
+#: original epoch -- or discarded when the dead incarnation's ack already
+#: arrived.  Values above the offset stay free for sentinels (-1 is the
+#: ready handshake, -2 the out-of-band recovery restore).
+_REPLAY_OFFSET = 10
+_RECOVERY_RESTORE_EPOCH = -2
+
+#: sentinel the parent puts on an ack queue to stop its pump thread
+_PUMP_STOP = ("__stop__",)
+
+
+def _pump_acks(source, buffer) -> None:
+    """Move acknowledgements from one worker's queue into the shared buffer.
+
+    Runs as a parent-side daemon thread, one per worker incarnation.  If the
+    worker is SIGKILLed mid-write the final ``get`` blocks forever on the
+    truncated frame; the thread then simply never delivers again (daemon,
+    reaped at process exit) while everything it already moved stays usable.
+    """
+    while True:
+        try:
+            ack = source.get()
+        except (OSError, EOFError, ValueError, TypeError, AttributeError):
+            # teardown race: close() invalidates the connection (its handle
+            # becomes None) while this thread is blocked mid-read
+            return  # pragma: no cover - timing dependent
+        if ack == _PUMP_STOP:
+            return
+        buffer.put(ack)
 
 
 class ShardStats:
@@ -198,7 +248,14 @@ def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
                             registered.executor, executors[registered.name]
                         )
                 runtime._flushed = False
-                runtime._ordered_watermark = -math.inf
+                # recovery restores pass the checkpoint watermark so replayed
+                # batches resume emission exactly where the dead incarnation
+                # stood; plain restores start from scratch (the parent
+                # re-advances with the next shipped watermark)
+                watermark = message[3] if len(message) > 3 else None
+                runtime._ordered_watermark = (
+                    -math.inf if watermark is None else float(watermark)
+                )
                 outbox.put(("ok", epoch, shard, None, 0.0))
             else:
                 raise ValueError(f"unknown worker operation {op!r}")
@@ -212,14 +269,15 @@ def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
 class _Epoch:
     """One shipped wave of work and the acknowledgements it still awaits."""
 
-    __slots__ = ("pending", "records")
+    __slots__ = ("pending", "records", "op")
 
-    def __init__(self, pending: set) -> None:
+    def __init__(self, pending: set, op: str = "batch") -> None:
         self.pending = pending
         self.records: List[EmissionRecord] = []
+        self.op = op
 
 
-class ShardedRuntime:
+class ShardedRuntime(PipelineDriver):
     """Executes registered queries across worker processes, one per hash-range.
 
     Parameters
@@ -243,6 +301,15 @@ class ShardedRuntime:
     max_batch:
         Hard outbox bound: a shard's pending events are shipped once they
         reach this size even when ``ship_interval`` has not elapsed.
+    max_restarts:
+        How many times each shard's worker may be respawned after a crash
+        before the run aborts with
+        :class:`~repro.errors.WorkerCrashError`.  ``0`` (the default)
+        keeps the historical fail-fast behaviour.  With restarts enabled
+        the parent buffers every batch shipped since the last checkpoint
+        for replay -- take periodic checkpoints (e.g. via
+        :meth:`~repro.streaming.runtime.PipelineDriver.run` with a
+        checkpoint store) to keep that buffer bounded.
     start_method:
         Optional :mod:`multiprocessing` start method (default: ``fork``
         when available, the platform default otherwise).
@@ -257,6 +324,7 @@ class ShardedRuntime:
         emit_empty_groups: bool = False,
         ship_interval: int = 64,
         max_batch: int = 512,
+        max_restarts: int = 0,
         start_method: Optional[str] = None,
     ):
         if workers < 1:
@@ -265,6 +333,8 @@ class ShardedRuntime:
             raise ValueError(f"ship_interval must be at least 1, got {ship_interval}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be non-negative, got {max_restarts}")
         self.workers = workers
         strategy = watermark_strategy or BoundedDelayWatermark(lateness)
         self._ingestor = OutOfOrderIngestor(strategy, LatePolicy(late_policy))
@@ -292,7 +362,15 @@ class ShardedRuntime:
 
         self._procs: List = []
         self._inboxes: List = []
-        self._ack_queue = None
+        #: one acknowledgement queue PER worker incarnation, each drained by
+        #: a parent-side pump thread into :attr:`_ack_buffer`.  The parent
+        #: never reads a worker pipe directly: a SIGKILL can land mid-write
+        #: and leave a truncated frame that blocks ``recv`` forever -- with
+        #: this layout only the (daemon) pump thread of the dead incarnation
+        #: wedges, every fully-delivered ack is already in the buffer, and
+        #: recovery simply attaches a fresh queue + pump for the replacement
+        self._ack_queues: List = []
+        self._ack_buffer: "_queue.Queue" = _queue.Queue()
         self._started = False
         self._flushed = False
         self._poisoned = False
@@ -302,6 +380,23 @@ class ShardedRuntime:
         self._ready_records: List[EmissionRecord] = []
         self._emitted_counts: Dict[str, int] = {}
         self.shard_stats: List[ShardStats] = []
+
+        self.max_restarts = max_restarts
+        #: per-shard count of worker respawns so far
+        self.restart_counts: List[int] = []
+        #: human-readable log of recoveries, newest last (see shard_report)
+        self.recovery_log: List[str] = []
+        #: per-shard batch/flush messages shipped since the last checkpoint,
+        #: kept for replay after a worker restart (only with max_restarts)
+        self._replay: List[List[tuple]] = []
+        #: the last composed checkpoint -- what a restarted worker resumes
+        #: from (None until the first checkpoint() or restore())
+        self._last_checkpoint: Optional[Dict[str, object]] = None
+        #: shards currently being recovered; a repeat failure inside its own
+        #: recovery is fatal instead of recursing forever
+        self._recovering: set = set()
+        #: special acks read by one wait loop on behalf of another
+        self._held_acks: List[tuple] = []
 
     # -- registration ----------------------------------------------------------
 
@@ -330,7 +425,9 @@ class ShardedRuntime:
             )
         if isinstance(query, str):
             query = parse_query(query)
-        flag = self._emit_empty_groups if emit_empty_groups is None else emit_empty_groups
+        flag = (
+            self._emit_empty_groups if emit_empty_groups is None else emit_empty_groups
+        )
         # building the engine here validates the query, resolves the
         # granularity the same way the workers will, and gives the parent
         # the plan it routes with and the definition text checkpoints record
@@ -381,14 +478,28 @@ class ShardedRuntime:
             raise RuntimeError("no queries are registered with this runtime")
         self.shard_count = self._resolve_shard_count()
         self._routing_plan = self._engines[self._specs[0].name].plan
-        self._ack_queue = self._context.Queue()
+        self._ack_buffer = _queue.Queue()
+        self._ack_queues = [self._context.Queue() for _ in range(self.shard_count)]
+        for ack_queue in self._ack_queues:
+            threading.Thread(
+                target=_pump_acks,
+                args=(ack_queue, self._ack_buffer),
+                daemon=True,
+            ).start()
         self._inboxes = [self._context.Queue() for _ in range(self.shard_count)]
         self._outboxes = [[] for _ in range(self.shard_count)]
         self.shard_stats = [ShardStats() for _ in range(self.shard_count)]
+        self.restart_counts = [0] * self.shard_count
+        self._replay = [[] for _ in range(self.shard_count)]
         self._procs = [
             self._context.Process(
                 target=_worker_loop,
-                args=(shard, self._specs, self._inboxes[shard], self._ack_queue),
+                args=(
+                    shard,
+                    self._specs,
+                    self._inboxes[shard],
+                    self._ack_queues[shard],
+                ),
                 daemon=True,
                 name=f"cogra-shard-{shard}",
             )
@@ -426,11 +537,23 @@ class ShardedRuntime:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=5.0)
-        for q in self._inboxes + ([self._ack_queue] if self._ack_queue else []):
-            q.close()
+        for ack_queue in self._ack_queues:
+            try:
+                ack_queue.put(_PUMP_STOP)  # releases the pump thread
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for q in self._inboxes + self._ack_queues:
+            try:
+                # never let interpreter exit join these queues' feeder
+                # threads: a consumer that died (crashed worker, wedged
+                # pump) leaves the pipe full and the feeder blocked forever
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
         self._procs = []
         self._inboxes = []
-        self._ack_queue = None
+        self._ack_queues = []
 
     def __enter__(self) -> "ShardedRuntime":
         return self
@@ -444,6 +567,8 @@ class ShardedRuntime:
                 for proc in self._procs:
                     if proc.is_alive():
                         proc.terminate()
+            for q in self._inboxes + self._ack_queues:
+                q.cancel_join_thread()
         except Exception:
             pass
 
@@ -455,21 +580,57 @@ class ShardedRuntime:
         self.close()
         raise error
 
+    def _read_ack(self, timeout: float):
+        """One raw acknowledgement: held-back specials first, then the buffer.
+
+        Raises :class:`queue.Empty` when nothing arrives within ``timeout``.
+        """
+        if self._held_acks:
+            return self._held_acks.pop(0)
+        if timeout <= 0.0:
+            return self._ack_buffer.get_nowait()
+        return self._ack_buffer.get(timeout=timeout)
+
+    def _handle_failure(
+        self, message: str, shard: Optional[int], exitcode=None
+    ) -> None:
+        """Route one worker failure: recover the shard, or abort the run."""
+        if (
+            shard is None
+            or self.max_restarts == 0
+            or not self.restart_counts
+            or self.restart_counts[shard] >= self.max_restarts
+            or shard in self._recovering
+        ):
+            self._fail(message, shard, exitcode=exitcode)
+        self._recover(shard, message)
+
     def _next_ack(self):
-        """Blocking read of one acknowledgement, with crash detection."""
+        """Blocking read of one acknowledgement, with crash detection.
+
+        A dead or failing worker is either recovered in place (respawn +
+        restore + replay, see :meth:`_recover`) or, beyond
+        ``max_restarts``, surfaces as :class:`WorkerCrashError`.
+        """
         deadline = _time.monotonic() + ACK_TIMEOUT_SECONDS
         while True:
             try:
-                ack = self._ack_queue.get(timeout=0.2)
+                ack = self._read_ack(timeout=0.2)
             except _queue.Empty:
+                recovered = False
                 for shard, proc in enumerate(self._procs):
                     if not proc.is_alive():
-                        self._fail(
+                        self._handle_failure(
                             f"shard {shard} (pid {proc.pid}) exited with code "
                             f"{proc.exitcode} while work was in flight",
                             shard,
                             exitcode=proc.exitcode,
                         )
+                        recovered = True
+                        break
+                if recovered:
+                    deadline = _time.monotonic() + ACK_TIMEOUT_SECONDS
+                    continue
                 if _time.monotonic() > deadline:  # pragma: no cover - hang guard
                     self._fail(
                         f"no worker acknowledgement within {ACK_TIMEOUT_SECONDS:g}s",
@@ -477,19 +638,33 @@ class ShardedRuntime:
                     )
                 continue
             if ack[0] == "error":
-                shard = ack[2]
-                self._fail(
-                    f"shard {shard} failed:\n{ack[3]}", shard, exitcode=None
+                self._handle_failure(
+                    f"shard {ack[2]} failed:\n{ack[3]}", ack[2], exitcode=None
                 )
+                deadline = _time.monotonic() + ACK_TIMEOUT_SECONDS
+                continue
             return ack
 
     def _apply_ack(self, ack) -> None:
-        """Fold one batch/flush/restore acknowledgement into its epoch."""
+        """Fold one batch/flush/restore acknowledgement into its epoch.
+
+        Replayed operations come back with their epoch encoded below
+        ``-_REPLAY_OFFSET``; they count toward the original epoch unless
+        the dead incarnation's own acknowledgement already did.  Stale
+        acknowledgements from a replaced incarnation are dropped.
+        """
         _, epoch, shard, records, seconds = ack
         records = records or ()
+        if epoch <= -_REPLAY_OFFSET:
+            epoch = -epoch - _REPLAY_OFFSET
+            entry = self._inflight.get(epoch)
+            if entry is None or shard not in entry.pending:
+                return  # the pre-crash incarnation's ack already counted
         entry = self._inflight.get(epoch)
-        if entry is None or shard not in entry.pending:  # pragma: no cover
-            raise WorkerCrashError(
+        if entry is None or shard not in entry.pending:
+            if self.restart_counts and self.restart_counts[shard]:
+                return  # stale ack from an incarnation that was replaced
+            raise WorkerCrashError(  # pragma: no cover - protocol guard
                 f"shard {shard} acknowledged unknown epoch {epoch}", shard=shard
             )
         entry.pending.discard(shard)
@@ -498,6 +673,161 @@ class ShardedRuntime:
         stats.records_merged += len(records)
         stats.processing_seconds += seconds
         self.metrics.record_processing_seconds(seconds)
+
+    # -- worker recovery ---------------------------------------------------------
+
+    def _recover(self, shard: int, reason: str) -> None:
+        """Respawn one crashed shard and bring it back to the live timeline.
+
+        1. reap the dead process and abandon its inbox (unconsumed messages
+           are covered by the replay buffer);
+        2. spawn a replacement and wait for its ready handshake;
+        3. restore the shard's slice of the last checkpoint (fresh state
+           when no checkpoint was taken yet);
+        4. replay every batch/flush shipped since that checkpoint, with
+           epochs moved into the replay range so acknowledgements merge
+           into the original epochs -- or are dropped when the dead
+           incarnation already delivered them;
+        5. re-issue checkpoint requests the dead worker still owed.
+
+        Failures of *other* shards while waiting recover recursively; a
+        second failure of this same shard (or exhausted ``max_restarts``)
+        aborts the run.
+        """
+        self.restart_counts[shard] += 1
+        self._recovering.add(shard)
+        try:
+            old = self._procs[shard]
+            if old.is_alive():  # reported an error but has not exited yet
+                old.terminate()
+            old.join(timeout=5.0)
+            try:
+                # the dead worker will never drain this pipe; without the
+                # cancel, interpreter exit would join the queue's feeder
+                # thread, which can sit blocked on the full pipe forever
+                self._inboxes[shard].cancel_join_thread()
+                self._inboxes[shard].close()
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+            # abandon the dead incarnation's ack queue: its pump thread
+            # already moved every fully-delivered ack into the shared
+            # buffer, and a SIGKILL mid-write may have left a truncated
+            # frame that wedges any further read (only the daemon pump
+            # blocks on it).  Anything lost with the pipe is simply
+            # re-acknowledged by the replay and deduplicated.
+            self._inboxes[shard] = self._context.Queue()
+            self._ack_queues[shard] = self._context.Queue()
+            threading.Thread(
+                target=_pump_acks,
+                args=(self._ack_queues[shard], self._ack_buffer),
+                daemon=True,
+            ).start()
+            self._procs[shard] = self._context.Process(
+                target=_worker_loop,
+                args=(
+                    shard,
+                    self._specs,
+                    self._inboxes[shard],
+                    self._ack_queues[shard],
+                ),
+                daemon=True,
+                name=f"cogra-shard-{shard}-r{self.restart_counts[shard]}",
+            )
+            self._procs[shard].start()
+            self._await_worker_ack(
+                shard, -1, f"ready handshake of restarted shard {shard}"
+            )
+            # re-surface the consumed ready ack: a crash during the STARTUP
+            # handshake recovers in here, but _start()'s loop still counts
+            # ready acks -- without this it would stall out waiting for one
+            # that was already read.  Outside startup the stray ready is
+            # dropped harmlessly by _apply_ack (the shard has restarts).
+            self._held_acks.append(("ok", -1, shard, "ready", 0.0))
+            if self._last_checkpoint is not None:
+                executors = {
+                    name: _split_executor_snapshot(state, self.shard_count)[shard]
+                    for name, state in self._last_checkpoint["executors"].items()
+                }
+                watermark = self._last_checkpoint["metrics"].get("watermark")
+                self._inboxes[shard].put(
+                    ("restore", _RECOVERY_RESTORE_EPOCH, executors, watermark)
+                )
+                self._await_worker_ack(
+                    shard,
+                    _RECOVERY_RESTORE_EPOCH,
+                    f"checkpoint restore on restarted shard {shard}",
+                )
+            for message in self._replay[shard]:
+                replayed = (message[0], -(message[1] + _REPLAY_OFFSET)) + message[2:]
+                self._inboxes[shard].put(replayed)
+            for epoch in sorted(self._inflight):
+                entry = self._inflight[epoch]
+                if shard not in entry.pending:
+                    continue
+                if entry.op == "checkpoint":
+                    self._inboxes[shard].put(("checkpoint", epoch))
+                elif entry.op == "restore":
+                    # the out-of-band restore above already applied the same
+                    # state (restore() records it before shipping)
+                    entry.pending.discard(shard)
+            self.recovery_log.append(
+                f"shard {shard} restarted "
+                f"({self.restart_counts[shard]}/{self.max_restarts}): {reason}"
+            )
+        finally:
+            self._recovering.discard(shard)
+        self._release_ready_epochs()
+
+    def _await_worker_ack(self, shard: int, sentinel: int, what: str) -> None:
+        """Wait for one special acknowledgement from ``shard``.
+
+        Normal data acknowledgements arriving meanwhile are applied; other
+        shards' specials -- and salvaged checkpoint payloads, which belong
+        to the checkpoint collection loop -- are held back for their own
+        consumers; failures are routed through :meth:`_handle_failure`
+        (fatal for ``shard`` itself -- it is already mid-recovery).
+        """
+        deadline = _time.monotonic() + ACK_TIMEOUT_SECONDS
+        stashed: List[tuple] = []
+        try:
+            while True:
+                try:
+                    ack = self._read_ack(timeout=0.2)
+                except _queue.Empty:
+                    proc = self._procs[shard]
+                    if not proc.is_alive():
+                        self._handle_failure(
+                            f"shard {shard} (pid {proc.pid}) exited with code "
+                            f"{proc.exitcode} during recovery ({what})",
+                            shard,
+                            exitcode=proc.exitcode,
+                        )
+                    if _time.monotonic() > deadline:  # pragma: no cover - hang
+                        self._fail(
+                            f"no acknowledgement within "
+                            f"{ACK_TIMEOUT_SECONDS:g}s waiting for {what}",
+                            shard,
+                        )
+                    continue
+                if ack[0] == "error":
+                    self._handle_failure(
+                        f"shard {ack[2]} failed:\n{ack[3]}", ack[2], exitcode=None
+                    )
+                    continue
+                epoch = ack[1]
+                if epoch in (-1, _RECOVERY_RESTORE_EPOCH):
+                    if ack[2] == shard and epoch == sentinel:
+                        return
+                    # another recovery's special: hold it back for that loop
+                    stashed.append(ack)
+                    continue
+                if isinstance(ack[3], dict) and "executors" in ack[3]:
+                    # a checkpoint payload: the collection loop consumes it
+                    stashed.append(ack)
+                    continue
+                self._apply_ack(ack)
+        finally:
+            self._held_acks.extend(stashed)
 
     def _release_ready_epochs(self) -> None:
         """Move completed epochs -- in order -- into the ready record list.
@@ -536,13 +866,14 @@ class ShardedRuntime:
                 self._apply_ack(self._next_ack())
             else:
                 try:
-                    ack = self._ack_queue.get_nowait()
+                    ack = self._read_ack(timeout=0.0)
                 except _queue.Empty:
                     break
                 if ack[0] == "error":
-                    self._fail(
+                    self._handle_failure(
                         f"shard {ack[2]} failed:\n{ack[3]}", ack[2], exitcode=None
                     )
+                    continue
                 self._apply_ack(ack)
         self._release_ready_epochs()
 
@@ -551,11 +882,11 @@ class ShardedRuntime:
         epoch = self._epoch
         self._epoch += 1
         shards = list(shards)
-        self._inflight[epoch] = _Epoch(set(shards))
+        self._inflight[epoch] = _Epoch(set(shards), op)
         for shard in shards:
-            proc = self._procs[shard]
-            if not proc.is_alive():
-                self._fail(
+            if not self._procs[shard].is_alive():
+                proc = self._procs[shard]
+                self._handle_failure(
                     f"shard {shard} (pid {proc.pid}) exited with code "
                     f"{proc.exitcode} before epoch {epoch} could be sent",
                     shard,
@@ -563,6 +894,10 @@ class ShardedRuntime:
                 )
             message = payloads[shard] if payloads is not None else (op, epoch)
             self._inboxes[shard].put(message)
+            # recovery replays everything shipped since the last checkpoint;
+            # recording after the put keeps "recorded" = "needs replay"
+            if self.max_restarts and message[0] in ("batch", "flush"):
+                self._replay[shard].append(message)
         return epoch
 
     def _ship_outboxes(self, watermark: Optional[float]) -> None:
@@ -712,13 +1047,8 @@ class ShardedRuntime:
         self.close()
         return self._take_ready()
 
-    def run(self, events: Iterable[Event]) -> List[EmissionRecord]:
-        """Convenience: process a finite stream and flush at the end."""
-        records: List[EmissionRecord] = []
-        for event in events:
-            records.extend(self.process(event))
-        records.extend(self.flush())
-        return records
+    # run()/drive() come from PipelineDriver: the shared source -> process ->
+    # emit -> sink loop with periodic checkpointing and late-event draining
 
     # -- introspection ---------------------------------------------------------
 
@@ -739,21 +1069,48 @@ class ShardedRuntime:
 
     def take_late_events(self) -> List[Event]:
         """Drain (return and clear) the late-event side channel."""
-        taken = self._ingestor.side_channel
-        self._ingestor.side_channel = []
-        return taken
+        return self._ingestor.take_side_channel()
+
+    def reprocess_late(self) -> List[EmissionRecord]:
+        """Replay the side channel; emit correction records for its windows.
+
+        The sharded counterpart of
+        :meth:`~repro.streaming.runtime.StreamingRuntime.reprocess_late`:
+        the drained late events run through a fresh single-process replay
+        runtime hosting the same queries (they are few -- no sharding
+        needed) and come back flagged ``is_correction=True``.
+        """
+        if self._poisoned:
+            raise RuntimeError(
+                "this sharded runtime was closed after a failure; create a "
+                "new runtime (and restore the last checkpoint if desired)"
+            )
+        late = self._ingestor.take_side_channel()
+        if not late:
+            return []
+        replay = _build_worker_runtime(self._specs)
+        return replay_corrections(replay, late, self.watermark, self.metrics)
 
     def shard_report(self) -> str:
         """Readable per-shard routing/merging statistics."""
-        lines = [f"shards              : {self.shard_count} (of {self.workers} requested)"]
+        lines = [
+            f"shards              : {self.shard_count} (of {self.workers} requested)"
+        ]
         if self.fallback_reason:
             lines.append(f"fallback            : {self.fallback_reason}")
         for shard, stats in enumerate(self.shard_stats):
+            restarts = (
+                f" restarts={self.restart_counts[shard]}"
+                if self.restart_counts and self.restart_counts[shard]
+                else ""
+            )
             lines.append(
                 f"shard {shard}             : events={stats.events_sent} "
                 f"batches={stats.batches_sent} records={stats.records_merged} "
-                f"processing={stats.processing_seconds:.3f}s"
+                f"processing={stats.processing_seconds:.3f}s{restarts}"
             )
+        for note in self.recovery_log:
+            lines.append(f"recovery            : {note}")
         return "\n".join(lines)
 
     # -- checkpointing ---------------------------------------------------------
@@ -781,19 +1138,33 @@ class ShardedRuntime:
         while collected < self.shard_count:
             ack = self._next_ack()
             if ack[0] == "ok" and isinstance(ack[3], dict) and "executors" in ack[3]:
+                if ack[2] not in shard_payloads:
+                    # a shard can legitimately answer twice: its payload was
+                    # delivered, the worker died, and the re-issued request
+                    # produced an equivalent one -- count each shard once
+                    collected += 1
                 shard_payloads[ack[2]] = ack[3]
-                collected += 1
-                self._inflight.pop(ack[1], None)
+                # keep the epoch's pending set accurate shard by shard: a
+                # recovery mid-collection re-requests exactly the payloads
+                # still owed (see _recover)
+                entry = self._inflight.get(ack[1])
+                if entry is not None:
+                    entry.pending.discard(ack[2])
+                    if not entry.pending:
+                        self._inflight.pop(ack[1], None)
             else:  # a straggling batch ack ahead of the checkpoint ack
                 self._apply_ack(ack)
         self._release_ready_epochs()
         executors = {
             spec.name: _merge_executor_snapshots(
-                [shard_payloads[s]["executors"][spec.name] for s in sorted(shard_payloads)]
+                [
+                    shard_payloads[s]["executors"][spec.name]
+                    for s in sorted(shard_payloads)
+                ]
             )
             for spec in self._specs
         }
-        return {
+        snapshot = {
             "version": CHECKPOINT_VERSION,
             "queries": [
                 {
@@ -810,6 +1181,12 @@ class ShardedRuntime:
             "emitted_counts": dict(self._emitted_counts),
             "sharded": {"workers": self.shard_count},
         }
+        if self.max_restarts:
+            # everything before this consistent cut is durable; the replay
+            # buffers only need to cover what ships from here on
+            self._last_checkpoint = snapshot
+            self._replay = [[] for _ in range(self.shard_count)]
+        return snapshot
 
     def restore(self, state: Dict[str, object]) -> None:
         """Restore a snapshot (sharded or single-process) into this runtime.
@@ -864,6 +1241,11 @@ class ShardedRuntime:
         self._outboxes = [[] for _ in range(self.shard_count)]
         self._pushes_since_ship = 0
         self._pending_watermark = None
+        if self.max_restarts:
+            # recorded before the ship: a worker that dies mid-restore is
+            # recovered straight into this state (with nothing to replay)
+            self._last_checkpoint = state
+            self._replay = [[] for _ in range(self.shard_count)]
         try:
             splits = {
                 shard: {"executors": {}} for shard in range(self.shard_count)

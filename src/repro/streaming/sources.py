@@ -1,0 +1,406 @@
+"""Pluggable event sources and emission sinks (the pipeline's two ends).
+
+The streaming runtimes used to be hard-wired to in-memory iterables: every
+caller (CLI, examples, benchmarks, ``CograEngine.stream``) hand-rolled its
+own ``for event in ...: runtime.process(event)`` loop and its own result
+handling.  This module defines the two protocols the shared driver loop
+(:meth:`~repro.streaming.runtime.StreamingRuntime.run`) is written against
+instead:
+
+* an :class:`EventSource` produces :class:`~repro.events.event.Event`
+  objects -- from an in-memory iterable (:class:`IterableSource`), a static
+  JSONL file or handle (:class:`JsonlFileSource`), a growing JSONL file
+  followed ``tail -f``-style (:class:`JsonlFileTailSource`), or a TCP
+  socket speaking JSON lines (:class:`SocketJsonlSource`);
+* a :class:`Sink` consumes the emitted
+  :class:`~repro.streaming.emission.EmissionRecord` objects -- a callback
+  (:class:`CallbackSink`), a JSONL file (:class:`JsonlFileSink`), or an
+  in-memory list (:class:`MemorySink`).
+
+:func:`as_source` adapts plain iterables so existing call sites keep
+working; :func:`open_source` parses the CLI's ``--source`` specification
+(``-``, a file path, ``tail:PATH``, ``tcp://HOST:PORT``).
+"""
+
+from __future__ import annotations
+
+import socket
+import time as _time
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.errors import InvalidEventError, SourceError
+from repro.events.event import Event
+from repro.streaming.emission import EmissionRecord
+from repro.streaming.jsonl import (
+    parse_jsonl_line,
+    read_jsonl_events,
+    record_to_json_line,
+)
+
+# ---------------------------------------------------------------------------
+# sources
+# ---------------------------------------------------------------------------
+
+
+class EventSource:
+    """Something the driver loop can pull a stream of events from.
+
+    Implementations yield events from :meth:`events` and release any
+    held resources in :meth:`close` (called by the driver loop even when
+    iteration fails).  Sources are single-use: one :meth:`events` iterator
+    per source instance.
+    """
+
+    #: True when re-creating the source re-delivers the SAME stream from its
+    #: beginning (a file re-read on restart).  Consumers resuming from a
+    #: checkpoint may then skip the already-ingested prefix; live sources
+    #: (sockets, stdin pipes) deliver fresh data instead and must not be
+    #: skipped.
+    replayable = False
+
+    def events(self) -> Iterator[Event]:
+        """Yield the source's events, in arrival order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release held resources (idempotent; default: nothing to do)."""
+
+    def __iter__(self) -> Iterator[Event]:
+        return self.events()
+
+    def __enter__(self) -> "EventSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class IterableSource(EventSource):
+    """Adapts any in-memory iterable of events (the original call style)."""
+
+    def __init__(self, events: Iterable[Event]):
+        self._events = events
+
+    def events(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"IterableSource({self._events!r})"
+
+
+class JsonlFileSource(EventSource):
+    """Reads a static JSONL file (or open text handle, e.g. stdin) once.
+
+    Parameters
+    ----------
+    source:
+        A path, or an already-open text handle.  Handles passed in are
+        *not* closed by :meth:`close` unless ``close_handle`` is true --
+        the CLI hands over ``sys.stdin``, which it must keep.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path, TextIO],
+        close_handle: Optional[bool] = None,
+    ):
+        if isinstance(source, (str, Path)):
+            try:
+                self._handle: TextIO = open(source, "r", encoding="utf-8")
+            except OSError as exc:
+                raise SourceError(f"cannot open JSONL source {source}: {exc}") from exc
+            self._close_handle = True if close_handle is None else close_handle
+            self.replayable = True  # a restart re-reads the same file
+        else:
+            # an already-open handle (e.g. stdin) is a live stream: a
+            # restart does NOT re-deliver what was already read
+            self._handle = source
+            self._close_handle = False if close_handle is None else close_handle
+
+    def events(self) -> Iterator[Event]:
+        return read_jsonl_events(self._handle)
+
+    def close(self) -> None:
+        if self._close_handle:
+            self._handle.close()
+            self._close_handle = False
+
+    def __repr__(self) -> str:
+        return f"JsonlFileSource({getattr(self._handle, 'name', self._handle)!r})"
+
+
+class JsonlFileTailSource(EventSource):
+    """Follows a growing JSONL file, ``tail -f`` style.
+
+    The source reads complete lines as they are appended; at end of file it
+    polls for growth every ``poll_interval`` seconds.  A line without a
+    trailing newline is assumed to be mid-write and re-read once complete.
+    Iteration stops when no new data arrives for ``idle_timeout`` seconds
+    (``None`` follows forever -- the CLI's interactive mode); a trailing
+    newline-less line is parsed at that point so a producer that does not
+    terminate its last record still gets it delivered (a fragment truncated
+    mid-write is dropped instead of aborting the stream).
+
+    ``clock`` and ``sleep`` are injectable for deterministic tests.
+    """
+
+    #: a restarted tail re-reads the grown file from its beginning
+    replayable = True
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+        clock: Callable[[], float] = _time.monotonic,
+        sleep: Callable[[float], None] = _time.sleep,
+    ):
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval!r}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout!r}")
+        self._path = Path(path)
+        self._poll_interval = poll_interval
+        self._idle_timeout = idle_timeout
+        self._clock = clock
+        self._sleep = sleep
+        self._handle: Optional[TextIO] = None
+        self._stopped = False
+
+    def events(self) -> Iterator[Event]:
+        try:
+            self._handle = open(self._path, "r", encoding="utf-8")
+        except OSError as exc:
+            raise SourceError(f"cannot open tail source {self._path}: {exc}") from exc
+        index = 0
+        last_data = self._clock()
+        partial_length = 0
+        while not self._stopped:
+            position = self._handle.tell()
+            line = self._handle.readline()
+            if line.endswith("\n"):
+                last_data = self._clock()
+                partial_length = 0
+                event = parse_jsonl_line(line, default_sequence=index)
+                if event is not None:
+                    yield event
+                    index += 1
+                continue
+            # nothing new, or a record still being written: wait for growth
+            now = self._clock()
+            if len(line) != partial_length:
+                # a slowly-growing partial line is activity, not idleness
+                partial_length = len(line)
+                last_data = now
+            if self._idle_timeout is not None and now - last_data >= self._idle_timeout:
+                if line.strip():
+                    # the producer stopped mid-file without a final newline:
+                    # deliver the trailing record if it is complete, ignore
+                    # a truncated mid-write fragment
+                    try:
+                        event = parse_jsonl_line(line, default_sequence=index)
+                    except InvalidEventError:
+                        event = None
+                    if event is not None:
+                        yield event
+                break
+            self._handle.seek(position)
+            self._sleep(self._poll_interval)
+
+    def stop(self) -> None:
+        """Make the iterator finish after the line it is currently reading."""
+        self._stopped = True
+
+    def close(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return (
+            f"JsonlFileTailSource({str(self._path)!r}, "
+            f"idle_timeout={self._idle_timeout})"
+        )
+
+
+class SocketJsonlSource(EventSource):
+    """Reads JSON-lines events from a TCP connection.
+
+    Connects to ``host:port`` as a client (the shape of Flink's
+    ``socketTextStream``) and yields events until the peer closes the
+    connection.  Events without an explicit ``"sequence"`` receive their
+    arrival index, mirroring :func:`~repro.streaming.jsonl.read_jsonl_events`.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 10.0):
+        self._host = host
+        self._port = int(port)
+        self._connect_timeout = connect_timeout
+        self._socket: Optional[socket.socket] = None
+        self._file: Optional[TextIO] = None
+
+    def events(self) -> Iterator[Event]:
+        try:
+            self._socket = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise SourceError(
+                f"cannot connect to event source {self._host}:{self._port}: {exc}"
+            ) from exc
+        # reads block until the peer sends a full line or closes; no
+        # per-read timeout -- a quiet source is legitimate
+        self._socket.settimeout(None)
+        self._file = self._socket.makefile("r", encoding="utf-8")
+        try:
+            yield from read_jsonl_events(self._file)
+        except OSError as exc:
+            raise SourceError(
+                f"connection to {self._host}:{self._port} failed mid-stream: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def __repr__(self) -> str:
+        return f"SocketJsonlSource({self._host!r}, {self._port})"
+
+
+def as_source(events: Union[EventSource, Iterable[Event]]) -> EventSource:
+    """Adapt ``events`` to the :class:`EventSource` protocol.
+
+    Sources pass through; anything else is treated as an in-memory iterable
+    (the historical ``run(list_of_events)`` call style).
+    """
+    if isinstance(events, EventSource):
+        return events
+    return IterableSource(events)
+
+
+def open_source(spec: str) -> EventSource:
+    """Build the source described by a CLI ``--source`` specification.
+
+    * ``-`` -- read JSONL from stdin;
+    * ``tcp://HOST:PORT`` -- connect to a JSONL socket;
+    * ``tail:PATH`` -- follow a growing JSONL file;
+    * anything else -- read a static JSONL file.
+    """
+    if spec == "-":
+        import sys
+
+        return JsonlFileSource(sys.stdin)
+    if spec.startswith("tcp://"):
+        location = spec[len("tcp://"):]
+        host, separator, port = location.rpartition(":")
+        if not separator or not host or not port.isdigit():
+            raise SourceError(
+                f"malformed socket source {spec!r}; expected tcp://HOST:PORT"
+            )
+        return SocketJsonlSource(host, int(port))
+    if spec.startswith("tail:"):
+        return JsonlFileTailSource(spec[len("tail:"):])
+    return JsonlFileSource(spec)
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+class Sink:
+    """Something the driver loop pushes emitted records into."""
+
+    def emit(self, record: EmissionRecord) -> None:
+        """Consume one emission record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release held resources (idempotent; default: nothing)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CallbackSink(Sink):
+    """Forwards every record to a callable (the ``publish(...)`` idiom)."""
+
+    def __init__(self, callback: Callable[[EmissionRecord], None]):
+        self._callback = callback
+
+    def emit(self, record: EmissionRecord) -> None:
+        self._callback(record)
+
+    def __repr__(self) -> str:
+        return f"CallbackSink({self._callback!r})"
+
+
+class MemorySink(Sink):
+    """Collects records in memory (tests, small jobs)."""
+
+    def __init__(self) -> None:
+        self.records: List[EmissionRecord] = []
+
+    def emit(self, record: EmissionRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"MemorySink({len(self.records)} records)"
+
+
+class JsonlFileSink(Sink):
+    """Writes each record as one JSON line to a file or open handle.
+
+    ``line_buffered`` flushes after every record so a piped or tailed
+    consumer sees incremental emission immediately -- the behaviour the
+    CLI promises -- at the price of one flush syscall per record.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, TextIO],
+        line_buffered: bool = False,
+        close_handle: Optional[bool] = None,
+    ):
+        if isinstance(target, (str, Path)):
+            try:
+                self._handle: TextIO = open(target, "w", encoding="utf-8")
+            except OSError as exc:
+                raise SourceError(f"cannot open JSONL sink {target}: {exc}") from exc
+            self._close_handle = True if close_handle is None else close_handle
+        else:
+            self._handle = target
+            self._close_handle = False if close_handle is None else close_handle
+        self._line_buffered = line_buffered
+        self.records_written = 0
+
+    def emit(self, record: EmissionRecord) -> None:
+        self._handle.write(record_to_json_line(record) + "\n")
+        self.records_written += 1
+        if self._line_buffered:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._close_handle:
+            self._handle.close()
+            self._close_handle = False
+        else:
+            try:
+                self._handle.flush()
+            except ValueError:  # pragma: no cover - handle closed by owner
+                pass
+
+    def __repr__(self) -> str:
+        return f"JsonlFileSink({getattr(self._handle, 'name', self._handle)!r})"

@@ -372,3 +372,258 @@ class TestStreamCommand:
         path = write_events(tmp_path / "events.jsonl", event_rows())
         assert main(["stream", QUERY, "--input", str(path), "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+
+
+class TestPipelineFlags:
+    """--source / --checkpoint-dir / --checkpoint-interval / --recover."""
+
+    def test_source_flag_reads_a_file(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert main(["stream", QUERY, "--source", str(path)]) == 0
+        rows = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert rows and all(row["query"] == "q1" for row in rows)
+
+    def test_source_flag_overrides_input(self, tmp_path, capsys):
+        good = write_events(tmp_path / "events.jsonl", event_rows())
+        assert (
+            main(
+                [
+                    "stream", QUERY,
+                    "--input", str(tmp_path / "missing.jsonl"),
+                    "--source", str(good),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.strip()
+
+    def test_missing_source_reports_the_flag(self, tmp_path, capsys):
+        code = main(["stream", QUERY, "--source", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error: cannot open --source")
+
+    def test_malformed_tcp_source_rejected(self, tmp_path, capsys):
+        assert main(["stream", QUERY, "--source", "tcp://nohost"]) == 1
+        assert "tcp://HOST:PORT" in capsys.readouterr().err
+
+    def test_checkpoint_interval_requires_dir(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            ["stream", QUERY, "--input", str(path), "--checkpoint-interval", "5"]
+        )
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_interval_must_be_positive(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            [
+                "stream", QUERY, "--input", str(path),
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--checkpoint-interval", "0",
+            ]
+        )
+        assert code == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err
+
+    def test_recover_requires_dir(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert main(["stream", QUERY, "--input", str(path), "--recover"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_periodic_checkpoints_build_an_incremental_chain(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        directory = tmp_path / "ckpt"
+        assert (
+            main(
+                [
+                    "stream", QUERY, "--input", str(path),
+                    "--checkpoint-dir", str(directory),
+                    "--checkpoint-interval", "10",
+                ]
+            )
+            == 0
+        )
+        names = sorted(p.name for p in directory.iterdir())
+        assert "MANIFEST.json" in names
+        assert any(name.startswith("base-") for name in names)
+        assert any(name.startswith("delta-") for name in names)
+
+    def test_recover_rerun_of_the_same_command_continues_exactly(
+        self, tmp_path, capsys
+    ):
+        """The natural crash restart: the IDENTICAL command is re-run.
+
+        The first invocation sees only a prefix of the stream (the job
+        "died" before the rest was written); the re-run with --recover gets
+        the full file, skips the already-ingested prefix, and must produce
+        exactly the windows an uninterrupted run over the full stream
+        emits (dedup by window identity -- at-least-once emission re-emits
+        windows closed after the last checkpoint).
+        """
+        rows = event_rows()
+        path = tmp_path / "events.jsonl"
+        write_events(path, rows[:20])
+        directory = tmp_path / "ckpt"
+        command = [
+            "stream", QUERY, "--input", str(path),
+            "--checkpoint-dir", str(directory),
+            "--checkpoint-interval", "10",
+            "--recover",
+        ]
+        assert main(command) == 0
+        first_out = capsys.readouterr().out
+        # the stream grows and the same command is re-run
+        write_events(path, rows)
+        assert main(command) == 0
+        captured = capsys.readouterr()
+        assert "resumed from checkpoint" in captured.err
+        assert "skipping the 20 already-ingested events" in captured.err
+
+        full = write_events(tmp_path / "full.jsonl", rows)
+        assert main(["stream", QUERY, "--input", str(full)]) == 0
+        full_rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+
+        def key(row):
+            return (row["window_id"], row["g"])
+
+        emitted = {
+            key(row): row["COUNT(*)"]
+            for out in (first_out, captured.out)
+            for row in map(json.loads, out.strip().splitlines())
+        }
+        # identical values, and between both invocations nothing is missing
+        assert emitted == {key(row): row["COUNT(*)"] for row in full_rows}
+
+    def test_checkpoint_dir_alone_is_rejected(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            [
+                "stream", QUERY, "--input", str(path),
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 2
+        assert "--checkpoint-dir does nothing by itself" in capsys.readouterr().err
+
+    def test_recover_with_empty_store_starts_fresh(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        assert (
+            main(
+                [
+                    "stream", QUERY, "--input", str(path),
+                    "--checkpoint-dir", str(tmp_path / "empty"),
+                    "--recover",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "starting fresh" in captured.err
+        assert captured.out.strip()
+
+    def test_corrupt_store_surfaces_one_line_error(self, tmp_path, capsys):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "MANIFEST.json").write_text("{ not json")
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            [
+                "stream", QUERY, "--input", str(path),
+                "--checkpoint-dir", str(directory),
+                "--recover",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_recover_skip_covers_punctuation_lines(self, tmp_path, capsys):
+        """Punctuations consume source lines without counting as ingested."""
+        rows = []
+        for i in range(30):
+            rows.append({"type": "A" if i % 3 else "B", "time": float(i), "g": "x"})
+            if i % 5 == 4:
+                rows.append({"type": "WM", "time": float(i)})
+        path = tmp_path / "events.jsonl"
+        write_events(path, rows[: len(rows) // 2])
+        command = [
+            "stream", QUERY, "--input", str(path),
+            "--punctuation-type", "WM",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--checkpoint-interval", "10",
+            "--recover",
+        ]
+        assert main(command) == 0
+        first_out = capsys.readouterr().out
+        write_events(path, rows)
+        assert main(command) == 0
+        captured = capsys.readouterr()
+        assert "skipping the" in captured.err
+
+        full = write_events(tmp_path / "full.jsonl", rows)
+        assert (
+            main(
+                ["stream", QUERY, "--input", str(full), "--punctuation-type", "WM"]
+            )
+            == 0
+        )
+        full_rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+
+        def key(row):
+            return (row["window_id"], row["g"])
+
+        emitted = {
+            key(row): row["COUNT(*)"]
+            for out in (first_out, captured.out)
+            for row in map(json.loads, out.strip().splitlines())
+        }
+        assert emitted == {key(row): row["COUNT(*)"] for row in full_rows}
+
+    def test_recover_from_stdin_warns_instead_of_skipping(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        rows = event_rows()
+        path = write_events(tmp_path / "events.jsonl", rows[:20])
+        directory = tmp_path / "ckpt"
+        assert (
+            main(
+                [
+                    "stream", QUERY, "--input", str(path),
+                    "--checkpoint-dir", str(directory),
+                    "--checkpoint-interval", "10",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # a live pipe resumes where it left off: deliver ONLY the remainder
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("".join(json.dumps(row) + "\n" for row in rows[20:])),
+        )
+        assert (
+            main(
+                [
+                    "stream", QUERY, "--input", "-",
+                    "--checkpoint-dir", str(directory),
+                    "--recover",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "events are NOT skipped" in captured.err
+        assert "skipping the" not in captured.err
+        # the fresh events were processed, not discarded
+        resumed_rows = [
+            json.loads(line) for line in captured.out.strip().splitlines()
+        ]
+        assert any(row["window_id"] >= 2 for row in resumed_rows)

@@ -309,6 +309,93 @@ class TestLatePolicies:
         assert runtime.metrics.late_events_rerouted == 1
 
 
+class TestReprocessLate:
+    QUERY = """
+        RETURN g, COUNT(*)
+        PATTERN A+
+        SEMANTICS skip-till-any-match
+        GROUP-BY g
+        WITHIN 10 seconds SLIDE 10 seconds
+    """
+
+    def _runtime(self):
+        runtime = StreamingRuntime(lateness=0.0, late_policy="side-channel")
+        runtime.register(self.QUERY, name="q")
+        return runtime
+
+    def test_corrections_carry_the_late_contribution(self):
+        runtime = self._runtime()
+        records = []
+        for time in (1.0, 2.0, 15.0):  # 15.0 emits and evicts window 0
+            records.extend(runtime.process(Event("A", time, {"g": "x"})))
+        # two A events => trends {a1}, {a2}, {a1 a2}
+        assert [r.result.values["COUNT(*)"] for r in records] == [3]
+        runtime.process(Event("A", 3.0, {"g": "x"}))  # late for window 0
+        runtime.process(Event("A", 4.0, {"g": "y"}))  # late, new group
+
+        corrections = runtime.reprocess_late()
+        assert all(record.is_correction for record in corrections)
+        assert all(record.as_dict()["is_correction"] for record in corrections)
+        by_group = {
+            record.result.group["g"]: record.result.values["COUNT(*)"]
+            for record in corrections
+        }
+        # the additional contribution of the late events, to merge downstream
+        assert by_group == {"x": 1, "y": 1}
+        assert {record.result.window_id for record in corrections} == {0}
+        # the side channel was drained; a second call is a no-op
+        assert runtime.late_events == []
+        assert runtime.reprocess_late() == []
+
+    def test_reprocess_late_works_after_flush(self):
+        runtime = self._runtime()
+        runtime.process(Event("A", 20.0, {"g": "x"}))
+        runtime.process(Event("A", 1.0, {"g": "x"}))  # late
+        runtime.flush()
+        corrections = runtime.reprocess_late()
+        assert [record.result.window_id for record in corrections] == [0]
+
+    def test_corrections_count_toward_emission_metrics(self):
+        runtime = self._runtime()
+        runtime.process(Event("A", 20.0, {"g": "x"}))
+        runtime.process(Event("A", 1.0, {"g": "x"}))
+        before = runtime.metrics.results_emitted
+        emitted = len(runtime.reprocess_late())
+        assert emitted == 1
+        assert runtime.metrics.results_emitted == before + emitted
+
+    def test_live_state_is_untouched_by_reprocessing(self):
+        runtime = self._runtime()
+        runtime.process(Event("A", 20.0, {"g": "x"}))
+        runtime.process(Event("A", 1.0, {"g": "x"}))  # late
+        runtime.reprocess_late()
+        # the live window (starting at 20) still emits normally afterwards
+        records = runtime.flush()
+        assert [r.result.window_id for r in records] == [2]
+        assert records[0].result.values["COUNT(*)"] == 1
+
+    def test_ordinary_records_do_not_carry_the_flag(self):
+        runtime = self._runtime()
+        runtime.process(Event("A", 1.0, {"g": "x"}))
+        records = runtime.flush()
+        assert records and not records[0].is_correction
+        assert "is_correction" not in records[0].as_dict()
+
+    def test_sharded_runtime_reprocesses_late_events_too(self):
+        from repro.streaming.sharded import ShardedRuntime
+
+        runtime = ShardedRuntime(
+            workers=2, lateness=0.0, late_policy="side-channel", ship_interval=1
+        )
+        runtime.register(self.QUERY, name="q")
+        runtime.process(Event("A", 20.0, {"g": "x"}))
+        runtime.process(Event("A", 1.0, {"g": "x"}))  # late
+        corrections = runtime.reprocess_late()
+        runtime.flush()
+        assert [record.result.window_id for record in corrections] == [0]
+        assert all(record.is_correction for record in corrections)
+
+
 class TestEngineStream:
     def test_engine_stream_yields_batch_results_incrementally(self):
         ordered = make_stream()
@@ -388,3 +475,24 @@ class TestMetrics:
         runtime.process(Event("A", 100.0, {"g": "x", "v": 1}))
         # events seen but the source never punctuated: emission is stalled
         assert runtime.metrics.watermark_lag() == math.inf
+
+    def test_injected_clock_makes_rates_deterministic(self):
+        from repro.streaming.metrics import StreamingMetrics
+
+        ticks = iter([100.0, 104.0, 104.0])
+        metrics = StreamingMetrics(clock=lambda: next(ticks))
+        assert metrics.elapsed_seconds() == 0.0  # before the first event
+        metrics.record_ingest(1.0, 0)  # starts the clock at 100.0
+        metrics.record_ingest(2.0, 0)  # does not consult the clock again
+        assert metrics.elapsed_seconds() == 4.0
+        assert metrics.throughput() == pytest.approx(0.5)  # 2 events / 4 s
+
+    def test_runtime_accepts_a_replaced_clocked_metrics(self):
+        from repro.streaming.metrics import StreamingMetrics
+
+        runtime = StreamingRuntime(lateness=0.0)
+        runtime.register(TYPE_QUERY, name="q")
+        clock = iter([0.0, 10.0])
+        runtime.metrics = StreamingMetrics(clock=lambda: next(clock))
+        runtime.process(Event("A", 1.0, {"g": "x", "v": 1}))
+        assert runtime.metrics.throughput() == pytest.approx(0.1)

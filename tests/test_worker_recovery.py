@@ -1,0 +1,232 @@
+"""Tests for sharded-runtime worker restart and checkpoint-based recovery.
+
+The central property (the PR's acceptance criterion): a
+:class:`ShardedRuntime` run whose worker is killed mid-stream recovers via
+the checkpoint store -- respawn, restore the shard's slice of the latest
+checkpoint, replay the parent-side buffer -- and produces results identical
+to an uninterrupted single-process run.
+"""
+
+import os
+import random
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkerCrashError
+from repro.events.event import Event
+from repro.events.stream import sort_events
+from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.runtime import StreamingRuntime
+from repro.streaming.sharded import ShardedRuntime
+
+QUERY = """
+RETURN g, COUNT(*), MAX(A.v)
+PATTERN SEQ(A+, B)
+SEMANTICS skip-till-any-match
+GROUP-BY g
+WITHIN 20 seconds SLIDE 10 seconds
+"""
+
+
+def make_stream(count=400, seed=13, groups="uvwxyz"):
+    rng = random.Random(seed)
+    return sort_events(
+        Event(
+            rng.choice("AB"),
+            rng.uniform(0.0, 90.0),
+            {"g": rng.choice(groups), "v": rng.randint(1, 9)},
+        )
+        for _ in range(count)
+    )
+
+
+def single_process_records(events):
+    runtime = StreamingRuntime(lateness=0.0)
+    runtime.register(QUERY, name="q")
+    return runtime.run(events)
+
+
+def canonical(records):
+    return sorted(
+        (
+            record.query,
+            record.result.window_id,
+            tuple(sorted(record.result.group.items())),
+            tuple(sorted(record.result.values.items())),
+        )
+        for record in records
+    )
+
+
+def kill_worker(runtime, shard):
+    victim = runtime._procs[shard]
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=10)
+
+
+def killing_feed(runtime, events, kill_at, shard=0):
+    """Yield ``events``, SIGKILL-ing one worker at index ``kill_at``."""
+    for index, event in enumerate(events):
+        if index == kill_at:
+            kill_worker(runtime, shard)
+        yield event
+
+
+class TestRecovery:
+    def test_killed_worker_recovers_with_checkpoint_store(self, tmp_path):
+        events = make_stream()
+        expected = single_process_records(events)
+
+        store = CheckpointStore(tmp_path / "ckpt", compact_every=4)
+        runtime = ShardedRuntime(
+            workers=2, lateness=0.0, ship_interval=8, max_restarts=2
+        )
+        runtime.register(QUERY, name="q")
+        records = runtime.run(
+            killing_feed(runtime, events, kill_at=250, shard=1),
+            checkpoint_store=store,
+            checkpoint_interval=100,
+        )
+        assert runtime.restart_counts == [0, 1]
+        assert len(runtime.recovery_log) == 1
+        assert "restarted" in runtime.shard_report()
+        assert canonical(records) == canonical(expected)
+        # the store holds the same consistent cut the recovery restored from
+        assert store.load_latest() is not None
+
+    def test_recovery_before_any_checkpoint_replays_from_start(self):
+        events = make_stream(count=200)
+        expected = single_process_records(events)
+
+        runtime = ShardedRuntime(
+            workers=2, lateness=0.0, ship_interval=4, max_restarts=1
+        )
+        runtime.register(QUERY, name="q")
+        records = runtime.run(killing_feed(runtime, events, kill_at=100, shard=0))
+        assert runtime.restart_counts == [1, 0]
+        assert canonical(records) == canonical(expected)
+
+    def test_kill_during_checkpoint_collection_recovers(self):
+        events = make_stream(count=200)
+        runtime = ShardedRuntime(
+            workers=2, lateness=0.0, ship_interval=4, max_restarts=1
+        )
+        runtime.register(QUERY, name="q")
+        records = []
+        for event in events[:120]:
+            records.extend(runtime.process(event))
+        kill_worker(runtime, 1)
+        snapshot = runtime.checkpoint()  # detects the crash mid-quiesce
+        assert runtime.restart_counts == [0, 1]
+        records.extend(runtime.drain_pending())
+        for event in events[120:]:
+            records.extend(runtime.process(event))
+        records.extend(runtime.flush())
+        assert canonical(records) == canonical(single_process_records(events))
+        # the composed checkpoint is usable despite the crash
+        resumed = StreamingRuntime(lateness=0.0)
+        resumed.register(QUERY, name="q")
+        resumed.restore(snapshot)
+
+    def test_repeated_crashes_exhaust_max_restarts(self):
+        events = make_stream(count=300)
+        runtime = ShardedRuntime(
+            workers=2, lateness=0.0, ship_interval=2, max_restarts=1
+        )
+        runtime.register(QUERY, name="q")
+        with pytest.raises(WorkerCrashError):
+            for index, event in enumerate(events):
+                if index in (100, 140):
+                    kill_worker(runtime, 0)
+                runtime.process(event)
+            runtime.flush()
+        assert runtime.restart_counts[0] == 1  # recovered once, then gave up
+        with pytest.raises(RuntimeError, match="closed after a failure"):
+            runtime.process(events[0])
+
+    def test_max_restarts_zero_keeps_fail_fast(self):
+        events = make_stream(count=200)
+        runtime = ShardedRuntime(workers=2, lateness=0.0, ship_interval=2)
+        runtime.register(QUERY, name="q")
+        with pytest.raises(WorkerCrashError):
+            for index, event in enumerate(events):
+                if index == 80:
+                    kill_worker(runtime, 0)
+                runtime.process(event)
+            runtime.flush()
+        assert runtime.restart_counts == [0, 0]
+
+    def test_negative_max_restarts_rejected(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            ShardedRuntime(workers=2, max_restarts=-1)
+
+    def test_store_resume_after_parent_death(self, tmp_path):
+        """Driver-level recovery: a NEW runtime resumes from the store.
+
+        This is the CLI's ``--recover`` path: the whole job (parent
+        included) dies, a fresh process loads the newest checkpoint and
+        continues with the remaining events.
+        """
+        events = make_stream(count=300)
+        expected = single_process_records(events)
+        store = CheckpointStore(tmp_path / "ckpt", compact_every=3)
+
+        first = ShardedRuntime(workers=2, lateness=0.0, ship_interval=8)
+        first.register(QUERY, name="q")
+        records = []
+        consumed = 0
+        for index, event in enumerate(events):
+            records.extend(first.process(event))
+            if index % 100 == 99:
+                store.save(first.checkpoint())
+                records.extend(first.drain_pending())
+                consumed = index + 1
+            if index == 220:
+                break  # simulated hard stop of the whole job
+        first.close()
+        snapshot = store.load_latest()
+        assert snapshot["metrics"]["events_ingested"] == consumed == 200
+
+        resumed = ShardedRuntime(workers=3, lateness=0.0, ship_interval=8)
+        resumed.register(QUERY, name="q")
+        resumed.restore(snapshot)
+        replayed = []
+        for event in events[consumed:]:
+            replayed.extend(resumed.process(event))
+        replayed.extend(resumed.flush())
+        # at-least-once: windows emitted between the last checkpoint (event
+        # 200) and the stop (event 220) are re-emitted by the resumed run,
+        # so compare after window-identity dedup -- exactly what a real
+        # downstream consumer does
+        assert set(canonical(records + replayed)) == set(canonical(expected))
+
+
+class TestRecoveryProperty:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        kill_at=st.integers(min_value=10, max_value=280),
+        shard=st.integers(min_value=0, max_value=1),
+        interval=st.sampled_from([60, 110]),
+    )
+    def test_killed_run_matches_uninterrupted_single_process(
+        self, tmp_path_factory, seed, kill_at, shard, interval
+    ):
+        events = make_stream(count=300, seed=seed)
+        expected = single_process_records(events)
+        directory = tmp_path_factory.mktemp("recovery-property")
+        store = CheckpointStore(directory, compact_every=3)
+        runtime = ShardedRuntime(
+            workers=2, lateness=0.0, ship_interval=8, max_restarts=2
+        )
+        runtime.register(QUERY, name="q")
+        records = runtime.run(
+            killing_feed(runtime, events, kill_at=kill_at, shard=shard),
+            checkpoint_store=store,
+            checkpoint_interval=interval,
+        )
+        assert runtime.restart_counts[shard] == 1
+        assert canonical(records) == canonical(expected)
