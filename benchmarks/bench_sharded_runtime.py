@@ -47,6 +47,9 @@ def _workload(event_count=4000, seed=23):
 
 
 def _run_sharded(events, workers):
+    # deliberately NOT JobConfig.build_runtime(): the workers=1 leg must
+    # stay a real ShardedRuntime so the speed-up baseline includes the IPC
+    # overhead (the config API would resolve it to the in-process runtime)
     runtime = ShardedRuntime(workers=workers, lateness=0.0)
     runtime.register(QUERY, name="q")
     started = time.perf_counter()

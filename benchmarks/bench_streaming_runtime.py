@@ -16,6 +16,7 @@ from conftest import save_report
 from repro.core.engine import CograEngine
 from repro.datasets.stock import StockConfig, generate_stock_stream
 from repro.events.stream import sort_events
+from repro.streaming.config import JobConfig, QueryConfig, WatermarkConfig
 from repro.streaming.runtime import StreamingRuntime, group_results
 
 from helpers_results import results_signature
@@ -52,10 +53,15 @@ def test_batch_run_throughput(benchmark):
 
 def test_streaming_runtime_throughput(benchmark):
     events, shuffled = _workload()
+    # the declarative job spec is the public surface; building the runtime
+    # from it keeps the benchmark on the path real jobs take
+    config = JobConfig(
+        queries=(QueryConfig(text=QUERY, name="q"),),
+        watermark=WatermarkConfig(lateness=LATENESS),
+    )
 
     def run():
-        runtime = StreamingRuntime(lateness=LATENESS)
-        runtime.register(QUERY, name="q")
+        runtime = config.build_runtime()
         runtime.run(shuffled)
         return runtime
 

@@ -25,8 +25,12 @@ import tempfile
 from repro import (
     CheckpointStore,
     CograEngine,
+    JobConfig,
+    LatenessConfig,
     MemorySink,
+    QueryConfig,
     StreamingRuntime,
+    WatermarkConfig,
     group_results,
 )
 from repro.datasets.stock import StockConfig, generate_stock_stream
@@ -52,11 +56,20 @@ WITHIN 10 seconds SLIDE 10 seconds
 """
 
 
+#: the declarative description of the job; every rebuilt runtime (reference
+#: run, crashed run, recovered run) resolves from this one spec
+CONFIG = JobConfig(
+    queries=(
+        QueryConfig(text=RISING_RUNS, name="rising-runs"),
+        QueryConfig(text=TRADE_VOLUME, name="trade-volume"),
+    ),
+    watermark=WatermarkConfig(lateness=LATENESS),
+    late=LatenessConfig(policy="side-channel", reprocess=True),
+)
+
+
 def build_runtime() -> StreamingRuntime:
-    runtime = StreamingRuntime(lateness=LATENESS, late_policy="side-channel")
-    runtime.register(RISING_RUNS, name="rising-runs")
-    runtime.register(TRADE_VOLUME, name="trade-volume")
-    return runtime
+    return CONFIG.build_runtime()
 
 
 def distinct(records):

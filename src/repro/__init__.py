@@ -11,13 +11,16 @@ exposes
 * re-implementations of the state-of-the-art baselines used in the paper's
   evaluation (:mod:`repro.baselines`),
 * synthetic data-set generators mirroring the paper's workloads
-  (:mod:`repro.datasets`), and
+  (:mod:`repro.datasets`),
 * the benchmark harness that regenerates every figure of the evaluation
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`), and
+* the streaming runtime (:mod:`repro.streaming`) with its declarative job
+  API: :class:`~repro.streaming.config.JobConfig` and :func:`repro.job`.
 """
 
 from repro.analyzer.granularity import Granularity
 from repro.core.engine import CograEngine
+from repro.errors import ConfigError
 from repro.core.parallel import ParallelExecutor
 from repro.core.results import GroupResult
 from repro.events.event import Event, EventSchema
@@ -53,6 +56,18 @@ from repro.query.query import Query
 from repro.query.semantics import Semantics
 from repro.query.windows import WindowSpec
 from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.config import (
+    CheckpointConfig,
+    Job,
+    JobConfig,
+    LatenessConfig,
+    QueryConfig,
+    ShardConfig,
+    SinkConfig,
+    SourceConfig,
+    WatermarkConfig,
+    job,
+)
 from repro.streaming.emission import EmissionRecord
 from repro.streaming.ingest import (
     BoundedDelayWatermark,
@@ -80,8 +95,10 @@ __all__ = [
     "AdjacentPredicate",
     "BoundedDelayWatermark",
     "CallbackSink",
+    "CheckpointConfig",
     "CheckpointStore",
     "CograEngine",
+    "ConfigError",
     "EmissionRecord",
     "EquivalencePredicate",
     "Event",
@@ -92,12 +109,15 @@ __all__ = [
     "Granularity",
     "GroupResult",
     "IterableSource",
+    "Job",
+    "JobConfig",
     "JsonlFileSink",
     "JsonlFileSource",
     "JsonlFileTailSource",
     "KleenePlus",
     "KleeneStar",
     "LatePolicy",
+    "LatenessConfig",
     "LocalPredicate",
     "MemorySink",
     "Negation",
@@ -106,13 +126,18 @@ __all__ = [
     "PunctuationWatermark",
     "Query",
     "QueryBuilder",
+    "QueryConfig",
     "Semantics",
     "Sequence",
+    "ShardConfig",
     "ShardedRuntime",
     "Sink",
+    "SinkConfig",
     "SocketJsonlSource",
+    "SourceConfig",
     "StreamingMetrics",
     "StreamingRuntime",
+    "WatermarkConfig",
     "WindowSpec",
     "__version__",
     "atom",
@@ -121,6 +146,7 @@ __all__ = [
     "count_star",
     "count_type",
     "group_results",
+    "job",
     "kleene_plus",
     "max_of",
     "min_of",

@@ -45,6 +45,8 @@ The CLI exposes the pieces a user typically wants without writing code:
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import sys
 from pathlib import Path
@@ -81,18 +83,23 @@ from repro.datasets.transportation import (
 )
 from repro.errors import (
     CheckpointError,
+    ConfigError,
     InvalidEventError,
     LateEventError,
     SourceError,
     WorkerCrashError,
 )
 from repro.query.parser import parse_query
-from repro.streaming.checkpoint import CheckpointStore
-from repro.streaming.ingest import LatePolicy, PunctuationWatermark
+from repro.streaming.config import (
+    JobConfig,
+    merge_config_layers,
+    read_config_file,
+    resume_job,
+)
+from repro.streaming.ingest import LatePolicy
 from repro.streaming.jsonl import record_to_json_line, write_jsonl_events
-from repro.streaming.runtime import StreamingRuntime
 from repro.streaming.sharded import ShardedRuntime
-from repro.streaming.sources import CallbackSink, EventSource, open_source
+from repro.streaming.sources import CallbackSink
 
 #: dataset name -> (config class, generator)
 DATASETS = {
@@ -202,15 +209,31 @@ def build_parser() -> argparse.ArgumentParser:
     stream = commands.add_parser(
         "stream", help="run queries as a streaming job over JSONL events"
     )
+    # value flags default to None (= "not given") so the effective job spec
+    # can be layered: built-in defaults < --config file < explicit flags
     stream.add_argument(
         "queries",
-        nargs="+",
-        help="one or more query texts (or paths to files containing them)",
+        nargs="*",
+        help="one or more query texts (or paths to files containing them); "
+        "optional when --config provides the queries",
+    )
+    stream.add_argument(
+        "--config",
+        default=None,
+        help="load the job from a declarative JobConfig file (JSON, or TOML "
+        "on Python 3.11+); explicit flags override the file's settings",
+    )
+    stream.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the fully-resolved JobConfig as JSON (reusable via "
+        "--config) and the per-query granularity plan, then exit without "
+        "ingesting anything",
     )
     stream.add_argument(
         "--input",
-        default="-",
-        help="JSONL event file, or '-' to read from stdin (default); "
+        default=None,
+        help="JSONL event file, or '-' to read from stdin (the default); "
         "shorthand for the file/stdin forms of --source",
     )
     stream.add_argument(
@@ -247,14 +270,17 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--lateness",
         type=float,
-        default=0.0,
-        help="bounded-disorder tolerance in seconds (watermark delay)",
+        default=None,
+        help="bounded-disorder tolerance in seconds (watermark delay; "
+        "default 0)",
     )
     stream.add_argument(
         "--late-policy",
         choices=[policy.value for policy in LatePolicy],
-        default=LatePolicy.DROP.value,
-        help="what to do with events arriving behind the watermark",
+        default=None,
+        help="what to do with events arriving behind the watermark "
+        "(default: drop -- the operational choice; the library default "
+        "is raise)",
     )
     stream.add_argument(
         "--punctuation-type",
@@ -276,18 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="worker processes; >1 shards the stream by partition key "
-        "(queries without partition attributes fall back to one shard)",
+        default=None,
+        help="worker processes (default 1); >1 shards the stream by "
+        "partition key (queries without partition attributes fall back "
+        "to one shard)",
     )
     stream.add_argument(
         "--ship-interval",
         type=int,
-        default=64,
-        help="with --workers >1: events coalesced per worker batch; 1 "
-        "matches single-process emission timing and watermark stamps "
-        "(line order may still differ), larger values trade emission "
-        "latency for throughput",
+        default=None,
+        help="with --workers >1: events coalesced per worker batch "
+        "(default 64); 1 matches single-process emission timing and "
+        "watermark stamps (line order may still differ), larger values "
+        "trade emission latency for throughput",
     )
     stream.add_argument(
         "--metrics",
@@ -319,30 +346,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute whose falling-value selectivity is reported (e.g. price)",
     )
     return parser
-
-
-class _SkippingSource(EventSource):
-    """Drops the first ``skip`` events of a replayed source (``--recover``).
-
-    A restarted job re-reads the same JSONL file (or the same growing file)
-    from the beginning; the events the restored checkpoint already ingested
-    must not be counted twice.  Skipping by arrival index keeps sequence
-    numbers identical to the original run, so the restored reorder buffer
-    and the freshly read remainder line up exactly.
-    """
-
-    def __init__(self, source, skip: int):
-        self._source = source
-        self._skip = skip
-
-    def events(self):
-        for index, event in enumerate(self._source.events()):
-            if index < self._skip:
-                continue
-            yield event
-
-    def close(self) -> None:
-        self._source.close()
 
 
 def _close_store_quietly(store) -> None:
@@ -455,160 +458,200 @@ def _command_experiments(args) -> int:
     return 0
 
 
-def _command_stream(args) -> int:
-    side_channel = args.late_policy == LatePolicy.SIDE_CHANNEL.value
-    if args.late_output and not side_channel:
-        print(
-            "--late-output requires --late-policy side-channel "
-            f"(got {args.late_policy!r})",
-            file=sys.stderr,
+#: the CLI's own defaults where they deviate from the library's: dropping
+#: late events is the operational choice for a long-running pipe (and the
+#: subcommand's historical behaviour), while the library default raises
+_STREAM_CLI_DEFAULTS = {"late": {"policy": LatePolicy.DROP.value}}
+
+
+def _stream_flag_overrides(args) -> dict:
+    """The raw-config layer contributed by explicitly given flags."""
+    overrides: dict = {}
+
+    def put(section: str, key: str, value) -> None:
+        overrides.setdefault(section, {})[key] = value
+
+    if args.queries:
+        overrides["queries"] = [
+            {"text": _load_query_text(text)} for text in args.queries
+        ]
+    if args.source is not None:
+        put("source", "spec", args.source)
+    elif args.input is not None:
+        put("source", "spec", args.input)
+    if args.lateness is not None:
+        put("watermark", "lateness", args.lateness)
+    if args.punctuation_type is not None:
+        put("watermark", "kind", "punctuation")
+        put("watermark", "punctuation_type", args.punctuation_type)
+        if args.lateness is None:
+            # switching the watermark kind moots a config file's lateness;
+            # only an explicitly passed --lateness should still conflict
+            put("watermark", "lateness", 0.0)
+    if args.late_policy is not None:
+        put("late", "policy", args.late_policy)
+    if args.late_output is not None:
+        put("late", "side_channel_path", args.late_output)
+    if args.emit_empty_groups:
+        overrides["emit_empty_groups"] = True
+    if args.workers is not None:
+        put("shards", "workers", args.workers)
+    if args.ship_interval is not None:
+        put("shards", "ship_interval", args.ship_interval)
+    if args.checkpoint_dir is not None:
+        put("checkpoint", "dir", args.checkpoint_dir)
+    if args.checkpoint_interval is not None:
+        put("checkpoint", "interval", args.checkpoint_interval)
+    if args.recover:
+        put("checkpoint", "recover", True)
+    return overrides
+
+
+def _dig(data: dict, path: str, default=None):
+    """Read a dotted path out of a raw (possibly partial) config dict."""
+    for key in path.split("."):
+        if not isinstance(data, dict) or key not in data:
+            return default
+        data = data[key]
+    return data
+
+
+def _check_stream_flags(merged: dict) -> Optional[str]:
+    """The flag-phrased cross-field checks, on the merged effective values.
+
+    These mirror :meth:`JobConfig.validate` (which remains authoritative
+    for library users) but speak in ``--flag`` terms, because that is what
+    the operator typed.  Returns the error message, or ``None``.
+    """
+    if not merged.get("queries"):
+        return (
+            "at least one query is required (positional QUERY arguments, "
+            "or queries in --config)"
         )
-        return 2
-    if side_channel and not args.late_output:
+    late_policy = _dig(merged, "late.policy")
+    late_output = _dig(merged, "late.side_channel_path")
+    reprocess = _dig(merged, "late.reprocess", False)
+    side_channel = late_policy == LatePolicy.SIDE_CHANNEL.value
+    if late_output and not side_channel:
+        return (
+            "--late-output requires --late-policy side-channel "
+            f"(got {late_policy!r})"
+        )
+    if side_channel and not late_output and not reprocess:
         # without a sink the side channel would grow without bound and be
         # discarded at exit, which is just --late-policy drop in disguise
-        print(
+        return (
             "--late-policy side-channel requires --late-output FILE "
-            "(where the late events are persisted for reprocessing)",
-            file=sys.stderr,
+            "(where the late events are persisted for reprocessing)"
         )
-        return 2
-    if args.punctuation_type and args.lateness:
-        print(
+    lateness = _dig(merged, "watermark.lateness", 0.0)
+    if _dig(merged, "watermark.kind") == "punctuation" and lateness:
+        return (
             "--lateness has no effect with --punctuation-type (the watermark "
-            "is carried by punctuation events); pass one or the other",
-            file=sys.stderr,
+            "is carried by punctuation events); pass one or the other"
         )
-        return 2
-    if args.lateness < 0:
-        print(
-            f"--lateness must be non-negative, got {args.lateness:g}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.workers < 1:
-        print(
-            f"--workers must be at least 1, got {args.workers}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.ship_interval < 1:
-        print(
-            f"--ship-interval must be at least 1, got {args.ship_interval}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
-        print(
-            f"--checkpoint-interval must be at least 1, got {args.checkpoint_interval}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.checkpoint_interval is not None and not args.checkpoint_dir:
-        print(
+    if isinstance(lateness, (int, float)) and lateness < 0:
+        return f"--lateness must be non-negative, got {lateness:g}"
+    workers = _dig(merged, "shards.workers", 1)
+    if isinstance(workers, int) and workers < 1:
+        return f"--workers must be at least 1, got {workers}"
+    ship_interval = _dig(merged, "shards.ship_interval", 64)
+    if isinstance(ship_interval, int) and ship_interval < 1:
+        return f"--ship-interval must be at least 1, got {ship_interval}"
+    interval = _dig(merged, "checkpoint.interval")
+    directory = _dig(merged, "checkpoint.dir")
+    recover = _dig(merged, "checkpoint.recover", False)
+    if isinstance(interval, int) and interval < 1:
+        return f"--checkpoint-interval must be at least 1, got {interval}"
+    if interval is not None and not directory:
+        return (
             "--checkpoint-interval requires --checkpoint-dir DIR "
-            "(where the incremental checkpoints are stored)",
-            file=sys.stderr,
+            "(where the incremental checkpoints are stored)"
         )
-        return 2
-    if args.recover and not args.checkpoint_dir:
-        print(
-            "--recover requires --checkpoint-dir DIR (the store to resume from)",
-            file=sys.stderr,
-        )
-        return 2
-    if args.checkpoint_dir and args.checkpoint_interval is None and not args.recover:
-        print(
+    if recover and not directory:
+        return "--recover requires --checkpoint-dir DIR (the store to resume from)"
+    if directory and interval is None and not recover:
+        return (
             "--checkpoint-dir does nothing by itself; add --checkpoint-interval N "
             "to write periodic checkpoints and/or --recover to resume from the "
-            "store",
-            file=sys.stderr,
+            "store"
         )
-        return 2
-    strategy = None
-    if args.punctuation_type:
-        strategy = PunctuationWatermark(args.punctuation_type)
-    if args.workers > 1:
-        runtime = ShardedRuntime(
-            workers=args.workers,
-            lateness=args.lateness,
-            watermark_strategy=strategy,
-            late_policy=args.late_policy,
-            emit_empty_groups=args.emit_empty_groups,
-            ship_interval=args.ship_interval,
-            # --recover with periodic checkpoints also means "survive worker
-            # crashes": restart shards from the latest checkpoint instead of
-            # aborting.  Without an interval the replay buffers would never
-            # be trimmed (nothing calls checkpoint()) and the parent would
-            # retain every shipped event, so restarts stay disabled then.
-            max_restarts=(
-                3 if args.recover and args.checkpoint_interval else 0
-            ),
-        )
-    else:
-        runtime = StreamingRuntime(
-            lateness=args.lateness,
-            watermark_strategy=strategy,
-            late_policy=args.late_policy,
-            emit_empty_groups=args.emit_empty_groups,
-        )
-    for index, text in enumerate(args.queries, start=1):
-        query = parse_query(_load_query_text(text), name=f"q{index}")
-        runtime.register(query)
+    return None
 
-    spec_flag = "--source" if args.source else "--input"
+
+def _resolve_stream_config(args) -> JobConfig:
+    """Layer defaults < ``--config`` file < flags into one validated spec.
+
+    Raises :class:`~repro.errors.ConfigError` (flag-phrased where a flag
+    owns the concept) for anything invalid.
+    """
+    file_layer = read_config_file(args.config) if args.config else {}
+    merged = merge_config_layers(
+        _STREAM_CLI_DEFAULTS, file_layer, _stream_flag_overrides(args)
+    )
+    message = _check_stream_flags(merged)
+    if message is not None:
+        raise ConfigError(message)
+    config = JobConfig.from_dict(merged)
+    config.validate()
+    if (
+        config.checkpoint.recover
+        and config.checkpoint.interval
+        and config.shards.workers > 1
+        and config.shards.max_restarts == 0
+    ):
+        # --recover with periodic checkpoints also means "survive worker
+        # crashes": restart shards from the latest checkpoint instead of
+        # aborting.  Without an interval the replay buffers would never be
+        # trimmed (nothing calls checkpoint()) and the parent would retain
+        # every shipped event, so restarts stay disabled then.
+        config = dataclasses.replace(
+            config, shards=dataclasses.replace(config.shards, max_restarts=3)
+        )
+    return config
+
+
+def _command_stream(args) -> int:
     try:
-        source = open_source(args.source if args.source else args.input)
+        config = _resolve_stream_config(args)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        # stdout gets the resolved spec as valid JSON -- reusable verbatim
+        # as a --config file -- and stderr the human-readable plan
+        print(json.dumps(config.to_dict(), indent=2))
+        for name, granularity in config.granularity_plan().items():
+            print(f"# {name}: granularity={granularity}", file=sys.stderr)
+        return 0
+
+    runtime = config.build_runtime()
+
+    if args.source:
+        spec_flag = "--source"
+    elif args.input:
+        spec_flag = "--input"
+    else:
+        spec_flag = "--config source"  # the spec came from the config file
+    try:
+        source = config.source.build()
     except SourceError as exc:
+        runtime.close()
         print(f"error: cannot open {spec_flag}: {exc}", file=sys.stderr)
         return 1
 
     store = None
-    if args.checkpoint_dir:
+    if config.checkpoint.dir:
         try:
-            store = CheckpointStore(args.checkpoint_dir, background=True)
-            if args.recover:
-                state = store.load_latest()
-                if state is None:
-                    print(
-                        f"# no checkpoint in {args.checkpoint_dir}; starting fresh",
-                        file=sys.stderr,
-                    )
-                else:
-                    runtime.restore(state)
-                    ingested = int(state["metrics"].get("events_ingested", 0))
-                    # punctuation events consumed source lines too without
-                    # counting as ingested data events; the skip must cover
-                    # every line the checkpointed run read
-                    consumed = ingested + int(
-                        state["metrics"].get("punctuations_seen", 0)
-                    )
-                    print(
-                        f"# resumed from checkpoint {store.latest_id()} "
-                        f"({ingested} events in)",
-                        file=sys.stderr,
-                    )
-                    # a replayable source re-delivers the stream from the
-                    # start (same file, or the same tailed file re-read);
-                    # the first `consumed` events are already inside the
-                    # restored state and must not be counted twice.  Live
-                    # sources (sockets, stdin pipes) deliver fresh data
-                    # instead -- skipping there would drop events.
-                    if getattr(source, "replayable", False):
-                        source = _SkippingSource(source, consumed)
-                        print(
-                            f"# skipping the {consumed} already-ingested "
-                            f"events of the replayed input",
-                            file=sys.stderr,
-                        )
-                    elif consumed:
-                        print(
-                            "# warning: this source type does not replay "
-                            "from the start; events are NOT skipped -- "
-                            "ensure the producer resumes where the "
-                            "checkpoint left off",
-                            file=sys.stderr,
-                        )
+            store = config.checkpoint.build_store()
+            if config.checkpoint.recover:
+                # restore the newest checkpoint; a replayable source then
+                # skips the already-ingested prefix (resume_job decides)
+                info = resume_job(runtime, store, source)
+                source = info.source
+                for note in info.notes:
+                    print(f"# {note}", file=sys.stderr)
         except (CheckpointError, WorkerCrashError) as exc:
             source.close()
             runtime.close()
@@ -618,11 +661,11 @@ def _command_stream(args) -> int:
             return 1
 
     late_sink = None
-    if args.late_output:
+    if config.late.side_channel_path:
         try:
             # truncate: the file holds THIS run's late events -- appending
             # across runs would silently replay stale events on reprocessing
-            late_sink = open(args.late_output, "w", encoding="utf-8")
+            late_sink = open(config.late.side_channel_path, "w", encoding="utf-8")
         except OSError as exc:
             source.close()
             runtime.close()
@@ -641,15 +684,33 @@ def _command_stream(args) -> int:
         # immediately, not sit in the block buffer until end of stream
         print(record_to_json_line(record), flush=True)
 
+    # a sink spec in the config routes records there instead of stdout
+    try:
+        config_sink = config.sink.build()
+    except SourceError as exc:
+        source.close()
+        runtime.close()
+        if late_sink is not None:
+            late_sink.close()
+        if store is not None:
+            _close_store_quietly(store)
+        print(f"error: cannot open sink: {exc}", file=sys.stderr)
+        return 1
+    sink = config_sink if config_sink is not None else CallbackSink(emit)
+
     store_failed = False
     try:
         runtime.run(
             source,
-            CallbackSink(emit),
-            checkpoint_store=store if args.checkpoint_interval else None,
-            checkpoint_interval=args.checkpoint_interval,
+            sink,
+            checkpoint_store=store if config.checkpoint.interval else None,
+            checkpoint_interval=config.checkpoint.interval,
             on_late=persist_late_events if late_sink is not None else None,
         )
+        if config.late.reprocess:
+            # replay the side channel into is_correction=True records
+            for record in runtime.reprocess_late():
+                sink.emit(record)
     except BrokenPipeError:
         # the consumer (e.g. ``| head``) went away: stop emitting to stdout
         # but still persist pending late events and fall through to the
@@ -676,6 +737,8 @@ def _command_stream(args) -> int:
         runtime.close()  # stops sharded workers; no-op for the single runtime
         if late_sink is not None:
             late_sink.close()
+        if config_sink is not None:
+            config_sink.close()
         if store is not None:
             try:
                 store.close()  # waits for queued background writes
@@ -690,9 +753,9 @@ def _command_stream(args) -> int:
 
     metrics = runtime.metrics
     if metrics.late_events:
-        note = f"# {metrics.late_events} late events (policy: {args.late_policy})"
-        if args.late_output:
-            note += f", written to {args.late_output}"
+        note = f"# {metrics.late_events} late events (policy: {config.late.policy})"
+        if config.late.side_channel_path:
+            note += f", written to {config.late.side_channel_path}"
         print(note, file=sys.stderr)
     if args.metrics:
         print(metrics.describe(), file=sys.stderr)

@@ -168,32 +168,36 @@ class CograEngine:
         :meth:`flush`, :meth:`reset`, or a second :meth:`stream`) raises
         :class:`RuntimeError` instead of silently mixing two streams into
         one executor.
-        """
-        if workers > 1:
-            from repro.streaming.sharded import ShardedRuntime
 
-            runtime = ShardedRuntime(
-                workers=workers,
-                lateness=lateness,
-                watermark_strategy=watermark_strategy,
-                late_policy=late_policy,
-                emit_empty_groups=self._emit_empty_groups,
-            )
+        Internally the kwargs assemble a
+        :class:`~repro.streaming.config.JobConfig` -- the declarative spec
+        behind every entry point -- and the runtime is resolved from it;
+        multi-query jobs, sinks, checkpointing and recovery are the
+        config's (and :func:`repro.job`'s) territory.
+        """
+        from repro.streaming.config import (
+            JobConfig,
+            LatenessConfig,
+            ShardConfig,
+            WatermarkConfig,
+        )
+
+        config = JobConfig(
+            watermark=WatermarkConfig(lateness=float(lateness)),
+            late=LatenessConfig.of(late_policy),
+            shards=ShardConfig(workers=workers),
+            emit_empty_groups=self._emit_empty_groups,
+        )
+        runtime = config.build_runtime(
+            watermark_strategy=watermark_strategy, register=False
+        )
+        if workers > 1:
             # the engine cannot host sharded execution (state lives in the
             # worker processes); ship the definition at this engine's
             # resolved granularity instead
-            runtime.register(
-                self.query, granularity=self.granularity
-            )
+            runtime.register(self.query, granularity=self.granularity)
             self.reset()
         else:
-            from repro.streaming.runtime import StreamingRuntime
-
-            runtime = StreamingRuntime(
-                lateness=lateness,
-                watermark_strategy=watermark_strategy,
-                late_policy=late_policy,
-            )
             runtime.register(self)  # resets the engine, so claim afterwards
         self._stream_active = True
         return _StreamRun(self, self._stream_records(runtime, events))

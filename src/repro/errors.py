@@ -64,6 +64,17 @@ class InvalidEventError(CograError):
     """
 
 
+class ConfigError(CograError, ValueError):
+    """Raised when a declarative job configuration is invalid.
+
+    Examples: an unknown (typo'd) key in a ``JobConfig`` dictionary, an
+    out-of-range value (``workers=0``), or a cross-field conflict such as
+    ``recover=True`` without a checkpoint directory.  Subclasses
+    :class:`ValueError` as well, because the same validations used to be
+    plain ``ValueError``s raised by the runtime constructors.
+    """
+
+
 class SourceError(CograError):
     """Raised when an event source cannot be opened or fails mid-stream.
 

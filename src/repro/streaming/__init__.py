@@ -3,6 +3,9 @@
 This package turns the batch-oriented library into a production-style
 stream processor:
 
+* :mod:`repro.streaming.config` -- the declarative job API:
+  :class:`JobConfig` (one typed, serializable spec behind every entry
+  point) and the :class:`Job` facade (:func:`job`);
 * :mod:`repro.streaming.ingest` -- out-of-order ingestion with a bounded
   lateness reorder buffer, watermark strategies and late-event policies;
 * :mod:`repro.streaming.runtime` -- :class:`StreamingRuntime`, evaluating
@@ -33,6 +36,21 @@ from repro.streaming.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.streaming.config import (
+    BuiltJob,
+    CheckpointConfig,
+    Job,
+    JobConfig,
+    LatenessConfig,
+    QueryConfig,
+    ShardConfig,
+    SinkConfig,
+    SourceConfig,
+    WatermarkConfig,
+    job,
+    read_config_file,
+    resume_job,
+)
 from repro.streaming.emission import EmissionController, EmissionRecord
 from repro.streaming.ingest import (
     BoundedDelayWatermark,
@@ -60,15 +78,19 @@ from repro.streaming.sources import (
     JsonlFileTailSource,
     MemorySink,
     Sink,
+    SkippingSource,
     SocketJsonlSource,
     as_source,
+    open_sink,
     open_source,
 )
 
 __all__ = [
     "BoundedDelayWatermark",
+    "BuiltJob",
     "CHECKPOINT_VERSION",
     "CallbackSink",
+    "CheckpointConfig",
     "CheckpointEntry",
     "CheckpointStore",
     "EmissionController",
@@ -76,29 +98,42 @@ __all__ = [
     "EventSource",
     "IngestBatch",
     "IterableSource",
+    "Job",
+    "JobConfig",
     "JsonlFileSink",
     "JsonlFileSource",
     "JsonlFileTailSource",
     "LatePolicy",
+    "LatenessConfig",
     "MemorySink",
     "OutOfOrderIngestor",
     "PipelineDriver",
     "PunctuationWatermark",
+    "QueryConfig",
     "STORE_VERSION",
+    "ShardConfig",
     "ShardStats",
     "ShardedRuntime",
     "Sink",
+    "SinkConfig",
+    "SkippingSource",
     "SocketJsonlSource",
+    "SourceConfig",
     "StreamingMetrics",
     "StreamingRuntime",
+    "WatermarkConfig",
     "WatermarkStrategy",
     "as_source",
     "event_from_json",
     "event_to_json",
     "group_results",
+    "job",
     "load_checkpoint",
+    "open_sink",
     "open_source",
+    "read_config_file",
     "read_jsonl_events",
+    "resume_job",
     "save_checkpoint",
     "write_jsonl_events",
 ]

@@ -1,0 +1,1006 @@
+"""Declarative job configuration: one typed, serializable spec per job.
+
+Three PRs of streaming growth (watermarks, sharding, sources/sinks,
+checkpointing, recovery) accreted as keyword-argument sprawl: the same
+knobs were re-declared -- with drifting defaults -- on
+:meth:`CograEngine.stream`, :class:`~repro.streaming.runtime.
+StreamingRuntime`, :class:`~repro.streaming.sharded.ShardedRuntime`,
+:meth:`~repro.streaming.runtime.PipelineDriver.run` and a dozen CLI flags.
+This module is the seam that replaces the sprawl, mirroring how production
+engines separate a declarative job description (Flink's job graph, Beam's
+pipeline options) from the runtime that executes it:
+
+* a :class:`JobConfig` is a frozen dataclass tree -- queries, watermarking,
+  late-event handling, sharding, checkpointing, source and sink -- that
+  validates eagerly (:class:`~repro.errors.ConfigError` with actionable
+  messages), round-trips through :meth:`JobConfig.to_dict` /
+  :meth:`JobConfig.from_dict`, and loads from JSON or TOML files
+  (:meth:`JobConfig.load`);
+* :meth:`JobConfig.build` resolves the spec into a ready-to-run
+  :class:`~repro.streaming.runtime.StreamingRuntime` or
+  :class:`~repro.streaming.sharded.ShardedRuntime` plus opened source,
+  sink and checkpoint store;
+* the :class:`Job` facade (:func:`job`) runs the built pipeline with the
+  full lifecycle -- checkpoint recovery, late-event persistence or
+  reprocessing, teardown -- behind ``start()`` / ``results()`` /
+  ``metrics`` / ``checkpoint()`` / ``stop()``.
+
+Every entry point builds on this spec: ``CograEngine.stream(**kwargs)``
+and the runtime constructors assemble the component configs internally
+(which is what reconciled their once-divergent defaults), and ``cogra
+stream --config job.json`` loads one directly, with CLI flags acting as
+overrides.
+
+Example
+-------
+::
+
+    config = JobConfig(
+        queries=(QueryConfig(text=QUERY, name="trends"),),
+        watermark=WatermarkConfig(lateness=5.0),
+        late=LatenessConfig(policy="drop"),
+        shards=ShardConfig(workers=4),
+    )
+    records = job(config, events=feed).results()
+
+    config.to_dict() == JobConfig.load(path).to_dict()   # serializable
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import json
+import warnings
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.events.event import Event
+from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.emission import EmissionRecord
+from repro.streaming.ingest import (
+    BoundedDelayWatermark,
+    LatePolicy,
+    PunctuationWatermark,
+    WatermarkStrategy,
+)
+from repro.streaming.jsonl import write_jsonl_events
+from repro.streaming.sources import (
+    EventSource,
+    Sink,
+    SkippingSource,
+    as_source,
+    open_sink,
+    open_source,
+)
+
+#: granularities a query may force (mirrors ``cogra run --granularity``)
+GRANULARITIES = ("pattern", "type", "mixed", "event")
+
+
+@lru_cache(maxsize=256)
+def _query_plan_info(
+    text: str, granularity: Optional[str]
+) -> Tuple[Tuple[str, ...], str]:
+    """(partition attributes, resolved granularity) of one query text.
+
+    ``validate()`` and ``granularity_plan()`` both need the static
+    analysis but never the (stateful) engine; caching the two read-only
+    facts avoids re-parsing and re-planning the same query text on every
+    validation -- the CLI validates and then builds, a dry run validates
+    and then plans.
+    """
+    from repro.core.engine import CograEngine
+
+    engine = CograEngine(text, granularity=granularity)
+    return engine.plan.partition_attributes, engine.granularity
+
+
+def _check_unknown_keys(cls, data: Dict[str, object], context: str) -> None:
+    """Reject keys that are not fields of ``cls``, suggesting the typo fix."""
+    valid = [f.name for f in dataclasses.fields(cls)]
+    unknown = [key for key in data if key not in valid]
+    if not unknown:
+        return
+    parts = []
+    for key in unknown:
+        close = difflib.get_close_matches(str(key), valid, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        parts.append(f"{key!r}{hint}")
+    raise ConfigError(
+        f"unknown key{'s' if len(parts) > 1 else ''} {', '.join(parts)} in "
+        f"{context}; valid keys: {', '.join(valid)}"
+    )
+
+
+def _require_mapping(data: object, context: str) -> Dict[str, object]:
+    """Config sections must be objects/tables, not scalars or arrays."""
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"{context} must be an object of settings, got {type(data).__name__}"
+        )
+    return data
+
+
+def _require_bool(value: object, name: str) -> None:
+    """Booleans must be real booleans -- the string 'false' is truthy."""
+    if not isinstance(value, bool):
+        raise ConfigError(f"{name} must be true or false, got {value!r}")
+
+
+def _require_optional_string(value: object, name: str) -> None:
+    """Optional strings must be null or a non-empty string."""
+    if value is not None and (not isinstance(value, str) or not value):
+        raise ConfigError(f"{name} must be null or a non-empty string, got {value!r}")
+
+
+@dataclass(frozen=True)
+class WatermarkConfig:
+    """How the job derives watermarks from the arrival stream.
+
+    ``kind="bounded-delay"`` trusts the source to stay within ``lateness``
+    seconds of disorder (watermark = max event time seen - lateness);
+    ``kind="punctuation"`` reads the watermark from dedicated marker events
+    of type ``punctuation_type`` and ignores ``lateness`` -- mixing the two
+    is rejected, exactly like the CLI's ``--lateness`` /
+    ``--punctuation-type`` conflict.
+    """
+
+    kind: str = "bounded-delay"
+    lateness: float = 0.0
+    punctuation_type: Optional[str] = None
+
+    KINDS = ("bounded-delay", "punctuation")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ConfigError(
+                f"unknown watermark kind {self.kind!r}; valid kinds: "
+                f"{', '.join(self.KINDS)}"
+            )
+        if not isinstance(self.lateness, (int, float)) or isinstance(
+            self.lateness, bool
+        ):
+            raise ConfigError(
+                f"watermark lateness must be a number of seconds, "
+                f"got {self.lateness!r}"
+            )
+        if self.lateness < 0:
+            raise ConfigError(
+                f"watermark lateness must be non-negative, got {self.lateness:g}"
+            )
+        _require_optional_string(self.punctuation_type, "punctuation_type")
+        if self.kind == "punctuation":
+            if not self.punctuation_type:
+                raise ConfigError(
+                    "watermark kind 'punctuation' requires punctuation_type "
+                    "(the event type carrying the watermark)"
+                )
+            if self.lateness:
+                raise ConfigError(
+                    "lateness has no effect with punctuation watermarks (the "
+                    "watermark is carried by punctuation events); set one or "
+                    "the other"
+                )
+        elif self.punctuation_type is not None:
+            raise ConfigError(
+                "punctuation_type requires watermark kind 'punctuation' "
+                f"(got kind {self.kind!r})"
+            )
+
+    def build(self) -> WatermarkStrategy:
+        """The :class:`WatermarkStrategy` this spec describes."""
+        if self.kind == "punctuation":
+            return PunctuationWatermark(self.punctuation_type)
+        return BoundedDelayWatermark(float(self.lateness))
+
+
+@dataclass(frozen=True)
+class LatenessConfig:
+    """What happens to events that arrive behind the watermark.
+
+    This is the single home of the late-event policy: the runtimes and
+    :meth:`CograEngine.stream` all resolve their ``late_policy`` keyword
+    through it, so the default -- ``"raise"``, mirroring the batch path's
+    strictness on disorder -- is declared exactly once.  ``"drop"``
+    discards late events (counted in the metrics), ``"side-channel"``
+    collects them for out-of-band handling: either persisted to
+    ``side_channel_path`` as JSONL, or replayed at end of job into
+    ``is_correction=True`` records when ``reprocess`` is set.
+    """
+
+    policy: str = "raise"
+    side_channel_path: Optional[str] = None
+    reprocess: bool = False
+
+    def __post_init__(self) -> None:
+        _require_optional_string(self.side_channel_path, "side_channel_path")
+        _require_bool(self.reprocess, "reprocess")
+        valid = [policy.value for policy in LatePolicy]
+        if self.policy not in valid:
+            close = difflib.get_close_matches(str(self.policy), valid, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise ConfigError(
+                f"unknown late-event policy {self.policy!r}{hint}; valid "
+                f"policies: {', '.join(valid)}"
+            )
+        side_channel = self.policy == LatePolicy.SIDE_CHANNEL.value
+        if self.side_channel_path and not side_channel:
+            raise ConfigError(
+                "side_channel_path requires the 'side-channel' policy "
+                f"(got {self.policy!r})"
+            )
+        if self.reprocess and not side_channel:
+            raise ConfigError(
+                "reprocess requires the 'side-channel' policy (late events "
+                f"must be collected to be replayed; got {self.policy!r})"
+            )
+        if self.side_channel_path and self.reprocess:
+            raise ConfigError(
+                "side_channel_path and reprocess are mutually exclusive: "
+                "persist late events for out-of-band handling, or replay "
+                "them in-band at end of job -- not both"
+            )
+
+    @classmethod
+    def of(cls, policy: Union[LatePolicy, str, None]) -> "LatenessConfig":
+        """Normalize a ``late_policy`` keyword (member, string or ``None``).
+
+        ``None`` means "the shared default" -- the single place the
+        runtimes, :meth:`CograEngine.stream` and the job spec agree on.
+        """
+        if policy is None:
+            return cls()
+        if isinstance(policy, LatePolicy):
+            policy = policy.value
+        return cls(policy=str(policy))
+
+    @property
+    def resolved_policy(self) -> LatePolicy:
+        """The validated :class:`LatePolicy` member."""
+        return LatePolicy(self.policy)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """The process topology: worker count and batching/recovery knobs.
+
+    ``workers=1`` runs the whole job in-process on a
+    :class:`~repro.streaming.runtime.StreamingRuntime`; more workers shard
+    the stream by partition key across processes
+    (:class:`~repro.streaming.sharded.ShardedRuntime`).  The remaining
+    fields only apply to the sharded topology.
+    """
+
+    workers: int = 1
+    ship_interval: int = 64
+    max_batch: int = 512
+    max_restarts: int = 0
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("workers", "ship_interval", "max_batch", "max_restarts"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError(f"{name} must be an integer, got {value!r}")
+        if self.workers < 1:
+            raise ConfigError(f"worker count must be at least 1, got {self.workers}")
+        if self.ship_interval < 1:
+            raise ConfigError(
+                f"ship_interval must be at least 1, got {self.ship_interval}"
+            )
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be at least 1, got {self.max_batch}")
+        if self.max_restarts < 0:
+            raise ConfigError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        _require_optional_string(self.start_method, "start_method")
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic checkpointing and recovery of the job.
+
+    ``dir`` names the on-disk :class:`~repro.streaming.checkpoint.
+    CheckpointStore`; ``interval`` checkpoints every N ingested events
+    (incremental deltas, compacted every ``compact_every`` checkpoints,
+    written on a background thread unless ``background=False``);
+    ``recover`` resumes the job from the newest checkpoint in ``dir`` --
+    and, combined with ``interval`` on a sharded topology, also restarts
+    crashed workers from checkpoints instead of aborting.
+    """
+
+    dir: Optional[str] = None
+    interval: Optional[int] = None
+    background: bool = True
+    compact_every: int = 8
+    recover: bool = False
+
+    def __post_init__(self) -> None:
+        _require_optional_string(self.dir, "checkpoint dir")
+        _require_bool(self.background, "checkpoint background")
+        _require_bool(self.recover, "checkpoint recover")
+        if self.interval is not None:
+            if not isinstance(self.interval, int) or isinstance(self.interval, bool):
+                raise ConfigError(
+                    f"checkpoint interval must be an integer, got {self.interval!r}"
+                )
+            if self.interval < 1:
+                raise ConfigError(
+                    f"checkpoint interval must be at least 1, got {self.interval}"
+                )
+        if not isinstance(self.compact_every, int) or self.compact_every < 1:
+            raise ConfigError(
+                f"compact_every must be a positive integer, got {self.compact_every!r}"
+            )
+        if self.interval is not None and not self.dir:
+            raise ConfigError(
+                "a checkpoint interval requires a checkpoint dir "
+                "(where the incremental checkpoints are stored)"
+            )
+        if self.recover and not self.dir:
+            raise ConfigError(
+                "recover requires a checkpoint dir (the store to resume from)"
+            )
+        if self.dir and self.interval is None and not self.recover:
+            raise ConfigError(
+                "a checkpoint dir does nothing by itself; add an interval to "
+                "write periodic checkpoints and/or recover to resume from "
+                "the store"
+            )
+
+    def build_store(self) -> Optional[CheckpointStore]:
+        """Open the configured :class:`CheckpointStore`, or ``None``."""
+        if not self.dir:
+            return None
+        return CheckpointStore(
+            self.dir, compact_every=self.compact_every, background=self.background
+        )
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    """Where the job's events come from, as a ``--source``-style spec.
+
+    ``"-"`` reads JSONL from stdin, ``tail:PATH`` follows a growing JSONL
+    file, ``tcp://HOST:PORT`` connects to a JSONL socket, and anything
+    else reads a static JSONL file (see
+    :func:`~repro.streaming.sources.open_source`).
+    """
+
+    spec: str = "-"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, str) or not self.spec:
+            raise ConfigError(
+                f"source spec must be a non-empty string "
+                f"('-', PATH, 'tail:PATH' or 'tcp://HOST:PORT'), got {self.spec!r}"
+            )
+
+    def build(self) -> EventSource:
+        """Open the configured :class:`EventSource`."""
+        return open_source(self.spec)
+
+
+@dataclass(frozen=True)
+class SinkConfig:
+    """Where the job's emitted records go.
+
+    ``None`` collects them in memory (returned by :meth:`Job.results`),
+    ``"-"``/``"stdout"`` writes JSON lines to stdout, anything else writes
+    a JSONL file (see :func:`~repro.streaming.sources.open_sink`).
+    """
+
+    spec: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.spec is not None and (
+            not isinstance(self.spec, str) or not self.spec
+        ):
+            raise ConfigError(
+                f"sink spec must be null, '-', 'stdout' or a file path, "
+                f"got {self.spec!r}"
+            )
+
+    def build(self) -> Optional[Sink]:
+        """Open the configured :class:`Sink`, or ``None`` to collect."""
+        return open_sink(self.spec)
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """One query of the job: text plus its per-query execution settings."""
+
+    text: str
+    name: Optional[str] = None
+    granularity: Optional[str] = None
+    emit_empty_groups: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.text, str) or not self.text.strip():
+            raise ConfigError(
+                "a query needs non-empty text (the textual query language)"
+            )
+        _require_optional_string(self.name, "a query's name")
+        if self.emit_empty_groups is not None:
+            _require_bool(self.emit_empty_groups, "a query's emit_empty_groups")
+        if self.granularity is not None and self.granularity not in GRANULARITIES:
+            close = difflib.get_close_matches(
+                str(self.granularity), GRANULARITIES, n=1
+            )
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise ConfigError(
+                f"unknown granularity {self.granularity!r}{hint}; valid "
+                f"granularities: {', '.join(GRANULARITIES)}"
+            )
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """The complete declarative description of one streaming job.
+
+    Composes the component specs above; an instance is immutable,
+    hashable, comparable and serializable: ``JobConfig.from_dict(c.to_dict())
+    == c`` holds for every valid config (property-tested), and
+    :meth:`load` reads the same dictionary shape from JSON or TOML files.
+    Use :func:`dataclasses.replace` to derive variants.
+    """
+
+    queries: Tuple[QueryConfig, ...] = ()
+    watermark: WatermarkConfig = field(default_factory=WatermarkConfig)
+    late: LatenessConfig = field(default_factory=LatenessConfig)
+    shards: ShardConfig = field(default_factory=ShardConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    source: SourceConfig = field(default_factory=SourceConfig)
+    sink: SinkConfig = field(default_factory=SinkConfig)
+    emit_empty_groups: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.queries, tuple):
+            # allow lists at construction; normalise for hashability/equality
+            object.__setattr__(self, "queries", tuple(self.queries))
+        for query in self.queries:
+            if not isinstance(query, QueryConfig):
+                raise ConfigError(
+                    f"queries must be QueryConfig entries, got {query!r}"
+                )
+        _require_bool(self.emit_empty_groups, "emit_empty_groups")
+
+    # -- serialization ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobConfig":
+        """Build a config from the dictionary shape :meth:`to_dict` writes.
+
+        Unknown keys -- at any nesting level -- are rejected with a
+        :class:`~repro.errors.ConfigError` naming the closest valid key,
+        so a typo'd setting fails loudly instead of being ignored.
+        """
+        data = _require_mapping(data, "the job config")
+        _check_unknown_keys(cls, data, "the job config")
+        kwargs: Dict[str, object] = {}
+        sections = {
+            "watermark": WatermarkConfig,
+            "late": LatenessConfig,
+            "shards": ShardConfig,
+            "checkpoint": CheckpointConfig,
+            "source": SourceConfig,
+            "sink": SinkConfig,
+        }
+        for key, value in data.items():
+            if key == "queries":
+                if not isinstance(value, (list, tuple)):
+                    raise ConfigError(
+                        f"queries must be a list of query objects, got {value!r}"
+                    )
+                queries = []
+                for index, entry in enumerate(value):
+                    entry = _require_mapping(entry, f"queries[{index}]")
+                    _check_unknown_keys(QueryConfig, entry, f"queries[{index}]")
+                    queries.append(QueryConfig(**entry))
+                kwargs[key] = tuple(queries)
+            elif key in sections:
+                section_cls = sections[key]
+                section = _require_mapping(value, f"the {key!r} section")
+                _check_unknown_keys(section_cls, section, f"the {key!r} section")
+                kwargs[key] = section_cls(**section)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary form; the inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "JobConfig":
+        """Load a config from a JSON (default) or TOML (``.toml``) file."""
+        return cls.from_dict(read_config_file(path))
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolved_names(self) -> Tuple[str, ...]:
+        """The emission names of the queries: explicit or ``q1``, ``q2``...."""
+        return tuple(
+            query.name or f"q{index}"
+            for index, query in enumerate(self.queries, start=1)
+        )
+
+    def validate(self) -> "JobConfig":
+        """Cross-field validation beyond what each component checks locally.
+
+        Raises :class:`~repro.errors.ConfigError` for conflicts, and warns
+        (``RuntimeWarning``) when a multi-worker topology cannot actually
+        shard the registered queries.  Returns ``self`` for chaining.
+        """
+        if not self.queries:
+            raise ConfigError(
+                "a job needs at least one query (the queries list is empty)"
+            )
+        names = self.resolved_names()
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ConfigError(
+                f"duplicate query names {duplicates}; every query emits under "
+                "a unique name (explicit or positional q1, q2, ...)"
+            )
+        side_channel = self.late.policy == LatePolicy.SIDE_CHANNEL.value
+        if side_channel and not (self.late.side_channel_path or self.late.reprocess):
+            raise ConfigError(
+                "the 'side-channel' policy requires side_channel_path (where "
+                "the late events are persisted) or reprocess=true (replay "
+                "them at end of job); otherwise late events pile up "
+                "unobserved -- use the 'drop' policy instead"
+            )
+        if self.shards.workers > 1:
+            self._warn_unshardable()
+        return self
+
+    def _warn_unshardable(self) -> None:
+        """Warn when workers>1 will fall back to a single shard."""
+        signatures = {
+            name: _query_plan_info(query.text, query.granularity)[0]
+            for name, query in zip(self.resolved_names(), self.queries)
+        }
+        unpartitioned = sorted(name for name, sig in signatures.items() if not sig)
+        if unpartitioned:
+            warnings.warn(
+                f"workers={self.shards.workers} but queries {unpartitioned} "
+                "have no partition attributes (no GROUP-BY or equivalence "
+                "predicate); the job will run a single shard",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        elif len(set(signatures.values())) > 1:
+            warnings.warn(
+                f"workers={self.shards.workers} but the queries partition on "
+                f"different attributes {sorted(set(signatures.values()))}; "
+                "the job will run a single shard",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def granularity_plan(self) -> Dict[str, str]:
+        """Per-query granularity the static analyzer resolves (dry runs)."""
+        return {
+            name: _query_plan_info(query.text, query.granularity)[1]
+            for name, query in zip(self.resolved_names(), self.queries)
+        }
+
+    # -- building --------------------------------------------------------------
+
+    def build_runtime(
+        self,
+        watermark_strategy: Optional[WatermarkStrategy] = None,
+        register: bool = True,
+    ):
+        """Resolve the runtime this spec describes.
+
+        Returns a :class:`~repro.streaming.sharded.ShardedRuntime` when
+        ``shards.workers > 1``, a :class:`~repro.streaming.runtime.
+        StreamingRuntime` otherwise, with the queries registered under
+        their resolved names (``register=False`` skips registration --
+        :meth:`CograEngine.stream` registers its own engine instead).
+        ``watermark_strategy`` overrides the declarative watermark spec
+        with an explicit strategy object (it cannot be serialized, so it
+        never lives *in* the config).
+        """
+        strategy = watermark_strategy or self.watermark.build()
+        if self.shards.workers > 1:
+            from repro.streaming.sharded import ShardedRuntime
+
+            runtime = ShardedRuntime(
+                workers=self.shards.workers,
+                watermark_strategy=strategy,
+                late_policy=self.late.policy,
+                emit_empty_groups=self.emit_empty_groups,
+                ship_interval=self.shards.ship_interval,
+                max_batch=self.shards.max_batch,
+                max_restarts=self.shards.max_restarts,
+                start_method=self.shards.start_method,
+            )
+        else:
+            from repro.streaming.runtime import StreamingRuntime
+
+            runtime = StreamingRuntime(
+                watermark_strategy=strategy,
+                late_policy=self.late.policy,
+                emit_empty_groups=self.emit_empty_groups,
+            )
+        if register:
+            for name, query in zip(self.resolved_names(), self.queries):
+                runtime.register(
+                    query.text,
+                    name=name,
+                    granularity=query.granularity,
+                    emit_empty_groups=query.emit_empty_groups,
+                )
+        return runtime
+
+    def build(self) -> "BuiltJob":
+        """Resolve the whole spec: runtime + opened source, sink and store.
+
+        The caller owns the returned resources (the :class:`Job` facade
+        wraps them with the full lifecycle, including recovery and
+        teardown; use it unless you are driving the loop by hand).
+        """
+        self.validate()
+        runtime = self.build_runtime()
+        source = self.source.build()
+        try:
+            sink = self.sink.build()
+            store = self.checkpoint.build_store()
+        except Exception:
+            source.close()
+            runtime.close()
+            raise
+        return BuiltJob(runtime=runtime, source=source, sink=sink, store=store)
+
+
+def read_config_file(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a job-config file into its raw dictionary form.
+
+    JSON by default, TOML for ``.toml`` suffixes (requires Python 3.11+,
+    whose standard library bundles ``tomllib``).  The CLI merges this raw
+    form with flag overrides before :meth:`JobConfig.from_dict` validates
+    the result; library users normally call :meth:`JobConfig.load`.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read job config {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - py<3.11 only
+            raise ConfigError(
+                f"loading TOML job configs requires Python 3.11+ "
+                f"(tomllib); convert {path.name} to JSON or upgrade"
+            ) from None
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML in {path}: {exc}") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+    return _require_mapping(data, f"the job config in {path}")
+
+
+def merge_config_layers(*layers: Dict[str, object]) -> Dict[str, object]:
+    """Deep-merge raw config dictionaries, later layers winning key by key.
+
+    The CLI's override semantics: defaults < ``--config`` file < explicit
+    flags.  Nested dictionaries merge recursively; anything else (lists
+    included -- a flag-provided query list replaces the file's) is
+    replaced wholesale.
+    """
+    merged: Dict[str, object] = {}
+    for layer in layers:
+        for key, value in layer.items():
+            if isinstance(value, dict) and isinstance(merged.get(key), dict):
+                merged[key] = merge_config_layers(merged[key], value)
+            else:
+                merged[key] = value
+    return merged
+
+
+@dataclass
+class BuiltJob:
+    """What :meth:`JobConfig.build` resolves: the runtime and its endpoints."""
+
+    runtime: object
+    source: EventSource
+    sink: Optional[Sink]
+    store: Optional[CheckpointStore]
+
+
+# ---------------------------------------------------------------------------
+# checkpoint recovery shared by the Job facade and the CLI
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResumeInfo:
+    """Outcome of resuming a job from its checkpoint store.
+
+    ``source`` is the effective source to drive (wrapped in a
+    :class:`~repro.streaming.sources.SkippingSource` when the original
+    replays an already-ingested prefix), ``notes`` the human-readable
+    progress lines the CLI prints to stderr.
+    """
+
+    source: EventSource
+    notes: List[str]
+    checkpoint_id: Optional[int] = None
+    skipped: int = 0
+
+
+def resume_job(runtime, store: CheckpointStore, source: EventSource) -> ResumeInfo:
+    """Restore ``runtime`` from the newest checkpoint in ``store``.
+
+    Starts fresh (with a note) when the store is empty.  For replayable
+    sources -- static or tailed files, which re-deliver the stream from the
+    beginning on a restart -- the already-ingested prefix is skipped so no
+    event is counted twice; live sources (sockets, stdin pipes) deliver
+    fresh data and are left alone, with a warning note that the producer
+    must resume where the checkpoint left off.
+    """
+    state = store.load_latest()
+    if state is None:
+        return ResumeInfo(
+            source=source,
+            notes=[f"no checkpoint in {store.directory}; starting fresh"],
+        )
+    runtime.restore(state)
+    ingested = int(state["metrics"].get("events_ingested", 0))
+    # punctuation events consumed source lines too without counting as
+    # ingested data events; the skip must cover every line the
+    # checkpointed run read
+    consumed = ingested + int(state["metrics"].get("punctuations_seen", 0))
+    checkpoint_id = store.latest_id()
+    notes = [f"resumed from checkpoint {checkpoint_id} ({ingested} events in)"]
+    skipped = 0
+    if getattr(source, "replayable", False):
+        source = SkippingSource(source, consumed)
+        skipped = consumed
+        notes.append(
+            f"skipping the {consumed} already-ingested events of the "
+            "replayed input"
+        )
+    elif consumed:
+        notes.append(
+            "warning: this source type does not replay from the start; "
+            "events are NOT skipped -- ensure the producer resumes where "
+            "the checkpoint left off"
+        )
+    return ResumeInfo(
+        source=source, notes=notes, checkpoint_id=checkpoint_id, skipped=skipped
+    )
+
+
+# ---------------------------------------------------------------------------
+# the Job facade
+# ---------------------------------------------------------------------------
+
+
+class Job:
+    """Lifecycle facade over one :class:`JobConfig`: the public job API.
+
+    ``start()`` builds the runtime, opens source/sink/store and performs
+    checkpoint recovery; ``results()`` drives the pipeline to completion
+    and returns the emitted records (also pushed into the configured
+    sink); ``metrics`` exposes the runtime's counters; ``checkpoint()``
+    snapshots mid-stream state (persisted when a store is configured);
+    ``stop()`` tears everything down (idempotent, also called
+    automatically when ``results()`` completes).
+
+    ``events`` overrides the configured source with an in-memory iterable
+    or :class:`EventSource` (tests, embedded use); ``sink`` overrides the
+    configured sink with a :class:`Sink` instance.
+
+    Example
+    -------
+    ::
+
+        records = job(config, events=feed).results()
+
+        with job("job.json").start() as running:
+            snapshot = running.checkpoint()
+    """
+
+    def __init__(
+        self,
+        config: Union[JobConfig, Dict[str, object], str, Path],
+        events: Optional[Union[EventSource, Iterable[Event]]] = None,
+        sink: Optional[Sink] = None,
+    ):
+        if isinstance(config, (str, Path)):
+            config = JobConfig.load(config)
+        elif isinstance(config, dict):
+            config = JobConfig.from_dict(config)
+        elif not isinstance(config, JobConfig):
+            raise ConfigError(
+                f"job() takes a JobConfig, a config dict or a config file "
+                f"path, got {type(config).__name__}"
+            )
+        config.validate()
+        self.config = config
+        self._events = events
+        self._sink_override = sink
+        self._runtime = None
+        self._source: Optional[EventSource] = None
+        self._sink: Optional[Sink] = None
+        self._store: Optional[CheckpointStore] = None
+        self._late_sink = None
+        self._records: Optional[List[EmissionRecord]] = None
+        self._started = False
+        self._stopped = False
+        #: human-readable recovery notes, populated by :meth:`start`
+        self.resume_notes: List[str] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "Job":
+        """Build the pipeline and perform checkpoint recovery; returns self."""
+        if self._started:
+            raise RuntimeError("this job was already started")
+        if self._stopped:
+            raise RuntimeError("this job was stopped; build a new one")
+        self._started = True
+        try:
+            self._runtime = self.config.build_runtime()
+            if self._events is not None:
+                self._source = as_source(self._events)
+            else:
+                self._source = self.config.source.build()
+            if self._sink_override is not None:
+                self._sink = self._sink_override
+            else:
+                self._sink = self.config.sink.build()
+            self._store = self.config.checkpoint.build_store()
+            if self._store is not None and self.config.checkpoint.recover:
+                info = resume_job(self._runtime, self._store, self._source)
+                self._source = info.source
+                self.resume_notes = info.notes
+            if self.config.late.side_channel_path:
+                # truncate: the file holds THIS run's late events
+                self._late_sink = open(
+                    self.config.late.side_channel_path, "w", encoding="utf-8"
+                )
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def results(self) -> List[EmissionRecord]:
+        """Run the job to completion; return every emitted record.
+
+        Starts the job if :meth:`start` was not called yet.  Records are
+        also pushed into the configured sink as they are produced, and --
+        with ``late.reprocess`` -- the side-channelled late events are
+        replayed at the end into ``is_correction=True`` records.  The job
+        is stopped when the stream completes; the collected records stay
+        available from repeated calls.
+        """
+        if self._records is not None:
+            return self._records
+        if not self._started:
+            self.start()
+        if self._stopped:
+            raise RuntimeError(
+                "this job was stopped (or failed) before completing; "
+                "build a new one"
+            )
+        on_late = self._persist_late if self._late_sink is not None else None
+        interval = self.config.checkpoint.interval
+        records: List[EmissionRecord] = []
+        try:
+            for record in self._runtime.drive(
+                self._source,
+                checkpoint_store=self._store if interval else None,
+                checkpoint_interval=interval,
+                on_late=on_late,
+            ):
+                records.append(record)
+                if self._sink is not None:
+                    self._sink.emit(record)
+            if self.config.late.reprocess:
+                for record in self._runtime.reprocess_late():
+                    records.append(record)
+                    if self._sink is not None:
+                        self._sink.emit(record)
+        finally:
+            # cache only on success: a failed run must keep raising (the
+            # stopped-job guard above), never serve the partial list as if
+            # the job had completed with fewer windows
+            self.stop()
+        self._records = records
+        return records
+
+    def stop(self) -> None:
+        """Release every resource the job holds (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._source is not None:
+            self._source.close()
+        if self._late_sink is not None:
+            self._late_sink.close()
+        if self._runtime is not None:
+            self._runtime.close()
+        if self._sink is not None and self._sink_override is None:
+            # sinks passed in from outside outlive the job; owned ones don't
+            self._sink.close()
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "Job":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection and control --------------------------------------------
+
+    @property
+    def metrics(self):
+        """The runtime's :class:`StreamingMetrics` (requires a started job)."""
+        if self._runtime is None:
+            raise RuntimeError("the job is not started; call start() first")
+        return self._runtime.metrics
+
+    @property
+    def runtime(self):
+        """The underlying runtime (requires a started job)."""
+        if self._runtime is None:
+            raise RuntimeError("the job is not started; call start() first")
+        return self._runtime
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the runtime state; persist it when a store is open."""
+        if self._runtime is None:
+            raise RuntimeError("the job is not started; call start() first")
+        snapshot = self._runtime.checkpoint()
+        if self._store is not None:
+            self._store.save(snapshot)
+        return snapshot
+
+    def _persist_late(self, late_events: List[Event]) -> None:
+        """Persist side-channelled late events so they never pile up."""
+        write_jsonl_events(late_events, self._late_sink)
+        self._late_sink.flush()
+
+    def __repr__(self) -> str:
+        state = (
+            "stopped"
+            if self._stopped
+            else "started"
+            if self._started
+            else "unstarted"
+        )
+        return f"Job({len(self.config.queries)} queries, {state})"
+
+
+def job(
+    config: Union[JobConfig, Dict[str, object], str, Path],
+    events: Optional[Union[EventSource, Iterable[Event]]] = None,
+    sink: Optional[Sink] = None,
+) -> Job:
+    """Create a :class:`Job` from a config, config dict or config file path.
+
+    The documented entry point of the declarative API::
+
+        records = repro.job("job.json").results()
+        records = repro.job(config, events=feed).results()
+    """
+    return Job(config, events=events, sink=sink)

@@ -57,9 +57,9 @@ from repro.streaming.checkpoint import (
     restore_executor,
     snapshot_executor,
 )
+from repro.streaming.config import LatenessConfig, WatermarkConfig
 from repro.streaming.emission import EmissionController, EmissionRecord
 from repro.streaming.ingest import (
-    BoundedDelayWatermark,
     LatePolicy,
     OutOfOrderIngestor,
     WatermarkStrategy,
@@ -250,7 +250,12 @@ class StreamingRuntime(PipelineDriver):
         (e.g. :class:`~repro.streaming.ingest.PunctuationWatermark`).
     late_policy:
         What happens to events arriving behind the watermark; see
-        :class:`~repro.streaming.ingest.LatePolicy`.
+        :class:`~repro.streaming.ingest.LatePolicy`.  The default comes
+        from :class:`~repro.streaming.config.LatenessConfig` -- ``raise``,
+        mirroring the batch path's strictness on disorder (it used to be
+        ``drop`` here while :meth:`CograEngine.stream` said ``raise``;
+        the shared config reconciled the divergence).  Invalid policy
+        strings fail eagerly with :class:`~repro.errors.ConfigError`.
     emit_empty_groups:
         Default for queries registered without an explicit setting.
     """
@@ -259,11 +264,15 @@ class StreamingRuntime(PipelineDriver):
         self,
         lateness: float = 0.0,
         watermark_strategy: Optional[WatermarkStrategy] = None,
-        late_policy: Union[LatePolicy, str] = LatePolicy.DROP,
+        late_policy: Union[LatePolicy, str, None] = None,
         emit_empty_groups: bool = False,
     ):
-        strategy = watermark_strategy or BoundedDelayWatermark(lateness)
-        self._ingestor = OutOfOrderIngestor(strategy, LatePolicy(late_policy))
+        # the constructor kwargs are one corner of the declarative JobConfig
+        # API: normalising them through the component specs keeps defaults
+        # and validation in exactly one place (repro.streaming.config)
+        late = LatenessConfig.of(late_policy)
+        strategy = watermark_strategy or WatermarkConfig(lateness=lateness).build()
+        self._ingestor = OutOfOrderIngestor(strategy, late.resolved_policy)
         self._controller = EmissionController()
         self.metrics = StreamingMetrics()
         self._emit_empty_groups = emit_empty_groups

@@ -81,9 +81,9 @@ from repro.streaming.checkpoint import (
     restore_executor,
     snapshot_executor,
 )
+from repro.streaming.config import LatenessConfig, ShardConfig, WatermarkConfig
 from repro.streaming.emission import EmissionRecord
 from repro.streaming.ingest import (
-    BoundedDelayWatermark,
     LatePolicy,
     OutOfOrderIngestor,
     WatermarkStrategy,
@@ -320,24 +320,27 @@ class ShardedRuntime(PipelineDriver):
         workers: int = 2,
         lateness: float = 0.0,
         watermark_strategy: Optional[WatermarkStrategy] = None,
-        late_policy: Union[LatePolicy, str] = LatePolicy.DROP,
+        late_policy: Union[LatePolicy, str, None] = None,
         emit_empty_groups: bool = False,
         ship_interval: int = 64,
         max_batch: int = 512,
         max_restarts: int = 0,
         start_method: Optional[str] = None,
     ):
-        if workers < 1:
-            raise ValueError(f"worker count must be at least 1, got {workers}")
-        if ship_interval < 1:
-            raise ValueError(f"ship_interval must be at least 1, got {ship_interval}")
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
-        if max_restarts < 0:
-            raise ValueError(f"max_restarts must be non-negative, got {max_restarts}")
-        self.workers = workers
-        strategy = watermark_strategy or BoundedDelayWatermark(lateness)
-        self._ingestor = OutOfOrderIngestor(strategy, LatePolicy(late_policy))
+        # the kwargs are one corner of the declarative JobConfig API: the
+        # component specs own validation and defaults (ConfigError is a
+        # ValueError, so callers catching the historical type keep working)
+        shards = ShardConfig(
+            workers=workers,
+            ship_interval=ship_interval,
+            max_batch=max_batch,
+            max_restarts=max_restarts,
+            start_method=start_method,
+        )
+        late = LatenessConfig.of(late_policy)
+        self.workers = shards.workers
+        strategy = watermark_strategy or WatermarkConfig(lateness=lateness).build()
+        self._ingestor = OutOfOrderIngestor(strategy, late.resolved_policy)
         self.metrics = StreamingMetrics()
         self._emit_empty_groups = emit_empty_groups
         self._ship_interval = ship_interval

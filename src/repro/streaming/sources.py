@@ -273,6 +273,33 @@ class SocketJsonlSource(EventSource):
         return f"SocketJsonlSource({self._host!r}, {self._port})"
 
 
+class SkippingSource(EventSource):
+    """Drops the first ``skip`` events of a replayed source (recovery).
+
+    A restarted job re-reads the same JSONL file (or the same growing file)
+    from the beginning; the events the restored checkpoint already ingested
+    must not be counted twice.  Skipping by arrival index keeps sequence
+    numbers identical to the original run, so the restored reorder buffer
+    and the freshly read remainder line up exactly.
+    """
+
+    def __init__(self, source: EventSource, skip: int):
+        self._source = source
+        self._skip = skip
+
+    def events(self) -> Iterator[Event]:
+        for index, event in enumerate(self._source.events()):
+            if index < self._skip:
+                continue
+            yield event
+
+    def close(self) -> None:
+        self._source.close()
+
+    def __repr__(self) -> str:
+        return f"SkippingSource({self._source!r}, skip={self._skip})"
+
+
 def as_source(events: Union[EventSource, Iterable[Event]]) -> EventSource:
     """Adapt ``events`` to the :class:`EventSource` protocol.
 
@@ -404,3 +431,21 @@ class JsonlFileSink(Sink):
 
     def __repr__(self) -> str:
         return f"JsonlFileSink({getattr(self._handle, 'name', self._handle)!r})"
+
+
+def open_sink(spec: Optional[str]) -> Optional[Sink]:
+    """Build the sink described by a job-config ``sink`` specification.
+
+    * ``None`` -- no sink: the caller collects the emitted records;
+    * ``-`` or ``stdout`` -- JSON lines to stdout, flushed per record so a
+      piped consumer sees incremental emission immediately;
+    * anything else -- write a JSONL file (line-buffered for the same
+      reason).
+    """
+    if spec is None:
+        return None
+    if spec in ("-", "stdout"):
+        import sys
+
+        return JsonlFileSink(sys.stdout, line_buffered=True)
+    return JsonlFileSink(spec, line_buffered=True)

@@ -1,0 +1,727 @@
+"""Tests for the declarative job API (`repro.streaming.config`).
+
+The central guarantees:
+
+* every valid :class:`JobConfig` round-trips: ``from_dict(to_dict(c)) == c``
+  (property-tested) and survives a JSON or TOML file;
+* invalid specs fail eagerly with :class:`ConfigError` messages that name
+  the offending key (with a typo suggestion) or the cross-field conflict;
+* the *equivalence property*: a job launched via
+  ``CograEngine.stream(**kwargs)``, via a hand-built :class:`JobConfig`,
+  and via a config reloaded from its own ``to_dict()`` dump produces
+  identical results on the same input stream -- for the single-process and
+  the sharded topology.
+"""
+
+import dataclasses
+import json
+import random
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import job
+from repro.core.engine import CograEngine
+from repro.errors import ConfigError
+from repro.events.event import Event
+from repro.events.stream import sort_events
+from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.config import (
+    CheckpointConfig,
+    JobConfig,
+    LatenessConfig,
+    QueryConfig,
+    ShardConfig,
+    SinkConfig,
+    SourceConfig,
+    WatermarkConfig,
+)
+from repro.streaming.ingest import LatePolicy
+from repro.streaming.runtime import StreamingRuntime
+from repro.streaming.sharded import ShardedRuntime
+from helpers import assert_results_equal
+
+LATENESS = 5.0
+
+TYPE_QUERY = """
+RETURN g, COUNT(*), MAX(A.v)
+PATTERN SEQ(A+, B)
+SEMANTICS skip-till-any-match
+GROUP-BY g
+WITHIN 20 seconds SLIDE 10 seconds
+"""
+
+UNPARTITIONED_QUERY = """
+RETURN COUNT(*)
+PATTERN SEQ(A+, B)
+SEMANTICS skip-till-any-match
+WITHIN 20 seconds SLIDE 10 seconds
+"""
+
+
+def make_stream(count=60, seed=11):
+    """A bounded-disorder multi-partition stream of A/B events."""
+    rng = random.Random(seed)
+    ordered = [
+        Event(
+            "A" if i % 3 else "B",
+            float(i),
+            {"g": "x" if i % 2 else "y", "v": i % 7},
+            sequence=i,
+        )
+        for i in range(count)
+    ]
+    return sorted(
+        ordered, key=lambda e: (e.time + rng.uniform(0.0, LATENESS), e.sequence)
+    )
+
+
+def record_signature(records):
+    """Order-independent view of emission records for comparison."""
+    return sorted(
+        (
+            record.query,
+            record.result.window_id,
+            tuple(sorted(record.result.group.items())),
+            tuple(sorted(record.result.values.items())),
+        )
+        for record in records
+    )
+
+
+# ---------------------------------------------------------------------------
+# component validation
+# ---------------------------------------------------------------------------
+
+
+class TestComponentValidation:
+    def test_unknown_watermark_kind(self):
+        with pytest.raises(ConfigError, match="bounded-delay"):
+            WatermarkConfig(kind="bounded")
+
+    def test_negative_lateness(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            WatermarkConfig(lateness=-1.0)
+
+    def test_non_numeric_lateness(self):
+        with pytest.raises(ConfigError, match="number of seconds"):
+            WatermarkConfig(lateness="5")
+
+    def test_punctuation_requires_type(self):
+        with pytest.raises(ConfigError, match="punctuation_type"):
+            WatermarkConfig(kind="punctuation")
+
+    def test_punctuation_conflicts_with_lateness(self):
+        with pytest.raises(ConfigError, match="punctuation"):
+            WatermarkConfig(kind="punctuation", punctuation_type="Tick", lateness=5.0)
+
+    def test_punctuation_type_requires_punctuation_kind(self):
+        with pytest.raises(ConfigError, match="kind 'punctuation'"):
+            WatermarkConfig(punctuation_type="Tick")
+
+    def test_invalid_policy_lists_valid_values(self):
+        with pytest.raises(ConfigError) as excinfo:
+            LatenessConfig(policy="bogus")
+        message = str(excinfo.value)
+        for policy in LatePolicy:
+            assert policy.value in message
+
+    def test_policy_typo_gets_a_suggestion(self):
+        with pytest.raises(ConfigError, match="did you mean 'drop'"):
+            LatenessConfig(policy="drp")
+
+    def test_side_channel_path_requires_side_channel_policy(self):
+        with pytest.raises(ConfigError, match="side_channel_path"):
+            LatenessConfig(policy="drop", side_channel_path="late.jsonl")
+
+    def test_reprocess_requires_side_channel_policy(self):
+        with pytest.raises(ConfigError, match="reprocess"):
+            LatenessConfig(policy="raise", reprocess=True)
+
+    def test_path_and_reprocess_are_exclusive(self):
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            LatenessConfig(
+                policy="side-channel", side_channel_path="l.jsonl", reprocess=True
+            )
+
+    def test_shard_ranges(self):
+        with pytest.raises(ConfigError, match="worker count"):
+            ShardConfig(workers=0)
+        with pytest.raises(ConfigError, match="ship_interval"):
+            ShardConfig(ship_interval=0)
+        with pytest.raises(ConfigError, match="max_batch"):
+            ShardConfig(max_batch=-1)
+        with pytest.raises(ConfigError, match="max_restarts"):
+            ShardConfig(max_restarts=-1)
+        with pytest.raises(ConfigError, match="integer"):
+            ShardConfig(workers="two")
+
+    def test_checkpoint_cross_field_rules(self):
+        with pytest.raises(ConfigError, match="interval requires a checkpoint dir"):
+            CheckpointConfig(interval=10)
+        with pytest.raises(ConfigError, match="recover requires a checkpoint dir"):
+            CheckpointConfig(recover=True)
+        with pytest.raises(ConfigError, match="does nothing by itself"):
+            CheckpointConfig(dir="ckpt")
+        with pytest.raises(ConfigError, match="at least 1"):
+            CheckpointConfig(dir="ckpt", interval=0)
+
+    def test_query_requires_text_and_known_granularity(self):
+        with pytest.raises(ConfigError, match="non-empty text"):
+            QueryConfig(text="   ")
+        with pytest.raises(ConfigError, match="did you mean 'mixed'"):
+            QueryConfig(text=TYPE_QUERY, granularity="mxed")
+
+    def test_source_and_sink_specs(self):
+        with pytest.raises(ConfigError, match="source spec"):
+            SourceConfig(spec="")
+        with pytest.raises(ConfigError, match="sink spec"):
+            SinkConfig(spec="")
+
+    def test_booleans_must_be_real_booleans(self):
+        # "false" is truthy: accepting it would silently invert the setting
+        with pytest.raises(ConfigError, match="true or false"):
+            JobConfig.from_dict({"emit_empty_groups": "false"})
+        with pytest.raises(ConfigError, match="true or false"):
+            LatenessConfig(policy="side-channel", reprocess="yes")
+        with pytest.raises(ConfigError, match="true or false"):
+            QueryConfig(text=TYPE_QUERY, emit_empty_groups="false")
+        with pytest.raises(ConfigError, match="true or false"):
+            CheckpointConfig(dir="ckpt", recover="true")
+
+    def test_optional_strings_must_be_null_or_non_empty(self):
+        with pytest.raises(ConfigError, match="side_channel_path"):
+            LatenessConfig(policy="side-channel", side_channel_path=7)
+        with pytest.raises(ConfigError, match="name"):
+            QueryConfig(text=TYPE_QUERY, name="")
+
+    def test_config_error_is_a_value_error(self):
+        # runtime constructors historically raised ValueError; callers
+        # catching that must keep working
+        with pytest.raises(ValueError):
+            ShardConfig(workers=0)
+
+
+# ---------------------------------------------------------------------------
+# unknown keys / typos
+# ---------------------------------------------------------------------------
+
+
+class TestUnknownKeys:
+    def test_top_level_typo_is_suggested(self):
+        with pytest.raises(ConfigError, match="did you mean 'watermark'"):
+            JobConfig.from_dict({"watermrak": {}})
+
+    def test_nested_typo_is_suggested(self):
+        with pytest.raises(ConfigError, match="did you mean 'policy'"):
+            JobConfig.from_dict({"late": {"polcy": "drop"}})
+
+    def test_query_entry_typo_is_suggested(self):
+        with pytest.raises(ConfigError, match="did you mean 'granularity'"):
+            JobConfig.from_dict(
+                {"queries": [{"text": TYPE_QUERY, "granularty": "type"}]}
+            )
+
+    def test_unknown_key_without_a_close_match_lists_valid_keys(self):
+        with pytest.raises(ConfigError, match="valid keys"):
+            JobConfig.from_dict({"zzz": 1})
+
+    def test_non_mapping_sections_are_rejected(self):
+        with pytest.raises(ConfigError, match="must be an object"):
+            JobConfig.from_dict({"late": "drop"})
+        with pytest.raises(ConfigError, match="list of query objects"):
+            JobConfig.from_dict({"queries": TYPE_QUERY})
+
+
+# ---------------------------------------------------------------------------
+# round-tripping
+# ---------------------------------------------------------------------------
+
+
+def job_configs():
+    """Hypothesis strategy over valid JobConfig instances."""
+    watermarks = st.one_of(
+        st.builds(
+            WatermarkConfig,
+            lateness=st.floats(
+                min_value=0.0, max_value=60.0, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        st.builds(
+            WatermarkConfig,
+            kind=st.just("punctuation"),
+            punctuation_type=st.sampled_from(["Tick", "WM"]),
+        ),
+    )
+    lates = st.one_of(
+        st.builds(LatenessConfig, policy=st.sampled_from(["raise", "drop"])),
+        st.builds(
+            LatenessConfig,
+            policy=st.just("side-channel"),
+            side_channel_path=st.just("late.jsonl"),
+        ),
+        st.builds(
+            LatenessConfig, policy=st.just("side-channel"), reprocess=st.just(True)
+        ),
+    )
+    shards = st.builds(
+        ShardConfig,
+        workers=st.integers(min_value=1, max_value=8),
+        ship_interval=st.integers(min_value=1, max_value=128),
+        max_batch=st.integers(min_value=1, max_value=1024),
+        max_restarts=st.integers(min_value=0, max_value=3),
+    )
+    checkpoints = st.one_of(
+        st.builds(CheckpointConfig),
+        st.builds(
+            CheckpointConfig,
+            dir=st.just("ckpt"),
+            interval=st.integers(min_value=1, max_value=1000),
+            background=st.booleans(),
+            compact_every=st.integers(min_value=1, max_value=16),
+            recover=st.booleans(),
+        ),
+    )
+    queries = st.lists(
+        st.builds(
+            QueryConfig,
+            text=st.just(TYPE_QUERY),
+            name=st.one_of(st.none(), st.sampled_from(["trends", "pairs"])),
+            granularity=st.one_of(st.none(), st.just("event")),
+            emit_empty_groups=st.one_of(st.none(), st.booleans()),
+        ),
+        min_size=0,
+        max_size=2,
+    )
+    return st.builds(
+        JobConfig,
+        queries=st.builds(tuple, queries),
+        watermark=watermarks,
+        late=lates,
+        shards=shards,
+        checkpoint=checkpoints,
+        source=st.builds(SourceConfig, spec=st.sampled_from(["-", "x.jsonl"])),
+        sink=st.builds(SinkConfig, spec=st.one_of(st.none(), st.just("out.jsonl"))),
+        emit_empty_groups=st.booleans(),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(config=job_configs())
+    def test_from_dict_inverts_to_dict(self, config):
+        assert JobConfig.from_dict(config.to_dict()) == config
+
+    @settings(max_examples=60, deadline=None)
+    @given(config=job_configs())
+    def test_round_trip_survives_json_serialization(self, config):
+        assert JobConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    def test_configs_are_hashable_and_comparable(self):
+        a = JobConfig(queries=(QueryConfig(text=TYPE_QUERY),))
+        b = JobConfig(queries=(QueryConfig(text=TYPE_QUERY),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != dataclasses.replace(a, emit_empty_groups=True)
+
+    def test_query_list_is_normalised_to_a_tuple(self):
+        config = JobConfig(queries=[QueryConfig(text=TYPE_QUERY)])
+        assert isinstance(config.queries, tuple)
+
+
+class TestFileLoading:
+    def test_json_file_round_trip(self, tmp_path):
+        config = JobConfig(
+            queries=(QueryConfig(text=TYPE_QUERY, name="trends"),),
+            watermark=WatermarkConfig(lateness=LATENESS),
+            late=LatenessConfig(policy="drop"),
+        )
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(config.to_dict()))
+        assert JobConfig.load(path) == config
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="tomllib requires Python 3.11+"
+    )
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "job.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "emit_empty_groups = false",
+                    "[[queries]]",
+                    f'text = """{TYPE_QUERY}"""',
+                    'name = "trends"',
+                    "[watermark]",
+                    "lateness = 5.0",
+                    "[late]",
+                    'policy = "drop"',
+                    "[shards]",
+                    "workers = 2",
+                ]
+            )
+        )
+        config = JobConfig.load(path)
+        assert config.queries[0].name == "trends"
+        assert config.watermark.lateness == LATENESS
+        assert config.late.policy == "drop"
+        assert config.shards.workers == 2
+
+    def test_missing_file_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            JobConfig.load(tmp_path / "nope.json")
+
+    def test_invalid_json_is_a_config_error(self, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text("{ not json")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            JobConfig.load(path)
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="tomllib requires Python 3.11+"
+    )
+    def test_invalid_toml_is_a_config_error(self, tmp_path):
+        path = tmp_path / "job.toml"
+        path.write_text("= broken")
+        with pytest.raises(ConfigError, match="invalid TOML"):
+            JobConfig.load(path)
+
+    def test_non_object_top_level_is_a_config_error(self, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="must be an object"):
+            JobConfig.load(path)
+
+
+# ---------------------------------------------------------------------------
+# cross-field validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidate:
+    def test_requires_a_query(self):
+        with pytest.raises(ConfigError, match="at least one query"):
+            JobConfig().validate()
+
+    def test_rejects_duplicate_names(self):
+        config = JobConfig(
+            queries=(
+                QueryConfig(text=TYPE_QUERY, name="q"),
+                QueryConfig(text=TYPE_QUERY, name="q"),
+            )
+        )
+        with pytest.raises(ConfigError, match="duplicate query names"):
+            config.validate()
+
+    def test_side_channel_requires_path_or_reprocess(self):
+        config = JobConfig(
+            queries=(QueryConfig(text=TYPE_QUERY),),
+            late=LatenessConfig(policy="side-channel"),
+        )
+        with pytest.raises(ConfigError, match="side_channel_path"):
+            config.validate()
+
+    def test_unpartitioned_query_with_workers_warns(self):
+        config = JobConfig(
+            queries=(QueryConfig(text=UNPARTITIONED_QUERY),),
+            shards=ShardConfig(workers=2),
+        )
+        with pytest.warns(RuntimeWarning, match="no partition attributes"):
+            config.validate()
+
+    def test_mixed_signatures_with_workers_warn(self):
+        other = TYPE_QUERY.replace("GROUP-BY g", "GROUP-BY v")
+        config = JobConfig(
+            queries=(
+                QueryConfig(text=TYPE_QUERY, name="a"),
+                QueryConfig(text=other, name="b"),
+            ),
+            shards=ShardConfig(workers=2),
+        )
+        with pytest.warns(RuntimeWarning, match="different attributes"):
+            config.validate()
+
+    def test_resolved_names_fill_positional_defaults(self):
+        config = JobConfig(
+            queries=(
+                QueryConfig(text=TYPE_QUERY),
+                QueryConfig(text=TYPE_QUERY, name="named"),
+                QueryConfig(text=TYPE_QUERY),
+            )
+        )
+        assert config.resolved_names() == ("q1", "named", "q3")
+
+    def test_granularity_plan_reports_resolution(self):
+        config = JobConfig(
+            queries=(
+                QueryConfig(text=TYPE_QUERY, name="auto"),
+                QueryConfig(text=TYPE_QUERY, name="forced", granularity="event"),
+            )
+        )
+        plan = config.granularity_plan()
+        assert plan == {"auto": "type", "forced": "event"}
+
+
+# ---------------------------------------------------------------------------
+# building and the reconciled defaults
+# ---------------------------------------------------------------------------
+
+
+class TestBuildRuntime:
+    def test_workers_1_builds_streaming_runtime(self):
+        config = JobConfig(queries=(QueryConfig(text=TYPE_QUERY, name="q"),))
+        runtime = config.build_runtime()
+        assert isinstance(runtime, StreamingRuntime)
+        assert runtime.query_names == ["q"]
+
+    def test_workers_n_builds_sharded_runtime(self):
+        config = JobConfig(
+            queries=(QueryConfig(text=TYPE_QUERY, name="q"),),
+            shards=ShardConfig(workers=3),
+        )
+        runtime = config.build_runtime()
+        try:
+            assert isinstance(runtime, ShardedRuntime)
+            assert runtime.workers == 3
+        finally:
+            runtime.close()
+
+    def test_default_late_policy_is_raise_everywhere(self):
+        # the historical divergence: CograEngine.stream said "raise" while
+        # StreamingRuntime said DROP; LatenessConfig is now the single home
+        assert LatenessConfig().policy == "raise"
+        late = [
+            Event("A", 50.0, {"g": "x", "v": 1}),
+            Event("A", 1.0, {"g": "x", "v": 1}),
+        ]
+        runtime = StreamingRuntime()
+        runtime.register(TYPE_QUERY, name="q")
+        runtime.process(late[0])
+        from repro.errors import LateEventError
+
+        with pytest.raises(LateEventError):
+            runtime.process(late[1])
+
+    def test_runtime_constructor_validates_policy_eagerly(self):
+        with pytest.raises(ConfigError, match="valid policies"):
+            StreamingRuntime(late_policy="bogus")
+        with pytest.raises(ConfigError, match="valid policies"):
+            ShardedRuntime(late_policy="bogus")
+
+
+class TestEquivalence:
+    """One job spec, three launch styles, identical results."""
+
+    def _config(self, workers):
+        return JobConfig(
+            queries=(QueryConfig(text=TYPE_QUERY, name="q"),),
+            watermark=WatermarkConfig(lateness=LATENESS),
+            late=LatenessConfig(policy="drop"),
+            shards=ShardConfig(workers=workers, ship_interval=1),
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_kwargs_config_and_reloaded_config_agree(self, workers):
+        feed = make_stream()
+        config = self._config(workers)
+
+        engine = CograEngine.from_text(TYPE_QUERY)
+        via_kwargs = list(
+            engine.stream(
+                feed, lateness=LATENESS, late_policy="drop", workers=workers
+            )
+        )
+        via_config = job(config, events=feed).results()
+        reloaded = JobConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        via_reload = job(reloaded, events=feed).results()
+
+        assert record_signature(via_config) == record_signature(via_reload)
+        assert_results_equal(via_kwargs, [r.result for r in via_config])
+
+    def test_streamed_results_match_batch(self):
+        feed = make_stream()
+        batch = CograEngine.from_text(TYPE_QUERY).run(sort_events(feed))
+        records = job(self._config(1), events=feed).results()
+        assert_results_equal(batch, [r.result for r in records])
+
+
+# ---------------------------------------------------------------------------
+# the Job facade
+# ---------------------------------------------------------------------------
+
+
+class TestJobFacade:
+    def _config(self, **overrides):
+        base = dict(
+            queries=(QueryConfig(text=TYPE_QUERY, name="q"),),
+            watermark=WatermarkConfig(lateness=LATENESS),
+            late=LatenessConfig(policy="drop"),
+        )
+        base.update(overrides)
+        return JobConfig(**base)
+
+    def test_results_are_cached_and_job_is_stopped(self):
+        running = job(self._config(), events=make_stream())
+        records = running.results()
+        assert records
+        assert running.results() is records  # cached, not re-run
+        assert running.metrics.events_ingested == 60
+
+    def test_job_accepts_dict_and_path(self, tmp_path):
+        config = self._config(source=SourceConfig(spec="unused"))
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(config.to_dict()))
+        from_path = job(path, events=make_stream()).results()
+        from_dict = job(config.to_dict(), events=make_stream()).results()
+        assert record_signature(from_path) == record_signature(from_dict)
+
+    def test_job_rejects_other_config_types(self):
+        with pytest.raises(ConfigError, match="JobConfig"):
+            job(42)
+
+    def test_sink_spec_writes_jsonl(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        config = self._config(sink=SinkConfig(spec=str(out)))
+        records = job(config, events=make_stream()).results()
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == len(records)
+        assert all(row["query"] == "q" for row in lines)
+
+    def test_source_spec_reads_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            "".join(
+                json.dumps({"type": e.event_type, "time": e.time, **e.attributes})
+                + "\n"
+                for e in make_stream()
+            )
+        )
+        config = self._config(source=SourceConfig(spec=str(path)))
+        in_memory = job(self._config(), events=make_stream()).results()
+        from_file = job(config).results()
+        assert record_signature(from_file) == record_signature(in_memory)
+
+    def test_side_channel_path_persists_late_events(self, tmp_path):
+        late_path = tmp_path / "late.jsonl"
+        config = self._config(
+            watermark=WatermarkConfig(lateness=0.0),
+            late=LatenessConfig(
+                policy="side-channel", side_channel_path=str(late_path)
+            ),
+        )
+        feed = [
+            Event("A", 50.0, {"g": "x", "v": 1}, sequence=0),
+            Event("A", 10.0, {"g": "x", "v": 2}, sequence=1),  # late
+        ]
+        job(config, events=feed).results()
+        written = [json.loads(line) for line in late_path.read_text().splitlines()]
+        assert [row["time"] for row in written] == [10.0]
+
+    def test_reprocess_emits_corrections(self):
+        config = self._config(
+            watermark=WatermarkConfig(lateness=0.0),
+            late=LatenessConfig(policy="side-channel", reprocess=True),
+        )
+        feed = [
+            Event("A", 1.0, {"g": "x", "v": 1}, sequence=0),
+            Event("A", 2.0, {"g": "x", "v": 2}, sequence=1),
+            Event("B", 30.0, {"g": "x", "v": 3}, sequence=2),
+            Event("A", 3.0, {"g": "x", "v": 4}, sequence=3),  # late
+            Event("B", 4.0, {"g": "x", "v": 5}, sequence=4),  # late
+        ]
+        records = job(config, events=feed).results()
+        corrections = [r for r in records if r.is_correction]
+        assert corrections, "late events must come back as corrections"
+
+    def test_checkpoint_persists_into_the_store(self, tmp_path):
+        config = self._config(
+            checkpoint=CheckpointConfig(dir=str(tmp_path / "ckpt"), recover=True)
+        )
+        running = job(config, events=make_stream()).start()
+        assert running.resume_notes and "starting fresh" in running.resume_notes[0]
+        snapshot = running.checkpoint()
+        assert snapshot["version"]
+        running.stop()
+        with CheckpointStore(str(tmp_path / "ckpt")) as store:
+            assert store.load_latest() is not None
+
+    def test_recover_resumes_and_skips_replayed_prefix(self, tmp_path):
+        events = make_stream()
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            "".join(
+                json.dumps(
+                    {
+                        "type": e.event_type,
+                        "time": e.time,
+                        "sequence": e.sequence,
+                        **e.attributes,
+                    }
+                )
+                + "\n"
+                for e in events
+            )
+        )
+        store_dir = str(tmp_path / "ckpt")
+        config = self._config(
+            source=SourceConfig(spec=str(path)),
+            checkpoint=CheckpointConfig(dir=store_dir, interval=20, recover=True),
+        )
+        first = job(config).results()
+        resumed_job = job(config)
+        resumed = resumed_job.results()
+        assert any("resumed from checkpoint" in n for n in resumed_job.resume_notes)
+        assert any("skipping the" in n for n in resumed_job.resume_notes)
+        # at-least-once: the resumed run re-emits exactly windows that were
+        # still open at the last checkpoint -- same values, nothing new, and
+        # nothing double-counted (the replayed prefix was skipped)
+        assert resumed, "windows open at the last checkpoint must re-emit"
+        assert set(record_signature(resumed)) <= set(record_signature(first))
+
+    def test_failed_run_keeps_raising_instead_of_serving_partial_results(self):
+        from repro.errors import LateEventError
+
+        config = self._config(
+            watermark=WatermarkConfig(lateness=0.0),
+            late=LatenessConfig(policy="raise"),
+        )
+        feed = [
+            Event("A", 50.0, {"g": "x", "v": 1}, sequence=0),
+            Event("A", 10.0, {"g": "x", "v": 2}, sequence=1),  # late -> raises
+        ]
+        failed = job(config, events=feed)
+        with pytest.raises(LateEventError):
+            failed.results()
+        # a retry must NOT silently return the partial (empty) record list
+        with pytest.raises(RuntimeError, match="failed"):
+            failed.results()
+
+    def test_start_twice_rejected(self):
+        running = job(self._config(), events=make_stream()).start()
+        with pytest.raises(RuntimeError, match="already started"):
+            running.start()
+        running.stop()
+
+    def test_metrics_before_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not started"):
+            job(self._config(), events=[]).metrics
+
+    def test_context_manager_starts_and_stops(self):
+        with job(self._config(), events=make_stream()) as running:
+            assert running.runtime is not None
+        with pytest.raises(RuntimeError, match="stopped"):
+            running.results()
+
+    def test_build_returns_runtime_and_endpoints(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        config = self._config(sink=SinkConfig(spec=str(out)))
+        built = config.build()
+        try:
+            assert isinstance(built.runtime, StreamingRuntime)
+            assert built.store is None
+            assert built.sink is not None
+        finally:
+            built.source.close()
+            built.sink.close()
+            built.runtime.close()

@@ -627,3 +627,156 @@ class TestPipelineFlags:
             json.loads(line) for line in captured.out.strip().splitlines()
         ]
         assert any(row["window_id"] >= 2 for row in resumed_rows)
+
+
+class TestConfigFlag:
+    """``--config job.json`` + ``--dry-run``: the declarative CLI surface."""
+
+    def _write_config(self, tmp_path, events_path, **extra):
+        config = {
+            "queries": [{"text": QUERY, "name": "pairs"}],
+            "watermark": {"lateness": 2.0},
+            "late": {"policy": "drop"},
+            "source": {"spec": str(events_path)},
+        }
+        config.update(extra)
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(config))
+        return path
+
+    def test_config_file_runs_the_job(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(tmp_path, events)
+        assert main(["stream", "--config", str(config)]) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert rows and all(row["query"] == "pairs" for row in rows)
+
+    def test_flags_override_the_config_file(self, tmp_path, capsys):
+        rows = [
+            {"type": "A", "time": 50.0, "g": "x"},
+            {"type": "B", "time": 1.0, "g": "x"},  # late
+        ]
+        events = write_events(tmp_path / "late.jsonl", rows)
+        config = self._write_config(tmp_path, events)  # file says policy=drop
+        assert (
+            main(["stream", "--config", str(config), "--late-policy", "raise"])
+            == 1
+        )
+        assert "behind the watermark" in capsys.readouterr().err
+
+    def test_positional_queries_override_config_queries(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(tmp_path, events)
+        assert main(["stream", QUERY, "--config", str(config)]) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        # flag-provided queries replace the file's and get positional names
+        assert rows and all(row["query"] == "q1" for row in rows)
+
+    def test_dry_run_prints_resolved_config_and_plan(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(tmp_path, events)
+        assert main(["stream", "--config", str(config), "--dry-run"]) == 0
+        captured = capsys.readouterr()
+        resolved = json.loads(captured.out)
+        assert resolved["queries"][0]["name"] == "pairs"
+        assert resolved["watermark"]["lateness"] == 2.0
+        assert "granularity=" in captured.err
+        # nothing was ingested: no result rows mixed into the JSON
+        assert "window_id" not in captured.out
+
+    def test_dry_run_output_is_itself_a_valid_config(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(tmp_path, events)
+        assert main(["stream", "--config", str(config), "--dry-run"]) == 0
+        resolved = capsys.readouterr().out
+        round_tripped = tmp_path / "resolved.json"
+        round_tripped.write_text(resolved)
+        assert main(["stream", "--config", str(round_tripped)]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_dry_run_without_config_shows_flag_settings(self, tmp_path, capsys):
+        assert main(["stream", QUERY, "--lateness", "3", "--dry-run"]) == 0
+        resolved = json.loads(capsys.readouterr().out)
+        assert resolved["watermark"]["lateness"] == 3.0
+        assert resolved["late"]["policy"] == "drop"  # the CLI default
+
+    def test_unknown_config_key_is_rejected_with_suggestion(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = tmp_path / "job.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "queries": [{"text": QUERY}],
+                    "watermrak": {"lateness": 2.0},
+                    "source": {"spec": str(events)},
+                }
+            )
+        )
+        assert main(["stream", "--config", str(config)]) == 2
+        assert "did you mean 'watermark'" in capsys.readouterr().err
+
+    def test_missing_config_file_is_rejected(self, tmp_path, capsys):
+        assert main(["stream", QUERY, "--config", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read job config" in capsys.readouterr().err
+
+    def test_no_queries_anywhere_is_rejected(self, tmp_path, capsys):
+        assert main(["stream"]) == 2
+        assert "at least one query" in capsys.readouterr().err
+
+    def test_config_cross_field_errors_exit_2(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(
+            tmp_path, events, checkpoint={"recover": True}
+        )
+        assert main(["stream", "--config", str(config)]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_config_sink_spec_routes_records_to_a_file(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        out = tmp_path / "out.jsonl"
+        config = self._write_config(tmp_path, events, sink={"spec": str(out)})
+        assert main(["stream", "--config", str(config)]) == 0
+        assert capsys.readouterr().out.strip() == ""  # nothing on stdout
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert rows and all(row["query"] == "pairs" for row in rows)
+
+    def test_punctuation_flag_overrides_config_file_lateness(self, tmp_path, capsys):
+        rows = [
+            {"type": "A", "time": 1.0, "g": "x"},
+            {"type": "B", "time": 2.0, "g": "x"},
+            {"type": "Tick", "time": 30.0},
+        ]
+        events = write_events(tmp_path / "events.jsonl", rows)
+        config = self._write_config(tmp_path, events)  # file sets lateness 2.0
+        # switching the watermark kind via flag moots the file's lateness
+        assert (
+            main(["stream", "--config", str(config), "--punctuation-type", "Tick"])
+            == 0
+        )
+        out = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert any(row.get("watermark") == 30.0 for row in out)
+        # an explicitly passed --lateness still conflicts
+        assert (
+            main(
+                [
+                    "stream", "--config", str(config),
+                    "--punctuation-type", "Tick", "--lateness", "5",
+                ]
+            )
+            == 2
+        )
+        assert "punctuation" in capsys.readouterr().err
+
+    def test_unwritable_config_sink_gets_one_line_error(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(
+            tmp_path, events, sink={"spec": str(tmp_path)}  # a directory
+        )
+        assert main(["stream", "--config", str(config)]) == 1
+        assert "cannot open sink" in capsys.readouterr().err
