@@ -62,6 +62,7 @@ from repro.streaming.config import (
     JobConfig,
     LatenessConfig,
     QueryConfig,
+    RebalanceConfig,
     ShardConfig,
     SinkConfig,
     SourceConfig,
@@ -76,7 +77,7 @@ from repro.streaming.ingest import (
 )
 from repro.streaming.metrics import StreamingMetrics
 from repro.streaming.runtime import StreamingRuntime, group_results
-from repro.streaming.sharded import ShardedRuntime
+from repro.streaming.sharded import RebalancePolicy, ShardedRuntime, ShardRouter
 from repro.streaming.sources import (
     CallbackSink,
     EventSource,
@@ -127,9 +128,12 @@ __all__ = [
     "Query",
     "QueryBuilder",
     "QueryConfig",
+    "RebalanceConfig",
+    "RebalancePolicy",
     "Semantics",
     "Sequence",
     "ShardConfig",
+    "ShardRouter",
     "ShardedRuntime",
     "Sink",
     "SinkConfig",

@@ -317,6 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
         "trade emission latency for throughput",
     )
     stream.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="with --workers >1: adaptively migrate hot partition-key "
+        "ranges (and their live aggregator state) between workers when "
+        "the routing load skews; tune via the shards.rebalance.* keys of "
+        "a --config file",
+    )
+    stream.add_argument(
         "--metrics",
         action="store_true",
         help="print throughput / latency / watermark-lag metrics to stderr",
@@ -498,6 +506,10 @@ def _stream_flag_overrides(args) -> dict:
         put("shards", "workers", args.workers)
     if args.ship_interval is not None:
         put("shards", "ship_interval", args.ship_interval)
+    if args.rebalance:
+        # a nested layer: deep-merging preserves any shards.rebalance.*
+        # tuning keys a --config file provides alongside the flag
+        put("shards", "rebalance", {"enabled": True})
     if args.checkpoint_dir is not None:
         put("checkpoint", "dir", args.checkpoint_dir)
     if args.checkpoint_interval is not None:

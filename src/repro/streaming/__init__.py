@@ -43,6 +43,7 @@ from repro.streaming.config import (
     JobConfig,
     LatenessConfig,
     QueryConfig,
+    RebalanceConfig,
     ShardConfig,
     SinkConfig,
     SourceConfig,
@@ -68,7 +69,12 @@ from repro.streaming.jsonl import (
 )
 from repro.streaming.metrics import StreamingMetrics
 from repro.streaming.runtime import PipelineDriver, StreamingRuntime, group_results
-from repro.streaming.sharded import ShardedRuntime, ShardStats
+from repro.streaming.sharded import (
+    RebalancePolicy,
+    ShardedRuntime,
+    ShardRouter,
+    ShardStats,
+)
 from repro.streaming.sources import (
     CallbackSink,
     EventSource,
@@ -110,8 +116,11 @@ __all__ = [
     "PipelineDriver",
     "PunctuationWatermark",
     "QueryConfig",
+    "RebalanceConfig",
+    "RebalancePolicy",
     "STORE_VERSION",
     "ShardConfig",
+    "ShardRouter",
     "ShardStats",
     "ShardedRuntime",
     "Sink",

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.aggregate_state import TrendAccumulator
 from repro.core.executor import QueryExecutor
+from repro.core.parallel import shard_index
 from repro.errors import CheckpointError
 from repro.events.event import Event
 from repro.streaming.jsonl import event_from_json, event_to_json
@@ -306,6 +307,67 @@ def restore_executor(executor: QueryExecutor, state: Dict[str, object]) -> None:
     executor._min_open_window = (
         min(executor._window_groups) if executor._window_groups else None
     )
+
+
+# ---------------------------------------------------------------------------
+# topology split/merge (sharded runtimes, recovery, adaptive rebalancing)
+# ---------------------------------------------------------------------------
+
+
+def merge_executor_snapshots(
+    snapshots: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Combine per-shard executor snapshots into one single-process snapshot.
+
+    Shards hold disjoint (window, partition key) aggregators, so the merge
+    concatenates; entries are sorted for a deterministic, diffable snapshot.
+    """
+    first = snapshots[0]
+    aggregators = [entry for snapshot in snapshots for entry in snapshot["aggregators"]]
+    aggregators.sort(key=lambda entry: (entry[0], repr(entry[1])))
+    last_times = [s["last_time"] for s in snapshots if s["last_time"] is not None]
+    return {
+        "query": first["query"],
+        "granularity": first["granularity"],
+        "events_seen": sum(int(s["events_seen"]) for s in snapshots),
+        "last_time": max(last_times) if last_times else None,
+        "aggregators": aggregators,
+    }
+
+
+def split_executor_snapshot(
+    snapshot: Dict[str, object],
+    shard_count: int,
+    owner: Optional[Callable[[Tuple], int]] = None,
+) -> Dict[int, Dict[str, object]]:
+    """Split one executor snapshot into per-shard snapshots by key ownership.
+
+    The inverse of :func:`merge_executor_snapshots` under any topology:
+    each aggregator entry goes to ``owner`` of its partition key -- the
+    static :func:`~repro.core.parallel.shard_index` hash by default, or a
+    live router's (possibly rebalanced) range->worker map.  The scalar
+    fields cannot be split faithfully, so every shard receives the global
+    ``last_time`` (protecting executor order checks) and shard 0 carries
+    the full ``events_seen`` (so a later merge sums back to the original).
+    """
+    if owner is None:
+
+        def owner(key: Tuple) -> int:
+            return shard_index(key, shard_count)
+
+    per_shard: Dict[int, Dict[str, object]] = {}
+    for shard in range(shard_count):
+        per_shard[shard] = {
+            "query": snapshot["query"],
+            "granularity": snapshot["granularity"],
+            "events_seen": int(snapshot["events_seen"]) if shard == 0 else 0,
+            "last_time": snapshot["last_time"],
+            "aggregators": [],
+        }
+    for entry in snapshot["aggregators"]:
+        key = tuple(entry[1])
+        per_shard[owner(key)]["aggregators"].append(entry)
+    return per_shard
 
 
 # ---------------------------------------------------------------------------

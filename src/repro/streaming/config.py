@@ -265,6 +265,49 @@ class LatenessConfig:
 
 
 @dataclass(frozen=True)
+class RebalanceConfig:
+    """Adaptive shard rebalancing: when the router migrates hash sub-ranges.
+
+    With ``enabled`` the sharded runtime watches the routing load per hash
+    slot and moves hot slots -- with their live aggregator state, via the
+    checkpoint split/merge path -- from overloaded to underloaded workers.
+    ``skew_threshold`` fires a cycle when the busiest worker's load reaches
+    that multiple of the mean load (note the busiest of N workers can reach
+    at most N times the mean, so keep the threshold below the worker
+    count); ``min_interval`` is the number of ingested events between skew
+    checks (each cycle briefly quiesces the workers, so this bounds the
+    migration overhead); ``max_moves`` caps the slots migrated per cycle;
+    ``slots_per_worker`` sets the router granularity (hash slots =
+    ``slots_per_worker`` x workers).
+    """
+
+    enabled: bool = False
+    skew_threshold: float = 1.5
+    min_interval: int = 512
+    max_moves: int = 4
+    slots_per_worker: int = 16
+
+    def __post_init__(self) -> None:
+        _require_bool(self.enabled, "rebalance enabled")
+        if (
+            not isinstance(self.skew_threshold, (int, float))
+            or isinstance(self.skew_threshold, bool)
+            or not self.skew_threshold > 1.0
+        ):
+            raise ConfigError(
+                f"rebalance skew_threshold must be a number greater than 1 "
+                f"(the busiest worker's load as a multiple of the mean load), "
+                f"got {self.skew_threshold!r}"
+            )
+        for name in ("min_interval", "max_moves", "slots_per_worker"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigError(
+                    f"rebalance {name} must be a positive integer, got {value!r}"
+                )
+
+
+@dataclass(frozen=True)
 class ShardConfig:
     """The process topology: worker count and batching/recovery knobs.
 
@@ -272,7 +315,9 @@ class ShardConfig:
     :class:`~repro.streaming.runtime.StreamingRuntime`; more workers shard
     the stream by partition key across processes
     (:class:`~repro.streaming.sharded.ShardedRuntime`).  The remaining
-    fields only apply to the sharded topology.
+    fields only apply to the sharded topology; ``rebalance`` configures
+    live migration of hot hash ranges between the workers
+    (:class:`RebalanceConfig`).
     """
 
     workers: int = 1
@@ -280,6 +325,7 @@ class ShardConfig:
     max_batch: int = 512
     max_restarts: int = 0
     start_method: Optional[str] = None
+    rebalance: RebalanceConfig = field(default_factory=RebalanceConfig)
 
     def __post_init__(self) -> None:
         for name in ("workers", "ship_interval", "max_batch", "max_restarts"):
@@ -299,6 +345,18 @@ class ShardConfig:
                 f"max_restarts must be non-negative, got {self.max_restarts}"
             )
         _require_optional_string(self.start_method, "start_method")
+        if isinstance(self.rebalance, dict):
+            # from_dict (and kwargs users) hand the nested section as a raw
+            # mapping; validate and coerce so equality/hashing keep working
+            context = "the 'shards.rebalance' section"
+            section = _require_mapping(self.rebalance, context)
+            _check_unknown_keys(RebalanceConfig, section, context)
+            object.__setattr__(self, "rebalance", RebalanceConfig(**section))
+        elif not isinstance(self.rebalance, RebalanceConfig):
+            raise ConfigError(
+                f"shards.rebalance must be a RebalanceConfig or an object of "
+                f"settings (e.g. {{'enabled': true}}), got {self.rebalance!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -622,6 +680,7 @@ class JobConfig:
                 max_batch=self.shards.max_batch,
                 max_restarts=self.shards.max_restarts,
                 start_method=self.shards.start_method,
+                rebalance=self.shards.rebalance,
             )
         else:
             from repro.streaming.runtime import StreamingRuntime

@@ -35,6 +35,9 @@ class StreamingMetrics:
         "late_events_dropped",
         "late_events_rerouted",
         "results_emitted",
+        "rebalance_cycles",
+        "rebalance_slots_moved",
+        "rebalance_keys_moved",
     )
 
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
@@ -46,6 +49,12 @@ class StreamingMetrics:
         self.late_events_dropped = 0
         self.late_events_rerouted = 0
         self.results_emitted = 0
+        self.rebalance_cycles = 0
+        self.rebalance_slots_moved = 0
+        self.rebalance_keys_moved = 0
+        #: wall-clock seconds ingestion paused for shard migrations; a
+        #: timer, so (like the other timers) not part of checkpoints
+        self.rebalance_pause_seconds = 0.0
         self.watermark: float = -math.inf
         self.max_event_time: float = -math.inf
         self._started_at: Optional[float] = None
@@ -95,6 +104,13 @@ class StreamingMetrics:
     def record_processing_seconds(self, seconds: float) -> None:
         """Add wall-clock time spent inside executor hot paths."""
         self._processing_seconds += seconds
+
+    def record_rebalance(self, slots: int, keys: int, pause_seconds: float) -> None:
+        """Account one shard-rebalance cycle (slots and keys migrated)."""
+        self.rebalance_cycles += 1
+        self.rebalance_slots_moved += slots
+        self.rebalance_keys_moved += keys
+        self.rebalance_pause_seconds += pause_seconds
 
     # -- derived metrics ------------------------------------------------------
 
@@ -168,6 +184,7 @@ class StreamingMetrics:
         # throughput/latency deltas at the restored counter values
         self._started_at = None
         self._processing_seconds = 0.0
+        self.rebalance_pause_seconds = 0.0
         self._rate_base_ingested = self.events_ingested
         self._rate_base_released = self.events_released
 
@@ -189,6 +206,10 @@ class StreamingMetrics:
             f"watermark lag (s)   : {self.watermark_lag():g}",
             f"throughput (ev/s)   : {self.throughput():,.0f}",
             f"mean latency (ms)   : {self.mean_latency_ms():.4f}",
+            f"rebalances          : {self.rebalance_cycles} "
+            f"(slots={self.rebalance_slots_moved}, "
+            f"keys={self.rebalance_keys_moved}, "
+            f"pause={self.rebalance_pause_seconds * 1000.0:.1f} ms)",
         ]
         return "\n".join(lines)
 

@@ -42,6 +42,20 @@ trims the replay buffers, bounding both recovery time and parent memory.
 Without checkpoints the buffers hold the whole stream since start -- still
 correct, just unbounded.
 
+Routing is a **versioned range->worker map** (:class:`ShardRouter`): the
+partition-key hash space is cut into slots, each owned by one worker.  With
+adaptive rebalancing enabled (:class:`RebalancePolicy`, the
+``shards.rebalance.*`` fields of :class:`~repro.streaming.config.JobConfig`,
+``cogra stream --rebalance``) the parent watches the per-slot routing load
+and, when one worker's load reaches the skew threshold, **migrates** hot
+slots to underloaded workers: in-flight work is quiesced behind the last
+shipped watermark, the slots' live aggregator state moves through the same
+checkpoint split/merge path recovery uses, the router entry is swapped
+(bumping the map version), and events still buffered in the parent are
+re-routed -- replayed -- under the new map.  The router travels inside every
+checkpoint, so worker recovery and ``--recover`` resume the post-migration
+topology, not the seed one.
+
 Queries without partition attributes cannot be sharded (every event maps to
 the same key); the runtime then falls back to a single shard and records the
 reason in :attr:`ShardedRuntime.fallback_reason`.
@@ -68,20 +82,28 @@ import threading
 import time as _time
 import traceback
 import warnings
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.engine import CograEngine
 from repro.core.parallel import shard_index
 from repro.errors import CheckpointError, LateEventError, WorkerCrashError
 from repro.events.event import Event
+from repro.events.stream import sort_events
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.streaming.checkpoint import (
     CHECKPOINT_VERSION,
+    merge_executor_snapshots,
     restore_executor,
     snapshot_executor,
+    split_executor_snapshot,
 )
-from repro.streaming.config import LatenessConfig, ShardConfig, WatermarkConfig
+from repro.streaming.config import (
+    LatenessConfig,
+    RebalanceConfig,
+    ShardConfig,
+    WatermarkConfig,
+)
 from repro.streaming.emission import EmissionRecord
 from repro.streaming.ingest import (
     LatePolicy,
@@ -132,15 +154,63 @@ def _pump_acks(source, buffer) -> None:
 
 
 class ShardStats:
-    """Per-worker accounting the parent keeps while routing and merging."""
+    """Per-worker accounting the parent keeps while routing and merging.
 
-    __slots__ = ("events_sent", "batches_sent", "records_merged", "processing_seconds")
+    Lifetime totals accumulate across worker restarts; the
+    ``incarnation_*`` mirrors describe only the *live* process incarnation
+    and are reset by :meth:`begin_incarnation` every time the shard's
+    worker is respawned, so :attr:`incarnation` always equals the shard's
+    restart count and :meth:`__repr__`, :meth:`as_dict` and the recovery
+    counters tell one consistent story.
+    """
+
+    __slots__ = (
+        "events_sent",
+        "batches_sent",
+        "records_merged",
+        "acks_received",
+        "processing_seconds",
+        "incarnation",
+        "incarnation_events_sent",
+        "incarnation_batches_sent",
+        "incarnation_records_merged",
+        "incarnation_acks_received",
+    )
 
     def __init__(self) -> None:
         self.events_sent = 0
         self.batches_sent = 0
         self.records_merged = 0
+        self.acks_received = 0
         self.processing_seconds = 0.0
+        self.incarnation = 0
+        self.incarnation_events_sent = 0
+        self.incarnation_batches_sent = 0
+        self.incarnation_records_merged = 0
+        self.incarnation_acks_received = 0
+
+    def record_shipment(self, events: int) -> None:
+        """Account one shipped batch/flush carrying ``events`` events."""
+        self.events_sent += events
+        self.batches_sent += 1
+        self.incarnation_events_sent += events
+        self.incarnation_batches_sent += 1
+
+    def record_ack(self, records: int, seconds: float) -> None:
+        """Account one acknowledgement that merged ``records`` records."""
+        self.acks_received += 1
+        self.records_merged += records
+        self.incarnation_acks_received += 1
+        self.incarnation_records_merged += records
+        self.processing_seconds += seconds
+
+    def begin_incarnation(self) -> None:
+        """Start the counters of a freshly respawned worker process."""
+        self.incarnation += 1
+        self.incarnation_events_sent = 0
+        self.incarnation_batches_sent = 0
+        self.incarnation_records_merged = 0
+        self.incarnation_acks_received = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view for reports and tests."""
@@ -148,13 +218,226 @@ class ShardStats:
             "events_sent": self.events_sent,
             "batches_sent": self.batches_sent,
             "records_merged": self.records_merged,
+            "acks_received": self.acks_received,
             "processing_seconds": self.processing_seconds,
+            "incarnation": self.incarnation,
+            "incarnation_events_sent": self.incarnation_events_sent,
+            "incarnation_batches_sent": self.incarnation_batches_sent,
+            "incarnation_records_merged": self.incarnation_records_merged,
+            "incarnation_acks_received": self.incarnation_acks_received,
         }
 
     def __repr__(self) -> str:
         return (
             f"ShardStats(events={self.events_sent}, batches={self.batches_sent}, "
-            f"records={self.records_merged})"
+            f"records={self.records_merged}, acks={self.acks_received}, "
+            f"incarnation={self.incarnation})"
+        )
+
+
+class ShardRouter:
+    """Versioned hash-slot -> worker map behind the parent's event routing.
+
+    The partition-key hash space is cut into :attr:`slots` sub-ranges
+    (:func:`~repro.core.parallel.shard_index` over ``slots``); each slot is
+    owned by exactly one worker.  The seed assignment round-robins slots
+    over workers -- ``slots`` is a multiple of the worker count, so seeding
+    routes exactly like the historical static ``hash % workers`` -- and
+    :meth:`move` reassigns one slot, bumping :attr:`version`.  The map is
+    recorded inside every sharded checkpoint, so worker recovery and
+    ``--recover`` resume the post-migration topology instead of the seed
+    one.
+    """
+
+    __slots__ = ("shard_count", "slots", "assignment", "version")
+
+    def __init__(self, shard_count: int, slots_per_worker: int = 16):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be at least 1, got {shard_count}")
+        if slots_per_worker < 1:
+            raise ValueError(
+                f"slots_per_worker must be at least 1, got {slots_per_worker}"
+            )
+        self.shard_count = shard_count
+        self.slots = shard_count * slots_per_worker
+        self.assignment: List[int] = [s % shard_count for s in range(self.slots)]
+        self.version = 0
+
+    def slot_of(self, key) -> int:
+        """The hash slot a partition key falls into."""
+        return shard_index(key, self.slots)
+
+    def owner_of_key(self, key) -> int:
+        """The worker owning a partition key under the current map."""
+        return self.assignment[shard_index(key, self.slots)]
+
+    def move(self, slot: int, worker: int) -> None:
+        """Reassign one slot to ``worker`` and bump the map version."""
+        self.assignment[slot] = worker
+        self.version += 1
+
+    def worker_slots(self, worker: int) -> List[int]:
+        """The slots currently owned by ``worker``."""
+        return [s for s, owner in enumerate(self.assignment) if owner == worker]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe form recorded inside sharded checkpoints."""
+        return {
+            "slots": self.slots,
+            "assignment": list(self.assignment),
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, object], shard_count: int) -> "ShardRouter":
+        """Rebuild the map written by :meth:`snapshot` for ``shard_count``."""
+        try:
+            assignment = [int(worker) for worker in state["assignment"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed router snapshot: {exc}") from exc
+        if not assignment or any(
+            worker < 0 or worker >= shard_count for worker in assignment
+        ):
+            raise CheckpointError(
+                f"checkpointed router map addresses workers outside "
+                f"0..{shard_count - 1}; was it taken under a different topology?"
+            )
+        router = cls(shard_count, 1)
+        router.slots = len(assignment)
+        router.assignment = assignment
+        router.version = int(state.get("version", 0))
+        return router
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(v{self.version}, {self.slots} slots over "
+            f"{self.shard_count} workers)"
+        )
+
+
+class RebalancePolicy:
+    """Decides when and which hash slots migrate between workers.
+
+    The parent counts routed events per hash slot; every ``min_interval``
+    ingested events the policy aggregates them into per-worker loads
+    through the live assignment and, when the busiest worker's load is at
+    or above ``skew_threshold`` times the mean (:meth:`skewed` -- the
+    detector fires *exactly* at the threshold), :meth:`plan` picks up to
+    ``max_moves`` hot slots to move from overloaded to underloaded
+    workers.  A slot is only moved when doing so strictly shrinks the gap
+    between its source and target, so planning cannot oscillate.
+    """
+
+    __slots__ = (
+        "enabled",
+        "skew_threshold",
+        "min_interval",
+        "max_moves",
+        "slots_per_worker",
+    )
+
+    def __init__(
+        self,
+        skew_threshold: float = 1.5,
+        min_interval: int = 512,
+        max_moves: int = 4,
+        slots_per_worker: int = 16,
+        enabled: bool = True,
+    ):
+        # the config spec owns validation; constructing it applies the rules
+        config = RebalanceConfig(
+            enabled=enabled,
+            skew_threshold=skew_threshold,
+            min_interval=min_interval,
+            max_moves=max_moves,
+            slots_per_worker=slots_per_worker,
+        )
+        self.enabled = config.enabled
+        self.skew_threshold = float(config.skew_threshold)
+        self.min_interval = config.min_interval
+        self.max_moves = config.max_moves
+        self.slots_per_worker = config.slots_per_worker
+
+    @classmethod
+    def from_config(cls, config: RebalanceConfig) -> "RebalancePolicy":
+        """The policy a :class:`~repro.streaming.config.RebalanceConfig` describes."""
+        return cls(
+            skew_threshold=config.skew_threshold,
+            min_interval=config.min_interval,
+            max_moves=config.max_moves,
+            slots_per_worker=config.slots_per_worker,
+            enabled=config.enabled,
+        )
+
+    def as_config(self) -> RebalanceConfig:
+        """The serializable spec form of this policy."""
+        return RebalanceConfig(
+            enabled=self.enabled,
+            skew_threshold=self.skew_threshold,
+            min_interval=self.min_interval,
+            max_moves=self.max_moves,
+            slots_per_worker=self.slots_per_worker,
+        )
+
+    @staticmethod
+    def worker_loads(
+        slot_loads: List[int], assignment: List[int], shard_count: int
+    ) -> List[int]:
+        """Aggregate per-slot event counts into per-worker loads."""
+        loads = [0] * shard_count
+        for slot, count in enumerate(slot_loads):
+            loads[assignment[slot]] += count
+        return loads
+
+    def skewed(self, loads: List[int]) -> bool:
+        """True when the busiest load is at/over the threshold x mean load."""
+        total = sum(loads)
+        if total <= 0 or len(loads) < 2:
+            return False
+        return max(loads) >= self.skew_threshold * (total / len(loads))
+
+    def plan(
+        self, slot_loads: List[int], assignment: List[int], shard_count: int
+    ) -> List[Tuple[int, int]]:
+        """Up to ``max_moves`` ``(slot, target worker)`` migrations easing skew.
+
+        Greedy: repeatedly take the hottest slot of the most loaded worker
+        that fits in the load gap to the least loaded worker.  Returns
+        ``[]`` when the loads are not skewed or no move can help (e.g. the
+        skew sits in one indivisible hot slot).
+        """
+        assignment = list(assignment)
+        loads = self.worker_loads(slot_loads, assignment, shard_count)
+        moves: List[Tuple[int, int]] = []
+        if shard_count < 2:
+            return moves
+        while len(moves) < self.max_moves and self.skewed(loads):
+            source = max(range(shard_count), key=loads.__getitem__)
+            target = min(range(shard_count), key=loads.__getitem__)
+            gap = loads[source] - loads[target]
+            candidates = sorted(
+                (
+                    slot
+                    for slot in range(len(slot_loads))
+                    if assignment[slot] == source and slot_loads[slot] > 0
+                ),
+                key=slot_loads.__getitem__,
+                reverse=True,
+            )
+            slot = next((s for s in candidates if slot_loads[s] < gap), None)
+            if slot is None:
+                break  # the skew sits in one indivisible hot range
+            moves.append((slot, target))
+            assignment[slot] = target
+            loads[source] -= slot_loads[slot]
+            loads[target] += slot_loads[slot]
+        return moves
+
+    def __repr__(self) -> str:
+        return (
+            f"RebalancePolicy(enabled={self.enabled}, "
+            f"skew_threshold={self.skew_threshold:g}, "
+            f"min_interval={self.min_interval}, max_moves={self.max_moves})"
         )
 
 
@@ -313,6 +596,12 @@ class ShardedRuntime(PipelineDriver):
     start_method:
         Optional :mod:`multiprocessing` start method (default: ``fork``
         when available, the platform default otherwise).
+    rebalance:
+        Adaptive shard rebalancing: a :class:`RebalancePolicy`, a
+        :class:`~repro.streaming.config.RebalanceConfig`, a raw settings
+        mapping (the ``shards.rebalance.*`` JobConfig section), or ``None``
+        to keep the static seed routing.  Forced cycles via
+        :meth:`rebalance` work either way.
     """
 
     def __init__(
@@ -326,16 +615,20 @@ class ShardedRuntime(PipelineDriver):
         max_batch: int = 512,
         max_restarts: int = 0,
         start_method: Optional[str] = None,
+        rebalance: Union["RebalancePolicy", RebalanceConfig, Dict, None] = None,
     ):
         # the kwargs are one corner of the declarative JobConfig API: the
         # component specs own validation and defaults (ConfigError is a
         # ValueError, so callers catching the historical type keep working)
+        if isinstance(rebalance, RebalancePolicy):
+            rebalance = rebalance.as_config()
         shards = ShardConfig(
             workers=workers,
             ship_interval=ship_interval,
             max_batch=max_batch,
             max_restarts=max_restarts,
             start_method=start_method,
+            rebalance=RebalanceConfig() if rebalance is None else rebalance,
         )
         late = LatenessConfig.of(late_policy)
         self.workers = shards.workers
@@ -362,6 +655,20 @@ class ShardedRuntime(PipelineDriver):
         self.shard_count = 0
         #: why sharding degraded to a single shard, or None
         self.fallback_reason: Optional[str] = None
+
+        #: the rebalance decision rules (disabled policies still serve
+        #: forced :meth:`rebalance` calls and the router granularity)
+        self._policy = RebalancePolicy.from_config(shards.rebalance)
+        #: the versioned range->worker map (built at start)
+        self._router: Optional[ShardRouter] = None
+        #: events routed per hash slot since the last rebalance cycle
+        self._slot_loads: List[int] = []
+        self._events_since_rebalance_check = 0
+        #: newest watermark actually delivered to the workers (migrations
+        #: quiesce behind it; ``-inf`` until the first advance ships)
+        self._shipped_watermark = -math.inf
+        #: human-readable log of slot migrations, newest last
+        self.rebalance_log: List[str] = []
 
         self._procs: List = []
         self._inboxes: List = []
@@ -494,6 +801,10 @@ class ShardedRuntime(PipelineDriver):
         self.shard_stats = [ShardStats() for _ in range(self.shard_count)]
         self.restart_counts = [0] * self.shard_count
         self._replay = [[] for _ in range(self.shard_count)]
+        self._router = ShardRouter(self.shard_count, self._policy.slots_per_worker)
+        self._slot_loads = [0] * self._router.slots
+        self._events_since_rebalance_check = 0
+        self._shipped_watermark = -math.inf
         self._procs = [
             self._context.Process(
                 target=_worker_loop,
@@ -672,9 +983,7 @@ class ShardedRuntime(PipelineDriver):
             )
         entry.pending.discard(shard)
         entry.records.extend(records)
-        stats = self.shard_stats[shard]
-        stats.records_merged += len(records)
-        stats.processing_seconds += seconds
+        self.shard_stats[shard].record_ack(len(records), seconds)
         self.metrics.record_processing_seconds(seconds)
 
     # -- worker recovery ---------------------------------------------------------
@@ -698,6 +1007,9 @@ class ShardedRuntime(PipelineDriver):
         aborts the run.
         """
         self.restart_counts[shard] += 1
+        # per-incarnation stats restart with the replacement process, so
+        # ShardStats.incarnation always mirrors restart_counts[shard]
+        self.shard_stats[shard].begin_incarnation()
         self._recovering.add(shard)
         try:
             old = self._procs[shard]
@@ -747,11 +1059,20 @@ class ShardedRuntime(PipelineDriver):
             # dropped harmlessly by _apply_ack (the shard has restarts).
             self._held_acks.append(("ok", -1, shard, "ready", 0.0))
             if self._last_checkpoint is not None:
+                # the slice is cut by the CURRENT router map: migrations
+                # refresh the recovery baseline, so the checkpointed state
+                # and the live assignment always describe the same topology
                 executors = {
-                    name: _split_executor_snapshot(state, self.shard_count)[shard]
+                    name: split_executor_snapshot(
+                        state, self.shard_count, owner=self._router.owner_of_key
+                    )[shard]
                     for name, state in self._last_checkpoint["executors"].items()
                 }
-                watermark = self._last_checkpoint["metrics"].get("watermark")
+                sharded_info = self._last_checkpoint.get("sharded")
+                sharded_info = sharded_info if isinstance(sharded_info, dict) else {}
+                watermark = sharded_info.get(
+                    "watermark", self._last_checkpoint["metrics"].get("watermark")
+                )
                 self._inboxes[shard].put(
                     ("restore", _RECOVERY_RESTORE_EPOCH, executors, watermark)
                 )
@@ -918,31 +1239,201 @@ class ShardedRuntime(PipelineDriver):
                 return
         else:
             shards = list(range(self.shard_count))
+            if watermark > self._shipped_watermark:
+                self._shipped_watermark = watermark
         payloads = {}
         for shard in shards:
             events = self._outboxes[shard]
             payloads[shard] = ("batch", self._epoch, events, watermark)
-            stats = self.shard_stats[shard]
-            stats.events_sent += len(events)
-            stats.batches_sent += 1
+            self.shard_stats[shard].record_shipment(len(events))
             self._outboxes[shard] = []
         self._ship("batch", shards, payloads)
 
     def _route_released(self, events: Iterable[Event]) -> None:
-        """Append released events to the outbox of the shard owning their key.
+        """Append released events to the outbox of the worker owning their key.
 
         Uses the identical key computation as
         :func:`~repro.core.parallel.partition_stream` (``plan.partition_key``)
-        so sharded, thread-parallel and sequential runs agree on partitions.
+        so sharded, thread-parallel and sequential runs agree on partitions;
+        ownership goes through the live :class:`ShardRouter` map, with the
+        per-slot load counted for the rebalance policy.
         """
         plan = self._routing_plan
-        count = self.shard_count
-        if count == 1:
+        if self.shard_count == 1:
             self._outboxes[0].extend(events)
             return
+        slots = self._router.slots
+        assignment = self._router.assignment
+        slot_loads = self._slot_loads
+        outboxes = self._outboxes
         for event in events:
-            shard = shard_index(plan.partition_key(event), count)
-            self._outboxes[shard].append(event)
+            slot = shard_index(plan.partition_key(event), slots)
+            slot_loads[slot] += 1
+            outboxes[assignment[slot]].append(event)
+
+    # -- adaptive rebalancing --------------------------------------------------
+
+    @property
+    def router_version(self) -> int:
+        """Version of the live range->worker map (0 until the first move)."""
+        return 0 if self._router is None else self._router.version
+
+    def _maybe_rebalance(self) -> None:
+        """One policy-driven skew check, every ``min_interval`` ingested events."""
+        if not self._policy.enabled or self.shard_count < 2:
+            return
+        self._events_since_rebalance_check += 1
+        if self._events_since_rebalance_check < self._policy.min_interval:
+            return
+        self._events_since_rebalance_check = 0
+        moves = self._policy.plan(
+            self._slot_loads, self._router.assignment, self.shard_count
+        )
+        self._slot_loads = [0] * self._router.slots
+        if moves:
+            self._apply_moves(moves)
+
+    def rebalance(
+        self, moves: Optional[List[Tuple[int, int]]] = None
+    ) -> List[Tuple[int, int]]:
+        """Migrate hash slots between workers now; return the applied moves.
+
+        ``moves`` is a list of ``(slot, target worker)`` reassignments;
+        ``None`` plans them with the :class:`RebalancePolicy` from the
+        routing load observed since the last cycle (usable whether or not
+        automatic rebalancing is enabled).  No-op reassignments are
+        dropped; an unstarted runtime is started first; a single-shard
+        runtime never moves anything.
+        """
+        self._check_usable()
+        if not self._started:
+            self._start()
+        if self.shard_count < 2:
+            return []
+        if moves is None:
+            moves = self._policy.plan(
+                self._slot_loads, self._router.assignment, self.shard_count
+            )
+        else:
+            # last reassignment per slot wins; drop no-ops
+            final: Dict[int, int] = {}
+            for slot, worker in moves:
+                slot, worker = int(slot), int(worker)
+                if not 0 <= slot < self._router.slots:
+                    raise ValueError(
+                        f"slot {slot} is outside 0..{self._router.slots - 1}"
+                    )
+                if not 0 <= worker < self.shard_count:
+                    raise ValueError(
+                        f"worker {worker} is outside 0..{self.shard_count - 1}"
+                    )
+                final[slot] = worker
+            moves = [
+                (slot, worker)
+                for slot, worker in final.items()
+                if self._router.assignment[slot] != worker
+            ]
+        self._slot_loads = [0] * self._router.slots
+        self._events_since_rebalance_check = 0
+        if moves:
+            self._apply_moves(moves)
+        return moves
+
+    def _apply_moves(self, moves: List[Tuple[int, int]]) -> None:
+        """Migrate the state of ``moves``' hash slots between live workers.
+
+        The migration runs behind the last shipped watermark -- a quiesce:
+
+        1. events still buffered in parent outboxes are **held back** (they
+           must be processed by the new owners of their slots, after those
+           own the migrated state) and every in-flight batch is
+           acknowledged;
+        2. each worker's executor state is snapshotted through the
+           checkpoint path;
+        3. the router entries are swapped (bumping the map version) and the
+           affected workers are restored from the snapshots re-split under
+           the new map -- each keeps its own ``events_seen``, so composed
+           checkpoints stay exact;
+        4. with recovery enabled, the composed snapshot (which records the
+           new map) becomes the recovery baseline: a worker crash mid- or
+           post-migration restores the post-migration topology;
+        5. the held events are **replayed**: re-routed through the updated
+           map, to be shipped with the next wave.
+        """
+        started = _time.perf_counter()
+        router = self._router
+        old_owner = {slot: router.assignment[slot] for slot, _ in moves}
+        held = [event for outbox in self._outboxes for event in outbox]
+        self._outboxes = [[] for _ in range(self.shard_count)]
+        shard_payloads = self._collect_shard_snapshots()
+        for slot, worker in moves:
+            router.move(slot, worker)
+        affected = sorted(set(old_owner.values()) | {w for _, w in moves})
+        moved_keys = set()
+        splits: Dict[int, Dict[str, object]] = {shard: {} for shard in affected}
+        for spec in self._specs:
+            states = {
+                shard: payload["executors"][spec.name]
+                for shard, payload in shard_payloads.items()
+            }
+            last_times = [
+                state["last_time"]
+                for state in states.values()
+                if state["last_time"] is not None
+            ]
+            # like split_executor_snapshot, every restored shard gets the
+            # global last_time so executor order checks stay protected
+            global_last = max(last_times) if last_times else None
+            entries: Dict[int, List] = {shard: [] for shard in affected}
+            for shard, state in states.items():
+                for entry in state["aggregators"]:
+                    key = tuple(entry[1])
+                    owner = router.owner_of_key(key)
+                    if owner != shard:
+                        moved_keys.add(key)
+                    if owner in entries:
+                        entries[owner].append(entry)
+            for shard in affected:
+                shard_entries = entries[shard]
+                shard_entries.sort(key=lambda entry: (entry[0], repr(entry[1])))
+                own = states[shard]
+                splits[shard][spec.name] = {
+                    "query": own["query"],
+                    "granularity": own["granularity"],
+                    "events_seen": own["events_seen"],
+                    "last_time": global_last,
+                    "aggregators": shard_entries,
+                }
+        snapshot = self._compose_snapshot(shard_payloads)
+        if self.max_restarts:
+            # recorded before the ship: a worker that dies mid-migration is
+            # recovered straight into the post-migration layout
+            self._last_checkpoint = snapshot
+            self._replay = [[] for _ in range(self.shard_count)]
+        watermark = snapshot["sharded"]["watermark"]
+        payloads = {
+            shard: ("restore", self._epoch, splits[shard], watermark)
+            for shard in affected
+        }
+        self._ship("restore", affected, payloads)
+        self._drain_acks(block=True)
+        # the replay: held events re-routed under the swapped map (their
+        # slot loads were already counted when they were first routed)
+        assignment = router.assignment
+        slots = router.slots
+        plan = self._routing_plan
+        for event in sort_events(held):
+            slot = shard_index(plan.partition_key(event), slots)
+            self._outboxes[assignment[slot]].append(event)
+        pause = _time.perf_counter() - started
+        self.metrics.record_rebalance(len(moves), len(moved_keys), pause)
+        moved = ", ".join(
+            f"slot {slot}: {old_owner[slot]}->{worker}" for slot, worker in moves
+        )
+        self.rebalance_log.append(
+            f"router v{router.version}: moved {len(moves)} slot(s), "
+            f"{len(moved_keys)} key(s) ({moved}); paused {pause * 1000.0:.1f} ms"
+        )
 
     # -- streaming -------------------------------------------------------------
 
@@ -990,6 +1481,7 @@ class ShardedRuntime(PipelineDriver):
         if batch.advanced:
             self.metrics.record_watermark(batch.watermark)
             self._pending_watermark = batch.watermark
+        self._maybe_rebalance()
         self._pushes_since_ship += 1
         if self._pushes_since_ship >= self._ship_interval:
             # carries the newest watermark (coalescing intermediate ones:
@@ -1038,9 +1530,7 @@ class ShardedRuntime(PipelineDriver):
         for shard in range(self.shard_count):
             events = self._outboxes[shard]
             payloads[shard] = ("flush", self._epoch, events)
-            stats = self.shard_stats[shard]
-            stats.events_sent += len(events)
-            stats.batches_sent += 1
+            self.shard_stats[shard].record_shipment(len(events))
             self._outboxes[shard] = []
         self._pushes_since_ship = 0
         self._pending_watermark = None
@@ -1101,6 +1591,11 @@ class ShardedRuntime(PipelineDriver):
         ]
         if self.fallback_reason:
             lines.append(f"fallback            : {self.fallback_reason}")
+        if self._router is not None:
+            lines.append(
+                f"router              : v{self._router.version}, "
+                f"{self._router.slots} slots"
+            )
         for shard, stats in enumerate(self.shard_stats):
             restarts = (
                 f" restarts={self.restart_counts[shard]}"
@@ -1110,8 +1605,11 @@ class ShardedRuntime(PipelineDriver):
             lines.append(
                 f"shard {shard}             : events={stats.events_sent} "
                 f"batches={stats.batches_sent} records={stats.records_merged} "
+                f"acks={stats.acks_received} "
                 f"processing={stats.processing_seconds:.3f}s{restarts}"
             )
+        for note in self.rebalance_log:
+            lines.append(f"rebalance           : {note}")
         for note in self.recovery_log:
             lines.append(f"recovery            : {note}")
         return "\n".join(lines)
@@ -1126,7 +1624,10 @@ class ShardedRuntime(PipelineDriver):
         :class:`~repro.streaming.runtime.StreamingRuntime` over the same
         stream prefix -- it restores into a single-process runtime or into a
         :class:`ShardedRuntime` with *any* worker count.  An informational
-        ``"sharded"`` key records the topology; restorers ignore it.
+        ``"sharded"`` key records the topology, including the versioned
+        router map; a :class:`ShardedRuntime` with the same worker count
+        adopts the map on restore (post-migration topology), every other
+        restorer ignores it.
         """
         self._check_usable()
         if not self._started:
@@ -1134,6 +1635,17 @@ class ShardedRuntime(PipelineDriver):
         # events sitting in parent outboxes must be part of the workers'
         # state, not lost between router and snapshot
         self._ship_outboxes(self._pending_watermark)
+        shard_payloads = self._collect_shard_snapshots()
+        snapshot = self._compose_snapshot(shard_payloads)
+        if self.max_restarts:
+            # everything before this consistent cut is durable; the replay
+            # buffers only need to cover what ships from here on
+            self._last_checkpoint = snapshot
+            self._replay = [[] for _ in range(self.shard_count)]
+        return snapshot
+
+    def _collect_shard_snapshots(self) -> Dict[int, Dict]:
+        """Quiesce in-flight work and collect every worker's snapshot payload."""
         self._drain_acks(block=True)
         self._ship("checkpoint", range(self.shard_count))
         shard_payloads: Dict[int, Dict] = {}
@@ -1158,8 +1670,12 @@ class ShardedRuntime(PipelineDriver):
             else:  # a straggling batch ack ahead of the checkpoint ack
                 self._apply_ack(ack)
         self._release_ready_epochs()
+        return shard_payloads
+
+    def _compose_snapshot(self, shard_payloads: Dict[int, Dict]) -> Dict[str, object]:
+        """Merge per-worker payloads into the single-process snapshot schema."""
         executors = {
-            spec.name: _merge_executor_snapshots(
+            spec.name: merge_executor_snapshots(
                 [
                     shard_payloads[s]["executors"][spec.name]
                     for s in sorted(shard_payloads)
@@ -1167,7 +1683,7 @@ class ShardedRuntime(PipelineDriver):
             )
             for spec in self._specs
         }
-        snapshot = {
+        return {
             "version": CHECKPOINT_VERSION,
             "queries": [
                 {
@@ -1182,14 +1698,20 @@ class ShardedRuntime(PipelineDriver):
             "ingest": self._ingestor.snapshot(),
             "metrics": self.metrics.snapshot(),
             "emitted_counts": dict(self._emitted_counts),
-            "sharded": {"workers": self.shard_count},
+            "sharded": {
+                "workers": self.shard_count,
+                "router": self._router.snapshot(),
+                # the watermark the worker slices stand at -- what a
+                # recovery restore must resume emission from (equals the
+                # metrics watermark for checkpoint(), which ships pending
+                # watermarks first, but lags it during a migration quiesce)
+                "watermark": (
+                    None
+                    if self._shipped_watermark == -math.inf
+                    else self._shipped_watermark
+                ),
+            },
         }
-        if self.max_restarts:
-            # everything before this consistent cut is durable; the replay
-            # buffers only need to cover what ships from here on
-            self._last_checkpoint = snapshot
-            self._replay = [[] for _ in range(self.shard_count)]
-        return snapshot
 
     def restore(self, state: Dict[str, object]) -> None:
         """Restore a snapshot (sharded or single-process) into this runtime.
@@ -1198,7 +1720,10 @@ class ShardedRuntime(PipelineDriver):
         definitions, ``emit_empty_groups``) as in the checkpointed runtime;
         the worker count may differ -- every aggregator is re-routed to the
         shard owning its partition key under *this* runtime's topology.
-        Pending records of this runtime's own timeline are discarded.
+        A sharded snapshot taken under the *same* worker count carries its
+        versioned router map along: the restored runtime adopts the
+        post-migration assignment instead of the seed one.  Pending records
+        of this runtime's own timeline are discarded.
         """
         version = state.get("version")
         if version != CHECKPOINT_VERSION:
@@ -1250,12 +1775,34 @@ class ShardedRuntime(PipelineDriver):
             self._last_checkpoint = state
             self._replay = [[] for _ in range(self.shard_count)]
         try:
+            # adopt the checkpointed router map when the topology matches;
+            # rebuild the seed map otherwise (aggregators are re-split by
+            # whichever map ends up live, so both are consistent)
+            sharded_info = state.get("sharded")
+            sharded_info = sharded_info if isinstance(sharded_info, dict) else {}
+            router_state = sharded_info.get("router")
+            if (
+                isinstance(router_state, dict)
+                and sharded_info.get("workers") == self.shard_count
+            ):
+                self._router = ShardRouter.from_snapshot(
+                    router_state, self.shard_count
+                )
+            else:
+                self._router = ShardRouter(
+                    self.shard_count, self._policy.slots_per_worker
+                )
+            self._slot_loads = [0] * self._router.slots
+            self._events_since_rebalance_check = 0
+            self._shipped_watermark = -math.inf
             splits = {
                 shard: {"executors": {}} for shard in range(self.shard_count)
             }
             for spec in self._specs:
-                per_shard = _split_executor_snapshot(
-                    state["executors"][spec.name], self.shard_count
+                per_shard = split_executor_snapshot(
+                    state["executors"][spec.name],
+                    self.shard_count,
+                    owner=self._router.owner_of_key,
                 )
                 for shard, snapshot in per_shard.items():
                     splits[shard]["executors"][spec.name] = snapshot
@@ -1288,54 +1835,3 @@ class ShardedRuntime(PipelineDriver):
             f"workers={self.workers}, shards={self.shard_count or 'unstarted'}, "
             f"watermark={self._ingestor.watermark:g})"
         )
-
-
-# ---------------------------------------------------------------------------
-# checkpoint merge/split helpers
-# ---------------------------------------------------------------------------
-
-
-def _merge_executor_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
-    """Combine per-shard executor snapshots into one single-process snapshot.
-
-    Shards hold disjoint (window, partition key) aggregators, so the merge
-    concatenates; entries are sorted for a deterministic, diffable snapshot.
-    """
-    first = snapshots[0]
-    aggregators = [entry for snapshot in snapshots for entry in snapshot["aggregators"]]
-    aggregators.sort(key=lambda entry: (entry[0], repr(entry[1])))
-    last_times = [s["last_time"] for s in snapshots if s["last_time"] is not None]
-    return {
-        "query": first["query"],
-        "granularity": first["granularity"],
-        "events_seen": sum(int(s["events_seen"]) for s in snapshots),
-        "last_time": max(last_times) if last_times else None,
-        "aggregators": aggregators,
-    }
-
-
-def _split_executor_snapshot(
-    snapshot: Dict[str, object], shard_count: int
-) -> Dict[int, Dict[str, object]]:
-    """Split one executor snapshot into per-shard snapshots by key ownership.
-
-    The inverse of :func:`_merge_executor_snapshots` under any shard count:
-    each aggregator entry goes to ``shard_index`` of its partition key.  The
-    scalar fields cannot be split faithfully, so every shard receives the
-    global ``last_time`` (protecting executor order checks) and shard 0
-    carries the full ``events_seen`` (so a later merge sums back to the
-    original).
-    """
-    per_shard: Dict[int, Dict[str, object]] = {}
-    for shard in range(shard_count):
-        per_shard[shard] = {
-            "query": snapshot["query"],
-            "granularity": snapshot["granularity"],
-            "events_seen": int(snapshot["events_seen"]) if shard == 0 else 0,
-            "last_time": snapshot["last_time"],
-            "aggregators": [],
-        }
-    for entry in snapshot["aggregators"]:
-        key = tuple(entry[1])
-        per_shard[shard_index(key, shard_count)]["aggregators"].append(entry)
-    return per_shard

@@ -32,6 +32,7 @@ from repro.streaming.config import (
     JobConfig,
     LatenessConfig,
     QueryConfig,
+    RebalanceConfig,
     ShardConfig,
     SinkConfig,
     SourceConfig,
@@ -157,6 +158,28 @@ class TestComponentValidation:
         with pytest.raises(ConfigError, match="integer"):
             ShardConfig(workers="two")
 
+    def test_rebalance_bounds(self):
+        with pytest.raises(ConfigError, match="skew_threshold"):
+            RebalanceConfig(skew_threshold=1.0)
+        with pytest.raises(ConfigError, match="skew_threshold"):
+            RebalanceConfig(skew_threshold="2")
+        with pytest.raises(ConfigError, match="min_interval"):
+            RebalanceConfig(min_interval=0)
+        with pytest.raises(ConfigError, match="max_moves"):
+            RebalanceConfig(max_moves=-1)
+        with pytest.raises(ConfigError, match="slots_per_worker"):
+            RebalanceConfig(slots_per_worker=0)
+        with pytest.raises(ConfigError, match="true or false"):
+            RebalanceConfig(enabled="yes")
+
+    def test_shards_rebalance_section_is_coerced_and_validated(self):
+        shards = ShardConfig(rebalance={"enabled": True, "min_interval": 64})
+        assert shards.rebalance == RebalanceConfig(enabled=True, min_interval=64)
+        with pytest.raises(ConfigError, match="did you mean 'max_moves'"):
+            ShardConfig(rebalance={"max_movs": 2})
+        with pytest.raises(ConfigError, match="shards.rebalance"):
+            ShardConfig(rebalance=True)
+
     def test_checkpoint_cross_field_rules(self):
         with pytest.raises(ConfigError, match="interval requires a checkpoint dir"):
             CheckpointConfig(interval=10)
@@ -265,12 +288,23 @@ def job_configs():
             LatenessConfig, policy=st.just("side-channel"), reprocess=st.just(True)
         ),
     )
+    rebalances = st.builds(
+        RebalanceConfig,
+        enabled=st.booleans(),
+        skew_threshold=st.floats(
+            min_value=1.1, max_value=8.0, allow_nan=False, allow_infinity=False
+        ),
+        min_interval=st.integers(min_value=1, max_value=4096),
+        max_moves=st.integers(min_value=1, max_value=16),
+        slots_per_worker=st.integers(min_value=1, max_value=64),
+    )
     shards = st.builds(
         ShardConfig,
         workers=st.integers(min_value=1, max_value=8),
         ship_interval=st.integers(min_value=1, max_value=128),
         max_batch=st.integers(min_value=1, max_value=1024),
         max_restarts=st.integers(min_value=0, max_value=3),
+        rebalance=rebalances,
     )
     checkpoints = st.one_of(
         st.builds(CheckpointConfig),

@@ -324,7 +324,10 @@ class TestCheckpoint:
         snapshot = json.loads(json.dumps(first.checkpoint()))
         records.extend(first.drain_pending())
         first.close()
-        assert snapshot["sharded"] == {"workers": 2}
+        assert snapshot["sharded"]["workers"] == 2
+        # the router map travels with the topology record (seed version 0)
+        assert snapshot["sharded"]["router"]["version"] == 0
+        assert len(snapshot["sharded"]["router"]["assignment"]) % 2 == 0
 
         resumed = ShardedRuntime(workers=4, lateness=LATENESS, ship_interval=5)
         resumed.register(TYPE_QUERY, name="q")

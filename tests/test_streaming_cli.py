@@ -706,6 +706,44 @@ class TestConfigFlag:
         assert resolved["watermark"]["lateness"] == 3.0
         assert resolved["late"]["policy"] == "drop"  # the CLI default
 
+    def test_rebalance_flag_merges_with_config_tuning(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        config = self._write_config(
+            tmp_path,
+            events,
+            shards={"workers": 2, "rebalance": {"min_interval": 99}},
+        )
+        argv = ["stream", "--config", str(config), "--rebalance", "--dry-run"]
+        assert main(argv) == 0
+        resolved = json.loads(capsys.readouterr().out)
+        # the flag switches rebalancing on without clobbering the file's
+        # tuning keys (deep merge, not replacement)
+        assert resolved["shards"]["rebalance"]["enabled"] is True
+        assert resolved["shards"]["rebalance"]["min_interval"] == 99
+
+    def test_rebalance_flag_runs_the_sharded_job(self, tmp_path, capsys):
+        events = write_events(tmp_path / "events.jsonl", event_rows())
+        assert (
+            main(
+                [
+                    "stream",
+                    QUERY,
+                    "--input",
+                    str(events),
+                    "--workers",
+                    "2",
+                    "--rebalance",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        rows = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert rows and all(row["query"] == "q1" for row in rows)
+        assert "rebalances" in captured.err
+        assert "router" in captured.err
+
     def test_unknown_config_key_is_rejected_with_suggestion(self, tmp_path, capsys):
         events = write_events(tmp_path / "events.jsonl", event_rows())
         config = tmp_path / "job.json"
