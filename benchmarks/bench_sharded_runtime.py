@@ -21,10 +21,11 @@ import pytest
 from conftest import save_report
 from repro.datasets.stock import StockConfig, generate_stock_stream
 from repro.events.stream import sort_events
+from repro.streaming.observability import snapshot_quantile
 from repro.streaming.runtime import StreamingRuntime
 from repro.streaming.sharded import ShardedRuntime
 
-from helpers_results import results_signature
+from helpers_results import append_bench_record, results_signature
 
 #: adjacent price predicate -> mixed granularity: enough per-event work for
 #: process parallelism to outweigh the queue serialisation overhead
@@ -55,7 +56,12 @@ def _run_sharded(events, workers):
     started = time.perf_counter()
     records = runtime.run(events)
     elapsed = time.perf_counter() - started
-    return records, len(events) / elapsed
+    # merged parent view (workers' registries were collected at flush)
+    p95 = snapshot_quantile(
+        runtime.registry_snapshot(), "cogra_query_latency_seconds", 0.95
+    )
+    runtime.close()
+    return records, len(events) / elapsed, p95
 
 
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
@@ -77,7 +83,7 @@ def test_sharded_matches_single_process(benchmark):
         single.register(QUERY, name="q")
         expected = results_signature(r.result for r in single.run(events))
         for workers in WORKER_COUNTS:
-            records, _ = _run_sharded(events, workers)
+            records, _, _ = _run_sharded(events, workers)
             got = results_signature(r.result for r in records)
             assert got == expected, f"sharded results diverge at {workers} workers"
         return expected
@@ -92,20 +98,27 @@ def test_sharded_speedup_report(benchmark, results_dir):
     def run():
         throughputs = {}
         for workers in WORKER_COUNTS:
-            _, throughput = _run_sharded(events, workers)
-            throughputs[workers] = throughput
+            _, throughput, p95 = _run_sharded(events, workers)
+            throughputs[workers] = (throughput, p95)
         return throughputs
 
     throughputs = benchmark.pedantic(run, rounds=1, iterations=1)
-    base = throughputs[WORKER_COUNTS[0]]
-    for workers, throughput in throughputs.items():
+    base = throughputs[WORKER_COUNTS[0]][0]
+    for workers, (throughput, p95) in throughputs.items():
         lines.append(
             f"workers={workers}  throughput={throughput:10,.0f} ev/s  "
             f"speed-up={throughput / base:5.2f}x"
         )
+        append_bench_record(
+            f"sharded_runtime_workers_{workers}",
+            throughput=throughput,
+            p95_latency_s=p95,
+            events=len(events),
+        )
     cores = os.cpu_count() or 1
     lines.append(f"(cpu cores available: {cores})")
     save_report(results_dir, "sharded_runtime", "\n".join(lines))
+    throughputs = {workers: pair[0] for workers, pair in throughputs.items()}
 
     speedup = throughputs[4] / throughputs[1]
     if cores >= 4:

@@ -61,6 +61,7 @@ from repro.streaming.config import (
     Job,
     JobConfig,
     LatenessConfig,
+    ObsConfig,
     QueryConfig,
     RebalanceConfig,
     ShardConfig,
@@ -76,6 +77,13 @@ from repro.streaming.ingest import (
     PunctuationWatermark,
 )
 from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.observability import (
+    MetricsRegistry,
+    Observability,
+    render_prometheus,
+    snapshot_quantile,
+    snapshot_value,
+)
 from repro.streaming.runtime import StreamingRuntime, group_results
 from repro.streaming.sharded import RebalancePolicy, ShardedRuntime, ShardRouter
 from repro.streaming.sources import (
@@ -121,7 +129,10 @@ __all__ = [
     "LatenessConfig",
     "LocalPredicate",
     "MemorySink",
+    "MetricsRegistry",
     "Negation",
+    "ObsConfig",
+    "Observability",
     "OptionalPattern",
     "ParallelExecutor",
     "PunctuationWatermark",
@@ -155,6 +166,9 @@ __all__ = [
     "max_of",
     "min_of",
     "parse_query",
+    "render_prometheus",
     "sequence",
+    "snapshot_quantile",
+    "snapshot_value",
     "sum_of",
 ]

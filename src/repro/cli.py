@@ -98,6 +98,7 @@ from repro.streaming.config import (
 )
 from repro.streaming.ingest import LatePolicy
 from repro.streaming.jsonl import record_to_json_line, write_jsonl_events
+from repro.streaming.observability import PrometheusTextServer
 from repro.streaming.sharded import ShardedRuntime
 from repro.streaming.sources import CallbackSink
 
@@ -329,6 +330,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print throughput / latency / watermark-lag metrics to stderr",
     )
+    stream.add_argument(
+        "--metrics-export",
+        default=None,
+        metavar="PATH",
+        help="append periodic metrics-registry snapshots to this JSONL file "
+        "(one labeled sample per --metrics-interval, plus a final one at "
+        "end of stream); for sharded runs the samples are the merged "
+        "parent view across all workers",
+    )
+    stream.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between --metrics-export samples (default 10)",
+    )
+    stream.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write sampled lifecycle span trees (ingest -> route -> "
+        "execute -> emit, plus checkpoint/recovery/rebalance operations) "
+        "to this JSONL file; requires --trace-sample-rate",
+    )
+    stream.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fraction of events whose lifecycle is traced into --trace "
+        "(0 < RATE <= 1; the sampling decision is made once per event at "
+        "the trace root, so sampled trees are always complete)",
+    )
+    stream.add_argument(
+        "--prometheus-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the latest metrics snapshot in the Prometheus text "
+        "format on 127.0.0.1:PORT (0 binds an ephemeral port, printed to "
+        "stderr at startup)",
+    )
 
     generate = commands.add_parser("generate", help="generate a synthetic data set as CSV")
     generate.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
@@ -516,6 +559,16 @@ def _stream_flag_overrides(args) -> dict:
         put("checkpoint", "interval", args.checkpoint_interval)
     if args.recover:
         put("checkpoint", "recover", True)
+    if args.metrics_export is not None:
+        put("observability", "metrics_export_path", args.metrics_export)
+    if args.metrics_interval is not None:
+        put("observability", "metrics_interval_seconds", args.metrics_interval)
+    if args.trace is not None:
+        put("observability", "trace_path", args.trace)
+    if args.trace_sample_rate is not None:
+        put("observability", "trace_sample_rate", args.trace_sample_rate)
+    if args.prometheus_port is not None:
+        put("observability", "prometheus_port", args.prometheus_port)
     return overrides
 
 
@@ -588,6 +641,31 @@ def _check_stream_flags(merged: dict) -> Optional[str]:
             "to write periodic checkpoints and/or --recover to resume from the "
             "store"
         )
+    metrics_interval = _dig(merged, "observability.metrics_interval_seconds")
+    if (
+        isinstance(metrics_interval, (int, float))
+        and not isinstance(metrics_interval, bool)
+        and metrics_interval <= 0
+    ):
+        return f"--metrics-interval must be positive, got {metrics_interval:g}"
+    trace_path = _dig(merged, "observability.trace_path")
+    trace_rate = _dig(merged, "observability.trace_sample_rate", 0.0)
+    if (
+        isinstance(trace_rate, (int, float))
+        and not isinstance(trace_rate, bool)
+        and not 0.0 <= trace_rate <= 1.0
+    ):
+        return f"--trace-sample-rate must be between 0 and 1, got {trace_rate:g}"
+    if trace_path and not trace_rate:
+        return (
+            "--trace requires --trace-sample-rate RATE > 0 "
+            "(no span is ever sampled at rate 0)"
+        )
+    if trace_rate and not trace_path:
+        return (
+            "--trace-sample-rate requires --trace FILE "
+            "(where the sampled spans are written)"
+        )
     return None
 
 
@@ -656,7 +734,9 @@ def _command_stream(args) -> int:
     store = None
     if config.checkpoint.dir:
         try:
-            store = config.checkpoint.build_store()
+            store = config.checkpoint.build_store(
+                registry=runtime.observability.registry
+            )
             if config.checkpoint.recover:
                 # restore the newest checkpoint; a replayable source then
                 # skips the already-ingested prefix (resume_job decides)
@@ -710,6 +790,29 @@ def _command_stream(args) -> int:
         return 1
     sink = config_sink if config_sink is not None else CallbackSink(emit)
 
+    exporter = config.observability.build_exporter()
+    prometheus = None
+    if config.observability.prometheus_port is not None:
+        try:
+            prometheus = PrometheusTextServer(
+                lambda: exporter.latest,
+                port=config.observability.prometheus_port,
+            ).start()
+        except OSError as exc:
+            source.close()
+            runtime.close()
+            if late_sink is not None:
+                late_sink.close()
+            if config_sink is not None:
+                config_sink.close()
+            if store is not None:
+                _close_store_quietly(store)
+            exporter.close()
+            print(f"error: cannot bind --prometheus-port: {exc}", file=sys.stderr)
+            return 1
+        host, port = prometheus.address
+        print(f"# serving Prometheus metrics on http://{host}:{port}/", file=sys.stderr)
+
     store_failed = False
     try:
         runtime.run(
@@ -718,6 +821,7 @@ def _command_stream(args) -> int:
             checkpoint_store=store if config.checkpoint.interval else None,
             checkpoint_interval=config.checkpoint.interval,
             on_late=persist_late_events if late_sink is not None else None,
+            metrics_exporter=exporter,
         )
         if config.late.reprocess:
             # replay the side channel into is_correction=True records
@@ -746,7 +850,11 @@ def _command_stream(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if prometheus is not None:
+            prometheus.close()  # stop serving before the registry goes away
         runtime.close()  # stops sharded workers; no-op for the single runtime
+        if exporter is not None:
+            exporter.close()
         if late_sink is not None:
             late_sink.close()
         if config_sink is not None:

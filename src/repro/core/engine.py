@@ -133,6 +133,7 @@ class CograEngine:
         watermark_strategy=None,
         late_policy="raise",
         workers: int = 1,
+        observability=None,
     ):
         """Evaluate the query over a possibly out-of-order stream, lazily.
 
@@ -169,6 +170,12 @@ class CograEngine:
         :class:`RuntimeError` instead of silently mixing two streams into
         one executor.
 
+        ``observability`` accepts an
+        :class:`~repro.streaming.observability.Observability` bundle --
+        e.g. one with a sampling tracer attached, or
+        ``Observability.disabled()`` to strip instrumentation; the
+        default collects registry metrics with tracing off.
+
         Internally the kwargs assemble a
         :class:`~repro.streaming.config.JobConfig` -- the declarative spec
         behind every entry point -- and the runtime is resolved from it;
@@ -189,7 +196,9 @@ class CograEngine:
             emit_empty_groups=self._emit_empty_groups,
         )
         runtime = config.build_runtime(
-            watermark_strategy=watermark_strategy, register=False
+            watermark_strategy=watermark_strategy,
+            register=False,
+            observability=observability,
         )
         if workers > 1:
             # the engine cannot host sharded execution (state lives in the

@@ -24,6 +24,10 @@ stream processor:
   checkpoints with periodic compaction and optional background writes;
 * :mod:`repro.streaming.metrics` -- throughput, latency, watermark lag and
   late-event counters;
+* :mod:`repro.streaming.observability` -- the labeled metrics registry
+  (counters / gauges / mergeable log-bucket histograms), sampled lifecycle
+  tracing, and the JSONL / Prometheus-text exporters behind
+  ``cogra stream --metrics-export``;
 * :mod:`repro.streaming.jsonl` -- the JSON-lines wire format of the
   ``cogra stream`` CLI subcommand.
 """
@@ -42,6 +46,7 @@ from repro.streaming.config import (
     Job,
     JobConfig,
     LatenessConfig,
+    ObsConfig,
     QueryConfig,
     RebalanceConfig,
     ShardConfig,
@@ -68,6 +73,23 @@ from repro.streaming.jsonl import (
     write_jsonl_events,
 )
 from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlMetricsExporter,
+    JsonlTraceSink,
+    MetricsRegistry,
+    Observability,
+    PrometheusTextServer,
+    Span,
+    Tracer,
+    histogram_quantile,
+    merge_snapshots,
+    render_prometheus,
+    snapshot_quantile,
+    snapshot_value,
+)
 from repro.streaming.runtime import PipelineDriver, StreamingRuntime, group_results
 from repro.streaming.sharded import (
     RebalancePolicy,
@@ -99,9 +121,12 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointEntry",
     "CheckpointStore",
+    "Counter",
     "EmissionController",
     "EmissionRecord",
     "EventSource",
+    "Gauge",
+    "Histogram",
     "IngestBatch",
     "IterableSource",
     "Job",
@@ -109,11 +134,17 @@ __all__ = [
     "JsonlFileSink",
     "JsonlFileSource",
     "JsonlFileTailSource",
+    "JsonlMetricsExporter",
+    "JsonlTraceSink",
     "LatePolicy",
     "LatenessConfig",
     "MemorySink",
+    "MetricsRegistry",
+    "ObsConfig",
+    "Observability",
     "OutOfOrderIngestor",
     "PipelineDriver",
+    "PrometheusTextServer",
     "PunctuationWatermark",
     "QueryConfig",
     "RebalanceConfig",
@@ -128,21 +159,28 @@ __all__ = [
     "SkippingSource",
     "SocketJsonlSource",
     "SourceConfig",
+    "Span",
     "StreamingMetrics",
     "StreamingRuntime",
+    "Tracer",
     "WatermarkConfig",
     "WatermarkStrategy",
     "as_source",
     "event_from_json",
     "event_to_json",
     "group_results",
+    "histogram_quantile",
     "job",
     "load_checkpoint",
+    "merge_snapshots",
     "open_sink",
     "open_source",
     "read_config_file",
     "read_jsonl_events",
+    "render_prometheus",
     "resume_job",
     "save_checkpoint",
+    "snapshot_quantile",
+    "snapshot_value",
     "write_jsonl_events",
 ]

@@ -32,6 +32,7 @@ import os
 import queue as _queue
 import threading
 from pathlib import Path
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.aggregate_state import TrendAccumulator
@@ -457,6 +458,14 @@ class CheckpointStore:
         (the driver loop) does not block on disk I/O.  :meth:`flush` joins
         outstanding writes; a failed background write re-raises on the
         next :meth:`save`, :meth:`flush` or :meth:`close`.
+    registry:
+        Optional
+        :class:`~repro.streaming.observability.MetricsRegistry` recording
+        write durations and bytes (labelled by base/delta kind) and
+        :meth:`load_latest` durations.  The metric children are created
+        here, up front: with ``background=True`` the writer thread only
+        ever touches its own pre-built children, never the registry's
+        family dictionaries.
     """
 
     def __init__(
@@ -464,12 +473,37 @@ class CheckpointStore:
         directory: Union[str, Path],
         compact_every: int = 8,
         background: bool = False,
+        registry=None,
     ):
         if compact_every < 1:
             raise ValueError(f"compact_every must be at least 1, got {compact_every}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.compact_every = compact_every
+        self._write_timers = None
+        self._byte_counters = None
+        self._restore_timer = None
+        if registry is not None:
+            write_seconds = registry.histogram(
+                "cogra_checkpoint_write_seconds",
+                "disk write duration of one checkpoint file",
+                ("kind",),
+            )
+            written_bytes = registry.counter(
+                "cogra_checkpoint_bytes_total",
+                "serialized checkpoint bytes written to the store",
+                ("kind",),
+            )
+            self._write_timers = {
+                kind: write_seconds.labels(kind) for kind in ("base", "delta")
+            }
+            self._byte_counters = {
+                kind: written_bytes.labels(kind) for kind in ("base", "delta")
+            }
+            self._restore_timer = registry.histogram(
+                "cogra_checkpoint_restore_seconds",
+                "duration of reconstructing the newest checkpoint chain",
+            ).labels()
         #: metadata of every checkpoint written by THIS store instance
         self.entries: List[CheckpointEntry] = []
         self._manifest = self._read_manifest()
@@ -543,6 +577,7 @@ class CheckpointStore:
         return entry
 
     def _write(self, snapshot: Dict[str, object]) -> CheckpointEntry:
+        started = _perf_counter()
         checkpoint_id = int(self._manifest["next_id"])
         self._manifest["next_id"] = checkpoint_id + 1
         chain: List[Dict[str, object]] = self._manifest["chain"]
@@ -557,6 +592,9 @@ class CheckpointStore:
         self._write_manifest()
         self._last_index = index
         self.entries.append(entry)
+        if self._write_timers is not None:
+            self._write_timers[entry.kind].observe(_perf_counter() - started)
+            self._byte_counters[entry.kind].inc(entry.bytes_written)
         return entry
 
     def _write_base(
@@ -657,6 +695,7 @@ class CheckpointStore:
 
         Reading works on a closed store too -- closing only stops writes.
         """
+        started = _perf_counter()
         if self._queue is not None and not self._closed:
             self.flush()
         manifest = self._read_manifest()
@@ -686,6 +725,8 @@ class CheckpointStore:
                 )
             snapshot = self._apply_delta(snapshot, delta, link)
             previous_id = int(delta["id"])
+        if self._restore_timer is not None:
+            self._restore_timer.observe(_perf_counter() - started)
         return snapshot
 
     def _read_file(self, link: Dict[str, object]) -> Dict[str, object]:

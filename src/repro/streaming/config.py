@@ -411,12 +411,130 @@ class CheckpointConfig:
                 "the store"
             )
 
-    def build_store(self) -> Optional[CheckpointStore]:
-        """Open the configured :class:`CheckpointStore`, or ``None``."""
+    def build_store(self, registry=None) -> Optional[CheckpointStore]:
+        """Open the configured :class:`CheckpointStore`, or ``None``.
+
+        ``registry`` is an optional
+        :class:`~repro.streaming.observability.MetricsRegistry` the store
+        records write/restore durations and bytes into (the Job facade
+        passes the runtime's, so checkpoint metrics land in the exported
+        view).
+        """
         if not self.dir:
             return None
         return CheckpointStore(
-            self.dir, compact_every=self.compact_every, background=self.background
+            self.dir,
+            compact_every=self.compact_every,
+            background=self.background,
+            registry=registry,
+        )
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability: metrics export, lifecycle tracing, Prometheus endpoint.
+
+    ``metrics_export_path`` appends periodic registry snapshots (every
+    ``metrics_interval_seconds``) as JSONL time-series samples;
+    ``trace_path`` + ``trace_sample_rate`` emit sampled lifecycle span
+    trees (ingest -> route -> execute -> emit, plus checkpoint / recovery /
+    rebalance operations) as JSONL; ``prometheus_port`` serves the most
+    recent snapshot in the Prometheus text format on localhost (``0``
+    binds an ephemeral port).  All default to off -- the runtime still
+    collects its registry metrics, it just exports nothing.
+    """
+
+    metrics_export_path: Optional[str] = None
+    metrics_interval_seconds: float = 10.0
+    trace_path: Optional[str] = None
+    trace_sample_rate: float = 0.0
+    prometheus_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_optional_string(self.metrics_export_path, "metrics_export_path")
+        _require_optional_string(self.trace_path, "trace_path")
+        if (
+            not isinstance(self.metrics_interval_seconds, (int, float))
+            or isinstance(self.metrics_interval_seconds, bool)
+            or not self.metrics_interval_seconds > 0
+        ):
+            raise ConfigError(
+                f"metrics_interval_seconds must be a positive number, "
+                f"got {self.metrics_interval_seconds!r}"
+            )
+        if (
+            not isinstance(self.trace_sample_rate, (int, float))
+            or isinstance(self.trace_sample_rate, bool)
+            or not 0.0 <= self.trace_sample_rate <= 1.0
+        ):
+            raise ConfigError(
+                f"trace_sample_rate must be a number between 0 and 1, "
+                f"got {self.trace_sample_rate!r}"
+            )
+        if self.trace_path and not self.trace_sample_rate:
+            raise ConfigError(
+                "trace_path requires a positive trace_sample_rate "
+                "(no span is ever sampled at rate 0)"
+            )
+        if self.trace_sample_rate and not self.trace_path:
+            raise ConfigError(
+                "trace_sample_rate requires trace_path "
+                "(where the sampled spans are written)"
+            )
+        if self.prometheus_port is not None:
+            if (
+                not isinstance(self.prometheus_port, int)
+                or isinstance(self.prometheus_port, bool)
+                or not 0 <= self.prometheus_port <= 65535
+            ):
+                raise ConfigError(
+                    f"prometheus_port must be a port number (0 binds an "
+                    f"ephemeral one), got {self.prometheus_port!r}"
+                )
+
+    @property
+    def exports_anything(self) -> bool:
+        """Whether any exporter/endpoint is configured."""
+        return bool(
+            self.metrics_export_path
+            or self.trace_path
+            or self.prometheus_port is not None
+        )
+
+    def build_observability(self):
+        """The :class:`~repro.streaming.observability.Observability` bundle.
+
+        Always enabled (metric collection is cheap and the registry feeds
+        checkpoints); tracing is attached only when configured.
+        """
+        from repro.streaming.observability import (
+            JsonlTraceSink,
+            Observability,
+            Tracer,
+        )
+
+        tracer = None
+        if self.trace_path and self.trace_sample_rate:
+            tracer = Tracer(
+                sample_rate=float(self.trace_sample_rate),
+                sink=JsonlTraceSink(self.trace_path),
+            )
+        return Observability(tracer=tracer)
+
+    def build_exporter(self):
+        """The configured JSONL exporter, or ``None`` when nothing exports.
+
+        A Prometheus endpoint without an export path still needs the
+        exporter (with ``path=None``) -- it serves the exporter's most
+        recent cached snapshot.
+        """
+        if not self.metrics_export_path and self.prometheus_port is None:
+            return None
+        from repro.streaming.observability import JsonlMetricsExporter
+
+        return JsonlMetricsExporter(
+            self.metrics_export_path,
+            interval=float(self.metrics_interval_seconds),
         )
 
 
@@ -515,6 +633,7 @@ class JobConfig:
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     source: SourceConfig = field(default_factory=SourceConfig)
     sink: SinkConfig = field(default_factory=SinkConfig)
+    observability: ObsConfig = field(default_factory=ObsConfig)
     emit_empty_groups: bool = False
 
     def __post_init__(self) -> None:
@@ -548,6 +667,7 @@ class JobConfig:
             "checkpoint": CheckpointConfig,
             "source": SourceConfig,
             "sink": SinkConfig,
+            "observability": ObsConfig,
         }
         for key, value in data.items():
             if key == "queries":
@@ -655,6 +775,7 @@ class JobConfig:
         self,
         watermark_strategy: Optional[WatermarkStrategy] = None,
         register: bool = True,
+        observability=None,
     ):
         """Resolve the runtime this spec describes.
 
@@ -663,11 +784,13 @@ class JobConfig:
         StreamingRuntime` otherwise, with the queries registered under
         their resolved names (``register=False`` skips registration --
         :meth:`CograEngine.stream` registers its own engine instead).
-        ``watermark_strategy`` overrides the declarative watermark spec
-        with an explicit strategy object (it cannot be serialized, so it
-        never lives *in* the config).
+        ``watermark_strategy`` and ``observability`` override the
+        declarative specs with explicit strategy/bundle objects (they
+        cannot be serialized, so they never live *in* the config).
         """
         strategy = watermark_strategy or self.watermark.build()
+        if observability is None:
+            observability = self.observability.build_observability()
         if self.shards.workers > 1:
             from repro.streaming.sharded import ShardedRuntime
 
@@ -681,6 +804,7 @@ class JobConfig:
                 max_restarts=self.shards.max_restarts,
                 start_method=self.shards.start_method,
                 rebalance=self.shards.rebalance,
+                observability=observability,
             )
         else:
             from repro.streaming.runtime import StreamingRuntime
@@ -689,6 +813,7 @@ class JobConfig:
                 watermark_strategy=strategy,
                 late_policy=self.late.policy,
                 emit_empty_groups=self.emit_empty_groups,
+                observability=observability,
             )
         if register:
             for name, query in zip(self.resolved_names(), self.queries):
@@ -899,6 +1024,8 @@ class Job:
         self._sink: Optional[Sink] = None
         self._store: Optional[CheckpointStore] = None
         self._late_sink = None
+        self._exporter = None
+        self._prometheus = None
         self._records: Optional[List[EmissionRecord]] = None
         self._started = False
         self._stopped = False
@@ -924,11 +1051,21 @@ class Job:
                 self._sink = self._sink_override
             else:
                 self._sink = self.config.sink.build()
-            self._store = self.config.checkpoint.build_store()
+            self._store = self.config.checkpoint.build_store(
+                registry=self._runtime.observability.registry
+            )
             if self._store is not None and self.config.checkpoint.recover:
                 info = resume_job(self._runtime, self._store, self._source)
                 self._source = info.source
                 self.resume_notes = info.notes
+            self._exporter = self.config.observability.build_exporter()
+            if self.config.observability.prometheus_port is not None:
+                from repro.streaming.observability import PrometheusTextServer
+
+                self._prometheus = PrometheusTextServer(
+                    lambda: self._exporter.latest,
+                    port=self.config.observability.prometheus_port,
+                ).start()
             if self.config.late.side_channel_path:
                 # truncate: the file holds THIS run's late events
                 self._late_sink = open(
@@ -967,6 +1104,7 @@ class Job:
                 checkpoint_store=self._store if interval else None,
                 checkpoint_interval=interval,
                 on_late=on_late,
+                metrics_exporter=self._exporter,
             ):
                 records.append(record)
                 if self._sink is not None:
@@ -993,8 +1131,12 @@ class Job:
             self._source.close()
         if self._late_sink is not None:
             self._late_sink.close()
+        if self._prometheus is not None:
+            self._prometheus.close()
         if self._runtime is not None:
             self._runtime.close()
+        if self._exporter is not None:
+            self._exporter.close()
         if self._sink is not None and self._sink_override is None:
             # sinks passed in from outside outlive the job; owned ones don't
             self._sink.close()
@@ -1024,6 +1166,11 @@ class Job:
         if self._runtime is None:
             raise RuntimeError("the job is not started; call start() first")
         return self._runtime
+
+    @property
+    def prometheus_address(self) -> Optional[tuple]:
+        """``(host, port)`` of the live Prometheus endpoint, or ``None``."""
+        return None if self._prometheus is None else self._prometheus.address
 
     def checkpoint(self) -> Dict[str, object]:
         """Snapshot the runtime state; persist it when a store is open."""

@@ -3,9 +3,19 @@
 :class:`StreamingMetrics` tracks the counters a production deployment would
 export: ingestion and emission throughput, per-event processing latency,
 watermark progress and lag, reorder-buffer occupancy and late-event
-accounting.  The counters are plain integers/floats so they can be included
-in checkpoints; the wall-clock timers are intentionally *not* checkpointed
-(a restored runtime starts fresh throughput measurements).
+accounting.  The counters live in a private
+:class:`~repro.streaming.observability.registry.MetricsRegistry` (so they
+render through the Prometheus/JSONL exporters like every other metric) but
+remain plain attributes of this class -- the public API and the checkpoint
+schema are unchanged by the registry refactor.  The wall-clock timers are
+intentionally *not* checkpointed (a restored runtime starts fresh
+throughput measurements).
+
+The registry is **private to this instance** on purpose: in a sharded run
+every worker process owns a ``StreamingMetrics`` whose runtime counters
+would double count against the parent's if worker registries merged
+upward.  Only the separate per-query/per-shard observability registry
+merges across processes (see :mod:`repro.streaming.observability`).
 """
 
 from __future__ import annotations
@@ -13,6 +23,62 @@ from __future__ import annotations
 import math
 import time as _time
 from typing import Callable, Dict, Optional
+
+from repro.streaming.observability.registry import MetricsRegistry
+
+#: counter attribute -> (registry kind, metric name, help text)
+_COUNTER_METRICS = {
+    "events_ingested": (
+        "counter",
+        "cogra_events_ingested_total",
+        "events accepted into the reorder buffer",
+    ),
+    "events_released": (
+        "counter",
+        "cogra_events_released_total",
+        "events released from the buffer toward executors",
+    ),
+    "events_buffered_peak": (
+        "gauge",
+        "cogra_reorder_buffer_peak",
+        "high-water mark of the reorder buffer",
+    ),
+    "punctuations_seen": (
+        "counter",
+        "cogra_punctuations_total",
+        "punctuation (watermark-carrying) events seen",
+    ),
+    "late_events_dropped": (
+        "counter",
+        "cogra_late_events_dropped_total",
+        "late events dropped by policy",
+    ),
+    "late_events_rerouted": (
+        "counter",
+        "cogra_late_events_rerouted_total",
+        "late events sent to the side channel",
+    ),
+    "results_emitted": (
+        "counter",
+        "cogra_results_emitted_total",
+        "group results emitted to the caller",
+    ),
+    "rebalance_cycles": (
+        "counter",
+        "cogra_rebalance_cycles_total",
+        "shard rebalance cycles executed",
+    ),
+    "rebalance_slots_moved": (
+        "counter",
+        "cogra_rebalance_slots_moved_total",
+        "router slots migrated by rebalances",
+    ),
+    "rebalance_keys_moved": (
+        "counter",
+        "cogra_rebalance_keys_moved_total",
+        "partition keys migrated by rebalances",
+    ),
+}
 
 
 class StreamingMetrics:
@@ -24,9 +90,14 @@ class StreamingMetrics:
         Monotonic-seconds callable behind :meth:`elapsed_seconds` and
         :meth:`throughput`.  Defaults to :func:`time.perf_counter`; tests
         inject a fake clock so wall-clock-derived metrics are deterministic.
+    registry:
+        Optional :class:`MetricsRegistry` to store the counters in.  By
+        default each instance creates its own (see the module docstring on
+        why the registry is not shared with the observability layer).
     """
 
-    #: counter attributes included in snapshots (order is the report order)
+    #: counter attributes included in snapshots (order is the report order);
+    #: see :attr:`TIMERS` for the wall-clock category that is excluded
     COUNTERS = (
         "events_ingested",
         "events_released",
@@ -40,20 +111,26 @@ class StreamingMetrics:
         "rebalance_keys_moved",
     )
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    #: timer attributes: wall-clock accumulations measured in THIS process.
+    #: Unlike :attr:`COUNTERS` they are deliberately NOT part of
+    #: :meth:`snapshot` -- a checkpoint restored elsewhere cannot continue
+    #: another process's wall-clock -- and :meth:`restore` resets them.
+    TIMERS = ("rebalance_pause_seconds",)
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._clock = _time.perf_counter if clock is None else clock
-        self.events_ingested = 0
-        self.events_released = 0
-        self.events_buffered_peak = 0
-        self.punctuations_seen = 0
-        self.late_events_dropped = 0
-        self.late_events_rerouted = 0
-        self.results_emitted = 0
-        self.rebalance_cycles = 0
-        self.rebalance_slots_moved = 0
-        self.rebalance_keys_moved = 0
+        self.registry = MetricsRegistry() if registry is None else registry
+        children = {}
+        for attribute, (kind, name, help_text) in _COUNTER_METRICS.items():
+            family = getattr(self.registry, kind)(name, help_text)
+            children[attribute] = family.labels()
+        self._children = children
         #: wall-clock seconds ingestion paused for shard migrations; a
-        #: timer, so (like the other timers) not part of checkpoints
+        #: timer (see :attr:`TIMERS`), so not part of checkpoints
         self.rebalance_pause_seconds = 0.0
         self.watermark: float = -math.inf
         self.max_event_time: float = -math.inf
@@ -71,15 +148,16 @@ class StreamingMetrics:
         """Account for one event entering the reorder buffer."""
         if self._started_at is None:
             self._started_at = self._clock()
-        self.events_ingested += 1
+        self._children["events_ingested"].inc()
         if event_time > self.max_event_time:
             self.max_event_time = event_time
-        if buffered > self.events_buffered_peak:
-            self.events_buffered_peak = buffered
+        peak = self._children["events_buffered_peak"]
+        if buffered > peak.value:
+            peak.set(buffered)
 
     def record_release(self, count: int) -> None:
         """Account for ``count`` events leaving the buffer toward executors."""
-        self.events_released += count
+        self._children["events_released"].inc(count)
 
     def record_watermark(self, watermark: float) -> None:
         """Record watermark progress."""
@@ -88,18 +166,18 @@ class StreamingMetrics:
 
     def record_punctuation(self) -> None:
         """Account for one punctuation (watermark-carrying) event."""
-        self.punctuations_seen += 1
+        self._children["punctuations_seen"].inc()
 
     def record_late(self, rerouted: bool) -> None:
         """Account for one late event (dropped or sent to the side channel)."""
         if rerouted:
-            self.late_events_rerouted += 1
+            self._children["late_events_rerouted"].inc()
         else:
-            self.late_events_dropped += 1
+            self._children["late_events_dropped"].inc()
 
     def record_emission(self, count: int) -> None:
         """Account for ``count`` emitted group results."""
-        self.results_emitted += count
+        self._children["results_emitted"].inc(count)
 
     def record_processing_seconds(self, seconds: float) -> None:
         """Add wall-clock time spent inside executor hot paths."""
@@ -107,9 +185,9 @@ class StreamingMetrics:
 
     def record_rebalance(self, slots: int, keys: int, pause_seconds: float) -> None:
         """Account one shard-rebalance cycle (slots and keys migrated)."""
-        self.rebalance_cycles += 1
-        self.rebalance_slots_moved += slots
-        self.rebalance_keys_moved += keys
+        self._children["rebalance_cycles"].inc()
+        self._children["rebalance_slots_moved"].inc(slots)
+        self._children["rebalance_keys_moved"].inc(keys)
         self.rebalance_pause_seconds += pause_seconds
 
     # -- derived metrics ------------------------------------------------------
@@ -120,7 +198,13 @@ class StreamingMetrics:
         return self.late_events_dropped + self.late_events_rerouted
 
     def watermark_lag(self) -> float:
-        """Distance between the newest event seen and the watermark (seconds).
+        """Distance between the newest event seen and the watermark.
+
+        The lag is measured in **event-time units** -- the same units as
+        ``Event.time`` and the ``WITHIN`` clause (milliseconds for the
+        paper's stock feeds, plain seconds in most of this repo's
+        examples).  It is *not* a wall-clock duration: a stalled source
+        leaves the lag frozen no matter how much real time passes.
 
         ``inf`` when events have been ingested but no watermark exists yet
         (e.g. a punctuated source that never punctuates) -- emission is
@@ -164,7 +248,7 @@ class StreamingMetrics:
     # -- snapshots -------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """Checkpointable counter state (timers excluded on purpose)."""
+        """Checkpointable counter state (:attr:`TIMERS` excluded on purpose)."""
         state: Dict[str, object] = {name: getattr(self, name) for name in self.COUNTERS}
         state["watermark"] = None if math.isinf(self.watermark) else self.watermark
         state["max_event_time"] = (
@@ -188,10 +272,45 @@ class StreamingMetrics:
         self._rate_base_ingested = self.events_ingested
         self._rate_base_released = self.events_released
 
+    def registry_snapshot(self) -> dict:
+        """Registry view of the counters plus watermark gauges (if finite).
+
+        Used by the exporters; the watermark/lag gauges are added here at
+        snapshot time because ``-inf`` (their pre-first-event value) is not
+        JSON-representable.
+        """
+        snapshot = self.registry.snapshot()
+        families = snapshot["families"]
+        for name, help_text, value in (
+            ("cogra_watermark", "current watermark (event-time units)", self.watermark),
+            (
+                "cogra_watermark_lag",
+                "newest event time minus watermark (event-time units)",
+                self.watermark_lag(),
+            ),
+        ):
+            if math.isinf(value):
+                continue
+            families[name] = {
+                "kind": "gauge",
+                "help": help_text,
+                "labels": [],
+                "children": [{"labels": [], "value": value}],
+            }
+        return snapshot
+
     # -- reporting -------------------------------------------------------------
 
     def describe(self) -> str:
-        """Readable multi-line metrics report (CLI ``--metrics``)."""
+        """Readable multi-line metrics report (CLI ``--metrics``).
+
+        Counter lines mirror :meth:`snapshot`; the remaining lines are
+        derived from :attr:`TIMERS` and the process-local clock
+        (throughput, latency, rebalance pause) and therefore restart at a
+        checkpoint restore instead of carrying over.  The watermark lag is
+        reported in event-time units (see :meth:`watermark_lag`), not
+        wall-clock seconds.
+        """
         watermark = "-" if math.isinf(self.watermark) else f"{self.watermark:g}"
         lines = [
             f"events ingested     : {self.events_ingested}",
@@ -203,7 +322,7 @@ class StreamingMetrics:
             f"punctuations        : {self.punctuations_seen}",
             f"buffer peak         : {self.events_buffered_peak}",
             f"watermark           : {watermark}",
-            f"watermark lag (s)   : {self.watermark_lag():g}",
+            f"watermark lag (evt) : {self.watermark_lag():g}",
             f"throughput (ev/s)   : {self.throughput():,.0f}",
             f"mean latency (ms)   : {self.mean_latency_ms():.4f}",
             f"rebalances          : {self.rebalance_cycles} "
@@ -219,3 +338,26 @@ class StreamingMetrics:
             f"released={self.events_released}, late={self.late_events}, "
             f"emitted={self.results_emitted})"
         )
+
+
+def _counter_property(attribute: str) -> property:
+    """Expose a registry child as a plain integer attribute.
+
+    Keeps ``metrics.events_ingested`` (and ``+=``/``setattr`` on it, which
+    :meth:`StreamingMetrics.restore` relies on) working exactly as when the
+    counters were instance integers.
+    """
+
+    def _get(self) -> int:
+        return int(self._children[attribute].value)
+
+    def _set(self, value) -> None:
+        self._children[attribute].set(value)
+
+    kind, name, _ = _COUNTER_METRICS[attribute]
+    return property(_get, _set, doc=f"{kind} {name} (registry-backed)")
+
+
+for _attribute in StreamingMetrics.COUNTERS:
+    setattr(StreamingMetrics, _attribute, _counter_property(_attribute))
+del _attribute

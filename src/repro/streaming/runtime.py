@@ -65,6 +65,12 @@ from repro.streaming.ingest import (
     WatermarkStrategy,
 )
 from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.observability import (
+    JsonlMetricsExporter,
+    Observability,
+    finalize_snapshot,
+    merge_snapshots,
+)
 from repro.streaming.sources import EventSource, Sink, as_source
 
 
@@ -113,6 +119,7 @@ class PipelineDriver:
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_interval: Optional[int] = None,
         on_late: Optional[Callable[[List[Event]], None]] = None,
+        metrics_exporter: Optional[JsonlMetricsExporter] = None,
     ) -> Iterator[EmissionRecord]:
         """Pull events from a source, yield emission records as they emit.
 
@@ -133,6 +140,14 @@ class PipelineDriver:
             Called with each batch of drained side-channel late events
             (``LatePolicy.SIDE_CHANNEL``) so they are persisted or
             reprocessed instead of piling up.
+        metrics_exporter:
+            Optional
+            :class:`~repro.streaming.observability.JsonlMetricsExporter`.
+            Once per ingested event the loop offers it the runtime's
+            :meth:`registry_snapshot`; the exporter samples at most once
+            per its configured interval, and a final sample is taken after
+            the flush so the time series always ends with the complete
+            run.
         """
         if (checkpoint_store is None) != (checkpoint_interval is None):
             raise ValueError(
@@ -158,11 +173,17 @@ class PipelineDriver:
                     # a sharded checkpoint quiesces the workers; records that
                     # became ready during the quiesce surface immediately
                     yield from self.drain_pending()
+                if metrics_exporter is not None:
+                    if metrics_exporter.maybe_export(self.registry_snapshot):
+                        # a sharded snapshot pull quiesces the workers too
+                        yield from self.drain_pending()
             yield from self.flush()
             if on_late is not None:
                 late = self.take_late_events()
                 if late:
                     on_late(late)
+            if metrics_exporter is not None:
+                metrics_exporter.export_now(self.registry_snapshot)
         finally:
             source.close()
 
@@ -174,6 +195,7 @@ class PipelineDriver:
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_interval: Optional[int] = None,
         on_late: Optional[Callable[[List[Event]], None]] = None,
+        metrics_exporter: Optional[JsonlMetricsExporter] = None,
     ) -> List[EmissionRecord]:
         """Process a stream to completion and flush at the end.
 
@@ -188,12 +210,27 @@ class PipelineDriver:
             checkpoint_store=checkpoint_store,
             checkpoint_interval=checkpoint_interval,
             on_late=on_late,
+            metrics_exporter=metrics_exporter,
         )
         if sink is None:
             return list(records)
         for record in records:
             sink.emit(record)
         return []
+
+    def _observe_lifecycle(self, op: str, seconds: float) -> None:
+        """Record one lifecycle operation's duration (and a sampled span)."""
+        timer = self.observability.operation_timer(
+            "cogra_lifecycle_seconds",
+            "durations of checkpoint/restore/recovery/rebalance operations",
+            op=op,
+        )
+        if timer is not None:
+            timer.observe(seconds)
+        span = self.observability.start_trace(op)
+        if span is not None:
+            span.annotate(seconds=seconds)
+            span.finish()
 
 
 class RegisteredQuery:
@@ -206,12 +243,17 @@ class RegisteredQuery:
         "relevant_types",
         "broadcast",
         "partition_signature",
+        "instruments",
     )
 
     def __init__(self, name: str, engine: CograEngine, order: int = 0):
         self.name = name
         self.engine = engine
         self.order = order
+        #: cached per-query metric children, or ``None`` when the owning
+        #: runtime's observability is disabled (the hot path then skips
+        #: instrumentation on a single ``is None`` check)
+        self.instruments = None
         types = set(engine.executor._relevant_types)
         if engine.negation_analysis is not None:
             # negated event types never match the positive pattern but still
@@ -258,6 +300,11 @@ class StreamingRuntime(PipelineDriver):
         strings fail eagerly with :class:`~repro.errors.ConfigError`.
     emit_empty_groups:
         Default for queries registered without an explicit setting.
+    observability:
+        Optional :class:`~repro.streaming.observability.Observability`
+        bundle (metrics registry + tracer).  By default a fresh enabled
+        bundle is created; pass ``Observability.disabled()`` to strip the
+        per-query instrumentation down to one ``is None`` check per event.
     """
 
     def __init__(
@@ -266,6 +313,7 @@ class StreamingRuntime(PipelineDriver):
         watermark_strategy: Optional[WatermarkStrategy] = None,
         late_policy: Union[LatePolicy, str, None] = None,
         emit_empty_groups: bool = False,
+        observability: Optional[Observability] = None,
     ):
         # the constructor kwargs are one corner of the declarative JobConfig
         # API: normalising them through the component specs keeps defaults
@@ -274,6 +322,7 @@ class StreamingRuntime(PipelineDriver):
         strategy = watermark_strategy or WatermarkConfig(lateness=lateness).build()
         self._ingestor = OutOfOrderIngestor(strategy, late.resolved_policy)
         self._controller = EmissionController()
+        self.observability = observability or Observability()
         self.metrics = StreamingMetrics()
         self._emit_empty_groups = emit_empty_groups
         self._queries: List[RegisteredQuery] = []
@@ -339,6 +388,7 @@ class StreamingRuntime(PipelineDriver):
         if name in self._by_name:
             raise ValueError(f"a query named {name!r} is already registered")
         registered = RegisteredQuery(name, engine, order=len(self._queries))
+        registered.instruments = self.observability.query_instruments(name)
         self._queries.append(registered)
         self._by_name[name] = registered
         if registered.broadcast:
@@ -376,7 +426,22 @@ class StreamingRuntime(PipelineDriver):
 
     def process(self, event: Event) -> List[EmissionRecord]:
         """Ingest one (possibly out-of-order) event; return emitted results."""
+        # the sampling decision is one attribute check in the common
+        # (tracing off / unsampled) case; a sampled event records a span
+        # tree ingest -> route -> execute -> emit under this root
+        trace = self.observability.start_trace(
+            "event", event_type=event.event_type, event_time=event.time
+        )
+        if trace is None:
+            return self._process(event, None)
+        with trace:
+            records = self._process(event, trace)
+            trace.annotate(records=len(records))
+            return records
+
+    def _process(self, event: Event, trace) -> List[EmissionRecord]:
         self._check_processable()
+        span = trace.child("ingest") if trace is not None else None
         try:
             batch = self._ingestor.push(event)
         except LateEventError:
@@ -384,7 +449,17 @@ class StreamingRuntime(PipelineDriver):
             # stay consistent with the drop/side-channel paths
             self.metrics.record_ingest(event.time, len(self._ingestor))
             self.metrics.record_late(rerouted=False)
+            if span is not None:
+                span.annotate(late=True)
+                span.finish()
             raise
+        if span is not None:
+            span.annotate(
+                released=len(batch.released),
+                late=batch.late_event is not None,
+                punctuation=batch.punctuation,
+            )
+            span.finish()
         if batch.punctuation:
             self.metrics.record_punctuation()
         else:
@@ -401,17 +476,36 @@ class StreamingRuntime(PipelineDriver):
         if batch.released:
             self.metrics.record_release(len(batch.released))
             started = _time.perf_counter()
-            for released in batch.released:
-                records.extend(self._route(released, batch.watermark))
+            if trace is None:
+                for released in batch.released:
+                    records.extend(self._route(released, batch.watermark))
+            else:
+                with trace.child("route", events=len(batch.released)) as route:
+                    for released in batch.released:
+                        with route.child(
+                            "execute", event_type=released.event_type
+                        ):
+                            records.extend(
+                                self._route(released, batch.watermark)
+                            )
             self.metrics.record_processing_seconds(_time.perf_counter() - started)
         if batch.advanced:
             self.metrics.record_watermark(batch.watermark)
+            span = (
+                trace.child("emit", watermark=batch.watermark)
+                if trace is not None
+                else None
+            )
             for registered in self._queries:
-                records.extend(
-                    self._controller.advance(
-                        registered.name, registered.executor, batch.watermark
-                    )
+                emitted = self._controller.advance(
+                    registered.name, registered.executor, batch.watermark
                 )
+                if emitted:
+                    if registered.instruments is not None:
+                        registered.instruments.results.inc(len(emitted))
+                    records.extend(emitted)
+            if span is not None:
+                span.finish()
         self.metrics.record_emission(len(records))
         return records
 
@@ -452,11 +546,13 @@ class StreamingRuntime(PipelineDriver):
             self._ordered_watermark = watermark
             self.metrics.record_watermark(watermark)
             for registered in self._queries:
-                records.extend(
-                    self._controller.advance(
-                        registered.name, registered.executor, watermark
-                    )
+                emitted = self._controller.advance(
+                    registered.name, registered.executor, watermark
                 )
+                if emitted:
+                    if registered.instruments is not None:
+                        registered.instruments.results.inc(len(emitted))
+                    records.extend(emitted)
         self.metrics.record_emission(len(records))
         return records
 
@@ -475,7 +571,11 @@ class StreamingRuntime(PipelineDriver):
                 records.extend(self._route(released, math.inf))
             self.metrics.record_processing_seconds(_time.perf_counter() - started)
         for registered in self._queries:
-            records.extend(self._controller.close(registered.name, registered.executor))
+            closed = self._controller.close(registered.name, registered.executor)
+            if closed:
+                if registered.instruments is not None:
+                    registered.instruments.results.inc(len(closed))
+                records.extend(closed)
         self.metrics.record_emission(len(records))
         self._flushed = True
         return records
@@ -506,11 +606,23 @@ class StreamingRuntime(PipelineDriver):
             if key is None:
                 key = registered.engine.plan.partition_key(event)
                 keys[signature] = key
-            results = registered.executor.process(event, partition_key=key)
-            if results:
-                records.extend(
-                    self._controller.collect(registered.name, results, watermark)
+            instruments = registered.instruments
+            if instruments is None:
+                results = registered.executor.process(event, partition_key=key)
+            else:
+                started = _time.perf_counter()
+                results = registered.executor.process(event, partition_key=key)
+                instruments.observe_execution(
+                    _time.perf_counter() - started, bool(results)
                 )
+            if results:
+                collected = self._controller.collect(
+                    registered.name, results, watermark
+                )
+                if collected:
+                    if instruments is not None:
+                        instruments.results.inc(len(collected))
+                    records.extend(collected)
         return records
 
     def _resolve_routes(self) -> Dict[str, List[RegisteredQuery]]:
@@ -607,7 +719,8 @@ class StreamingRuntime(PipelineDriver):
             raise CheckpointError(
                 "cannot checkpoint a runtime whose restore failed mid-way"
             )
-        return {
+        started = _time.perf_counter()
+        state = {
             "version": CHECKPOINT_VERSION,
             "queries": [
                 {
@@ -628,7 +741,10 @@ class StreamingRuntime(PipelineDriver):
             "ingest": self._ingestor.snapshot(),
             "metrics": self.metrics.snapshot(),
             "emitted_counts": dict(self._controller.emitted_counts),
+            "registry": self.observability.registry.snapshot(),
         }
+        self._observe_lifecycle("checkpoint", _time.perf_counter() - started)
+        return state
 
     def restore(self, state: Dict[str, object]) -> None:
         """Restore a snapshot into this runtime.
@@ -671,6 +787,7 @@ class StreamingRuntime(PipelineDriver):
                 f"{names}: names, granularities, definitions and "
                 f"emit_empty_groups must be identical"
             )
+        started = _time.perf_counter()
         try:
             for registered in self._queries:
                 registered.engine.reset()
@@ -679,6 +796,9 @@ class StreamingRuntime(PipelineDriver):
                 )
             self._ingestor.restore(state["ingest"])
             self.metrics.restore(state["metrics"])
+            # old checkpoints carry no registry section; restore(None)
+            # resets the instruments instead of failing
+            self.observability.registry.restore(state.get("registry"))
             self._controller.emitted_counts = {
                 name: int(count) for name, count in state["emitted_counts"].items()
             }
@@ -696,14 +816,31 @@ class StreamingRuntime(PipelineDriver):
         self._flushed = False
         # ordered-mode emission resumes from the restored watermark
         self._ordered_watermark = self.metrics.watermark
+        self._observe_lifecycle("restore", _time.perf_counter() - started)
+
+    def registry_snapshot(self) -> Dict[str, object]:
+        """Merged registry view of this runtime, for the exporters.
+
+        Combines the runtime counters (:class:`StreamingMetrics`' private
+        registry, plus finite watermark gauges) with the observability
+        registry's per-query and lifecycle instruments, then derives the
+        per-query selectivity gauges from the merged counters.
+        """
+        return finalize_snapshot(
+            merge_snapshots(
+                self.metrics.registry_snapshot(),
+                self.observability.registry.snapshot(),
+            )
+        )
 
     def close(self) -> None:
-        """Release resources held by the runtime (none for this class).
+        """Release resources held by the runtime (the tracer's sink).
 
         Exists so callers can treat :class:`StreamingRuntime` and
         :class:`~repro.streaming.sharded.ShardedRuntime` (which must stop
         its worker processes) uniformly.
         """
+        self.observability.close()
 
     def __repr__(self) -> str:
         return (

@@ -111,6 +111,11 @@ from repro.streaming.ingest import (
     WatermarkStrategy,
 )
 from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.observability import (
+    Observability,
+    finalize_snapshot,
+    merge_snapshots,
+)
 from repro.streaming.runtime import (
     PipelineDriver,
     StreamingRuntime,
@@ -459,14 +464,16 @@ class _QuerySpec:
         self.emit_empty_groups = emit_empty_groups
 
 
-def _build_worker_runtime(specs: List[_QuerySpec]) -> StreamingRuntime:
+def _build_worker_runtime(
+    specs: List[_QuerySpec], observability: Optional[Observability] = None
+) -> StreamingRuntime:
     """The runtime a worker process hosts: same queries, no reorder buffer.
 
     The parent already ordered and watermarked the stream, so the worker
     consumes it via :meth:`StreamingRuntime.process_ordered`; the worker's
     own ingestor stays empty and its lateness bound is irrelevant.
     """
-    runtime = StreamingRuntime(lateness=0.0)
+    runtime = StreamingRuntime(lateness=0.0, observability=observability)
     for spec in specs:
         runtime.register(
             spec.query,
@@ -477,7 +484,9 @@ def _build_worker_runtime(specs: List[_QuerySpec]) -> StreamingRuntime:
     return runtime
 
 
-def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
+def _worker_loop(
+    shard: int, specs: List[_QuerySpec], inbox, outbox, obs_enabled: bool = True
+) -> None:
     """Body of one worker process.
 
     Consumes operation tuples from ``inbox`` until the ``None`` sentinel and
@@ -485,9 +494,20 @@ def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
     payload, processing_seconds)`` or ``("error", epoch, shard, traceback)``.
     Takes plain queue-like objects so tests can run it synchronously in
     process with pre-loaded :class:`queue.Queue` instances.
+
+    The worker's observability counts events/matches/latency but *not*
+    results (``count_results=False``): emitted records ship to the parent,
+    which counts each exactly once after replay deduplication.  Checkpoint
+    payloads carry the worker registry so the parent can merge the sharded
+    metric view and restore it across recoveries.
     """
     try:
-        runtime = _build_worker_runtime(specs)
+        observability = (
+            Observability(count_results=False)
+            if obs_enabled
+            else Observability.disabled()
+        )
+        runtime = _build_worker_runtime(specs, observability)
     except Exception:
         outbox.put(("error", -1, shard, traceback.format_exc()))
         return
@@ -520,7 +540,13 @@ def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
                         r.name: snapshot_executor(r.executor)
                         for r in runtime._queries
                     },
+                    "registry": runtime.observability.registry.snapshot(),
                 }
+                outbox.put(("ok", epoch, shard, payload, 0.0))
+            elif op == "metrics":
+                # a pure registry pull (no executor snapshot): the parent's
+                # registry_snapshot() merges these into the live view
+                payload = {"registry": runtime.observability.registry.snapshot()}
                 outbox.put(("ok", epoch, shard, payload, 0.0))
             elif op == "restore":
                 executors = message[2]
@@ -539,6 +565,16 @@ def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
                 runtime._ordered_watermark = (
                     -math.inf if watermark is None else float(watermark)
                 )
+                # the optional fifth element steers the worker registry:
+                # absent/None keeps it (migrations -- counts are cumulative
+                # per worker), "reset" zeroes it (full restore: the parent's
+                # base snapshot already holds this worker's share), a dict
+                # restores a recovered incarnation to its checkpointed view
+                registry_action = message[4] if len(message) > 4 else None
+                if registry_action == "reset":
+                    runtime.observability.registry.reset()
+                elif isinstance(registry_action, dict):
+                    runtime.observability.registry.restore(registry_action)
                 outbox.put(("ok", epoch, shard, None, 0.0))
             else:
                 raise ValueError(f"unknown worker operation {op!r}")
@@ -552,12 +588,15 @@ def _worker_loop(shard: int, specs: List[_QuerySpec], inbox, outbox) -> None:
 class _Epoch:
     """One shipped wave of work and the acknowledgements it still awaits."""
 
-    __slots__ = ("pending", "records", "op")
+    __slots__ = ("pending", "records", "op", "sent_at")
 
     def __init__(self, pending: set, op: str = "batch") -> None:
         self.pending = pending
         self.records: List[EmissionRecord] = []
         self.op = op
+        #: monotonic shipment time, feeding the per-shard ship-latency
+        #: histograms when the acknowledgements come back
+        self.sent_at = _time.perf_counter()
 
 
 class ShardedRuntime(PipelineDriver):
@@ -616,6 +655,7 @@ class ShardedRuntime(PipelineDriver):
         max_restarts: int = 0,
         start_method: Optional[str] = None,
         rebalance: Union["RebalancePolicy", RebalanceConfig, Dict, None] = None,
+        observability: Optional[Observability] = None,
     ):
         # the kwargs are one corner of the declarative JobConfig API: the
         # component specs own validation and defaults (ConfigError is a
@@ -635,6 +675,12 @@ class ShardedRuntime(PipelineDriver):
         strategy = watermark_strategy or WatermarkConfig(lateness=lateness).build()
         self._ingestor = OutOfOrderIngestor(strategy, late.resolved_policy)
         self.metrics = StreamingMetrics()
+        #: parent-side observability: per-shard shipping instruments,
+        #: lifecycle timers/spans, and the results counters (workers count
+        #: events/matches/latency; the parent counts results exactly once,
+        #: after replay deduplication).  Pass ``Observability.disabled()``
+        #: to strip the instrumentation.
+        self.observability = observability or Observability()
         self._emit_empty_groups = emit_empty_groups
         self._ship_interval = ship_interval
         self._max_batch = max_batch
@@ -690,6 +736,11 @@ class ShardedRuntime(PipelineDriver):
         self._ready_records: List[EmissionRecord] = []
         self._emitted_counts: Dict[str, int] = {}
         self.shard_stats: List[ShardStats] = []
+        #: cached per-shard instrument bundles (None entries when disabled)
+        self._shard_instruments: List = []
+        #: worker registries pulled during flush(), so registry_snapshot()
+        #: keeps the complete merged view after the workers are gone
+        self._final_worker_registries: Optional[List[dict]] = None
 
         self.max_restarts = max_restarts
         #: per-shard count of worker respawns so far
@@ -799,6 +850,10 @@ class ShardedRuntime(PipelineDriver):
         self._inboxes = [self._context.Queue() for _ in range(self.shard_count)]
         self._outboxes = [[] for _ in range(self.shard_count)]
         self.shard_stats = [ShardStats() for _ in range(self.shard_count)]
+        self._shard_instruments = [
+            self.observability.shard_instruments(shard)
+            for shard in range(self.shard_count)
+        ]
         self.restart_counts = [0] * self.shard_count
         self._replay = [[] for _ in range(self.shard_count)]
         self._router = ShardRouter(self.shard_count, self._policy.slots_per_worker)
@@ -813,6 +868,7 @@ class ShardedRuntime(PipelineDriver):
                     self._specs,
                     self._inboxes[shard],
                     self._ack_queues[shard],
+                    self.observability.enabled,
                 ),
                 daemon=True,
                 name=f"cogra-shard-{shard}",
@@ -837,6 +893,7 @@ class ShardedRuntime(PipelineDriver):
         Called by :meth:`flush` on success and by users on error paths; a
         closed runtime cannot process further events.
         """
+        self.observability.close()
         if not self._started:
             self._started = True  # a closed runtime must not restart lazily
             self._poisoned = True
@@ -969,6 +1026,10 @@ class ShardedRuntime(PipelineDriver):
         """
         _, epoch, shard, records, seconds = ack
         records = records or ()
+        if isinstance(records, (dict, str)):
+            # checkpoint/metrics payloads and stray ready handshakes carry
+            # no emission records; their epochs still resolve below
+            records = ()
         if epoch <= -_REPLAY_OFFSET:
             epoch = -epoch - _REPLAY_OFFSET
             entry = self._inflight.get(epoch)
@@ -985,6 +1046,12 @@ class ShardedRuntime(PipelineDriver):
         entry.records.extend(records)
         self.shard_stats[shard].record_ack(len(records), seconds)
         self.metrics.record_processing_seconds(seconds)
+        if entry.op in ("batch", "flush") and self._shard_instruments:
+            instruments = self._shard_instruments[shard]
+            if instruments is not None:
+                instruments.ship_latency.observe(
+                    _time.perf_counter() - entry.sent_at
+                )
 
     # -- worker recovery ---------------------------------------------------------
 
@@ -1006,6 +1073,7 @@ class ShardedRuntime(PipelineDriver):
         second failure of this same shard (or exhausted ``max_restarts``)
         aborts the run.
         """
+        recovery_started = _time.perf_counter()
         self.restart_counts[shard] += 1
         # per-incarnation stats restart with the replacement process, so
         # ShardStats.incarnation always mirrors restart_counts[shard]
@@ -1044,6 +1112,7 @@ class ShardedRuntime(PipelineDriver):
                     self._specs,
                     self._inboxes[shard],
                     self._ack_queues[shard],
+                    self.observability.enabled,
                 ),
                 daemon=True,
                 name=f"cogra-shard-{shard}-r{self.restart_counts[shard]}",
@@ -1073,8 +1142,25 @@ class ShardedRuntime(PipelineDriver):
                 watermark = sharded_info.get(
                     "watermark", self._last_checkpoint["metrics"].get("watermark")
                 )
+                # bring the worker registry back to its checkpointed view so
+                # the replay re-applies exactly the post-checkpoint deltas;
+                # with no per-worker registry recorded (old checkpoint, or a
+                # full restore() baseline -- whose base snapshot already
+                # holds every worker's share) reset instead
+                worker_registries = sharded_info.get("worker_registries")
+                registry_action: object = "reset"
+                if isinstance(worker_registries, dict):
+                    recorded = worker_registries.get(str(shard))
+                    if isinstance(recorded, dict):
+                        registry_action = recorded
                 self._inboxes[shard].put(
-                    ("restore", _RECOVERY_RESTORE_EPOCH, executors, watermark)
+                    (
+                        "restore",
+                        _RECOVERY_RESTORE_EPOCH,
+                        executors,
+                        watermark,
+                        registry_action,
+                    )
                 )
                 self._await_worker_ack(
                     shard,
@@ -1090,6 +1176,8 @@ class ShardedRuntime(PipelineDriver):
                     continue
                 if entry.op == "checkpoint":
                     self._inboxes[shard].put(("checkpoint", epoch))
+                elif entry.op == "metrics":
+                    self._inboxes[shard].put(("metrics", epoch))
                 elif entry.op == "restore":
                     # the out-of-band restore above already applied the same
                     # state (restore() records it before shipping)
@@ -1100,6 +1188,9 @@ class ShardedRuntime(PipelineDriver):
             )
         finally:
             self._recovering.discard(shard)
+        self._observe_lifecycle(
+            "recovery", _time.perf_counter() - recovery_started
+        )
         self._release_ready_epochs()
 
     def _await_worker_ack(self, shard: int, sentinel: int, what: str) -> None:
@@ -1145,8 +1236,11 @@ class ShardedRuntime(PipelineDriver):
                     # another recovery's special: hold it back for that loop
                     stashed.append(ack)
                     continue
-                if isinstance(ack[3], dict) and "executors" in ack[3]:
-                    # a checkpoint payload: the collection loop consumes it
+                if isinstance(ack[3], dict) and (
+                    "executors" in ack[3] or "registry" in ack[3]
+                ):
+                    # a checkpoint or metrics payload: its collection loop
+                    # consumes it
                     stashed.append(ack)
                     continue
                 self._apply_ack(ack)
@@ -1173,10 +1267,15 @@ class ShardedRuntime(PipelineDriver):
                     record.query,
                 )
             )
+            count_results = self.observability.enabled
             for record in entry.records:
                 self._emitted_counts[record.query] = (
                     self._emitted_counts.get(record.query, 0) + 1
                 )
+                if count_results:
+                    # the one place sharded results surface, post-dedup: the
+                    # counter matches the single-process runtime's exactly
+                    self.observability.results_counter(record.query).inc()
             self.metrics.record_emission(len(entry.records))
             self._ready_records.extend(entry.records)
 
@@ -1246,6 +1345,9 @@ class ShardedRuntime(PipelineDriver):
             events = self._outboxes[shard]
             payloads[shard] = ("batch", self._epoch, events, watermark)
             self.shard_stats[shard].record_shipment(len(events))
+            instruments = self._shard_instruments[shard]
+            if instruments is not None:
+                instruments.outbox_depth.set(len(events))
             self._outboxes[shard] = []
         self._ship("batch", shards, payloads)
 
@@ -1427,6 +1529,7 @@ class ShardedRuntime(PipelineDriver):
             self._outboxes[assignment[slot]].append(event)
         pause = _time.perf_counter() - started
         self.metrics.record_rebalance(len(moves), len(moved_keys), pause)
+        self._observe_lifecycle("rebalance", pause)
         moved = ", ".join(
             f"slot {slot}: {old_owner[slot]}->{worker}" for slot, worker in moves
         )
@@ -1460,16 +1563,44 @@ class ShardedRuntime(PipelineDriver):
         self._check_usable()
         if not self._started:
             self._start()
+        trace = self.observability.start_trace(
+            "event", event_type=event.event_type, event_time=event.time
+        )
+        if trace is None:
+            return self._process(event, None)
+        with trace:
+            records = self._process(event, trace)
+            trace.annotate(records=len(records))
+            return records
+
+    def _process(self, event: Event, trace) -> List[EmissionRecord]:
+        """Body of :meth:`process`; ``trace`` is a sampled root span or None.
+
+        Parent-side spans cover ingest and route/ship; per-event execution
+        happens inside the worker processes and shows up in their latency
+        histograms instead.
+        """
+        ingest = None if trace is None else trace.child("ingest")
         try:
             batch = self._ingestor.push(event)
         except LateEventError:
             self.metrics.record_ingest(event.time, len(self._ingestor))
             self.metrics.record_late(rerouted=False)
+            if ingest is not None:
+                ingest.annotate(late=True)
+                ingest.finish()
             raise
         if batch.punctuation:
             self.metrics.record_punctuation()
         else:
             self.metrics.record_ingest(event.time, batch.buffered)
+        if ingest is not None:
+            ingest.annotate(
+                released=len(batch.released),
+                late=batch.late_event is not None,
+                punctuation=batch.punctuation,
+            )
+            ingest.finish()
         if batch.late_event is not None:
             self.metrics.record_late(
                 rerouted=self._ingestor.late_policy is LatePolicy.SIDE_CHANNEL
@@ -1477,7 +1608,11 @@ class ShardedRuntime(PipelineDriver):
             return self._take_ready()
         if batch.released:
             self.metrics.record_release(len(batch.released))
-            self._route_released(batch.released)
+            if trace is None:
+                self._route_released(batch.released)
+            else:
+                with trace.child("route", events=len(batch.released)):
+                    self._route_released(batch.released)
         if batch.advanced:
             self.metrics.record_watermark(batch.watermark)
             self._pending_watermark = batch.watermark
@@ -1536,6 +1671,10 @@ class ShardedRuntime(PipelineDriver):
         self._pending_watermark = None
         self._ship("flush", range(self.shard_count), payloads)
         self._drain_acks(block=True)
+        if self.observability.enabled:
+            # last chance to pull the worker registries: after close() the
+            # processes are gone, so registry_snapshot() serves this view
+            self._final_worker_registries = self._collect_worker_registries()
         self._flushed = True
         self.close()
         return self._take_ready()
@@ -1632,6 +1771,7 @@ class ShardedRuntime(PipelineDriver):
         self._check_usable()
         if not self._started:
             self._start()
+        started = _time.perf_counter()
         # events sitting in parent outboxes must be part of the workers'
         # state, not lost between router and snapshot
         self._ship_outboxes(self._pending_watermark)
@@ -1642,6 +1782,7 @@ class ShardedRuntime(PipelineDriver):
             # buffers only need to cover what ships from here on
             self._last_checkpoint = snapshot
             self._replay = [[] for _ in range(self.shard_count)]
+        self._observe_lifecycle("checkpoint", _time.perf_counter() - started)
         return snapshot
 
     def _collect_shard_snapshots(self) -> Dict[int, Dict]:
@@ -1672,6 +1813,38 @@ class ShardedRuntime(PipelineDriver):
         self._release_ready_epochs()
         return shard_payloads
 
+    def _collect_worker_registries(self) -> List[dict]:
+        """Quiesce in-flight work and pull every worker's registry snapshot.
+
+        The metrics counterpart of :meth:`_collect_shard_snapshots` (same
+        quiesce, same recovery-aware collection loop) for the lightweight
+        ``metrics`` operation, which carries no executor state.
+        """
+        self._drain_acks(block=True)
+        self._ship("metrics", range(self.shard_count))
+        registries: Dict[int, dict] = {}
+        collected = 0
+        while collected < self.shard_count:
+            ack = self._next_ack()
+            if (
+                ack[0] == "ok"
+                and isinstance(ack[3], dict)
+                and "registry" in ack[3]
+                and "executors" not in ack[3]
+            ):
+                if ack[2] not in registries:
+                    collected += 1
+                registries[ack[2]] = ack[3]["registry"]
+                entry = self._inflight.get(ack[1])
+                if entry is not None:
+                    entry.pending.discard(ack[2])
+                    if not entry.pending:
+                        self._inflight.pop(ack[1], None)
+            else:  # a straggling batch ack ahead of the metrics ack
+                self._apply_ack(ack)
+        self._release_ready_epochs()
+        return [registries[shard] for shard in sorted(registries)]
+
     def _compose_snapshot(self, shard_payloads: Dict[int, Dict]) -> Dict[str, object]:
         """Merge per-worker payloads into the single-process snapshot schema."""
         executors = {
@@ -1683,6 +1856,18 @@ class ShardedRuntime(PipelineDriver):
             )
             for spec in self._specs
         }
+        # the merged registry restores into ANY runtime (it is the same
+        # schema a single-process checkpoint writes); the per-worker views
+        # ride informationally in the sharded section so a recovered worker
+        # can resume its own slice exactly
+        worker_registries = {
+            str(shard): shard_payloads[shard].get("registry")
+            for shard in sorted(shard_payloads)
+        }
+        merged_registry = merge_snapshots(
+            self.observability.registry.snapshot(),
+            *[r for r in worker_registries.values() if isinstance(r, dict)],
+        )
         return {
             "version": CHECKPOINT_VERSION,
             "queries": [
@@ -1698,9 +1883,11 @@ class ShardedRuntime(PipelineDriver):
             "ingest": self._ingestor.snapshot(),
             "metrics": self.metrics.snapshot(),
             "emitted_counts": dict(self._emitted_counts),
+            "registry": merged_registry,
             "sharded": {
                 "workers": self.shard_count,
                 "router": self._router.snapshot(),
+                "worker_registries": worker_registries,
                 # the watermark the worker slices stand at -- what a
                 # recovery restore must resume emission from (equals the
                 # metrics watermark for checkpoint(), which ships pending
@@ -1769,10 +1956,23 @@ class ShardedRuntime(PipelineDriver):
         self._outboxes = [[] for _ in range(self.shard_count)]
         self._pushes_since_ship = 0
         self._pending_watermark = None
+        restore_started = _time.perf_counter()
         if self.max_restarts:
             # recorded before the ship: a worker that dies mid-restore is
-            # recovered straight into this state (with nothing to replay)
-            self._last_checkpoint = state
+            # recovered straight into this state (with nothing to replay).
+            # The recovery baseline must NOT carry per-worker registries:
+            # below, every worker resets its registry (the parent's restored
+            # base snapshot already contains the workers' shares), so a
+            # later recovery must reset the replacement the same way or the
+            # share would be counted twice.
+            if isinstance(state.get("sharded"), dict):
+                sharded_section = dict(state["sharded"])
+                sharded_section.pop("worker_registries", None)
+                baseline = dict(state)
+                baseline["sharded"] = sharded_section
+            else:
+                baseline = state
+            self._last_checkpoint = baseline
             self._replay = [[] for _ in range(self.shard_count)]
         try:
             # adopt the checkpointed router map when the topology matches;
@@ -1808,11 +2008,23 @@ class ShardedRuntime(PipelineDriver):
                     splits[shard]["executors"][spec.name] = snapshot
             self._ingestor.restore(state["ingest"])
             self.metrics.restore(state["metrics"])
+            # the merged registry becomes the parent's base; the workers
+            # reset theirs (fifth payload element) so base + fresh worker
+            # deltas stays the cumulative view -- old checkpoints carry no
+            # registry and simply reset everything
+            self.observability.registry.restore(state.get("registry"))
+            self._final_worker_registries = None
             self._emitted_counts = {
                 name: int(count) for name, count in state["emitted_counts"].items()
             }
             payloads = {
-                shard: ("restore", self._epoch, splits[shard]["executors"])
+                shard: (
+                    "restore",
+                    self._epoch,
+                    splits[shard]["executors"],
+                    None,
+                    "reset",
+                )
                 for shard in range(self.shard_count)
             }
             self._ship("restore", range(self.shard_count), payloads)
@@ -1828,6 +2040,35 @@ class ShardedRuntime(PipelineDriver):
                 raise
             raise CheckpointError(f"cannot restore checkpoint: {exc}") from exc
         self._flushed = False
+        self._observe_lifecycle("restore", _time.perf_counter() - restore_started)
+
+    def registry_snapshot(self) -> Dict[str, object]:
+        """Merged registry view across the parent and every worker.
+
+        The sharded counterpart of
+        :meth:`~repro.streaming.runtime.StreamingRuntime.registry_snapshot`:
+        runtime counters (:class:`StreamingMetrics`), the parent-side
+        observability registry (shipping, lifecycle, results), and -- on a
+        live runtime -- a fresh pull of every worker's registry, which
+        briefly quiesces in-flight work.  After :meth:`flush` the
+        registries collected during the flush serve the final view, so the
+        merged numbers equal a single-process run over the same stream.
+        """
+        snapshots = [
+            self.metrics.registry_snapshot(),
+            self.observability.registry.snapshot(),
+        ]
+        if self._final_worker_registries is not None:
+            snapshots.extend(self._final_worker_registries)
+        elif (
+            self.observability.enabled
+            and self._started
+            and not self._flushed
+            and not self._poisoned
+            and self._procs
+        ):
+            snapshots.extend(self._collect_worker_registries())
+        return finalize_snapshot(merge_snapshots(*snapshots))
 
     def __repr__(self) -> str:
         return (
