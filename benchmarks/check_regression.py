@@ -1,0 +1,164 @@
+"""CI throughput-regression gate over the ``BENCH_streaming.json`` trajectory.
+
+Every benchmark run appends one record per bench to the repository's
+``BENCH_streaming.json`` (see :mod:`helpers_results`).  This gate compares
+the records THIS run appended -- everything in the working file beyond the
+committed prefix -- against the last committed record of the same bench,
+and fails when throughput dropped more than ``THRESHOLD`` (15%).
+
+Escape hatch: a ``[bench-reset]`` marker anywhere in the HEAD commit
+message downgrades the gate to report-only for that commit -- the
+intentional way to land a known slowdown (new instrumentation, a
+correctness fix with a cost) and re-baseline the trajectory.
+
+Standard library only; run from the repository root::
+
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_streaming.json"
+
+#: throughput may drop by at most this fraction against the committed record
+THRESHOLD = 0.15
+
+
+def parse_records(text: str) -> List[dict]:
+    """The record list of one BENCH_streaming.json document (or ``[]``)."""
+    try:
+        document = json.loads(text)
+    except (ValueError, TypeError):
+        return []
+    if not isinstance(document, dict):
+        return []
+    records = document.get("records")
+    if not isinstance(records, list):
+        return []
+    return [record for record in records if isinstance(record, dict)]
+
+
+def latest_per_bench(records: List[dict]) -> Dict[str, dict]:
+    """The newest record of each bench (records are appended in run order)."""
+    latest: Dict[str, dict] = {}
+    for record in records:
+        bench = record.get("bench")
+        if isinstance(bench, str) and "throughput_events_per_s" in record:
+            latest[bench] = record
+    return latest
+
+
+def find_regressions(
+    baseline: List[dict], current: List[dict], threshold: float = THRESHOLD
+) -> Tuple[List[dict], List[str]]:
+    """Compare this run's records against the committed trajectory.
+
+    Returns ``(failures, report_lines)``: one comparison line per bench
+    measured this run, and a failure entry for every bench whose
+    throughput dropped by more than ``threshold``.  Benches without a
+    committed baseline (first measurement) pass with a note.
+    """
+    committed = latest_per_bench(baseline)
+    measured = latest_per_bench(current)
+    failures: List[dict] = []
+    lines: List[str] = []
+    for bench in sorted(measured):
+        new = float(measured[bench]["throughput_events_per_s"])
+        old_record = committed.get(bench)
+        if old_record is None:
+            lines.append(f"  {bench}: {new:,.1f} ev/s (no committed baseline)")
+            continue
+        old = float(old_record["throughput_events_per_s"])
+        if old <= 0:
+            lines.append(f"  {bench}: committed baseline is {old:g}; skipped")
+            continue
+        change = (new - old) / old
+        verdict = "ok"
+        if change < -threshold:
+            verdict = f"REGRESSION (>{threshold:.0%} drop)"
+            failures.append(
+                {"bench": bench, "old": old, "new": new, "change": change}
+            )
+        lines.append(
+            f"  {bench}: {old:,.1f} -> {new:,.1f} ev/s "
+            f"({change:+.1%}) {verdict}"
+        )
+    return failures, lines
+
+
+def _git(*arguments: str) -> Optional[str]:
+    try:
+        return subprocess.run(
+            ["git", *arguments],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def committed_baseline() -> Optional[str]:
+    """The HEAD-committed BENCH_streaming.json, or ``None`` if absent."""
+    return _git("show", "HEAD:" + BENCH_FILE.name)
+
+
+def reset_requested() -> bool:
+    """True when the HEAD commit message carries ``[bench-reset]``."""
+    message = _git("log", "-1", "--format=%B")
+    return message is not None and "[bench-reset]" in message
+
+
+def this_runs_records(
+    working: List[dict], baseline: List[dict]
+) -> List[dict]:
+    """The records appended since the commit: the suffix past the baseline."""
+    return working[len(baseline):]
+
+
+def main() -> int:
+    if not BENCH_FILE.exists():
+        print("check_regression: no BENCH_streaming.json in the worktree; "
+              "nothing to gate")
+        return 0
+    baseline_text = committed_baseline()
+    if baseline_text is None:
+        print("check_regression: no committed BENCH_streaming.json baseline "
+              "(new file or no git); nothing to compare against")
+        return 0
+    baseline = parse_records(baseline_text)
+    working = parse_records(BENCH_FILE.read_text())
+    current = this_runs_records(working, baseline)
+    if not current:
+        print("check_regression: this run appended no bench records; "
+              "run the bench smokes first")
+        return 0
+    failures, lines = find_regressions(baseline, current)
+    print(f"check_regression: {len(current)} record(s) from this run vs "
+          f"the committed trajectory (threshold {THRESHOLD:.0%}):")
+    for line in lines:
+        print(line)
+    if failures and reset_requested():
+        print("check_regression: [bench-reset] in the HEAD commit message -- "
+              "reporting only, not failing")
+        return 0
+    if failures:
+        print(f"check_regression: {len(failures)} throughput regression(s); "
+              "optimise, or land with [bench-reset] in the commit message "
+              "if the slowdown is intentional")
+        return 1
+    print("check_regression: throughput within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

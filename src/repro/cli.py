@@ -132,12 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
     explain = commands.add_parser("explain", help="print the plan of a textual query")
     explain.add_argument("query", help="query text or path to a file containing it")
 
-    run = commands.add_parser("run", help="run a textual query over a synthetic data set")
+    run = commands.add_parser(
+        "run", help="run a textual query over a synthetic data set"
+    )
     run.add_argument("query", help="query text or path to a file containing it")
     run.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
-    run.add_argument("--events", type=int, default=5000, help="number of events to generate")
+    run.add_argument(
+        "--events", type=int, default=5000, help="number of events to generate"
+    )
     run.add_argument("--seed", type=int, default=7)
-    run.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
+    run.add_argument(
+        "--limit", type=int, default=20, help="maximum result rows to print"
+    )
     run.add_argument(
         "--input",
         default=None,
@@ -150,7 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a finer (still correct) aggregate granularity",
     )
 
-    figures = commands.add_parser("figures", help="reproduce the paper's evaluation sweeps")
+    figures = commands.add_parser(
+        "figures", help="reproduce the paper's evaluation sweeps"
+    )
     figures.add_argument(
         "names",
         nargs="*",
@@ -170,11 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of approaches to run (default: all registered)",
     )
 
-    commands.add_parser("capabilities", help="print the expressive power matrix (Table 9)")
+    commands.add_parser(
+        "capabilities", help="print the expressive power matrix (Table 9)"
+    )
 
-    cost = commands.add_parser("cost", help="print the static cost model report for a query")
+    cost = commands.add_parser(
+        "cost", help="print the static cost model report for a query"
+    )
     cost.add_argument("query", help="query text or path to a file containing it")
-    cost.add_argument("--events", type=int, default=10_000, help="assumed events per window")
+    cost.add_argument(
+        "--events", type=int, default=10_000, help="assumed events per window"
+    )
     cost.add_argument(
         "--compare",
         action="store_true",
@@ -182,7 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     ablation = commands.add_parser(
-        "ablation", help="run the granularity ablation (same executor, forced granularities)"
+        "ablation",
+        help="run the granularity ablation (same executor, forced granularities)",
     )
     ablation.add_argument(
         "--events",
@@ -193,7 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     experiments = commands.add_parser(
-        "experiments", help="run every table/figure experiment and render EXPERIMENTS.md"
+        "experiments",
+        help="run every table/figure experiment and render EXPERIMENTS.md",
     )
     experiments.add_argument(
         "names",
@@ -241,8 +257,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--source",
         default=None,
         help="event source specification: '-' (stdin), a JSONL file path, "
-        "'tail:PATH' (follow a growing JSONL file), or 'tcp://HOST:PORT' "
-        "(connect to a JSONL socket); overrides --input",
+        "'tail:PATH' (follow a growing JSONL file), 'log:DIR' (a "
+        "partitioned append-only log directory with committed consumer "
+        "offsets), or 'tcp://HOST:PORT' (connect to a JSONL socket); "
+        "overrides --input",
+    )
+    stream.add_argument(
+        "--sink",
+        default=None,
+        help="write result records to this JSONL file instead of stdout "
+        "(same as the sink.spec config key)",
+    )
+    stream.add_argument(
+        "--exactly-once",
+        action="store_true",
+        help="with --sink FILE: deliver each result exactly once -- "
+        "duplicates are suppressed and on --recover the sink file is "
+        "rolled back to the offset committed inside the checkpoint, so "
+        "a crash between emit and checkpoint never double-delivers",
+    )
+    stream.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on records in flight between ingestion and delivery "
+        "(default 64): sharded runs cap unacknowledged worker batches, "
+        "and a sink reporting not-ready pauses ingestion (the waits are "
+        "surfaced as backpressure_waits in --metrics)",
     )
     stream.add_argument(
         "--checkpoint-dir",
@@ -373,7 +415,9 @@ def build_parser() -> argparse.ArgumentParser:
         "stderr at startup)",
     )
 
-    generate = commands.add_parser("generate", help="generate a synthetic data set as CSV")
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic data set as CSV"
+    )
     generate.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
     generate.add_argument("--events", type=int, default=10_000)
     generate.add_argument("--seed", type=int, default=7)
@@ -389,8 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--dataset", choices=sorted(DATASETS), default="stock")
     stats.add_argument("--events", type=int, default=10_000)
     stats.add_argument("--seed", type=int, default=7)
-    stats.add_argument("--input", default=None, help="read the stream from this CSV file")
-    stats.add_argument("--group", default=None, help="grouping attribute to count trend groups")
+    stats.add_argument(
+        "--input", default=None, help="read the stream from this CSV file"
+    )
+    stats.add_argument(
+        "--group", default=None, help="grouping attribute to count trend groups"
+    )
     stats.add_argument(
         "--selectivity",
         default=None,
@@ -489,7 +537,11 @@ def _command_ablation(args) -> int:
     }
     for title, results in sweeps.items():
         for metric in ("latency (ms)", "stored units"):
-            print(format_series_table(f"Ablation — {title} — {metric}", results, metric=metric))
+            print(
+                format_series_table(
+                    f"Ablation — {title} — {metric}", results, metric=metric
+                )
+            )
             print()
     return 0
 
@@ -497,7 +549,10 @@ def _command_ablation(args) -> int:
 def _command_experiments(args) -> int:
     unknown = [name for name in args.names if name not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments {unknown}; available: {', '.join(sorted(EXPERIMENTS))}")
+        print(
+            f"unknown experiments {unknown}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}"
+        )
         return 2
     outcomes = run_experiments(args.names, scale=args.scale, budget=args.budget)
     markdown = render_experiments_markdown(outcomes, scale=args.scale)
@@ -541,6 +596,12 @@ def _stream_flag_overrides(args) -> dict:
             put("watermark", "lateness", 0.0)
     if args.late_policy is not None:
         put("late", "policy", args.late_policy)
+    if args.sink is not None:
+        put("sink", "spec", args.sink)
+    if args.exactly_once:
+        put("sink", "exactly_once", True)
+    if args.max_inflight is not None:
+        put("backpressure", "max_inflight", args.max_inflight)
     if args.late_output is not None:
         put("late", "side_channel_path", args.late_output)
     if args.emit_empty_groups:
@@ -617,6 +678,17 @@ def _check_stream_flags(merged: dict) -> Optional[str]:
         )
     if isinstance(lateness, (int, float)) and lateness < 0:
         return f"--lateness must be non-negative, got {lateness:g}"
+    exactly_once = _dig(merged, "sink.exactly_once", False)
+    sink_spec = _dig(merged, "sink.spec")
+    if exactly_once and (sink_spec is None or sink_spec in ("-", "stdout")):
+        return (
+            "--exactly-once requires --sink FILE (the committed byte offset "
+            "of a file is what makes delivery transactional; stdout cannot "
+            "be rolled back)"
+        )
+    max_inflight = _dig(merged, "backpressure.max_inflight", 64)
+    if isinstance(max_inflight, int) and max_inflight < 1:
+        return f"--max-inflight must be at least 1, got {max_inflight}"
     workers = _dig(merged, "shards.workers", 1)
     if isinstance(workers, int) and workers < 1:
         return f"--workers must be at least 1, got {workers}"
@@ -731,6 +803,18 @@ def _command_stream(args) -> int:
         print(f"error: cannot open {spec_flag}: {exc}", file=sys.stderr)
         return 1
 
+    # a sink spec in the config routes records there instead of stdout; it
+    # is built BEFORE recovery so resume_job can roll an exactly-once sink
+    # back to the checkpoint's committed offset (recover=True preserves the
+    # existing file until restore decides how much of it is committed)
+    try:
+        config_sink = config.sink.build(recover=config.checkpoint.recover)
+    except (SourceError, CheckpointError) as exc:
+        source.close()
+        runtime.close()
+        print(f"error: cannot open sink: {exc}", file=sys.stderr)
+        return 1
+
     store = None
     if config.checkpoint.dir:
         try:
@@ -739,14 +823,17 @@ def _command_stream(args) -> int:
             )
             if config.checkpoint.recover:
                 # restore the newest checkpoint; a replayable source then
-                # skips the already-ingested prefix (resume_job decides)
-                info = resume_job(runtime, store, source)
+                # skips the already-ingested prefix, and a restorable sink
+                # rolls back to its committed offset (resume_job decides)
+                info = resume_job(runtime, store, source, sink=config_sink)
                 source = info.source
                 for note in info.notes:
                     print(f"# {note}", file=sys.stderr)
         except (CheckpointError, WorkerCrashError) as exc:
             source.close()
             runtime.close()
+            if config_sink is not None:
+                config_sink.close()
             if store is not None:
                 _close_store_quietly(store)
             print(f"error: {exc}", file=sys.stderr)
@@ -761,6 +848,8 @@ def _command_stream(args) -> int:
         except OSError as exc:
             source.close()
             runtime.close()
+            if config_sink is not None:
+                config_sink.close()
             if store is not None:
                 _close_store_quietly(store)
             print(f"error: cannot open --late-output: {exc}", file=sys.stderr)
@@ -776,18 +865,6 @@ def _command_stream(args) -> int:
         # immediately, not sit in the block buffer until end of stream
         print(record_to_json_line(record), flush=True)
 
-    # a sink spec in the config routes records there instead of stdout
-    try:
-        config_sink = config.sink.build()
-    except SourceError as exc:
-        source.close()
-        runtime.close()
-        if late_sink is not None:
-            late_sink.close()
-        if store is not None:
-            _close_store_quietly(store)
-        print(f"error: cannot open sink: {exc}", file=sys.stderr)
-        return 1
     sink = config_sink if config_sink is not None else CallbackSink(emit)
 
     exporter = config.observability.build_exporter()
@@ -822,6 +899,7 @@ def _command_stream(args) -> int:
             checkpoint_interval=config.checkpoint.interval,
             on_late=persist_late_events if late_sink is not None else None,
             metrics_exporter=exporter,
+            backpressure=config.backpressure,
         )
         if config.late.reprocess:
             # replay the side channel into is_correction=True records
@@ -906,7 +984,10 @@ def _command_stats(args) -> int:
                 break
     numeric = (args.selectivity,) if args.selectivity else ()
     stats = describe_stream(
-        stream, name=args.input or args.dataset, group_attribute=group, numeric_attributes=numeric
+        stream,
+        name=args.input or args.dataset,
+        group_attribute=group,
+        numeric_attributes=numeric,
     )
     print(stats.describe())
     if args.selectivity:

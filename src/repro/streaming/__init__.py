@@ -41,11 +41,13 @@ from repro.streaming.checkpoint import (
     save_checkpoint,
 )
 from repro.streaming.config import (
+    BackpressureConfig,
     BuiltJob,
     CheckpointConfig,
     Job,
     JobConfig,
     LatenessConfig,
+    LogSourceConfig,
     ObsConfig,
     QueryConfig,
     RebalanceConfig,
@@ -105,15 +107,19 @@ from repro.streaming.sources import (
     JsonlFileSource,
     JsonlFileTailSource,
     MemorySink,
+    PartitionedLogSource,
+    PartitionedLogWriter,
     Sink,
     SkippingSource,
     SocketJsonlSource,
+    TransactionalSink,
     as_source,
     open_sink,
     open_source,
 )
 
 __all__ = [
+    "BackpressureConfig",
     "BoundedDelayWatermark",
     "BuiltJob",
     "CHECKPOINT_VERSION",
@@ -138,11 +144,14 @@ __all__ = [
     "JsonlTraceSink",
     "LatePolicy",
     "LatenessConfig",
+    "LogSourceConfig",
     "MemorySink",
     "MetricsRegistry",
     "ObsConfig",
     "Observability",
     "OutOfOrderIngestor",
+    "PartitionedLogSource",
+    "PartitionedLogWriter",
     "PipelineDriver",
     "PrometheusTextServer",
     "PunctuationWatermark",
@@ -163,6 +172,7 @@ __all__ = [
     "StreamingMetrics",
     "StreamingRuntime",
     "Tracer",
+    "TransactionalSink",
     "WatermarkConfig",
     "WatermarkStrategy",
     "as_source",

@@ -70,8 +70,10 @@ from repro.streaming.ingest import (
 from repro.streaming.jsonl import write_jsonl_events
 from repro.streaming.sources import (
     EventSource,
+    PartitionedLogSource,
     Sink,
     SkippingSource,
+    TransactionalSink,
     as_source,
     open_sink,
     open_source,
@@ -431,6 +433,57 @@ class CheckpointConfig:
 
 
 @dataclass(frozen=True)
+class BackpressureConfig:
+    """Bounded decoupling between ingestion and the slower pipeline ends.
+
+    ``max_inflight`` bounds the worker inboxes of a sharded topology: at
+    most that many shipped epochs may await worker acknowledgement before
+    ingestion blocks (the bounded-queue half of backpressure).
+    ``poll_interval_seconds`` paces the driver loop's
+    :meth:`~repro.streaming.sources.Sink.ready` polls while a sink reports
+    no capacity; ``max_wait_seconds`` turns a permanently stalled sink
+    into an error instead of an unbounded hang (``null`` waits forever,
+    like a blocking producer).  Both wait kinds are surfaced as
+    ``backpressure_waits`` / ``backpressure_seconds`` in the metrics
+    registry.
+    """
+
+    max_inflight: int = 64
+    poll_interval_seconds: float = 0.01
+    max_wait_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.max_inflight, int)
+            or isinstance(self.max_inflight, bool)
+            or self.max_inflight < 1
+        ):
+            raise ConfigError(
+                f"backpressure max_inflight must be a positive integer "
+                f"(epochs in flight before ingestion blocks), "
+                f"got {self.max_inflight!r}"
+            )
+        if (
+            not isinstance(self.poll_interval_seconds, (int, float))
+            or isinstance(self.poll_interval_seconds, bool)
+            or not self.poll_interval_seconds > 0
+        ):
+            raise ConfigError(
+                f"backpressure poll_interval_seconds must be a positive "
+                f"number, got {self.poll_interval_seconds!r}"
+            )
+        if self.max_wait_seconds is not None and (
+            not isinstance(self.max_wait_seconds, (int, float))
+            or isinstance(self.max_wait_seconds, bool)
+            or not self.max_wait_seconds > 0
+        ):
+            raise ConfigError(
+                f"backpressure max_wait_seconds must be null or a positive "
+                f"number, got {self.max_wait_seconds!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ObsConfig:
     """Observability: metrics export, lifecycle tracing, Prometheus endpoint.
 
@@ -539,26 +592,76 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class LogSourceConfig:
+    """A Kafka-style partitioned log as the job's source.
+
+    ``dir`` names the log directory (see
+    :class:`~repro.streaming.sources.PartitionedLogSource`); consumer
+    offsets are checkpointed with the runtime state, so ``--recover``
+    resumes from the committed offset without re-reading the prefix.
+    ``partitions`` and ``segment_records`` describe the layout a
+    :class:`~repro.streaming.sources.PartitionedLogWriter` should use when
+    tooling produces the log from this config; reading infers both from
+    the directory itself.
+    """
+
+    dir: Optional[str] = None
+    partitions: int = 1
+    segment_records: int = 1024
+
+    def __post_init__(self) -> None:
+        _require_optional_string(self.dir, "source log dir")
+        for name in ("partitions", "segment_records"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigError(
+                    f"source log {name} must be a positive integer, got {value!r}"
+                )
+
+
+@dataclass(frozen=True)
 class SourceConfig:
     """Where the job's events come from, as a ``--source``-style spec.
 
     ``"-"`` reads JSONL from stdin, ``tail:PATH`` follows a growing JSONL
-    file, ``tcp://HOST:PORT`` connects to a JSONL socket, and anything
-    else reads a static JSONL file (see
-    :func:`~repro.streaming.sources.open_source`).
+    file, ``tcp://HOST:PORT`` connects to a JSONL socket, ``log:DIR``
+    reads a partitioned log directory, and anything else reads a static
+    JSONL file (see :func:`~repro.streaming.sources.open_source`).  The
+    ``log`` section is the typed alternative to ``log:DIR`` and adds the
+    writer-side layout knobs.
     """
 
     spec: str = "-"
+    log: LogSourceConfig = field(default_factory=LogSourceConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.spec, str) or not self.spec:
             raise ConfigError(
-                f"source spec must be a non-empty string "
-                f"('-', PATH, 'tail:PATH' or 'tcp://HOST:PORT'), got {self.spec!r}"
+                f"source spec must be a non-empty string ('-', PATH, "
+                f"'tail:PATH', 'tcp://HOST:PORT' or 'log:DIR'), got {self.spec!r}"
+            )
+        if isinstance(self.log, dict):
+            # from_dict (and kwargs users) hand the nested section as a raw
+            # mapping; validate and coerce so equality/hashing keep working
+            context = "the 'source.log' section"
+            section = _require_mapping(self.log, context)
+            _check_unknown_keys(LogSourceConfig, section, context)
+            object.__setattr__(self, "log", LogSourceConfig(**section))
+        elif not isinstance(self.log, LogSourceConfig):
+            raise ConfigError(
+                f"source.log must be a LogSourceConfig or an object of "
+                f"settings (e.g. {{'dir': 'events-log'}}), got {self.log!r}"
+            )
+        if self.log.dir is not None and self.spec != "-":
+            raise ConfigError(
+                f"source.log.dir and source.spec {self.spec!r} are both set; "
+                f"a job reads from one place -- drop one of them"
             )
 
     def build(self) -> EventSource:
         """Open the configured :class:`EventSource`."""
+        if self.log.dir is not None:
+            return PartitionedLogSource(self.log.dir)
         return open_source(self.spec)
 
 
@@ -569,21 +672,42 @@ class SinkConfig:
     ``None`` collects them in memory (returned by :meth:`Job.results`),
     ``"-"``/``"stdout"`` writes JSON lines to stdout, anything else writes
     a JSONL file (see :func:`~repro.streaming.sources.open_sink`).
+
+    ``exactly_once`` upgrades a file sink to a
+    :class:`~repro.streaming.sources.TransactionalSink`: duplicate
+    ``(query, window, group)`` deliveries are suppressed and the delivered
+    offset is checkpointed atomically with the runtime state, so a crash
+    between emit and checkpoint recovers without double-delivery.  It
+    requires a real file path -- stdout cannot be truncated back to a
+    committed offset.
     """
 
     spec: Optional[str] = None
+    exactly_once: bool = False
 
     def __post_init__(self) -> None:
-        if self.spec is not None and (
-            not isinstance(self.spec, str) or not self.spec
-        ):
+        if self.spec is not None and (not isinstance(self.spec, str) or not self.spec):
             raise ConfigError(
                 f"sink spec must be null, '-', 'stdout' or a file path, "
                 f"got {self.spec!r}"
             )
+        _require_bool(self.exactly_once, "sink exactly_once")
+        if self.exactly_once and self.spec in (None, "-", "stdout"):
+            raise ConfigError(
+                "sink.exactly_once requires a file sink spec (the delivered "
+                "prefix must be truncatable on recovery; stdout and in-memory "
+                "collection are not)"
+            )
 
-    def build(self) -> Optional[Sink]:
-        """Open the configured :class:`Sink`, or ``None`` to collect."""
+    def build(self, recover: bool = False) -> Optional[Sink]:
+        """Open the configured :class:`Sink`, or ``None`` to collect.
+
+        ``recover`` matters only for exactly-once sinks: it preserves the
+        existing file until checkpoint recovery truncates it back to the
+        committed offset (a fresh start truncates immediately).
+        """
+        if self.exactly_once:
+            return TransactionalSink(self.spec, recover=recover)
         return open_sink(self.spec)
 
 
@@ -605,9 +729,7 @@ class QueryConfig:
         if self.emit_empty_groups is not None:
             _require_bool(self.emit_empty_groups, "a query's emit_empty_groups")
         if self.granularity is not None and self.granularity not in GRANULARITIES:
-            close = difflib.get_close_matches(
-                str(self.granularity), GRANULARITIES, n=1
-            )
+            close = difflib.get_close_matches(str(self.granularity), GRANULARITIES, n=1)
             hint = f" (did you mean {close[0]!r}?)" if close else ""
             raise ConfigError(
                 f"unknown granularity {self.granularity!r}{hint}; valid "
@@ -633,6 +755,7 @@ class JobConfig:
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     source: SourceConfig = field(default_factory=SourceConfig)
     sink: SinkConfig = field(default_factory=SinkConfig)
+    backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     observability: ObsConfig = field(default_factory=ObsConfig)
     emit_empty_groups: bool = False
 
@@ -642,9 +765,7 @@ class JobConfig:
             object.__setattr__(self, "queries", tuple(self.queries))
         for query in self.queries:
             if not isinstance(query, QueryConfig):
-                raise ConfigError(
-                    f"queries must be QueryConfig entries, got {query!r}"
-                )
+                raise ConfigError(f"queries must be QueryConfig entries, got {query!r}")
         _require_bool(self.emit_empty_groups, "emit_empty_groups")
 
     # -- serialization ---------------------------------------------------------
@@ -667,6 +788,7 @@ class JobConfig:
             "checkpoint": CheckpointConfig,
             "source": SourceConfig,
             "sink": SinkConfig,
+            "backpressure": BackpressureConfig,
             "observability": ObsConfig,
         }
         for key, value in data.items():
@@ -804,6 +926,7 @@ class JobConfig:
                 max_restarts=self.shards.max_restarts,
                 start_method=self.shards.start_method,
                 rebalance=self.shards.rebalance,
+                max_inflight=self.backpressure.max_inflight,
                 observability=observability,
             )
         else:
@@ -836,7 +959,7 @@ class JobConfig:
         runtime = self.build_runtime()
         source = self.source.build()
         try:
-            sink = self.sink.build()
+            sink = self.sink.build(recover=self.checkpoint.recover)
             store = self.checkpoint.build_store()
         except Exception:
             source.close()
@@ -927,18 +1050,40 @@ class ResumeInfo:
     skipped: int = 0
 
 
-def resume_job(runtime, store: CheckpointStore, source: EventSource) -> ResumeInfo:
+def resume_job(
+    runtime,
+    store: CheckpointStore,
+    source: EventSource,
+    sink: Optional[Sink] = None,
+) -> ResumeInfo:
     """Restore ``runtime`` from the newest checkpoint in ``store``.
 
-    Starts fresh (with a note) when the store is empty.  For replayable
-    sources -- static or tailed files, which re-deliver the stream from the
-    beginning on a restart -- the already-ingested prefix is skipped so no
-    event is counted twice; live sources (sockets, stdin pipes) deliver
-    fresh data and are left alone, with a warning note that the producer
-    must resume where the checkpoint left off.
+    Starts fresh (with a note) when the store is empty.  The source
+    resumes where the checkpoint left off, preferring exactness and
+    efficiency in this order:
+
+    * an offset-aware source (:class:`PartitionedLogSource`) seeks to the
+      checkpointed per-partition offsets -- the committed prefix is never
+      re-read;
+    * a replayable source -- static or tailed files, which re-deliver the
+      stream from the beginning on a restart -- is wrapped in a
+      :class:`SkippingSource` so the already-ingested prefix is skipped;
+    * live sources (sockets, stdin pipes) deliver fresh data and are left
+      alone, with a warning note that the producer must resume where the
+      checkpoint left off.
+
+    A ``sink`` exposing ``restore()`` (the
+    :class:`~repro.streaming.sources.TransactionalSink`) is rolled back to
+    the delivered offset stored in the same checkpoint -- or to empty when
+    no checkpoint exists -- so the replayed suffix is delivered exactly
+    once.
     """
     state = store.load_latest()
     if state is None:
+        if sink is not None and hasattr(sink, "restore"):
+            # a fresh start replays everything; whatever an earlier crashed
+            # run left in the file would be delivered twice
+            sink.restore(None)
         return ResumeInfo(
             source=source,
             notes=[f"no checkpoint in {store.directory}; starting fresh"],
@@ -952,7 +1097,15 @@ def resume_job(runtime, store: CheckpointStore, source: EventSource) -> ResumeIn
     checkpoint_id = store.latest_id()
     notes = [f"resumed from checkpoint {checkpoint_id} ({ingested} events in)"]
     skipped = 0
-    if getattr(source, "replayable", False):
+    offsets = state.get("source_offsets")
+    if offsets is not None and hasattr(source, "seek"):
+        source.seek(offsets)
+        skipped = sum(int(offset) for offset in offsets.values())
+        notes.append(
+            f"seeking the partitioned log to its committed offsets "
+            f"({skipped} records already consumed)"
+        )
+    elif getattr(source, "replayable", False):
         source = SkippingSource(source, consumed)
         skipped = consumed
         notes.append(
@@ -965,6 +1118,21 @@ def resume_job(runtime, store: CheckpointStore, source: EventSource) -> ResumeIn
             "events are NOT skipped -- ensure the producer resumes where "
             "the checkpoint left off"
         )
+    if sink is not None and hasattr(sink, "restore"):
+        sink_state = state.get("sink")
+        if sink_state is not None:
+            sink.restore(sink_state)
+            notes.append(
+                f"sink rolled back to the committed offset "
+                f"({sink_state.get('records', '?')} records, "
+                f"{sink_state.get('bytes', '?')} bytes)"
+            )
+        else:
+            notes.append(
+                "warning: the checkpoint carries no sink state (was it "
+                "written without exactly_once?); the sink file is left "
+                "as-is and delivery is at-least-once for this resume"
+            )
     return ResumeInfo(
         source=source, notes=notes, checkpoint_id=checkpoint_id, skipped=skipped
     )
@@ -1050,12 +1218,16 @@ class Job:
             if self._sink_override is not None:
                 self._sink = self._sink_override
             else:
-                self._sink = self.config.sink.build()
+                self._sink = self.config.sink.build(
+                    recover=self.config.checkpoint.recover
+                )
             self._store = self.config.checkpoint.build_store(
                 registry=self._runtime.observability.registry
             )
             if self._store is not None and self.config.checkpoint.recover:
-                info = resume_job(self._runtime, self._store, self._source)
+                info = resume_job(
+                    self._runtime, self._store, self._source, sink=self._sink
+                )
                 self._source = info.source
                 self.resume_notes = info.notes
             self._exporter = self.config.observability.build_exporter()
@@ -1105,6 +1277,8 @@ class Job:
                 checkpoint_interval=interval,
                 on_late=on_late,
                 metrics_exporter=self._exporter,
+                sink=self._sink,
+                backpressure=self.config.backpressure,
             ):
                 records.append(record)
                 if self._sink is not None:

@@ -78,6 +78,11 @@ _COUNTER_METRICS = {
         "cogra_rebalance_keys_moved_total",
         "partition keys migrated by rebalances",
     ),
+    "backpressure_waits": (
+        "counter",
+        "cogra_backpressure_waits_total",
+        "times ingestion paused for downstream capacity",
+    ),
 }
 
 
@@ -109,13 +114,14 @@ class StreamingMetrics:
         "rebalance_cycles",
         "rebalance_slots_moved",
         "rebalance_keys_moved",
+        "backpressure_waits",
     )
 
     #: timer attributes: wall-clock accumulations measured in THIS process.
     #: Unlike :attr:`COUNTERS` they are deliberately NOT part of
     #: :meth:`snapshot` -- a checkpoint restored elsewhere cannot continue
     #: another process's wall-clock -- and :meth:`restore` resets them.
-    TIMERS = ("rebalance_pause_seconds",)
+    TIMERS = ("rebalance_pause_seconds", "backpressure_seconds")
 
     def __init__(
         self,
@@ -132,6 +138,13 @@ class StreamingMetrics:
         #: wall-clock seconds ingestion paused for shard migrations; a
         #: timer (see :attr:`TIMERS`), so not part of checkpoints
         self.rebalance_pause_seconds = 0.0
+        # backpressure_seconds is a timer like rebalance_pause_seconds but
+        # registry-backed so the exporters surface it next to the waits
+        # counter; the property below keeps plain attribute access working
+        self._backpressure_seconds = self.registry.counter(
+            "cogra_backpressure_seconds_total",
+            "wall-clock seconds ingestion paused on backpressure",
+        ).labels()
         self.watermark: float = -math.inf
         self.max_event_time: float = -math.inf
         self._started_at: Optional[float] = None
@@ -189,6 +202,24 @@ class StreamingMetrics:
         self._children["rebalance_slots_moved"].inc(slots)
         self._children["rebalance_keys_moved"].inc(keys)
         self.rebalance_pause_seconds += pause_seconds
+
+    def record_backpressure(self, seconds: float) -> None:
+        """Account one ingestion pause waiting for downstream capacity."""
+        self._children["backpressure_waits"].inc()
+        self._backpressure_seconds.inc(seconds)
+
+    @property
+    def backpressure_seconds(self) -> float:
+        """Wall-clock seconds ingestion spent paused on backpressure.
+
+        A timer (see :attr:`TIMERS`): measured in this process only,
+        excluded from checkpoints, reset by :meth:`restore`.
+        """
+        return float(self._backpressure_seconds.value)
+
+    @backpressure_seconds.setter
+    def backpressure_seconds(self, value: float) -> None:
+        self._backpressure_seconds.set(float(value))
 
     # -- derived metrics ------------------------------------------------------
 
@@ -268,7 +299,8 @@ class StreamingMetrics:
         # throughput/latency deltas at the restored counter values
         self._started_at = None
         self._processing_seconds = 0.0
-        self.rebalance_pause_seconds = 0.0
+        for name in self.TIMERS:
+            setattr(self, name, 0.0)
         self._rate_base_ingested = self.events_ingested
         self._rate_base_released = self.events_released
 
@@ -329,6 +361,8 @@ class StreamingMetrics:
             f"(slots={self.rebalance_slots_moved}, "
             f"keys={self.rebalance_keys_moved}, "
             f"pause={self.rebalance_pause_seconds * 1000.0:.1f} ms)",
+            f"backpressure        : {self.backpressure_waits} waits "
+            f"({self.backpressure_seconds * 1000.0:.1f} ms paused)",
         ]
         return "\n".join(lines)
 

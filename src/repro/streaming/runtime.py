@@ -46,7 +46,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Un
 from repro.core.engine import CograEngine
 from repro.core.executor import QueryExecutor
 from repro.core.results import GroupResult
-from repro.errors import CheckpointError, LateEventError
+from repro.errors import CheckpointError, LateEventError, SourceError
 from repro.events.event import Event
 from repro.events.stream import sort_events
 from repro.query.query import Query
@@ -57,7 +57,7 @@ from repro.streaming.checkpoint import (
     restore_executor,
     snapshot_executor,
 )
-from repro.streaming.config import LatenessConfig, WatermarkConfig
+from repro.streaming.config import BackpressureConfig, LatenessConfig, WatermarkConfig
 from repro.streaming.emission import EmissionController, EmissionRecord
 from repro.streaming.ingest import (
     LatePolicy,
@@ -120,6 +120,8 @@ class PipelineDriver:
         checkpoint_interval: Optional[int] = None,
         on_late: Optional[Callable[[List[Event]], None]] = None,
         metrics_exporter: Optional[JsonlMetricsExporter] = None,
+        sink: Optional[Sink] = None,
+        backpressure: Optional[BackpressureConfig] = None,
     ) -> Iterator[EmissionRecord]:
         """Pull events from a source, yield emission records as they emit.
 
@@ -148,6 +150,20 @@ class PipelineDriver:
             per its configured interval, and a final sample is taken after
             the flush so the time series always ends with the complete
             run.
+        sink:
+            Optional downstream :class:`~repro.streaming.sources.Sink`.
+            ``drive`` never emits into it (the caller pulling this
+            generator does); it is consulted for two delivery concerns:
+            its :meth:`~repro.streaming.sources.Sink.ready` signal
+            throttles ingestion (backpressure), and -- when it exposes
+            ``state()``, like
+            :class:`~repro.streaming.sources.TransactionalSink` -- its
+            delivered offset is stored inside each checkpoint, atomically
+            with executor state, which is what makes recovery
+            exactly-once.
+        backpressure:
+            :class:`~repro.streaming.config.BackpressureConfig` tuning the
+            ready-poll loop (defaults apply when ``None``).
         """
         if (checkpoint_store is None) != (checkpoint_interval is None):
             raise ValueError(
@@ -159,9 +175,14 @@ class PipelineDriver:
                 f"checkpoint_interval must be at least 1, got {checkpoint_interval}"
             )
         source = as_source(events)
+        sink_ready = getattr(sink, "ready", None) if sink is not None else None
+        if backpressure is None:
+            backpressure = BackpressureConfig()
         processed = 0
         try:
             for event in source.events():
+                if sink_ready is not None and not sink_ready():
+                    self._await_sink_ready(sink_ready, backpressure)
                 yield from self.process(event)
                 if on_late is not None:
                     late = self.take_late_events()
@@ -169,7 +190,7 @@ class PipelineDriver:
                         on_late(late)
                 processed += 1
                 if checkpoint_interval and processed % checkpoint_interval == 0:
-                    checkpoint_store.save(self.checkpoint())
+                    checkpoint_store.save(self._delivery_checkpoint(source, sink))
                     # a sharded checkpoint quiesces the workers; records that
                     # became ready during the quiesce surface immediately
                     yield from self.drain_pending()
@@ -187,6 +208,52 @@ class PipelineDriver:
         finally:
             source.close()
 
+    def _await_sink_ready(
+        self, ready: Callable[[], bool], backpressure: BackpressureConfig
+    ) -> None:
+        """Pause ingestion until the sink reports capacity (backpressure).
+
+        The wait is accounted as one ``backpressure_waits`` episode with its
+        wall-clock duration added to ``backpressure_seconds``; a configured
+        ``max_wait_seconds`` turns a permanently stalled sink into a loud
+        :class:`~repro.errors.SourceError` instead of a silent hang.
+        """
+        started = _time.perf_counter()
+        while not ready():
+            _time.sleep(backpressure.poll_interval_seconds)
+            waited = _time.perf_counter() - started
+            max_wait = backpressure.max_wait_seconds
+            if max_wait is not None and waited >= max_wait:
+                self.metrics.record_backpressure(waited)
+                raise SourceError(
+                    f"sink reported not-ready for {waited:.1f}s "
+                    f"(backpressure.max_wait_seconds={max_wait:g}); "
+                    f"is the downstream consumer stuck?"
+                )
+        self.metrics.record_backpressure(_time.perf_counter() - started)
+
+    def _delivery_checkpoint(
+        self, source: EventSource, sink: Optional[Sink]
+    ) -> Dict[str, object]:
+        """One snapshot covering runtime, source and sink state atomically.
+
+        The runtime snapshot is enriched with the source's consumer
+        offsets (``source_offsets``) and the sink's delivered position
+        (``sink``) when either exposes them, so a single
+        :meth:`CheckpointStore.save` commits all three facets together --
+        the invariant exactly-once recovery rests on.  Both runtimes'
+        ``restore`` ignore unknown snapshot keys, and the delta store
+        carries them verbatim, so plain checkpoints are unaffected.
+        """
+        snapshot = self.checkpoint()
+        offsets = getattr(source, "offsets", None)
+        if callable(offsets):
+            snapshot["source_offsets"] = offsets()
+        state = getattr(sink, "state", None)
+        if callable(state):
+            snapshot["sink"] = state()
+        return snapshot
+
     def run(
         self,
         events: Union[EventSource, Iterable[Event]],
@@ -196,14 +263,16 @@ class PipelineDriver:
         checkpoint_interval: Optional[int] = None,
         on_late: Optional[Callable[[List[Event]], None]] = None,
         metrics_exporter: Optional[JsonlMetricsExporter] = None,
+        backpressure: Optional[BackpressureConfig] = None,
     ) -> List[EmissionRecord]:
         """Process a stream to completion and flush at the end.
 
         Without a ``sink`` the emitted records are collected and returned
         (the historical behaviour).  With one, every record goes to
         ``sink.emit`` as it is produced and the returned list is empty --
-        the records left the pipeline already.  The sink is *not* closed;
-        it may outlive the run.
+        the records left the pipeline already; the sink's ``ready`` signal
+        then also throttles ingestion (see :meth:`drive`).  The sink is
+        *not* closed; it may outlive the run.
         """
         records = self.drive(
             events,
@@ -211,6 +280,8 @@ class PipelineDriver:
             checkpoint_interval=checkpoint_interval,
             on_late=on_late,
             metrics_exporter=metrics_exporter,
+            sink=sink,
+            backpressure=backpressure,
         )
         if sink is None:
             return list(records)
@@ -482,12 +553,8 @@ class StreamingRuntime(PipelineDriver):
             else:
                 with trace.child("route", events=len(batch.released)) as route:
                     for released in batch.released:
-                        with route.child(
-                            "execute", event_type=released.event_type
-                        ):
-                            records.extend(
-                                self._route(released, batch.watermark)
-                            )
+                        with route.child("execute", event_type=released.event_type):
+                            records.extend(self._route(released, batch.watermark))
             self.metrics.record_processing_seconds(_time.perf_counter() - started)
         if batch.advanced:
             self.metrics.record_watermark(batch.watermark)

@@ -99,6 +99,7 @@ from repro.streaming.checkpoint import (
     split_executor_snapshot,
 )
 from repro.streaming.config import (
+    BackpressureConfig,
     LatenessConfig,
     RebalanceConfig,
     ShardConfig,
@@ -641,6 +642,12 @@ class ShardedRuntime(PipelineDriver):
         mapping (the ``shards.rebalance.*`` JobConfig section), or ``None``
         to keep the static seed routing.  Forced cycles via
         :meth:`rebalance` work either way.
+    max_inflight:
+        Bounded worker inboxes (backpressure): at most this many shipped
+        epochs may await worker acknowledgement before ingestion blocks.
+        The block is accounted as ``backpressure_waits`` /
+        ``backpressure_seconds`` in :attr:`metrics`.  Mirrors the
+        ``backpressure.max_inflight`` JobConfig field.
     """
 
     def __init__(
@@ -655,6 +662,7 @@ class ShardedRuntime(PipelineDriver):
         max_restarts: int = 0,
         start_method: Optional[str] = None,
         rebalance: Union["RebalancePolicy", RebalanceConfig, Dict, None] = None,
+        max_inflight: int = 64,
         observability: Optional[Observability] = None,
     ):
         # the kwargs are one corner of the declarative JobConfig API: the
@@ -685,7 +693,8 @@ class ShardedRuntime(PipelineDriver):
         self._ship_interval = ship_interval
         self._max_batch = max_batch
         #: epochs allowed in flight before ingestion blocks on worker acks
-        self._max_inflight = 64
+        #: (validated by the owning BackpressureConfig section)
+        self._max_inflight = BackpressureConfig(max_inflight=max_inflight).max_inflight
         self._pushes_since_ship = 0
         #: newest watermark not yet delivered to the workers, if any
         self._pending_watermark: Optional[float] = None
@@ -1049,9 +1058,7 @@ class ShardedRuntime(PipelineDriver):
         if entry.op in ("batch", "flush") and self._shard_instruments:
             instruments = self._shard_instruments[shard]
             if instruments is not None:
-                instruments.ship_latency.observe(
-                    _time.perf_counter() - entry.sent_at
-                )
+                instruments.ship_latency.observe(_time.perf_counter() - entry.sent_at)
 
     # -- worker recovery ---------------------------------------------------------
 
@@ -1188,9 +1195,7 @@ class ShardedRuntime(PipelineDriver):
             )
         finally:
             self._recovering.discard(shard)
-        self._observe_lifecycle(
-            "recovery", _time.perf_counter() - recovery_started
-        )
+        self._observe_lifecycle("recovery", _time.perf_counter() - recovery_started)
         self._release_ready_epochs()
 
     def _await_worker_ack(self, shard: int, sentinel: int, what: str) -> None:
@@ -1625,9 +1630,14 @@ class ShardedRuntime(PipelineDriver):
             self._ship_outboxes(self._pending_watermark)
         elif any(len(outbox) >= self._max_batch for outbox in self._outboxes):
             self._ship_outboxes(self._pending_watermark)
-        while len(self._inflight) > self._max_inflight:
-            self._apply_ack(self._next_ack())
-            self._release_ready_epochs()
+        if len(self._inflight) > self._max_inflight:
+            # bounded inboxes: block ingestion until the workers drain below
+            # the cap, and account the pause as backpressure
+            blocked_at = _time.perf_counter()
+            while len(self._inflight) > self._max_inflight:
+                self._apply_ack(self._next_ack())
+                self._release_ready_epochs()
+            self.metrics.record_backpressure(_time.perf_counter() - blocked_at)
         self._drain_acks(block=False)
         return self._take_ready()
 
@@ -1985,9 +1995,7 @@ class ShardedRuntime(PipelineDriver):
                 isinstance(router_state, dict)
                 and sharded_info.get("workers") == self.shard_count
             ):
-                self._router = ShardRouter.from_snapshot(
-                    router_state, self.shard_count
-                )
+                self._router = ShardRouter.from_snapshot(router_state, self.shard_count)
             else:
                 self._router = ShardRouter(
                     self.shard_count, self._policy.slots_per_worker

@@ -17,22 +17,51 @@ instead:
   (:class:`CallbackSink`), a JSONL file (:class:`JsonlFileSink`), or an
   in-memory list (:class:`MemorySink`).
 
+Two pieces extend the basic protocols toward delivery guarantees:
+
+* :class:`PartitionedLogSource` reads a Kafka-style partitioned log --
+  append-only JSONL segment files written by :class:`PartitionedLogWriter`
+  -- and exposes :meth:`~PartitionedLogSource.offsets` /
+  :meth:`~PartitionedLogSource.seek` so a recovering job resumes from the
+  committed per-partition offsets without re-reading the prefix;
+* :class:`TransactionalSink` makes a JSONL file sink exactly-once: it
+  dedups on ``(query, window, group)`` and exposes
+  :meth:`~TransactionalSink.state` / :meth:`~TransactionalSink.restore`
+  so the delivered byte offset is checkpointed atomically with executor
+  state and a crash between emit and checkpoint replays without
+  double-delivery.
+
 :func:`as_source` adapts plain iterables so existing call sites keep
 working; :func:`open_source` parses the CLI's ``--source`` specification
-(``-``, a file path, ``tail:PATH``, ``tcp://HOST:PORT``).
+(``-``, a file path, ``tail:PATH``, ``tcp://HOST:PORT``, ``log:DIR``).
 """
 
 from __future__ import annotations
 
+import heapq
+import json
 import socket
 import time as _time
+import zlib
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
 
-from repro.errors import InvalidEventError, SourceError
+from repro.errors import CheckpointError, InvalidEventError, SourceError
 from repro.events.event import Event
 from repro.streaming.emission import EmissionRecord
 from repro.streaming.jsonl import (
+    event_to_json,
     parse_jsonl_line,
     read_jsonl_events,
     record_to_json_line,
@@ -300,6 +329,298 @@ class SkippingSource(EventSource):
         return f"SkippingSource({self._source!r}, skip={self._skip})"
 
 
+# ---------------------------------------------------------------------------
+# partitioned log (Kafka-style segment files with consumer offsets)
+# ---------------------------------------------------------------------------
+
+#: partition directories inside a log directory: ``partition-00000``, ...
+_PARTITION_DIR_FORMAT = "partition-{index:05d}"
+
+#: segment files inside a partition directory are named by the offset of
+#: their first record, zero-padded so lexicographic order == offset order
+_SEGMENT_NAME_FORMAT = "{base:020d}.jsonl"
+
+
+def _scan_segments(partition_dir: Path) -> List[Tuple[int, Path]]:
+    """The partition's segment files as sorted ``(base_offset, path)`` pairs."""
+    segments = []
+    for path in sorted(partition_dir.glob("*.jsonl")):
+        try:
+            base = int(path.stem)
+        except ValueError:
+            raise SourceError(
+                f"foreign file {path} in partitioned log; segment names must "
+                f"be the zero-padded base offset (e.g. {_SEGMENT_NAME_FORMAT.format(base=0)})"
+            ) from None
+        segments.append((base, path))
+    return segments
+
+
+def _count_records(path: Path) -> int:
+    """Records in a segment file (blank and comment lines do not count)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return sum(
+            1 for line in handle if line.strip() and not line.lstrip().startswith("#")
+        )
+
+
+class PartitionedLogWriter:
+    """Appends events to a Kafka-style partitioned log directory.
+
+    The log is a directory of partition subdirectories, each holding
+    append-only JSONL segment files named by the offset of their first
+    record::
+
+        log/
+          partition-00000/00000000000000000000.jsonl
+          partition-00000/00000000000000001024.jsonl
+          partition-00001/00000000000000000000.jsonl
+
+    Events are routed round-robin, or by a caller-supplied ``key`` (stable
+    hash) so per-key order is preserved within one partition.  A segment
+    rotates after ``segment_records`` records; segment base offsets let a
+    recovering :class:`PartitionedLogSource` seek to a committed offset
+    without re-reading earlier segments.  Re-opening an existing log
+    appends after its last record -- offsets never restart.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        partitions: int = 1,
+        segment_records: int = 1024,
+    ):
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions!r}")
+        if segment_records < 1:
+            raise ValueError(f"segment_records must be >= 1, got {segment_records!r}")
+        self._directory = Path(directory)
+        self._segment_records = segment_records
+        self._cursor = 0  # round-robin position
+        self._handles: List[Optional[TextIO]] = [None] * partitions
+        self._dirs: List[Path] = []
+        self._next_offsets: List[int] = []
+        self._records_in_segment: List[int] = []
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            for index in range(partitions):
+                partition_dir = self._directory / _PARTITION_DIR_FORMAT.format(
+                    index=index
+                )
+                partition_dir.mkdir(exist_ok=True)
+                self._dirs.append(partition_dir)
+                segments = _scan_segments(partition_dir)
+                if segments:
+                    base, last = segments[-1]
+                    self._next_offsets.append(base + _count_records(last))
+                else:
+                    self._next_offsets.append(0)
+                # always rotate into a fresh segment on (re)open: the previous
+                # handle is gone, and a new base-offset file keeps appends
+                # strictly ordered after the existing tail
+                self._records_in_segment.append(self._segment_records)
+        except OSError as exc:
+            raise SourceError(
+                f"cannot initialise partitioned log {self._directory}: {exc}"
+            ) from exc
+
+    @property
+    def partitions(self) -> int:
+        return len(self._dirs)
+
+    def append(self, event: Event, key: Optional[object] = None) -> Tuple[int, int]:
+        """Append one event; return its ``(partition, offset)`` position.
+
+        ``key=None`` routes round-robin; a key pins the event to the
+        partition ``crc32(str(key)) % partitions`` so all records of one
+        key stay ordered within a single partition.
+        """
+        if key is None:
+            partition = self._cursor
+            self._cursor = (self._cursor + 1) % len(self._dirs)
+        else:
+            partition = zlib.crc32(str(key).encode("utf-8")) % len(self._dirs)
+        handle = self._handles[partition]
+        if (
+            handle is None
+            or self._records_in_segment[partition] >= self._segment_records
+        ):
+            if handle is not None:
+                handle.close()
+            base = self._next_offsets[partition]
+            path = self._dirs[partition] / _SEGMENT_NAME_FORMAT.format(base=base)
+            try:
+                handle = open(path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise SourceError(f"cannot open log segment {path}: {exc}") from exc
+            self._handles[partition] = handle
+            self._records_in_segment[partition] = 0
+        offset = self._next_offsets[partition]
+        handle.write(json.dumps(event_to_json(event), sort_keys=True) + "\n")
+        handle.flush()
+        self._next_offsets[partition] = offset + 1
+        self._records_in_segment[partition] += 1
+        return partition, offset
+
+    def extend(self, events: Iterable[Event], key_by: Optional[str] = None) -> int:
+        """Append many events; ``key_by`` names an attribute to partition on."""
+        written = 0
+        for event in events:
+            key = event.attributes.get(key_by) if key_by else None
+            self.append(event, key=key)
+            written += 1
+        return written
+
+    def close(self) -> None:
+        for index, handle in enumerate(self._handles):
+            if handle is not None:
+                handle.close()
+                self._handles[index] = None
+
+    def __enter__(self) -> "PartitionedLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedLogWriter({str(self._directory)!r}, "
+            f"partitions={len(self._dirs)})"
+        )
+
+
+class PartitionedLogSource(EventSource):
+    """Reads a partitioned log directory as one merged, ordered stream.
+
+    Partitions are merged by ``(time, sequence)`` -- the same total order
+    :func:`~repro.events.stream.sort_events` assigns -- so the merged
+    stream is deterministic regardless of how events were partitioned.
+
+    The source tracks per-partition consumer offsets (:meth:`offsets`),
+    which the driver loop checkpoints atomically with executor state;
+    :meth:`seek` positions a recovering source at those offsets, skipping
+    whole segments by their base offset so the committed prefix is never
+    re-read.
+    """
+
+    #: re-reading the same log re-delivers the same stream; consumers
+    #: should still prefer :meth:`seek` over prefix-skipping
+    replayable = True
+
+    def __init__(self, directory: Union[str, Path]):
+        self._directory = Path(directory)
+        if not self._directory.is_dir():
+            raise SourceError(
+                f"partitioned log directory {self._directory} does not exist"
+            )
+        self._partitions = sorted(self._directory.glob("partition-*"))
+        if not self._partitions:
+            raise SourceError(
+                f"{self._directory} holds no partition-* subdirectories; "
+                f"was it written by PartitionedLogWriter?"
+            )
+        self._start_offsets: Dict[int, int] = {}
+        self._offsets: Dict[int, int] = {
+            index: 0 for index in range(len(self._partitions))
+        }
+        self._started = False
+        self._handle: Optional[TextIO] = None
+
+    @property
+    def partitions(self) -> int:
+        return len(self._partitions)
+
+    def offsets(self) -> Dict[str, int]:
+        """Per-partition count of records delivered so far (JSON-keyed)."""
+        return {str(index): offset for index, offset in sorted(self._offsets.items())}
+
+    def seek(self, offsets: Mapping[Union[str, int], object]) -> None:
+        """Start delivery at the given per-partition offsets (pre-iteration).
+
+        ``offsets`` maps partition index (int or string, as checkpointed)
+        to the number of records already consumed; segments wholly before
+        an offset are skipped by file name without being read.
+        """
+        if self._started:
+            raise SourceError("cannot seek a partitioned log source mid-iteration")
+        parsed: Dict[int, int] = {}
+        for raw_index, raw_offset in offsets.items():
+            try:
+                index = int(raw_index)
+                offset = int(raw_offset)  # type: ignore[call-overload]
+            except (TypeError, ValueError) as exc:
+                raise SourceError(
+                    f"malformed log offsets {dict(offsets)!r}: partition indexes "
+                    f"and offsets must be integers"
+                ) from exc
+            if not 0 <= index < len(self._partitions):
+                raise SourceError(
+                    f"checkpointed offset names partition {index}, but "
+                    f"{self._directory} has {len(self._partitions)} partitions; "
+                    f"does the checkpoint belong to a different log?"
+                )
+            if offset < 0:
+                raise SourceError(f"negative log offset {offset} for partition {index}")
+            parsed[index] = offset
+        self._start_offsets = parsed
+
+    def _partition_events(self, index: int, skip: int) -> Iterator[Event]:
+        """Records of one partition from offset ``skip`` on, in offset order."""
+        segments = _scan_segments(self._partitions[index])
+        for position, (base, path) in enumerate(segments):
+            next_base = (
+                segments[position + 1][0] if position + 1 < len(segments) else None
+            )
+            if next_base is not None and next_base <= skip:
+                continue  # the whole segment precedes the seek target
+            try:
+                handle = open(path, "r", encoding="utf-8")
+            except OSError as exc:
+                raise SourceError(f"cannot open log segment {path}: {exc}") from exc
+            with handle:
+                offset = base
+                for line in handle:
+                    event = parse_jsonl_line(line, default_sequence=offset)
+                    if event is None:
+                        continue  # blanks and comments do not consume offsets
+                    if offset >= skip:
+                        yield event
+                    offset += 1
+
+    def events(self) -> Iterator[Event]:
+        self._started = True
+        self._offsets = {
+            index: self._start_offsets.get(index, 0)
+            for index in range(len(self._partitions))
+        }
+        iterators = {
+            index: self._partition_events(index, self._offsets[index])
+            for index in range(len(self._partitions))
+        }
+        # k-way merge on (time, sequence, partition): one buffered head per
+        # partition, so read-ahead never outruns the delivered offsets by
+        # more than a single record
+        heap: List[Tuple[float, int, int, Event]] = []
+        for index, iterator in iterators.items():
+            head = next(iterator, None)
+            if head is not None:
+                heapq.heappush(heap, (head.time, head.sequence, index, head))
+        while heap:
+            _, _, index, event = heapq.heappop(heap)
+            self._offsets[index] += 1
+            yield event
+            head = next(iterators[index], None)
+            if head is not None:
+                heapq.heappush(heap, (head.time, head.sequence, index, head))
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedLogSource({str(self._directory)!r}, "
+            f"partitions={len(self._partitions)})"
+        )
+
+
 def as_source(events: Union[EventSource, Iterable[Event]]) -> EventSource:
     """Adapt ``events`` to the :class:`EventSource` protocol.
 
@@ -317,14 +638,17 @@ def open_source(spec: str) -> EventSource:
     * ``-`` -- read JSONL from stdin;
     * ``tcp://HOST:PORT`` -- connect to a JSONL socket;
     * ``tail:PATH`` -- follow a growing JSONL file;
+    * ``log:DIR`` -- read a partitioned log directory (offset-resumable);
     * anything else -- read a static JSONL file.
     """
     if spec == "-":
         import sys
 
         return JsonlFileSource(sys.stdin)
+    if spec.startswith("log:"):
+        return PartitionedLogSource(spec.removeprefix("log:"))
     if spec.startswith("tcp://"):
-        location = spec[len("tcp://"):]
+        location = spec.removeprefix("tcp://")
         host, separator, port = location.rpartition(":")
         if not separator or not host or not port.isdigit():
             raise SourceError(
@@ -332,7 +656,7 @@ def open_source(spec: str) -> EventSource:
             )
         return SocketJsonlSource(host, int(port))
     if spec.startswith("tail:"):
-        return JsonlFileTailSource(spec[len("tail:"):])
+        return JsonlFileTailSource(spec.removeprefix("tail:"))
     return JsonlFileSource(spec)
 
 
@@ -347,6 +671,16 @@ class Sink:
     def emit(self, record: EmissionRecord) -> None:
         """Consume one emission record."""
         raise NotImplementedError
+
+    def ready(self) -> bool:
+        """True when the sink can absorb another record without backlog.
+
+        The driver loop polls this before ingesting each event and pauses
+        ingestion (backpressure) while it returns False -- the pull-based
+        analogue of a bounded queue's high-watermark signal.  The default
+        sink is always ready.
+        """
+        return True
 
     def close(self) -> None:
         """Flush and release held resources (idempotent; default: nothing)."""
@@ -431,6 +765,144 @@ class JsonlFileSink(Sink):
 
     def __repr__(self) -> str:
         return f"JsonlFileSink({getattr(self._handle, 'name', self._handle)!r})"
+
+
+class TransactionalSink(Sink):
+    """An exactly-once JSONL file sink.
+
+    Two mechanisms together give exactly-once delivery over an
+    at-least-once pipeline:
+
+    * **dedup** -- every record is keyed on its canonical serialisation
+      minus the watermark stamp (which subsumes ``(query, window, group)``
+      plus the emitted values); a record whose key was already delivered
+      is suppressed, never written twice;
+    * **atomic offsets** -- :meth:`state` reports the delivered byte
+      offset, which the driver loop stores inside the same checkpoint as
+      executor state.  On recovery :meth:`restore` truncates the file back
+      to that committed offset and rebuilds the dedup set from the
+      surviving prefix, so records emitted *after* the checkpoint but
+      *before* the crash are rolled back and re-delivered exactly once by
+      the deterministic replay -- byte for byte what an uninterrupted run
+      would have written.
+
+    The file is opened in binary mode because the committed offset is a
+    byte position (text-mode ``tell`` values are opaque).  Construct with
+    ``recover=True`` to preserve an existing file until ``restore`` decides
+    how much of it is committed.
+    """
+
+    def __init__(self, target: Union[str, Path], recover: bool = False):
+        self._path = Path(target)
+        mode = "r+b" if recover and self._path.exists() else "w+b"
+        try:
+            self._handle = open(self._path, mode)
+        except OSError as exc:
+            raise SourceError(f"cannot open JSONL sink {target}: {exc}") from exc
+        self._handle.seek(0, 2)  # append after any preserved content
+        self.records_written = 0
+        self.duplicates_suppressed = 0
+        self._seen: set = set()
+        if recover:
+            # until restore() supplies the committed offset, dedup against
+            # everything currently in the file (at-least-once floor)
+            self._rebuild_seen()
+
+    @staticmethod
+    def _dedup_key(row: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+        """The delivery identity of one emitted row.
+
+        The watermark stamp is excluded: a sharded replay may coalesce
+        emission batches and stamp the same logical result with a later
+        watermark, which must still count as the same delivery.
+        """
+        return tuple(
+            sorted(
+                (key, json.dumps(value, sort_keys=True, default=str))
+                for key, value in row.items()
+                if key != "watermark"
+            )
+        )
+
+    def _rebuild_seen(self) -> None:
+        """Recompute the dedup set and record count from the file content."""
+        self._seen = set()
+        self.records_written = 0
+        position = self._handle.tell()
+        self._handle.seek(0)
+        for line in self._handle:
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                row = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise CheckpointError(
+                    f"sink file {self._path} holds a non-JSON line; was it "
+                    f"modified outside the pipeline? ({exc})"
+                ) from exc
+            self._seen.add(self._dedup_key(row))
+            self.records_written += 1
+        self._handle.seek(position)
+
+    def emit(self, record: EmissionRecord) -> None:
+        line = record_to_json_line(record)
+        # key off the PARSED line so live emission and restore-time rescans
+        # compute byte-identical keys
+        key = self._dedup_key(json.loads(line))
+        if key in self._seen:
+            self.duplicates_suppressed += 1
+            return
+        self._handle.write((line + "\n").encode("utf-8"))
+        self._handle.flush()
+        self._seen.add(key)
+        self.records_written += 1
+
+    def state(self) -> Dict[str, object]:
+        """The delivered position, checkpointed atomically with the runtime."""
+        self._handle.flush()
+        return {
+            "version": 1,
+            "bytes": self._handle.tell(),
+            "records": self.records_written,
+        }
+
+    def restore(self, state: Optional[Dict[str, object]]) -> None:
+        """Roll the file back to the committed offset in ``state``.
+
+        ``None`` (no checkpoint was ever written) truncates to empty so a
+        replay from the beginning re-delivers everything exactly once.
+        """
+        if state is None:
+            committed = 0
+        else:
+            try:
+                committed = int(state["bytes"])  # type: ignore[index, arg-type]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"malformed sink state in checkpoint: {state!r}"
+                ) from exc
+        self._handle.seek(0, 2)
+        size = self._handle.tell()
+        if committed > size:
+            raise CheckpointError(
+                f"sink file {self._path} is {size} bytes but the checkpoint "
+                f"committed {committed}; was the file replaced since the crash?"
+            )
+        self._handle.seek(committed)
+        self._handle.truncate()
+        self._rebuild_seen()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionalSink({str(self._path)!r}, "
+            f"records_written={self.records_written})"
+        )
 
 
 def open_sink(spec: Optional[str]) -> Optional[Sink]:

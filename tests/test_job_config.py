@@ -28,9 +28,11 @@ from repro.events.event import Event
 from repro.events.stream import sort_events
 from repro.streaming.checkpoint import CheckpointStore
 from repro.streaming.config import (
+    BackpressureConfig,
     CheckpointConfig,
     JobConfig,
     LatenessConfig,
+    LogSourceConfig,
     QueryConfig,
     RebalanceConfig,
     ShardConfig,
@@ -262,6 +264,80 @@ class TestUnknownKeys:
 # ---------------------------------------------------------------------------
 
 
+class TestDeliveryConfig:
+    """The PR-7 surface: source.log.*, sink.exactly_once, backpressure.*."""
+
+    def test_backpressure_validation(self):
+        for bad in (0, -1, True, "many"):
+            with pytest.raises(ConfigError, match="max_inflight"):
+                BackpressureConfig(max_inflight=bad)
+        for bad in (0, -0.5, "fast", True):
+            with pytest.raises(ConfigError, match="poll_interval_seconds"):
+                BackpressureConfig(poll_interval_seconds=bad)
+        for bad in (0, -2.0, "soon", True):
+            with pytest.raises(ConfigError, match="max_wait_seconds"):
+                BackpressureConfig(max_wait_seconds=bad)
+        assert BackpressureConfig().max_inflight == 64
+        assert BackpressureConfig().max_wait_seconds is None
+
+    def test_log_source_validation(self):
+        with pytest.raises(ConfigError, match="source log dir"):
+            LogSourceConfig(dir=7)
+        for field in ("partitions", "segment_records"):
+            with pytest.raises(ConfigError, match=field):
+                LogSourceConfig(**{field: 0})
+
+    def test_log_dir_conflicts_with_an_explicit_spec(self):
+        with pytest.raises(ConfigError, match="drop one of them"):
+            SourceConfig(spec="events.jsonl", log={"dir": "events-log"})
+
+    def test_log_section_coerces_from_a_mapping(self):
+        config = SourceConfig(log={"dir": "events-log", "partitions": 4})
+        assert config.log == LogSourceConfig(dir="events-log", partitions=4)
+        with pytest.raises(ConfigError, match="source.log"):
+            SourceConfig(log="events-log")
+
+    def test_log_section_typo_is_suggested(self):
+        with pytest.raises(ConfigError, match="did you mean 'partitions'"):
+            JobConfig.from_dict({"source": {"log": {"partions": 2}}})
+
+    def test_backpressure_typo_is_suggested(self):
+        with pytest.raises(ConfigError, match="did you mean 'max_inflight'"):
+            JobConfig.from_dict({"backpressure": {"max_inflght": 8}})
+
+    def test_exactly_once_requires_a_file_sink(self):
+        for spec in (None, "-", "stdout"):
+            with pytest.raises(ConfigError, match="exactly_once requires"):
+                SinkConfig(spec=spec, exactly_once=True)
+        with pytest.raises(ConfigError, match="exactly_once"):
+            SinkConfig(spec="out.jsonl", exactly_once="yes")
+        SinkConfig(spec="out.jsonl", exactly_once=True)  # valid
+
+    def test_exactly_once_build_is_transactional(self, tmp_path):
+        from repro.streaming.sources import PartitionedLogWriter, TransactionalSink
+
+        sink = SinkConfig(spec=str(tmp_path / "out.jsonl"), exactly_once=True).build()
+        assert isinstance(sink, TransactionalSink)
+        sink.close()
+
+        with PartitionedLogWriter(tmp_path / "log") as writer:
+            writer.append(Event("A", 1.0, {"g": "x"}, sequence=0))
+        source = SourceConfig(log={"dir": str(tmp_path / "log")}).build()
+        assert type(source).__name__ == "PartitionedLogSource"
+        source.close()
+
+    def test_recover_build_preserves_the_existing_sink_file(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"kept": 1}\n')
+        config = SinkConfig(spec=str(path), exactly_once=True)
+        sink = config.build(recover=True)
+        sink.close()
+        assert path.read_text() == '{"kept": 1}\n'
+        fresh = config.build(recover=False)
+        fresh.close()
+        assert path.read_text() == ""
+
+
 def job_configs():
     """Hypothesis strategy over valid JobConfig instances."""
     watermarks = st.one_of(
@@ -328,6 +404,37 @@ def job_configs():
         min_size=0,
         max_size=2,
     )
+    sources = st.one_of(
+        st.builds(SourceConfig, spec=st.sampled_from(["-", "x.jsonl"])),
+        st.builds(
+            SourceConfig,
+            log=st.builds(
+                LogSourceConfig,
+                dir=st.just("events-log"),
+                partitions=st.integers(min_value=1, max_value=8),
+                segment_records=st.integers(min_value=1, max_value=4096),
+            ),
+        ),
+    )
+    sinks = st.one_of(
+        st.builds(SinkConfig, spec=st.one_of(st.none(), st.just("out.jsonl"))),
+        st.builds(
+            SinkConfig, spec=st.just("out.jsonl"), exactly_once=st.just(True)
+        ),
+    )
+    backpressures = st.builds(
+        BackpressureConfig,
+        max_inflight=st.integers(min_value=1, max_value=512),
+        poll_interval_seconds=st.floats(
+            min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False
+        ),
+        max_wait_seconds=st.one_of(
+            st.none(),
+            st.floats(
+                min_value=0.1, max_value=60.0, allow_nan=False, allow_infinity=False
+            ),
+        ),
+    )
     return st.builds(
         JobConfig,
         queries=st.builds(tuple, queries),
@@ -335,8 +442,9 @@ def job_configs():
         late=lates,
         shards=shards,
         checkpoint=checkpoints,
-        source=st.builds(SourceConfig, spec=st.sampled_from(["-", "x.jsonl"])),
-        sink=st.builds(SinkConfig, spec=st.one_of(st.none(), st.just("out.jsonl"))),
+        source=sources,
+        sink=sinks,
+        backpressure=backpressures,
         emit_empty_groups=st.booleans(),
     )
 

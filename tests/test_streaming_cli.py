@@ -214,6 +214,34 @@ class TestStreamCommand:
         assert code == 2
         assert "--late-output" in capsys.readouterr().err
 
+    def test_exactly_once_requires_a_file_sink(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(["stream", QUERY, "--input", str(path), "--exactly-once"])
+        assert code == 2
+        assert "--exactly-once requires --sink" in capsys.readouterr().err
+
+    def test_max_inflight_must_be_positive(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        code = main(
+            ["stream", QUERY, "--input", str(path), "--max-inflight", "0"]
+        )
+        assert code == 2
+        assert "--max-inflight must be at least 1" in capsys.readouterr().err
+
+    def test_sink_flag_routes_records_to_a_file(self, tmp_path, capsys):
+        path = write_events(tmp_path / "events.jsonl", event_rows())
+        sink = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "stream", QUERY, "--input", str(path),
+                "--sink", str(sink), "--exactly-once",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""  # records went to the file
+        rows = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert rows and all("query" in row for row in rows)
+
     def test_lateness_conflicts_with_punctuation(self, tmp_path, capsys):
         path = write_events(tmp_path / "events.jsonl", event_rows())
         code = main(
