@@ -105,15 +105,21 @@ def test_sharded_speedup_report(benchmark, results_dir):
     throughputs = benchmark.pedantic(run, rounds=1, iterations=1)
     base = throughputs[WORKER_COUNTS[0]][0]
     for workers, (throughput, p95) in throughputs.items():
+        # parallel efficiency: speed-up over the 1-worker leg divided by
+        # the worker count (1.0 = perfect linear scaling); persisted so
+        # the trajectory shows *scaling* regressions, not just raw ev/s
+        efficiency = throughput / (base * workers)
         lines.append(
             f"workers={workers}  throughput={throughput:10,.0f} ev/s  "
-            f"speed-up={throughput / base:5.2f}x"
+            f"speed-up={throughput / base:5.2f}x  "
+            f"efficiency={efficiency:5.2f}"
         )
         append_bench_record(
             f"sharded_runtime_workers_{workers}",
             throughput=throughput,
             p95_latency_s=p95,
             events=len(events),
+            scaling_efficiency=round(efficiency, 4),
         )
     cores = os.cpu_count() or 1
     lines.append(f"(cpu cores available: {cores})")

@@ -21,7 +21,12 @@ from repro.streaming.config import JobConfig, QueryConfig, WatermarkConfig
 from repro.streaming.observability import Observability, snapshot_quantile
 from repro.streaming.runtime import StreamingRuntime, group_results
 
-from helpers_results import append_bench_record, results_signature
+from helpers_results import (
+    append_bench_record,
+    bench_reset_requested,
+    last_committed_record,
+    results_signature,
+)
 
 QUERY = """
 RETURN company, COUNT(*)
@@ -132,7 +137,25 @@ def test_streaming_matches_batch_report(benchmark, results_dir):
         throughput=row["throughput"],
         p95_latency_s=row["p95_latency_s"],
         events=row["events"],
+        batched=True,
     )
+    # the batched hot path (sliced decode, key-grouped executor batches,
+    # one-frame accumulator folds) must at least double throughput over the
+    # last per-event baseline; once a batched record is committed the
+    # regular check_regression 15% gate takes over
+    committed = last_committed_record("streaming_runtime")
+    if committed is not None and not committed.get("batched"):
+        baseline = float(committed["throughput_events_per_s"])
+        margin = row["throughput"] / baseline
+        message = (
+            f"batched hot path reached {row['throughput']:,.0f} ev/s = "
+            f"{margin:.2f}x the committed per-event baseline "
+            f"({baseline:,.1f} ev/s); the batching PR requires >= 2x"
+        )
+        if bench_reset_requested():
+            print(f"[bench-reset] margin reported only: {message}")
+        else:
+            assert margin >= 2.0, message
 
 
 def test_observability_overhead_under_ten_percent(benchmark, results_dir):

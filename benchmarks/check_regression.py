@@ -30,6 +30,10 @@ BENCH_FILE = REPO_ROOT / "BENCH_streaming.json"
 #: throughput may drop by at most this fraction against the committed record
 THRESHOLD = 0.15
 
+#: observability instrumentation may cost at most this fraction of
+#: throughput (the bound the overhead bench itself promises)
+OVERHEAD_LIMIT = 0.10
+
 
 def parse_records(text: str) -> List[dict]:
     """The record list of one BENCH_streaming.json document (or ``[]``)."""
@@ -93,6 +97,30 @@ def find_regressions(
     return failures, lines
 
 
+def find_overhead_violations(
+    current: List[dict], limit: float = OVERHEAD_LIMIT
+) -> Tuple[List[dict], List[str]]:
+    """Gate the ``overhead_fraction`` field of this run's records.
+
+    The ``observability_overhead`` bench persists the measured
+    instrumented-vs-disabled throughput gap; any record of this run whose
+    ``overhead_fraction`` exceeds ``limit`` fails the gate.
+    """
+    failures: List[dict] = []
+    lines: List[str] = []
+    for record in current:
+        fraction = record.get("overhead_fraction")
+        if not isinstance(fraction, (int, float)) or isinstance(fraction, bool):
+            continue
+        bench = record.get("bench", "?")
+        verdict = "ok"
+        if fraction > limit:
+            verdict = f"OVERHEAD (> {limit:.0%} bound)"
+            failures.append({"bench": bench, "overhead": float(fraction)})
+        lines.append(f"  {bench}: overhead_fraction={fraction:+.1%} {verdict}")
+    return failures, lines
+
+
 def _git(*arguments: str) -> Optional[str]:
     try:
         return subprocess.run(
@@ -147,6 +175,13 @@ def main() -> int:
           f"the committed trajectory (threshold {THRESHOLD:.0%}):")
     for line in lines:
         print(line)
+    overhead_failures, overhead_lines = find_overhead_violations(current)
+    if overhead_lines:
+        print(f"check_regression: observability overhead bound "
+              f"({OVERHEAD_LIMIT:.0%}):")
+        for line in overhead_lines:
+            print(line)
+    failures = failures + overhead_failures
     if failures and reset_requested():
         print("check_regression: [bench-reset] in the HEAD commit message -- "
               "reporting only, not failing")

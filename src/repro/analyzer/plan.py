@@ -82,6 +82,14 @@ class CograPlan:
             for succ in self.automaton.variables
             for pred in self.automaton.pred_types(succ)
         }
+        # event types whose candidate variables are event-independent (no
+        # local predicate on any variable of the type): the by far most
+        # common case, answered with one dict lookup on the hot path
+        self._unconditional_by_type = {}
+        for event_type in set(self.automaton.variable_types.values()):
+            variables = tuple(self.automaton.variables_for_type(event_type))
+            if not any(self._local_by_variable.get(v) for v in variables):
+                self._unconditional_by_type[event_type] = variables
 
     def _resolve_granularity(self, forced: Optional[Granularity]) -> Granularity:
         """Apply a forced granularity after checking it preserves correctness."""
@@ -108,6 +116,9 @@ class CograPlan:
         the result has at most one element; with the multi-occurrence
         extension (Section 8) an event may be bound to several variables.
         """
+        unconditional = self._unconditional_by_type.get(event.event_type)
+        if unconditional is not None:
+            return unconditional
         variables = self.automaton.variables_for_type(event.event_type)
         if not variables:
             return ()

@@ -360,6 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
         "trade emission latency for throughput",
     )
     stream.add_argument(
+        "--decode-batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="events decoded and pushed through the runtime per slice "
+        "(default 256); larger slices amortise per-event overhead, "
+        "smaller ones reduce emission latency",
+    )
+    stream.add_argument(
+        "--no-ship-serialized",
+        action="store_true",
+        help="with --workers >1: ship worker batches as plain event lists "
+        "instead of pre-pickled blobs (slower; useful when debugging the "
+        "worker protocol -- results are identical either way)",
+    )
+    stream.add_argument(
         "--rebalance",
         action="store_true",
         help="with --workers >1: adaptively migrate hot partition-key "
@@ -610,6 +626,10 @@ def _stream_flag_overrides(args) -> dict:
         put("shards", "workers", args.workers)
     if args.ship_interval is not None:
         put("shards", "ship_interval", args.ship_interval)
+    if args.decode_batch_size is not None:
+        put("batch", "decode_batch_size", args.decode_batch_size)
+    if args.no_ship_serialized:
+        put("batch", "ship_serialized", False)
     if args.rebalance:
         # a nested layer: deep-merging preserves any shards.rebalance.*
         # tuning keys a --config file provides alongside the flag
@@ -678,6 +698,16 @@ def _check_stream_flags(merged: dict) -> Optional[str]:
         )
     if isinstance(lateness, (int, float)) and lateness < 0:
         return f"--lateness must be non-negative, got {lateness:g}"
+    decode_batch_size = _dig(merged, "batch.decode_batch_size")
+    if decode_batch_size is not None and (
+        not isinstance(decode_batch_size, int)
+        or isinstance(decode_batch_size, bool)
+        or decode_batch_size < 1
+    ):
+        return (
+            f"--decode-batch-size must be a positive integer, "
+            f"got {decode_batch_size!r}"
+        )
     exactly_once = _dig(merged, "sink.exactly_once", False)
     sink_spec = _dig(merged, "sink.spec")
     if exactly_once and (sink_spec is None or sink_spec in ("-", "stdout")):
@@ -900,6 +930,7 @@ def _command_stream(args) -> int:
             on_late=persist_late_events if late_sink is not None else None,
             metrics_exporter=exporter,
             backpressure=config.backpressure,
+            decode_batch_size=config.batch.decode_batch_size,
         )
         if config.late.reprocess:
             # replay the side channel into is_correction=True records

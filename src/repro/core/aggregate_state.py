@@ -123,6 +123,50 @@ class TrendAccumulator:
         result._apply_event(event, variable, result.trend_count)
         return result
 
+    def extend(self, event: Event, variable: str) -> None:
+        """In-place :meth:`extended`: append ``event`` to every trend.
+
+        For callers that own a scratch accumulator (the type-grained batch
+        path builds a fresh predecessor merge per event) this skips the
+        defensive copy; the resulting state is identical.
+        """
+        if self.trend_count == 0:
+            return
+        self._apply_event(event, variable, self.trend_count)
+
+    def include_singleton(self, event: Event, variable: str) -> None:
+        """In-place ``merge(singleton(event, variable, self.targets))``.
+
+        Skips building the intermediate one-trend accumulator.  The state
+        updates are identical: merging a fresh singleton adds a trend count
+        of 1 and the event's own count/sum/min/max contributions, which is
+        exactly one multiplicity-1 application of the event.
+        """
+        self.trend_count += 1
+        self._apply_event(event, variable, 1)
+
+    def extend_batch(
+        self, events: Iterable[Event], variable: str
+    ) -> "TrendAccumulator":
+        """Summary after appending each of ``events`` (in order) to every trend.
+
+        Equivalent to folding :meth:`extended` over ``events`` but with a
+        single copy up front: the sum/count/min/max recurrences are applied
+        in one Python frame instead of re-copying the per-target state per
+        event.  The trend count is a loop invariant (``extended`` never
+        changes it), so every event applies at the same multiplicity, and
+        the per-event application order is preserved -- including the
+        OverflowError saturation behaviour of repeated ``extended`` calls.
+        """
+        result = self.copy()
+        trend_count = result.trend_count
+        if trend_count == 0:
+            return result
+        apply_event = result._apply_event
+        for event in events:
+            apply_event(event, variable, trend_count)
+        return result
+
     def _apply_event(self, event: Event, variable: str, multiplicity: int) -> None:
         """Account for ``event`` occurring once in ``multiplicity`` trends."""
         for (target_variable, attribute), state in self._states.items():

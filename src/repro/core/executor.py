@@ -95,6 +95,110 @@ class QueryExecutor:
             aggregator.process(event)
         return emitted
 
+    def batch_is_quiet(self, start_time: float, end_time: float) -> bool:
+        """True when an ordered run over ``[start_time, end_time]`` cannot emit.
+
+        "Quiet" means no open window closes during the run and every event
+        falls into the same window set, so :meth:`process_batch` may skip
+        the per-event expiry checks and feed whole runs to one aggregator.
+        Queries without a WITHIN clause never emit mid-stream, so they are
+        always quiet.
+        """
+        window = self.query.window
+        if window is None:
+            return True
+        if (
+            self._min_open_window is not None
+            and window.window_end(self._min_open_window) <= end_time
+        ):
+            return False
+        return window.windows_of(start_time) == window.windows_of(end_time)
+
+    def process_batch(
+        self, events: List[Event], partition_key: Optional[Tuple] = None
+    ) -> List[GroupResult]:
+        """Feed an ordered run of events; ≡ per-event :meth:`process`.
+
+        When the run is quiet (see :meth:`batch_is_quiet`) the per-event
+        order/expiry/window bookkeeping is hoisted out of the loop, the run
+        is grouped by partition key, and each target aggregator sees its
+        whole group in a single call -- aggregators that expose
+        ``process_run`` fold it in one frame.  Grouping non-consecutive
+        same-key events together is safe *because* the run is quiet: no
+        window closes mid-run, each (window, key) aggregator only ever sees
+        its own key's events in their original relative order, and window
+        emission sorts group keys -- so state and output are byte-identical
+        to the per-event path.  Non-quiet runs fall back to per-event
+        processing.
+
+        ``partition_key``, when given, asserts that every event in the run
+        shares that key (the caller already grouped), skipping the per-event
+        key computation.
+        """
+        count = len(events)
+        if count == 0:
+            return []
+        if count == 1:
+            return self.process(events[0], partition_key=partition_key)
+        first_time = events[0].time
+        last_time = events[-1].time
+        if not self.batch_is_quiet(first_time, last_time):
+            emitted: List[GroupResult] = []
+            for event in events:
+                emitted.extend(self.process(event, partition_key=partition_key))
+            return emitted
+        if self._last_time is not None and first_time < self._last_time:
+            raise StreamOrderError(
+                f"event at time {first_time} arrived after time {self._last_time}"
+            )
+        previous = first_time
+        for event in events:
+            if event.time < previous:
+                raise StreamOrderError(
+                    f"event at time {event.time} arrived after time {previous}"
+                )
+            previous = event.time
+        self._last_time = last_time
+        self._events_seen += count
+        live = [event for event in events if not self._is_filtered_out(event)]
+        if not live:
+            return []
+        if partition_key is not None:
+            groups: Iterable[Tuple[Tuple, List[Event]]] = ((partition_key, live),)
+        else:
+            key_of = self.plan.partition_key
+            grouped: Dict[Tuple, List[Event]] = {}
+            for event in live:
+                key = key_of(event)
+                bucket = grouped.get(key)
+                if bucket is None:
+                    grouped[key] = [event]
+                else:
+                    bucket.append(event)
+            groups = grouped.items()
+        window = self.query.window
+        window_ids = [0] if window is None else window.windows_of(first_time)
+        aggregators = self._aggregators
+        for key, group in groups:
+            for window_id in window_ids:
+                aggregator = aggregators.get((window_id, key))
+                if aggregator is None:
+                    aggregator = self._aggregator_factory(self.plan)
+                    aggregators[(window_id, key)] = aggregator
+                    self._window_groups.setdefault(window_id, set()).add(key)
+                    if self._min_open_window is None or window_id < self._min_open_window:
+                        self._min_open_window = window_id
+                process_run = getattr(aggregator, "process_run", None)
+                if process_run is not None:
+                    process_run(group)
+                elif len(group) == 1:
+                    aggregator.process(group[0])
+                else:
+                    aggregator_process = aggregator.process
+                    for event in group:
+                        aggregator_process(event)
+        return []
+
     def run(self, events: Iterable[Event]) -> List[GroupResult]:
         """Process a whole stream and return every emitted result."""
         collected: List[GroupResult] = []

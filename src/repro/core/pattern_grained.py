@@ -86,6 +86,73 @@ class PatternGrainedAggregator(SubstreamAggregator):
         self._last_variable = variable
         self._last_cell = cell
 
+    def process_run(self, events) -> None:
+        """Process an ordered run of events; ≡ sequential :meth:`process` calls.
+
+        Maximal sub-runs of adjacent middle-of-pattern events (same
+        variable, neither start nor end) are folded through
+        :meth:`TrendAccumulator.extend_batch`: one accumulator copy per
+        sub-run instead of one per event.  Every other event -- start/end
+        bindings, unmatched events, contiguity breakers -- takes the
+        per-event path, so the resulting state is identical.
+        """
+        plan = self.plan
+        candidate_variables = plan.candidate_variables
+        adjacency_satisfied = plan.adjacency_satisfied
+        is_start = plan.is_start
+        is_end = plan.is_end
+        index = 0
+        count = len(events)
+        while index < count:
+            event = events[index]
+            variables = candidate_variables(event)
+            if not variables:
+                self.process(event)
+                index += 1
+                continue
+            variable = variables[0]
+            if is_start(variable) or is_end(variable):
+                self.process(event)
+                index += 1
+                continue
+            last_event = self._last_event
+            last_variable = self._last_variable
+            if (
+                last_event is None
+                or last_variable is None
+                or not adjacency_satisfied(last_event, last_variable, event, variable)
+            ):
+                self.process(event)
+                index += 1
+                continue
+            # collect the maximal adjacent middle run starting here
+            run = [event]
+            last_event = event
+            stop = index + 1
+            while stop < count:
+                candidate = events[stop]
+                next_variables = candidate_variables(candidate)
+                if not next_variables:
+                    break
+                next_variable = next_variables[0]
+                if (
+                    next_variable != variable
+                    or is_start(next_variable)
+                    or is_end(next_variable)
+                    or not adjacency_satisfied(
+                        last_event, variable, candidate, next_variable
+                    )
+                ):
+                    break
+                run.append(candidate)
+                last_event = candidate
+                stop += 1
+            self.events_processed += len(run)
+            self._last_cell = self._last_cell.extend_batch(run, variable)
+            self._last_event = last_event
+            self._last_variable = variable
+            index = stop
+
     def _reset_last(self) -> None:
         """Invalidate the partial trends ending at the last matched event."""
         self._last_event = None

@@ -62,6 +62,52 @@ class TypeGrainedAggregator(SubstreamAggregator):
         for variable, cell in new_cells:
             self._cells[variable].merge(cell)
 
+    def process_run(self, events) -> None:
+        """Process an ordered run of events; ≡ sequential :meth:`process` calls.
+
+        The per-event recurrence is identical, but plan lookups are hoisted
+        out of the loop and the predecessor merge is extended in place
+        (:meth:`TrendAccumulator.extend` / :meth:`~TrendAccumulator.include_singleton`)
+        instead of allocating three intermediate accumulators per event.
+        Events bound to several variables (repeated types, Section 8) still
+        buffer their new cells so an event is never its own predecessor.
+        """
+        plan = self.plan
+        candidate_variables = plan.candidate_variables
+        targets = plan.targets
+        pred_types = plan.automaton.pred_types
+        is_start = plan.is_start
+        cells = self._cells
+        zero = TrendAccumulator.zero
+        processed = 0
+        for event in events:
+            variables = candidate_variables(event)
+            if not variables:
+                continue
+            processed += 1
+            if len(variables) == 1:
+                variable = variables[0]
+                cell = zero(targets)
+                for predecessor_variable in pred_types(variable):
+                    cell.merge(cells[predecessor_variable])
+                cell.extend(event, variable)
+                if is_start(variable):
+                    cell.include_singleton(event, variable)
+                cells[variable].merge(cell)
+                continue
+            new_cells: List[Tuple[str, TrendAccumulator]] = []
+            for variable in variables:
+                cell = zero(targets)
+                for predecessor_variable in pred_types(variable):
+                    cell.merge(cells[predecessor_variable])
+                cell.extend(event, variable)
+                if is_start(variable):
+                    cell.include_singleton(event, variable)
+                new_cells.append((variable, cell))
+            for variable, cell in new_cells:
+                cells[variable].merge(cell)
+        self.events_processed += processed
+
     # -- results -------------------------------------------------------------------
 
     def final_accumulator(self) -> TrendAccumulator:

@@ -53,6 +53,29 @@ class Event:
         object.__setattr__(self, "attributes", dict(attributes or {}))
         object.__setattr__(self, "sequence", int(sequence))
 
+    @classmethod
+    def from_wire(
+        cls,
+        event_type: str,
+        time: float,
+        attributes: dict,
+        sequence: int,
+    ) -> "Event":
+        """Trusted fast-path constructor for already-validated wire data.
+
+        Skips the validation and defensive copies of ``__init__``.  The
+        caller guarantees ``time`` is a non-negative finite ``float``,
+        ``attributes`` is a fresh ``dict`` the event may own, and
+        ``sequence`` is an ``int`` -- exactly what the batched JSONL
+        decoder and the sharded blob decoder produce.
+        """
+        event = object.__new__(cls)
+        object.__setattr__(event, "event_type", event_type)
+        object.__setattr__(event, "time", time)
+        object.__setattr__(event, "attributes", attributes)
+        object.__setattr__(event, "sequence", sequence)
+        return event
+
     def __setattr__(self, name: str, value: Any):  # pragma: no cover - guard
         raise AttributeError("Event instances are immutable")
 

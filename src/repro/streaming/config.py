@@ -362,6 +362,35 @@ class ShardConfig:
 
 
 @dataclass(frozen=True)
+class BatchConfig:
+    """Hot-path batching: decode granularity and shard wire format.
+
+    ``decode_batch_size`` is how many events the driver pulls from the
+    source (and pushes through the runtime) per slice; larger slices
+    amortise per-event Python overhead, smaller ones reduce emission
+    latency.  When checkpointing is on, the effective slice size is
+    clamped so no slice straddles a checkpoint boundary.
+
+    ``ship_serialized`` makes the sharded runtime ship each wave to a
+    worker as one pre-pickled blob (and the workers' result acks back the
+    same way) instead of a list of event objects.  Results are identical
+    either way; disable it when debugging the worker protocol so the
+    queue messages stay plain, inspectable Python objects.
+    """
+
+    decode_batch_size: int = 256
+    ship_serialized: bool = True
+
+    def __post_init__(self) -> None:
+        value = self.decode_batch_size
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                f"decode_batch_size must be a positive integer, got {value!r}"
+            )
+        _require_bool(self.ship_serialized, "ship_serialized")
+
+
+@dataclass(frozen=True)
 class CheckpointConfig:
     """Periodic checkpointing and recovery of the job.
 
@@ -752,6 +781,7 @@ class JobConfig:
     watermark: WatermarkConfig = field(default_factory=WatermarkConfig)
     late: LatenessConfig = field(default_factory=LatenessConfig)
     shards: ShardConfig = field(default_factory=ShardConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     source: SourceConfig = field(default_factory=SourceConfig)
     sink: SinkConfig = field(default_factory=SinkConfig)
@@ -785,6 +815,7 @@ class JobConfig:
             "watermark": WatermarkConfig,
             "late": LatenessConfig,
             "shards": ShardConfig,
+            "batch": BatchConfig,
             "checkpoint": CheckpointConfig,
             "source": SourceConfig,
             "sink": SinkConfig,
@@ -928,6 +959,7 @@ class JobConfig:
                 rebalance=self.shards.rebalance,
                 max_inflight=self.backpressure.max_inflight,
                 observability=observability,
+                ship_serialized=self.batch.ship_serialized,
             )
         else:
             from repro.streaming.runtime import StreamingRuntime
@@ -1279,6 +1311,7 @@ class Job:
                 metrics_exporter=self._exporter,
                 sink=self._sink,
                 backpressure=self.config.backpressure,
+                decode_batch_size=self.config.batch.decode_batch_size,
             ):
                 records.append(record)
                 if self._sink is not None:

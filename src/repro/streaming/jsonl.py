@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, Iterator, Optional, TextIO, Union
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.errors import InvalidEventError
 from repro.events.event import Event
@@ -124,6 +124,84 @@ def read_jsonl_events(lines: Union[TextIO, Iterable[str]]) -> Iterator[Event]:
             continue
         yield event
         index += 1
+
+
+def _event_from_json_fast(obj: Dict[str, object], default_sequence: int):
+    """Decode the common wire shape without the full validation ladder.
+
+    Handles the overwhelmingly typical line -- string ``"type"``, numeric
+    ``"time"``, flat top-level attributes, integer or absent ``"sequence"``
+    -- through :meth:`Event.from_wire`.  Anything unusual (aliased
+    ``"event_type"``, nested ``"attributes"``, stringly-typed numbers,
+    malformed fields) returns ``None`` so the caller falls back to
+    :func:`event_from_json`, which either accepts it or raises the exact
+    error the per-line path would.
+    """
+    event_type = obj.get("type")
+    if type(event_type) is not str:
+        return None
+    time = obj.get("time")
+    if type(time) is not float:
+        if type(time) is int:
+            time = float(time)
+        else:
+            return None
+    if not (0.0 <= time < math.inf):  # rejects NaN, inf and negatives
+        return None
+    if "attributes" in obj or "event_type" in obj:
+        return None
+    raw_sequence = obj.get("sequence")
+    if raw_sequence is None:
+        sequence = default_sequence
+    elif type(raw_sequence) is int:
+        sequence = raw_sequence
+    else:
+        return None
+    attributes = {
+        key: value for key, value in obj.items() if key not in _RESERVED_KEYS
+    }
+    return Event.from_wire(event_type, time, attributes, sequence)
+
+
+def read_jsonl_event_batches(
+    lines: Union[TextIO, Iterable[str]], batch_size: int
+) -> Iterator[List[Event]]:
+    """Yield events in lists of up to ``batch_size``; ≡ :func:`read_jsonl_events`.
+
+    The stream of events -- order, sequence assignment (only real events
+    consume arrival indexes), blank/comment skipping, and error messages --
+    is identical to the per-event reader; only the delivery granularity
+    changes.  One ``json.loads`` loop plus the :func:`_event_from_json_fast`
+    constructor path keeps per-line Python overhead to a minimum.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+    loads = json.loads
+    fast = _event_from_json_fast
+    index = 0
+    batch: List[Event] = []
+    append = batch.append
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            obj = loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise InvalidEventError(
+                f"line {line_number} is not valid JSON: {exc}"
+            ) from exc
+        event = fast(obj, index) if type(obj) is dict else None
+        if event is None:
+            event = event_from_json(obj, default_sequence=index)
+        append(event)
+        index += 1
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
 
 
 def write_jsonl_events(events: Iterable[Event], handle: TextIO) -> int:

@@ -168,6 +168,26 @@ class StreamingMetrics:
         if buffered > peak.value:
             peak.set(buffered)
 
+    def record_ingest_batch(
+        self, count: int, max_event_time: float, buffered_peak: int
+    ) -> None:
+        """Account for ``count`` events entering the buffer in one slice.
+
+        The batched counterpart of :meth:`record_ingest`: one counter
+        increment for the slice plus single max/high-water updates, so the
+        totals match ``count`` individual calls exactly.
+        """
+        if count <= 0:
+            return
+        if self._started_at is None:
+            self._started_at = self._clock()
+        self._children["events_ingested"].inc(count)
+        if max_event_time > self.max_event_time:
+            self.max_event_time = max_event_time
+        peak = self._children["events_buffered_peak"]
+        if buffered_peak > peak.value:
+            peak.set(buffered_peak)
+
     def record_release(self, count: int) -> None:
         """Account for ``count`` events leaving the buffer toward executors."""
         self._children["events_released"].inc(count)
@@ -177,9 +197,10 @@ class StreamingMetrics:
         if watermark > self.watermark:
             self.watermark = watermark
 
-    def record_punctuation(self) -> None:
-        """Account for one punctuation (watermark-carrying) event."""
-        self._children["punctuations_seen"].inc()
+    def record_punctuation(self, count: int = 1) -> None:
+        """Account for ``count`` punctuation (watermark-carrying) events."""
+        if count:
+            self._children["punctuations_seen"].inc(count)
 
     def record_late(self, rerouted: bool) -> None:
         """Account for one late event (dropped or sent to the side channel)."""
@@ -187,6 +208,13 @@ class StreamingMetrics:
             self._children["late_events_rerouted"].inc()
         else:
             self._children["late_events_dropped"].inc()
+
+    def record_late_batch(self, dropped: int, rerouted: int) -> None:
+        """Account for a slice's late events in two counter increments."""
+        if dropped:
+            self._children["late_events_dropped"].inc(dropped)
+        if rerouted:
+            self._children["late_events_rerouted"].inc(rerouted)
 
     def record_emission(self, count: int) -> None:
         """Account for ``count`` emitted group results."""

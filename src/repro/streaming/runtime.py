@@ -110,7 +110,20 @@ class PipelineDriver:
     ingestion loops.  :meth:`drive` is the lazy form (a generator of
     emission records), :meth:`run` the eager one (collect, or push into a
     :class:`~repro.streaming.sources.Sink`).
+
+    The loop is batch-grained: events are pulled from the source in slices
+    of :attr:`decode_batch_size` (see
+    :meth:`~repro.streaming.sources.EventSource.batches`; latency-sensitive
+    live sources yield singleton slices) and pushed through
+    ``process_batch`` -- semantically identical to per-event ``process``
+    but with the per-event overhead amortised.  Slices are split at
+    checkpoint-interval boundaries so periodic checkpoints still land at
+    exact ingested-event counts.
     """
+
+    #: default slice size for :meth:`drive`'s source pulls; overridden per
+    #: job via ``JobConfig.batch.decode_batch_size``
+    decode_batch_size = 256
 
     def drive(
         self,
@@ -122,6 +135,7 @@ class PipelineDriver:
         metrics_exporter: Optional[JsonlMetricsExporter] = None,
         sink: Optional[Sink] = None,
         backpressure: Optional[BackpressureConfig] = None,
+        decode_batch_size: Optional[int] = None,
     ) -> Iterator[EmissionRecord]:
         """Pull events from a source, yield emission records as they emit.
 
@@ -174,30 +188,61 @@ class PipelineDriver:
             raise ValueError(
                 f"checkpoint_interval must be at least 1, got {checkpoint_interval}"
             )
+        if decode_batch_size is None:
+            decode_batch_size = self.decode_batch_size
+        if decode_batch_size < 1:
+            raise ValueError(
+                f"decode_batch_size must be at least 1, got {decode_batch_size}"
+            )
+        if checkpoint_interval:
+            # a pulled slice must never straddle a checkpoint boundary: the
+            # checkpoint records the source's consumer offsets, so every
+            # event the source has delivered must be inside runtime state
+            # when the snapshot is cut.  Clamp the pull size to the largest
+            # divisor of the interval, so boundaries land between pulls.
+            size = min(decode_batch_size, checkpoint_interval)
+            while checkpoint_interval % size:
+                size -= 1
+            decode_batch_size = size
         source = as_source(events)
         sink_ready = getattr(sink, "ready", None) if sink is not None else None
         if backpressure is None:
             backpressure = BackpressureConfig()
         processed = 0
         try:
-            for event in source.events():
-                if sink_ready is not None and not sink_ready():
-                    self._await_sink_ready(sink_ready, backpressure)
-                yield from self.process(event)
-                if on_late is not None:
-                    late = self.take_late_events()
-                    if late:
-                        on_late(late)
-                processed += 1
-                if checkpoint_interval and processed % checkpoint_interval == 0:
-                    checkpoint_store.save(self._delivery_checkpoint(source, sink))
-                    # a sharded checkpoint quiesces the workers; records that
-                    # became ready during the quiesce surface immediately
-                    yield from self.drain_pending()
-                if metrics_exporter is not None:
-                    if metrics_exporter.maybe_export(self.registry_snapshot):
-                        # a sharded snapshot pull quiesces the workers too
+            for batch in source.batches(decode_batch_size):
+                start = 0
+                total = len(batch)
+                while start < total:
+                    if sink_ready is not None and not sink_ready():
+                        self._await_sink_ready(sink_ready, backpressure)
+                    end = total
+                    if checkpoint_interval:
+                        # split the slice at the checkpoint boundary so the
+                        # periodic snapshot lands at the exact event count
+                        room = checkpoint_interval - (
+                            processed % checkpoint_interval
+                        )
+                        end = min(total, start + room)
+                    chunk = batch if start == 0 and end == total else batch[start:end]
+                    processed += end - start
+                    start = end
+                    yield from self.process_batch(chunk)
+                    if on_late is not None:
+                        late = self.take_late_events()
+                        if late:
+                            on_late(late)
+                    if checkpoint_interval and processed % checkpoint_interval == 0:
+                        checkpoint_store.save(
+                            self._delivery_checkpoint(source, sink)
+                        )
+                        # a sharded checkpoint quiesces the workers; records
+                        # that became ready during the quiesce surface now
                         yield from self.drain_pending()
+                    if metrics_exporter is not None:
+                        if metrics_exporter.maybe_export(self.registry_snapshot):
+                            # a sharded snapshot pull quiesces the workers too
+                            yield from self.drain_pending()
             yield from self.flush()
             if on_late is not None:
                 late = self.take_late_events()
@@ -264,6 +309,7 @@ class PipelineDriver:
         on_late: Optional[Callable[[List[Event]], None]] = None,
         metrics_exporter: Optional[JsonlMetricsExporter] = None,
         backpressure: Optional[BackpressureConfig] = None,
+        decode_batch_size: Optional[int] = None,
     ) -> List[EmissionRecord]:
         """Process a stream to completion and flush at the end.
 
@@ -282,6 +328,7 @@ class PipelineDriver:
             metrics_exporter=metrics_exporter,
             sink=sink,
             backpressure=backpressure,
+            decode_batch_size=decode_batch_size,
         )
         if sink is None:
             return list(records)
@@ -401,9 +448,12 @@ class StreamingRuntime(PipelineDriver):
         #: event type -> queries routed by type (broadcast queries excluded)
         self._routes: Dict[str, List[RegisteredQuery]] = {}
         self._broadcast: List[RegisteredQuery] = []
-        #: event type -> routed + broadcast queries in registration order;
-        #: built once on first use (registration is frozen by then)
-        self._resolved_routes: Optional[Dict[str, List[RegisteredQuery]]] = None
+        #: event type -> routed + broadcast queries in registration order,
+        #: as a flat tuple; filled lazily per type on first use
+        #: (registration is frozen by then), including a cached entry for
+        #: types no query routes on -- the hot path never re-checks the
+        #: broadcast fallback
+        self._resolved_routes: Dict[str, Tuple[RegisteredQuery, ...]] = {}
         self._flushed = False
         #: set when a restore failed mid-application; the mixed state must
         #: never process events (see :meth:`restore`)
@@ -467,6 +517,9 @@ class StreamingRuntime(PipelineDriver):
         else:
             for event_type in registered.relevant_types:
                 self._routes.setdefault(event_type, []).append(registered)
+        # registration is frozen before the first ingested event, but drop
+        # any resolved targets defensively so they can never go stale
+        self._resolved_routes.clear()
         return name
 
     @property
@@ -576,6 +629,187 @@ class StreamingRuntime(PipelineDriver):
         self.metrics.record_emission(len(records))
         return records
 
+    def process_batch(self, events: List[Event]) -> List[EmissionRecord]:
+        """Ingest a slice of (possibly out-of-order) events in one frame.
+
+        Semantically identical to concatenating :meth:`process` over the
+        slice -- same records in the same order, same watermark and window
+        emission timing -- but the per-event bookkeeping (tracing checks,
+        metric observes, route lookups) is amortised over the slice and
+        released waves are fed to the executors as same-``(type, key)``
+        runs.  With tracing enabled the per-event path is used so span
+        trees stay per event.
+        """
+        if not events:
+            self._check_processable()
+            return []
+        if self.observability.tracer.enabled:
+            records: List[EmissionRecord] = []
+            for event in events:
+                records.extend(self.process(event))
+            return records
+        self._check_processable()
+        metrics = self.metrics
+        ingestor = self._ingestor
+        push = ingestor.push
+        queries = self._queries
+        advance = self._controller.advance
+        perf_counter = _time.perf_counter
+        reroutes = ingestor.late_policy is LatePolicy.SIDE_CHANNEL
+        records = []
+        ingested = 0
+        punctuations = 0
+        max_time = -math.inf
+        buffered_peak = -1
+        released_total = 0
+        late_dropped = 0
+        late_rerouted = 0
+        processing = 0.0
+        watermark_seen = -math.inf
+        try:
+            for event in events:
+                try:
+                    batch = push(event)
+                except LateEventError:
+                    # match the per-event path's accounting for the
+                    # raising event before the error propagates
+                    ingested += 1
+                    if event.time > max_time:
+                        max_time = event.time
+                    buffered = len(ingestor)
+                    if buffered > buffered_peak:
+                        buffered_peak = buffered
+                    late_dropped += 1
+                    raise
+                if batch.punctuation:
+                    punctuations += 1
+                else:
+                    ingested += 1
+                    if event.time > max_time:
+                        max_time = event.time
+                    if batch.buffered > buffered_peak:
+                        buffered_peak = batch.buffered
+                if batch.late_event is not None:
+                    if reroutes:
+                        late_rerouted += 1
+                    else:
+                        late_dropped += 1
+                    continue
+                released = batch.released
+                if released:
+                    released_total += len(released)
+                    started = perf_counter()
+                    self._route_slice(released, batch.watermark, records)
+                    processing += perf_counter() - started
+                if batch.advanced:
+                    watermark = batch.watermark
+                    if watermark > watermark_seen:
+                        watermark_seen = watermark
+                    for registered in queries:
+                        emitted = advance(
+                            registered.name, registered.executor, watermark
+                        )
+                        if emitted:
+                            if registered.instruments is not None:
+                                registered.instruments.results.inc(len(emitted))
+                            records.extend(emitted)
+        finally:
+            # flush the amortised counters even when a raising late policy
+            # aborts the slice, so totals match the per-event path exactly
+            if punctuations:
+                metrics.record_punctuation(punctuations)
+            if ingested:
+                metrics.record_ingest_batch(ingested, max_time, buffered_peak)
+            if late_dropped or late_rerouted:
+                metrics.record_late_batch(late_dropped, late_rerouted)
+            if released_total:
+                metrics.record_release(released_total)
+                metrics.record_processing_seconds(processing)
+            if watermark_seen > -math.inf:
+                metrics.record_watermark(watermark_seen)
+            metrics.record_emission(len(records))
+        return records
+
+    def _route_slice(
+        self,
+        released: List[Event],
+        watermark: float,
+        records: List[EmissionRecord],
+    ) -> None:
+        """Route a released wave grouped into consecutive same-type runs.
+
+        Runs during which no target query can emit (see
+        :meth:`QueryExecutor.batch_is_quiet`) are fed to the executors as
+        whole same-``(type, partition-key)`` sub-runs; anything else falls
+        back to the per-event :meth:`_route`, so record content and order
+        never differ from the per-event path.
+        """
+        count = len(released)
+        route = self._route
+        resolved = self._resolved_routes
+        index = 0
+        while index < count:
+            first = released[index]
+            event_type = first.event_type
+            stop = index + 1
+            while stop < count and released[stop].event_type == event_type:
+                stop += 1
+            targets = resolved.get(event_type)
+            if targets is None:
+                targets = self._flat_targets(event_type)
+            if not targets:
+                index = stop
+                continue
+            if stop - index == 1:
+                records.extend(route(first, watermark))
+                index = stop
+                continue
+            run = released[index:stop]
+            index = stop
+            last_time = run[-1].time
+            quiet = True
+            for registered in targets:
+                if not registered.executor.batch_is_quiet(first.time, last_time):
+                    quiet = False
+                    break
+            if not quiet:
+                for event in run:
+                    records.extend(route(event, watermark))
+                continue
+            for registered in targets:
+                self._apply_run(registered, run, watermark, records)
+
+    def _apply_run(
+        self,
+        registered: RegisteredQuery,
+        run: List[Event],
+        watermark: float,
+        records: List[EmissionRecord],
+    ) -> None:
+        """Feed one quiet same-type run to one executor in a single batch call.
+
+        The executor groups the run by partition key internally (see
+        :meth:`QueryExecutor.process_batch`), so interleaved group keys --
+        the common case under GROUP-BY -- no longer fragment the run.
+        """
+        instruments = registered.instruments
+        if instruments is None:
+            results = registered.executor.process_batch(run)
+        else:
+            started = _time.perf_counter()
+            results = registered.executor.process_batch(run)
+            instruments.observe_execution_batch(
+                len(run), _time.perf_counter() - started, 1 if results else 0
+            )
+        if results:
+            # a quiet run cannot emit; this is the executor's own
+            # safety fallback surfacing -- collect exactly like _route
+            collected = self._controller.collect(registered.name, results, watermark)
+            if collected:
+                if instruments is not None:
+                    instruments.results.inc(len(collected))
+                records.extend(collected)
+
     def process_ordered(
         self, events: Iterable[Event], watermark: Optional[float] = None
     ) -> List[EmissionRecord]:
@@ -601,12 +835,12 @@ class StreamingRuntime(PipelineDriver):
             if watermark is None
             else max(watermark, self._ordered_watermark)
         )
-        started = _time.perf_counter()
-        count = 0
-        for event in events:
-            count += 1
-            records.extend(self._route(event, context))
+        if not isinstance(events, list):
+            events = list(events)
+        count = len(events)
         if count:
+            started = _time.perf_counter()
+            self._route_slice(events, context, records)
             self.metrics.record_release(count)
             self.metrics.record_processing_seconds(_time.perf_counter() - started)
         if watermark is not None and watermark > self._ordered_watermark:
@@ -662,11 +896,11 @@ class StreamingRuntime(PipelineDriver):
         The partition key is computed once per distinct partition-attribute
         signature and shared across the executors that use it.
         """
-        if self._resolved_routes is None:
-            self._resolved_routes = self._resolve_routes()
+        targets = self._resolved_routes.get(event.event_type)
+        if targets is None:
+            targets = self._flat_targets(event.event_type)
         keys: Dict[Tuple[str, ...], Tuple] = {}
         records: List[EmissionRecord] = []
-        targets = self._resolved_routes.get(event.event_type, self._broadcast)
         for registered in targets:
             signature = registered.partition_signature
             key = keys.get(signature)
@@ -692,20 +926,26 @@ class StreamingRuntime(PipelineDriver):
                     records.extend(collected)
         return records
 
-    def _resolve_routes(self) -> Dict[str, List[RegisteredQuery]]:
-        """Merge type-routed and broadcast queries per event type, once.
+    def _flat_targets(self, event_type: str) -> Tuple[RegisteredQuery, ...]:
+        """Merge type-routed and broadcast queries for one type, once.
 
         Registration is frozen after the first ingested event, so the
-        per-type target lists are static; events of a type no query routes
-        on fall back to the plain broadcast list.
+        per-type target tuples are static; the result is cached (also for
+        types no query routes on, which resolve to the broadcast list) so
+        the hot path is a single dict hit per type.
         """
-        return {
-            event_type: sorted(
-                list(routed) + self._broadcast,
-                key=lambda registered: registered.order,
+        routed = self._routes.get(event_type)
+        if routed is None:
+            targets: Tuple[RegisteredQuery, ...] = tuple(self._broadcast)
+        else:
+            targets = tuple(
+                sorted(
+                    list(routed) + self._broadcast,
+                    key=lambda registered: registered.order,
+                )
             )
-            for event_type, routed in self._routes.items()
-        }
+        self._resolved_routes[event_type] = targets
+        return targets
 
     # -- introspection ---------------------------------------------------------
 

@@ -77,6 +77,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import pickle
 import queue as _queue
 import threading
 import time as _time
@@ -86,6 +87,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.engine import CograEngine
 from repro.core.parallel import shard_index
+from repro.core.results import GroupResult
 from repro.errors import CheckpointError, LateEventError, WorkerCrashError
 from repro.events.event import Event
 from repro.events.stream import sort_events
@@ -137,6 +139,65 @@ _RECOVERY_RESTORE_EPOCH = -2
 
 #: sentinel the parent puts on an ack queue to stop its pump thread
 _PUMP_STOP = ("__stop__",)
+
+
+def _encode_event_blob(events: List[Event]) -> bytes:
+    """Serialize a wave of events as one pre-pickled blob.
+
+    The wire form is a list of plain ``(event_type, time, attributes,
+    sequence)`` tuples: pickling tuples of primitives is much cheaper than
+    pickling ``Event`` objects through ``__reduce__`` (one global lookup and
+    constructor call per event on both ends), and decoding goes through the
+    trusted :meth:`Event.from_wire` fast path.
+    """
+    return pickle.dumps(
+        [
+            (event.event_type, event.time, event.attributes, event.sequence)
+            for event in events
+        ],
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _decode_event_blob(blob: bytes) -> List[Event]:
+    """Rebuild the events of one :func:`_encode_event_blob` wave."""
+    from_wire = Event.from_wire
+    return [
+        from_wire(event_type, time, attributes, sequence)
+        for event_type, time, attributes, sequence in pickle.loads(blob)
+    ]
+
+
+def _encode_record_blob(records: List[EmissionRecord]) -> bytes:
+    """Serialize one acknowledgement's emission records as a single blob."""
+    return pickle.dumps(
+        [
+            (
+                record.query,
+                (
+                    result.window_id,
+                    result.window_start,
+                    result.window_end,
+                    result.group,
+                    result.values,
+                    result.trend_count,
+                ),
+                record.watermark,
+                record.is_correction,
+            )
+            for record in records
+            for result in (record.result,)
+        ],
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _decode_record_blob(blob: bytes) -> List[EmissionRecord]:
+    """Rebuild the records of one :func:`_encode_record_blob` payload."""
+    return [
+        EmissionRecord(query, GroupResult(*result), watermark, is_correction)
+        for query, result, watermark, is_correction in pickle.loads(blob)
+    ]
 
 
 def _pump_acks(source, buffer) -> None:
@@ -486,7 +547,12 @@ def _build_worker_runtime(
 
 
 def _worker_loop(
-    shard: int, specs: List[_QuerySpec], inbox, outbox, obs_enabled: bool = True
+    shard: int,
+    specs: List[_QuerySpec],
+    inbox,
+    outbox,
+    obs_enabled: bool = True,
+    ship_serialized: bool = False,
 ) -> None:
     """Body of one worker process.
 
@@ -495,6 +561,13 @@ def _worker_loop(
     payload, processing_seconds)`` or ``("error", epoch, shard, traceback)``.
     Takes plain queue-like objects so tests can run it synchronously in
     process with pre-loaded :class:`queue.Queue` instances.
+
+    With ``ship_serialized`` the parent ships each wave's events as one
+    pre-pickled blob (``bytes`` in the message slot) decoded here once per
+    wave, and this worker blob-encodes the emission records of its batch and
+    flush acknowledgements the same way.  Event payloads are detected by
+    type, so a mixed stream of blob and plain waves (e.g. a replay recorded
+    under a different setting) still decodes correctly.
 
     The worker's observability counts events/matches/latency but *not*
     results (``count_results=False``): emitted records ship to the parent,
@@ -522,7 +595,11 @@ def _worker_loop(
             started = _time.perf_counter()
             if op == "batch":
                 events, watermark = message[2], message[3]
+                if type(events) is bytes:
+                    events = _decode_event_blob(events)
                 records = runtime.process_ordered(events, watermark)
+                if ship_serialized and records:
+                    records = _encode_record_blob(records)
                 outbox.put(
                     ("ok", epoch, shard, records, _time.perf_counter() - started)
                 )
@@ -530,8 +607,13 @@ def _worker_loop(
                 # final events run past the watermark, exactly like the
                 # single-process flush routing drained events at +inf; the
                 # +inf advance then closes every remaining window
-                records = runtime.process_ordered(message[2], math.inf)
+                events = message[2]
+                if type(events) is bytes:
+                    events = _decode_event_blob(events)
+                records = runtime.process_ordered(events, math.inf)
                 records.extend(runtime.flush())
+                if ship_serialized and records:
+                    records = _encode_record_blob(records)
                 outbox.put(
                     ("ok", epoch, shard, records, _time.perf_counter() - started)
                 )
@@ -648,6 +730,14 @@ class ShardedRuntime(PipelineDriver):
         The block is accounted as ``backpressure_waits`` /
         ``backpressure_seconds`` in :attr:`metrics`.  Mirrors the
         ``backpressure.max_inflight`` JobConfig field.
+    ship_serialized:
+        Ship each wave of events as one pre-pickled blob per worker (and
+        blob-encode acknowledgement records the same way) instead of letting
+        the IPC queue pickle ``Event`` objects one by one.  On by default;
+        disable it (``batch.ship_serialized`` in JobConfig, or here) when
+        debugging the wire protocol -- plain messages are inspectable in
+        queue dumps and tracebacks, blobs are not.  Results are identical
+        either way.
     """
 
     def __init__(
@@ -664,6 +754,7 @@ class ShardedRuntime(PipelineDriver):
         rebalance: Union["RebalancePolicy", RebalanceConfig, Dict, None] = None,
         max_inflight: int = 64,
         observability: Optional[Observability] = None,
+        ship_serialized: bool = True,
     ):
         # the kwargs are one corner of the declarative JobConfig API: the
         # component specs own validation and defaults (ConfigError is a
@@ -692,6 +783,11 @@ class ShardedRuntime(PipelineDriver):
         self._emit_empty_groups = emit_empty_groups
         self._ship_interval = ship_interval
         self._max_batch = max_batch
+        if not isinstance(ship_serialized, bool):
+            raise ValueError(
+                f"ship_serialized must be a boolean, got {ship_serialized!r}"
+            )
+        self._ship_serialized = ship_serialized
         #: epochs allowed in flight before ingestion blocks on worker acks
         #: (validated by the owning BackpressureConfig section)
         self._max_inflight = BackpressureConfig(max_inflight=max_inflight).max_inflight
@@ -878,6 +974,7 @@ class ShardedRuntime(PipelineDriver):
                     self._inboxes[shard],
                     self._ack_queues[shard],
                     self.observability.enabled,
+                    self._ship_serialized,
                 ),
                 daemon=True,
                 name=f"cogra-shard-{shard}",
@@ -1035,7 +1132,10 @@ class ShardedRuntime(PipelineDriver):
         """
         _, epoch, shard, records, seconds = ack
         records = records or ()
-        if isinstance(records, (dict, str)):
+        if isinstance(records, bytes):
+            # a blob-shipped acknowledgement: one decode per wave
+            records = _decode_record_blob(records)
+        elif isinstance(records, (dict, str)):
             # checkpoint/metrics payloads and stray ready handshakes carry
             # no emission records; their epochs still resolve below
             records = ()
@@ -1120,6 +1220,7 @@ class ShardedRuntime(PipelineDriver):
                     self._inboxes[shard],
                     self._ack_queues[shard],
                     self.observability.enabled,
+                    self._ship_serialized,
                 ),
                 daemon=True,
                 name=f"cogra-shard-{shard}-r{self.restart_counts[shard]}",
@@ -1273,14 +1374,17 @@ class ShardedRuntime(PipelineDriver):
                 )
             )
             count_results = self.observability.enabled
+            per_query: Dict[str, int] = {}
             for record in entry.records:
-                self._emitted_counts[record.query] = (
-                    self._emitted_counts.get(record.query, 0) + 1
+                per_query[record.query] = per_query.get(record.query, 0) + 1
+            for query, count in per_query.items():
+                self._emitted_counts[query] = (
+                    self._emitted_counts.get(query, 0) + count
                 )
                 if count_results:
                     # the one place sharded results surface, post-dedup: the
                     # counter matches the single-process runtime's exactly
-                    self.observability.results_counter(record.query).inc()
+                    self.observability.results_counter(query).inc(count)
             self.metrics.record_emission(len(entry.records))
             self._ready_records.extend(entry.records)
 
@@ -1348,7 +1452,12 @@ class ShardedRuntime(PipelineDriver):
         payloads = {}
         for shard in shards:
             events = self._outboxes[shard]
-            payloads[shard] = ("batch", self._epoch, events, watermark)
+            payload = (
+                _encode_event_blob(events)
+                if self._ship_serialized and events
+                else events
+            )
+            payloads[shard] = ("batch", self._epoch, payload, watermark)
             self.shard_stats[shard].record_shipment(len(events))
             instruments = self._shard_instruments[shard]
             if instruments is not None:
@@ -1641,6 +1750,100 @@ class ShardedRuntime(PipelineDriver):
         self._drain_acks(block=False)
         return self._take_ready()
 
+    def process_batch(self, events: List[Event]) -> List[EmissionRecord]:
+        """Ingest an arrival-ordered slice of events; ≡ per-event :meth:`process`.
+
+        The driver loop's batch entry point.  Ingest/route/ship runs in one
+        fused loop with the per-event metric observes amortised into
+        per-slice totals, and -- the big win -- acknowledgements are drained
+        once per slice instead of once per event, so the parent stops
+        serialising on the ack-buffer lock between consecutive pushes.
+        Shipping decisions (``ship_interval``, ``max_batch``, backpressure)
+        still happen per push, so wave boundaries, watermark stamps and the
+        records they produce are identical to the per-event path.
+        """
+        self._check_usable()
+        if not events:
+            return []
+        if not self._started:
+            self._start()
+        if self.observability.tracer.enabled:
+            # sampled tracing wants one root span per event: keep the
+            # traced path on the per-event call
+            records: List[EmissionRecord] = []
+            for event in events:
+                records.extend(self.process(event))
+            return records
+        ingestor = self._ingestor
+        push = ingestor.push
+        metrics = self.metrics
+        perf_counter = _time.perf_counter
+        reroutes = ingestor.late_policy is LatePolicy.SIDE_CHANNEL
+        ingested = punctuations = released_total = 0
+        late_dropped = late_rerouted = 0
+        max_time = -math.inf
+        buffered_peak = -1
+        watermark_seen = -math.inf
+        try:
+            for event in events:
+                try:
+                    batch = push(event)
+                except LateEventError:
+                    ingested += 1
+                    if event.time > max_time:
+                        max_time = event.time
+                    buffered = len(ingestor)
+                    if buffered > buffered_peak:
+                        buffered_peak = buffered
+                    late_dropped += 1
+                    raise
+                if batch.punctuation:
+                    punctuations += 1
+                else:
+                    ingested += 1
+                    if event.time > max_time:
+                        max_time = event.time
+                    if batch.buffered > buffered_peak:
+                        buffered_peak = batch.buffered
+                if batch.late_event is not None:
+                    if reroutes:
+                        late_rerouted += 1
+                    else:
+                        late_dropped += 1
+                    continue
+                if batch.released:
+                    released_total += len(batch.released)
+                    self._route_released(batch.released)
+                if batch.advanced:
+                    watermark_seen = batch.watermark
+                    self._pending_watermark = batch.watermark
+                self._maybe_rebalance()
+                self._pushes_since_ship += 1
+                if self._pushes_since_ship >= self._ship_interval:
+                    self._ship_outboxes(self._pending_watermark)
+                elif any(
+                    len(outbox) >= self._max_batch for outbox in self._outboxes
+                ):
+                    self._ship_outboxes(self._pending_watermark)
+                if len(self._inflight) > self._max_inflight:
+                    blocked_at = perf_counter()
+                    while len(self._inflight) > self._max_inflight:
+                        self._apply_ack(self._next_ack())
+                        self._release_ready_epochs()
+                    metrics.record_backpressure(perf_counter() - blocked_at)
+        finally:
+            # flushed even when a LateEventError aborts the slice, so the
+            # counters match the per-event path's totals exactly
+            metrics.record_punctuation(punctuations)
+            metrics.record_ingest_batch(ingested, max_time, buffered_peak)
+            metrics.record_late_batch(late_dropped, late_rerouted)
+            if released_total:
+                metrics.record_release(released_total)
+            if watermark_seen != -math.inf:
+                metrics.record_watermark(watermark_seen)
+        self._drain_acks(block=False)
+        return self._take_ready()
+
     def _take_ready(self) -> List[EmissionRecord]:
         ready = self._ready_records
         self._ready_records = []
@@ -1674,7 +1877,12 @@ class ShardedRuntime(PipelineDriver):
         payloads = {}
         for shard in range(self.shard_count):
             events = self._outboxes[shard]
-            payloads[shard] = ("flush", self._epoch, events)
+            payload = (
+                _encode_event_blob(events)
+                if self._ship_serialized and events
+                else events
+            )
+            payloads[shard] = ("flush", self._epoch, payload)
             self.shard_stats[shard].record_shipment(len(events))
             self._outboxes[shard] = []
         self._pushes_since_ship = 0

@@ -63,6 +63,7 @@ from repro.streaming.emission import EmissionRecord
 from repro.streaming.jsonl import (
     event_to_json,
     parse_jsonl_line,
+    read_jsonl_event_batches,
     read_jsonl_events,
     record_to_json_line,
 )
@@ -92,6 +93,29 @@ class EventSource:
         """Yield the source's events, in arrival order."""
         raise NotImplementedError
 
+    def batches(self, size: int) -> Iterator[List[Event]]:
+        """Yield the same stream as lists of at most ``size`` events.
+
+        The driver loop pulls batches so per-event Python overhead (iterator
+        resumption, method dispatch) amortises over a slice.  The default
+        buffers :meth:`events`; file-backed sources override it with a
+        chunked decoder, and live sources (tails, sockets) override it to
+        yield singleton batches so delivery latency does not grow with
+        ``size``.
+        """
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size!r}")
+        batch: List[Event] = []
+        append = batch.append
+        for event in self.events():
+            append(event)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
     def close(self) -> None:
         """Release held resources (idempotent; default: nothing to do)."""
 
@@ -113,6 +137,26 @@ class IterableSource(EventSource):
 
     def events(self) -> Iterator[Event]:
         return iter(self._events)
+
+    def batches(self, size: int) -> Iterator[List[Event]]:
+        """Slice materialized sequences; pull lazy iterables one by one.
+
+        A list or tuple carries no hidden effects, so it is sliced into
+        ``size``-element chunks directly.  A generator may interleave side
+        effects with consumption (tests drive chaos injection this way),
+        so it keeps the historical event-at-a-time pull via singleton
+        batches -- reading ahead would reorder those effects around the
+        runtime's processing.
+        """
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size!r}")
+        events = self._events
+        if isinstance(events, (list, tuple)):
+            for start in range(0, len(events), size):
+                yield list(events[start : start + size])
+            return
+        for event in self.events():
+            yield [event]
 
     def __repr__(self) -> str:
         return f"IterableSource({self._events!r})"
@@ -149,6 +193,12 @@ class JsonlFileSource(EventSource):
 
     def events(self) -> Iterator[Event]:
         return read_jsonl_events(self._handle)
+
+    def batches(self, size: int) -> Iterator[List[Event]]:
+        """Chunked decode: one ``json.loads`` loop per slice of the file."""
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size!r}")
+        return read_jsonl_event_batches(self._handle, size)
 
     def close(self) -> None:
         if self._close_handle:
@@ -237,6 +287,13 @@ class JsonlFileTailSource(EventSource):
             self._handle.seek(position)
             self._sleep(self._poll_interval)
 
+    def batches(self, size: int) -> Iterator[List[Event]]:
+        """Singleton batches: a followed file must not trade latency for size."""
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size!r}")
+        for event in self.events():
+            yield [event]
+
     def stop(self) -> None:
         """Make the iterator finish after the line it is currently reading."""
         self._stopped = True
@@ -289,6 +346,13 @@ class SocketJsonlSource(EventSource):
             raise SourceError(
                 f"connection to {self._host}:{self._port} failed mid-stream: {exc}"
             ) from exc
+
+    def batches(self, size: int) -> Iterator[List[Event]]:
+        """Singleton batches: a quiet socket must not delay delivered events."""
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size!r}")
+        for event in self.events():
+            yield [event]
 
     def close(self) -> None:
         if self._file is not None:
