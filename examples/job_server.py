@@ -1,0 +1,143 @@
+"""The multi-tenant job server: two tenants, different quotas, one server.
+
+A :class:`~repro.streaming.server.JobServer` runs many jobs concurrently
+over one fair round-robin scheduler, with per-tenant admission quotas
+(:class:`~repro.streaming.TenantConfig`) and per-job isolation of
+checkpoints and metrics namespaces.  This example:
+
+1. starts a server with two tenants -- ``analytics`` (generously
+   rate-limited) and ``best-effort`` (tightly throttled, one job at a
+   time) -- and submits the same job for both over the socket protocol;
+2. shows the rate quota in action: both jobs finish with identical
+   results, but the throttled tenant takes measurably longer;
+3. shows the concurrency quota rejecting ``best-effort``'s second
+   concurrent job with a typed error while ``analytics`` runs many;
+4. reads back per-tenant metrics from the merged, ``job_id``/``tenant``-
+   labelled registry snapshot.
+
+Run with::
+
+    PYTHONPATH=src python examples/job_server.py
+"""
+
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import ConcurrencyQuotaError
+from repro.events.event import Event
+from repro.streaming import (
+    JobServer,
+    JobServerClient,
+    ServerConfig,
+    TenantConfig,
+    snapshot_value,
+    write_jsonl_events,
+)
+
+LATENESS = 5.0
+
+QUERY = """
+RETURN g, COUNT(*), MAX(A.v)
+PATTERN SEQ(A+, B)
+SEMANTICS skip-till-any-match
+GROUP-BY g
+WITHIN 20 seconds SLIDE 10 seconds
+"""
+
+
+def write_events(path: Path, count: int = 400) -> str:
+    rng = random.Random(17)
+    ordered = [
+        Event(
+            "A" if i % 3 else "B",
+            float(i),
+            {"g": f"g{i % 2}", "v": i % 7},
+            sequence=i,
+        )
+        for i in range(count)
+    ]
+    feed = sorted(
+        ordered, key=lambda e: (e.time + rng.uniform(0.0, LATENESS), e.sequence)
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        write_jsonl_events(feed, handle)
+    return str(path)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="cogra-job-server-"))
+    events = write_events(workdir / "events.jsonl")
+    job = {
+        "queries": [{"text": QUERY}],
+        "source": {"spec": events},
+        "watermark": {"lateness": LATENESS},
+        "late": {"policy": "drop"},
+    }
+
+    config = ServerConfig(
+        dir=str(workdir / "server"),
+        tenants=(
+            TenantConfig("analytics", max_events_per_second=100_000.0),
+            TenantConfig(
+                "best-effort",
+                max_events_per_second=400.0,
+                burst=100.0,
+                max_concurrent_jobs=1,
+            ),
+        ),
+    )
+
+    with JobServer(config) as server:
+        host, port = server.address
+        print(f"server                : {host}:{port} (dir {server.directory})")
+
+        with JobServerClient(host, port) as client:
+            # == 1 + 2: same job, two tenants, different rate quotas ==
+            started = time.monotonic()
+            fast = client.submit(job, tenant="analytics")
+            slow = client.submit(job, tenant="best-effort")
+            fast_status = client.wait(fast)
+            fast_elapsed = time.monotonic() - started
+            slow_status = client.wait(slow, timeout=60.0)
+            slow_elapsed = time.monotonic() - started
+            fast_rows = client.results(fast)["records"]
+            slow_rows = client.results(slow)["records"]
+            assert fast_status["state"] == slow_status["state"] == "done"
+            assert json.dumps(fast_rows, sort_keys=True) == json.dumps(
+                slow_rows, sort_keys=True
+            )
+            print(
+                f"analytics             : {len(fast_rows)} records "
+                f"in {fast_elapsed:.2f}s"
+            )
+            print(
+                f"best-effort (400/s)   : identical records "
+                f"in {slow_elapsed:.2f}s (throttled)"
+            )
+
+            # == 3: the concurrency quota rejects the one-too-many job ==
+            running = client.submit(job, tenant="best-effort")
+            try:
+                client.submit(job, tenant="best-effort")
+            except ConcurrencyQuotaError as exc:
+                print(f"concurrency quota     : {exc}")
+            client.cancel(running)
+
+            # == 4: per-tenant views of the labelled metrics snapshot ==
+            snapshot = client.metrics(tenant="analytics")
+            ingested = snapshot_value(
+                snapshot, "cogra_events_ingested_total", [fast, "analytics"]
+            )
+            print(f"analytics ingested    : {ingested:.0f} events ({fast})")
+            rows = client.list_jobs()
+            print(
+                "jobs                  : "
+                + ", ".join(f"{row['job_id']}={row['state']}" for row in rows)
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -54,7 +54,7 @@ from repro.query.predicates import (
 )
 from repro.query.query import Query
 from repro.query.semantics import Semantics
-from repro.query.windows import WindowSpec
+from repro.query.windows import CountWindowSpec, WindowSpec
 from repro.streaming.checkpoint import CheckpointStore
 from repro.streaming.config import (
     CheckpointConfig,
@@ -108,6 +108,7 @@ __all__ = [
     "CheckpointStore",
     "CograEngine",
     "ConfigError",
+    "CountWindowSpec",
     "EmissionRecord",
     "EquivalencePredicate",
     "Event",

@@ -460,6 +460,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="attribute whose falling-value selectivity is reported (e.g. price)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant job server on a local socket",
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        help="server config file (JSON or TOML): endpoint, tenants, quotas",
+    )
+    serve.add_argument("--host", default=None, help="bind host (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (0 binds an ephemeral port, printed to stderr)",
+    )
+    serve.add_argument(
+        "--dir",
+        default=None,
+        help="server working directory (per-job checkpoint dirs live under it)",
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a job config to a running job server",
+    )
+    submit.add_argument(
+        "--server",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running `cogra serve`",
+    )
+    submit.add_argument(
+        "--config", required=True, help="job config file (JSON or TOML)"
+    )
+    submit.add_argument(
+        "--tenant", default="default", help="tenant the job is billed to"
+    )
+    submit.add_argument(
+        "--events",
+        default=None,
+        help="override the job's source with this JSONL events file",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting for completion",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for the job to finish (with waiting)",
+    )
     return parser
 
 
@@ -1029,6 +1084,90 @@ def _command_stats(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    """Run the multi-tenant job server until its protocol says shutdown."""
+    from repro.streaming.config import ServerConfig
+    from repro.streaming.server import JobServer
+
+    try:
+        data = read_config_file(args.config) if args.config else {}
+        config = ServerConfig.from_dict(data)
+        overrides = {}
+        if args.host is not None:
+            overrides["host"] = args.host
+        if args.port is not None:
+            overrides["port"] = args.port
+        if args.dir is not None:
+            overrides["dir"] = args.dir
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    import time as _time
+
+    server = JobServer(config).start()
+    host, port = server.address
+    print(f"cogra job server listening on {host}:{port}", file=sys.stderr)
+    print(f"server directory: {server.directory}", file=sys.stderr)
+    try:
+        while not server._stop.is_set():
+            _time.sleep(0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _command_submit(args) -> int:
+    """Submit a job config over the socket protocol; print its records."""
+    from repro.errors import QuotaError
+    from repro.streaming.server import JobServerClient
+    from repro.streaming.server.server import job_config_replacing_source
+
+    host, separator, port_text = args.server.rpartition(":")
+    if not separator or not port_text.isdigit():
+        print(
+            f"error: --server must be HOST:PORT, got {args.server!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = JobConfig.load(args.config)
+        if args.events is not None:
+            config = job_config_replacing_source(config, args.events)
+        config.validate()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with JobServerClient(host, int(port_text)) as client:
+            try:
+                job_id = client.submit(config.to_dict(), tenant=args.tenant)
+            except (QuotaError, ConfigError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 3
+            print(f"submitted {job_id} (tenant {args.tenant})", file=sys.stderr)
+            if args.no_wait:
+                print(job_id)
+                return 0
+            status = client.wait(job_id, timeout=args.timeout)
+            if status["state"] != "done":
+                print(
+                    f"job {job_id} {status['state']}: "
+                    f"{status.get('error', 'cancelled')}",
+                    file=sys.stderr,
+                )
+                return 1
+            for record in client.results(job_id)["records"]:
+                print(json.dumps(record, sort_keys=True))
+            return 0
+    except (SourceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cogra`` console script."""
     parser = build_parser()
@@ -1044,6 +1183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream": _command_stream,
         "generate": _command_generate,
         "stats": _command_stats,
+        "serve": _command_serve,
+        "submit": _command_submit,
     }
     return handlers[args.command](args)
 

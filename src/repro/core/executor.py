@@ -48,6 +48,13 @@ class QueryExecutor:
         self.emit_empty_groups = emit_empty_groups
         self._aggregator_factory = aggregator_factory or create_aggregator
 
+        window = self.query.window
+        #: set for count-based tumbling windows, which place events by
+        #: arrival ordinal (``events_seen``) instead of timestamp and close
+        #: on arrival of the next window's first event, never on watermarks
+        self._count_window = (
+            window if window is not None and window.is_count_based else None
+        )
         self._aggregators: Dict[Tuple[int, Tuple], SubstreamAggregator] = {}
         self._window_groups: Dict[int, Set[Tuple]] = {}
         #: smallest open window id, or None; window ends grow with the id,
@@ -76,14 +83,20 @@ class QueryExecutor:
         self._last_time = event.time
         self._events_seen += 1
 
-        emitted = self._close_expired_windows(event.time)
+        count_window = self._count_window
+        if count_window is not None:
+            window_ids = [count_window.window_of_ordinal(self._events_seen - 1)]
+            emitted = self._close_count_windows(window_ids[0])
+        else:
+            emitted = self._close_expired_windows(event.time)
 
         if self._is_filtered_out(event):
             return emitted
 
         key = partition_key if partition_key is not None else self.plan.partition_key(event)
-        window = self.query.window
-        window_ids = [0] if window is None else window.windows_of(event.time)
+        if count_window is None:
+            window = self.query.window
+            window_ids = [0] if window is None else window.windows_of(event.time)
         for window_id in window_ids:
             aggregator = self._aggregators.get((window_id, key))
             if aggregator is None:
@@ -107,6 +120,10 @@ class QueryExecutor:
         window = self.query.window
         if window is None:
             return True
+        if window.is_count_based:
+            # the run's time span says nothing about ordinal boundaries, so
+            # count windows always take the per-event path
+            return False
         if (
             self._min_open_window is not None
             and window.window_end(self._min_open_window) <= end_time
@@ -269,9 +286,27 @@ class QueryExecutor:
             return False
         return not self.plan.candidate_variables(event)
 
+    def _close_count_windows(self, current_window: int) -> List[GroupResult]:
+        """Emit every open count window that precedes ``current_window``."""
+        if self._min_open_window is None or self._min_open_window >= current_window:
+            return []
+        emitted: List[GroupResult] = []
+        expired = [
+            window_id
+            for window_id in self._window_groups
+            if window_id < current_window
+        ]
+        for window_id in sorted(expired):
+            emitted.extend(self._emit_window(window_id))
+        self._min_open_window = (
+            min(self._window_groups) if self._window_groups else None
+        )
+        return emitted
+
     def _close_expired_windows(self, time: float) -> List[GroupResult]:
         window = self.query.window
-        if window is None:
+        if window is None or window.is_count_based:
+            # count windows close on event arrival, not on watermarks
             return []
         if (
             self._min_open_window is None

@@ -118,6 +118,49 @@ class CheckpointError(CograError):
     """
 
 
+class QuotaError(CograError):
+    """Base class for per-tenant admission-control violations.
+
+    The multi-tenant job server enforces three quota kinds, each with its
+    own subclass so callers (and the wire protocol) can distinguish a
+    throttle from a hard rejection: :class:`RateQuotaError` (events/sec),
+    :class:`StateQuotaError` (aggregator state bytes at checkpoint time)
+    and :class:`ConcurrencyQuotaError` (concurrent jobs per tenant).
+    Carries the ``tenant`` the violation belongs to.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class RateQuotaError(QuotaError):
+    """Raised when a tenant's event-rate token bucket rejects a request."""
+
+
+class StateQuotaError(QuotaError):
+    """Raised when a checkpoint exceeds a tenant's state-byte budget.
+
+    Enforced at checkpoint save time -- the serialized snapshot is the
+    authoritative measure of a job's aggregator state size.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        state_bytes: int | None = None,
+        limit_bytes: int | None = None,
+    ):
+        super().__init__(message, tenant=tenant)
+        self.state_bytes = state_bytes
+        self.limit_bytes = limit_bytes
+
+
+class ConcurrencyQuotaError(QuotaError):
+    """Raised when a tenant submits more concurrent jobs than allowed."""
+
+
 class ExecutionAbortedError(CograError):
     """Raised when an execution exceeds a configured cost budget.
 

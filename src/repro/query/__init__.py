@@ -40,12 +40,13 @@ from repro.query.predicates import (
 )
 from repro.query.query import Query
 from repro.query.semantics import Semantics
-from repro.query.windows import WindowSpec
+from repro.query.windows import CountWindowSpec, WindowSpec
 
 __all__ = [
     "AggregateFunction",
     "AggregateSpec",
     "AdjacentPredicate",
+    "CountWindowSpec",
     "Disjunction",
     "EquivalencePredicate",
     "EventTypePattern",

@@ -51,7 +51,7 @@ from repro.query.predicates import (
 )
 from repro.query.query import Query
 from repro.query.semantics import Semantics
-from repro.query.windows import WindowSpec, duration_to_seconds
+from repro.query.windows import CountWindowSpec, WindowSpec, duration_to_seconds
 
 _CLAUSE_KEYWORDS = ("RETURN", "PATTERN", "SEMANTICS", "WHERE", "GROUP-BY", "WITHIN")
 
@@ -450,8 +450,22 @@ _WINDOW_RE = re.compile(
     re.IGNORECASE,
 )
 
+# count-based tumbling windows: "WITHIN 100 events"; anything after the unit
+# is captured so a SLIDE clause can be rejected with a pointed message
+_COUNT_WINDOW_RE = re.compile(
+    r"^\s*(\d+)\s*events?\s*(\S.*)?$", re.IGNORECASE
+)
+
 
 def _parse_window(text: str) -> WindowSpec:
+    count_match = _COUNT_WINDOW_RE.match(text)
+    if count_match:
+        if count_match.group(2) is not None:
+            raise QueryParseError(
+                "count-based windows are tumbling; SLIDE is not supported "
+                f"in WITHIN clause {text!r}"
+            )
+        return CountWindowSpec(int(count_match.group(1)))
     match = _WINDOW_RE.match(text)
     if not match:
         raise QueryParseError(f"cannot parse WITHIN clause {text!r}")

@@ -176,9 +176,12 @@ class Query:
         if self.group_by:
             lines.append(f"GROUP-BY  {', '.join(self.group_by)}")
         if self.window is not None:
-            lines.append(
-                f"WITHIN    {self.window.size:g} seconds SLIDE {self.window.slide:g} seconds"
-            )
+            if self.window.is_count_based:
+                lines.append(f"WITHIN    {self.window.count} events")
+            else:
+                lines.append(
+                    f"WITHIN    {self.window.size:g} seconds SLIDE {self.window.slide:g} seconds"
+                )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

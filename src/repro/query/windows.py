@@ -50,6 +50,11 @@ class WindowSpec:
     time zero).
     """
 
+    #: time-based windows place events by timestamp; the count-based kind
+    #: (:class:`CountWindowSpec`) overrides this so executors can branch
+    #: without isinstance checks
+    is_count_based = False
+
     def __init__(self, size: float, slide: float = 0.0, origin: float = 0.0):
         if size <= 0:
             raise InvalidQueryError(f"window size must be positive, got {size!r}")
@@ -132,7 +137,84 @@ class WindowSpec:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WindowSpec):
             return NotImplemented
+        if other.is_count_based:
+            return False
         return (self.size, self.slide, self.origin) == (other.size, other.slide, other.origin)
 
     def __hash__(self) -> int:
         return hash((self.size, self.slide, self.origin))
+
+
+class CountWindowSpec(WindowSpec):
+    """A count-based tumbling window: ``WITHIN count events``.
+
+    Window ``k`` covers the half-open *ordinal* interval
+    ``[k * count, (k + 1) * count)`` over the executor's event arrival
+    ordinals (every processed event advances the ordinal by one, whether or
+    not a local predicate later filters it).  Count windows are always
+    tumbling -- every event belongs to exactly one window -- and they close
+    on event arrival, never on watermarks: a window emits when the first
+    event of the next window arrives, or at flush.
+
+    ``window_start``/``window_end``/``window_interval`` report ordinals, not
+    timestamps, so downstream consumers (``EmissionRecord``, sinks) see the
+    event-count bounds of each window.
+    """
+
+    is_count_based = True
+
+    def __init__(self, count: int):
+        if count != int(count) or int(count) <= 0:
+            raise InvalidQueryError(
+                f"count window size must be a positive integer, got {count!r}"
+            )
+        self.count = int(count)
+        # mirror the time-based attributes in ordinal units so generic code
+        # that only reads size/slide (cost models, repr) keeps working
+        self.size = float(self.count)
+        self.slide = float(self.count)
+        self.origin = 0.0
+
+    def window_start(self, window_id: int) -> float:
+        """First event ordinal (inclusive) of window ``window_id``."""
+        return float(window_id * self.count)
+
+    def window_end(self, window_id: int) -> float:
+        """Past-the-end event ordinal of window ``window_id``."""
+        return float((window_id + 1) * self.count)
+
+    def windows_of(self, time: float) -> List[int]:
+        """Count windows cannot be located by timestamp."""
+        raise InvalidQueryError(
+            "count-based windows place events by arrival ordinal, not by "
+            "timestamp; use window_of_ordinal"
+        )
+
+    def window_of_ordinal(self, ordinal: int) -> int:
+        """The single window containing the ``ordinal``-th event (0-based)."""
+        return ordinal // self.count
+
+    def iter_windows(self, start_time: float, end_time: float) -> Iterator[int]:
+        raise InvalidQueryError(
+            "count-based windows place events by arrival ordinal, not by "
+            "timestamp"
+        )
+
+    @property
+    def is_tumbling(self) -> bool:
+        return True
+
+    @property
+    def windows_per_event(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"CountWindowSpec(count={self.count})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountWindowSpec):
+            return NotImplemented
+        return self.count == other.count
+
+    def __hash__(self) -> int:
+        return hash(("count", self.count))

@@ -29,7 +29,12 @@ stream processor:
   tracing, and the JSONL / Prometheus-text exporters behind
   ``cogra stream --metrics-export``;
 * :mod:`repro.streaming.jsonl` -- the JSON-lines wire format of the
-  ``cogra stream`` CLI subcommand.
+  ``cogra stream`` CLI subcommand;
+* :mod:`repro.streaming.server` -- the multi-tenant :class:`JobServer`:
+  many concurrent jobs over one fair round-robin scheduler, per-tenant
+  quotas (:class:`TenantConfig`), per-job checkpoint/metrics isolation,
+  and the socket protocol behind :class:`JobServerClient` and
+  ``cogra serve`` / ``cogra submit``.
 """
 
 from repro.streaming.checkpoint import (
@@ -51,9 +56,11 @@ from repro.streaming.config import (
     ObsConfig,
     QueryConfig,
     RebalanceConfig,
+    ServerConfig,
     ShardConfig,
     SinkConfig,
     SourceConfig,
+    TenantConfig,
     WatermarkConfig,
     job,
     read_config_file,
@@ -86,13 +93,21 @@ from repro.streaming.observability import (
     PrometheusTextServer,
     Span,
     Tracer,
+    filter_snapshot,
     histogram_quantile,
+    label_snapshot,
     merge_snapshots,
     render_prometheus,
     snapshot_quantile,
     snapshot_value,
 )
-from repro.streaming.runtime import PipelineDriver, StreamingRuntime, group_results
+from repro.streaming.runtime import (
+    DriveSession,
+    PipelineDriver,
+    StreamingRuntime,
+    group_results,
+)
+from repro.streaming.server import JobServer, JobServerClient, TokenBucket
 from repro.streaming.sharded import (
     RebalancePolicy,
     ShardedRuntime,
@@ -128,6 +143,7 @@ __all__ = [
     "CheckpointEntry",
     "CheckpointStore",
     "Counter",
+    "DriveSession",
     "EmissionController",
     "EmissionRecord",
     "EventSource",
@@ -137,6 +153,8 @@ __all__ = [
     "IterableSource",
     "Job",
     "JobConfig",
+    "JobServer",
+    "JobServerClient",
     "JsonlFileSink",
     "JsonlFileSource",
     "JsonlFileTailSource",
@@ -159,6 +177,7 @@ __all__ = [
     "RebalanceConfig",
     "RebalancePolicy",
     "STORE_VERSION",
+    "ServerConfig",
     "ShardConfig",
     "ShardRouter",
     "ShardStats",
@@ -171,6 +190,8 @@ __all__ = [
     "Span",
     "StreamingMetrics",
     "StreamingRuntime",
+    "TenantConfig",
+    "TokenBucket",
     "Tracer",
     "TransactionalSink",
     "WatermarkConfig",
@@ -178,9 +199,11 @@ __all__ = [
     "as_source",
     "event_from_json",
     "event_to_json",
+    "filter_snapshot",
     "group_results",
     "histogram_quantile",
     "job",
+    "label_snapshot",
     "load_checkpoint",
     "merge_snapshots",
     "open_sink",

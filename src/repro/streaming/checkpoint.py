@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.core.aggregate_state import TrendAccumulator
 from repro.core.executor import QueryExecutor
 from repro.core.parallel import shard_index
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StateQuotaError
 from repro.events.event import Event
 from repro.streaming.jsonl import event_from_json, event_to_json
 
@@ -466,6 +466,18 @@ class CheckpointStore:
         here, up front: with ``background=True`` the writer thread only
         ever touches its own pre-built children, never the registry's
         family dictionaries.
+    max_state_bytes:
+        Optional cap on the serialized size of a snapshot's aggregator
+        state (the ``executors`` section).  :meth:`save` raises
+        :class:`~repro.errors.StateQuotaError` when a snapshot exceeds it
+        -- checkpoint time is when a job's state is serialized anyway, so
+        it is the natural (and cheap) enforcement point for the job
+        server's per-tenant state quotas.  Enforced in the caller's
+        thread even for background stores, so the violation surfaces as
+        a raise from ``save``, not a deferred writer error.
+    tenant:
+        Optional tenant name carried into the quota error, for the job
+        server's per-tenant accounting.
     """
 
     def __init__(
@@ -474,9 +486,18 @@ class CheckpointStore:
         compact_every: int = 8,
         background: bool = False,
         registry=None,
+        max_state_bytes: Optional[int] = None,
+        tenant: Optional[str] = None,
     ):
         if compact_every < 1:
             raise ValueError(f"compact_every must be at least 1, got {compact_every}")
+        if max_state_bytes is not None and max_state_bytes < 1:
+            raise ValueError(
+                f"max_state_bytes must be a positive byte count, "
+                f"got {max_state_bytes}"
+            )
+        self.max_state_bytes = max_state_bytes
+        self.tenant = tenant
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.compact_every = compact_every
@@ -568,6 +589,18 @@ class CheckpointStore:
                 f"this build's checkpoint version {CHECKPOINT_VERSION}; was it "
                 f"produced by runtime.checkpoint()?"
             )
+        if self.max_state_bytes is not None:
+            state_bytes = len(json.dumps(snapshot.get("executors", {})))
+            if state_bytes > self.max_state_bytes:
+                owner = f"tenant {self.tenant!r}" if self.tenant else "this store"
+                raise StateQuotaError(
+                    f"checkpoint aggregator state is {state_bytes} bytes, over "
+                    f"the {self.max_state_bytes}-byte quota of {owner}; the "
+                    f"job accumulates more state than its tenant is allowed",
+                    tenant=self.tenant,
+                    state_bytes=state_bytes,
+                    limit_bytes=self.max_state_bytes,
+                )
         if self._queue is not None:
             self._raise_pending_write_error()
             self._queue.put(snapshot)

@@ -51,6 +51,7 @@ from __future__ import annotations
 import dataclasses
 import difflib
 import json
+import threading
 import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -86,11 +87,11 @@ GRANULARITIES = ("pattern", "type", "mixed", "event")
 @lru_cache(maxsize=256)
 def _query_plan_info(
     text: str, granularity: Optional[str]
-) -> Tuple[Tuple[str, ...], str]:
-    """(partition attributes, resolved granularity) of one query text.
+) -> Tuple[Tuple[str, ...], str, bool]:
+    """(partition attributes, resolved granularity, count-windowed) facts.
 
     ``validate()`` and ``granularity_plan()`` both need the static
-    analysis but never the (stateful) engine; caching the two read-only
+    analysis but never the (stateful) engine; caching the read-only
     facts avoids re-parsing and re-planning the same query text on every
     validation -- the CLI validates and then builds, a dry run validates
     and then plans.
@@ -98,7 +99,9 @@ def _query_plan_info(
     from repro.core.engine import CograEngine
 
     engine = CograEngine(text, granularity=granularity)
-    return engine.plan.partition_attributes, engine.granularity
+    window = engine.query.window
+    count_windowed = window is not None and window.is_count_based
+    return engine.plan.partition_attributes, engine.granularity, count_windowed
 
 
 def _check_unknown_keys(cls, data: Dict[str, object], context: str) -> None:
@@ -893,10 +896,21 @@ class JobConfig:
 
     def _warn_unshardable(self) -> None:
         """Warn when workers>1 will fall back to a single shard."""
-        signatures = {
-            name: _query_plan_info(query.text, query.granularity)[0]
+        infos = {
+            name: _query_plan_info(query.text, query.granularity)
             for name, query in zip(self.resolved_names(), self.queries)
         }
+        signatures = {name: info[0] for name, info in infos.items()}
+        count_windowed = sorted(name for name, info in infos.items() if info[2])
+        if count_windowed:
+            warnings.warn(
+                f"workers={self.shards.workers} but queries {count_windowed} "
+                "use count-based windows, whose event ordinals are global to "
+                "the stream; the job will run a single shard",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
         unpartitioned = sorted(name for name, sig in signatures.items() if not sig)
         if unpartitioned:
             warnings.warn(
@@ -998,6 +1012,172 @@ class JobConfig:
             runtime.close()
             raise
         return BuiltJob(runtime=runtime, source=source, sink=sink, store=store)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Admission-control quotas for one tenant of the job server.
+
+    Every limit is optional (``None`` means unlimited):
+
+    * ``max_events_per_second`` throttles the tenant's jobs at the source
+      driver via a token bucket -- the scheduler feeds a job only the
+      events its bucket can pay for, so a tenant over its rate is slowed,
+      never failed;
+    * ``burst`` is the bucket capacity (defaults to one second's worth of
+      tokens), bounding how far a briefly-idle tenant can catch up;
+    * ``max_state_bytes`` caps the serialized aggregator state of each
+      job, enforced at checkpoint time
+      (:class:`~repro.errors.StateQuotaError` fails the job);
+    * ``max_concurrent_jobs`` bounds the tenant's live (pending or
+      running) jobs; one more submit is rejected with
+      :class:`~repro.errors.ConcurrencyQuotaError`.
+    """
+
+    name: str
+    max_events_per_second: Optional[float] = None
+    burst: Optional[float] = None
+    max_state_bytes: Optional[int] = None
+    max_concurrent_jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError("a tenant needs a non-empty name")
+        for attribute in ("max_events_per_second", "burst"):
+            value = getattr(self, attribute)
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not value > 0
+            ):
+                raise ConfigError(
+                    f"tenant {self.name!r} {attribute} must be null or a "
+                    f"positive number, got {value!r}"
+                )
+        for attribute in ("max_state_bytes", "max_concurrent_jobs"):
+            value = getattr(self, attribute)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise ConfigError(
+                    f"tenant {self.name!r} {attribute} must be null or a "
+                    f"positive integer, got {value!r}"
+                )
+        if self.burst is not None and self.max_events_per_second is None:
+            raise ConfigError(
+                f"tenant {self.name!r} sets burst without "
+                f"max_events_per_second; burst is the rate limiter's bucket "
+                f"capacity"
+            )
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """The multi-tenant job server: endpoint, working directory, tenants.
+
+    ``host``/``port`` are the local socket the newline-delimited JSON
+    protocol listens on (``port=0`` binds an ephemeral port -- read the
+    bound address from the running server); ``dir`` is the server's
+    working directory, under which every job gets its own checkpoint
+    directory (``<dir>/checkpoints/<job_id>``; ``None`` uses a fresh
+    temporary directory).  ``tenants`` declares the known tenants and
+    their quotas -- an empty tuple accepts any tenant name, unlimited.
+    ``queue_slices`` bounds each job's prefetch queue between its source
+    feeder and the scheduler (per-job backpressure);
+    ``poll_interval_seconds`` paces the scheduler when no job has work.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    dir: Optional[str] = None
+    tenants: Tuple[TenantConfig, ...] = ()
+    queue_slices: int = 4
+    poll_interval_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigError(f"server host must be a non-empty string, got {self.host!r}")
+        if (
+            not isinstance(self.port, int)
+            or isinstance(self.port, bool)
+            or not 0 <= self.port <= 65535
+        ):
+            raise ConfigError(
+                f"server port must be a port number (0 binds an ephemeral "
+                f"one), got {self.port!r}"
+            )
+        _require_optional_string(self.dir, "server dir")
+        if not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        coerced = []
+        for entry in self.tenants:
+            if isinstance(entry, dict):
+                context = "a 'tenants' entry"
+                section = _require_mapping(entry, context)
+                _check_unknown_keys(TenantConfig, section, context)
+                entry = TenantConfig(**section)
+            elif not isinstance(entry, TenantConfig):
+                raise ConfigError(
+                    f"tenants must be TenantConfig entries or objects of "
+                    f"settings, got {entry!r}"
+                )
+            coerced.append(entry)
+        object.__setattr__(self, "tenants", tuple(coerced))
+        names = [tenant.name for tenant in self.tenants]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ConfigError(f"duplicate tenant names {duplicates}")
+        if (
+            not isinstance(self.queue_slices, int)
+            or isinstance(self.queue_slices, bool)
+            or self.queue_slices < 1
+        ):
+            raise ConfigError(
+                f"queue_slices must be a positive integer, got {self.queue_slices!r}"
+            )
+        if (
+            not isinstance(self.poll_interval_seconds, (int, float))
+            or isinstance(self.poll_interval_seconds, bool)
+            or not self.poll_interval_seconds > 0
+        ):
+            raise ConfigError(
+                f"poll_interval_seconds must be a positive number, "
+                f"got {self.poll_interval_seconds!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServerConfig":
+        """Build a server config from its dictionary form (JSON/TOML)."""
+        data = _require_mapping(data, "the server config")
+        _check_unknown_keys(cls, data, "the server config")
+        return cls(**data)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary form; the inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ServerConfig":
+        """Load a server config from a JSON (default) or TOML file."""
+        return cls.from_dict(read_config_file(path))
+
+    def tenant(self, name: str) -> TenantConfig:
+        """The named tenant's quotas.
+
+        With no tenants declared, any name is admitted unlimited; with a
+        tenant list, unknown names are rejected
+        (:class:`~repro.errors.ConfigError`) -- declaring tenants IS the
+        admission list.
+        """
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        if not self.tenants:
+            return TenantConfig(name=name)
+        known = ", ".join(sorted(tenant.name for tenant in self.tenants))
+        raise ConfigError(
+            f"unknown tenant {name!r}; this server admits only: {known}"
+        )
 
 
 def read_config_file(path: Union[str, Path]) -> Dict[str, object]:
@@ -1186,6 +1366,13 @@ class Job:
     ``stop()`` tears everything down (idempotent, also called
     automatically when ``results()`` completes).
 
+    ``stop()`` and ``results()`` are safe to call from a second thread:
+    ``stop()`` during a live ``results()`` run cancels it -- the source
+    is closed to unblock the driving thread, which performs the actual
+    teardown and returns the records emitted so far (the job server's
+    ``cancel`` rides on this) -- and concurrent ``results()`` calls
+    serialize, the late ones returning the first one's collected list.
+
     ``events`` overrides the configured source with an in-memory iterable
     or :class:`EventSource` (tests, embedded use); ``sink`` overrides the
     configured sink with a :class:`Sink` instance.
@@ -1229,6 +1416,16 @@ class Job:
         self._records: Optional[List[EmissionRecord]] = None
         self._started = False
         self._stopped = False
+        #: protects the lifecycle flags; re-entrant so stop() may run
+        #: inside the driving thread's finally while it holds the lock
+        self._lock = threading.RLock()
+        #: serializes concurrent results() callers (the drive runs once)
+        self._results_lock = threading.Lock()
+        self._stop_requested = threading.Event()
+        #: True while a results() drive is live; a concurrent stop() then
+        #: only cancels (closes the source) and leaves the teardown to
+        #: the driving thread
+        self._driving = False
         #: human-readable recovery notes, populated by :meth:`start`
         self.resume_notes: List[str] = []
 
@@ -1236,48 +1433,49 @@ class Job:
 
     def start(self) -> "Job":
         """Build the pipeline and perform checkpoint recovery; returns self."""
-        if self._started:
-            raise RuntimeError("this job was already started")
-        if self._stopped:
-            raise RuntimeError("this job was stopped; build a new one")
-        self._started = True
-        try:
-            self._runtime = self.config.build_runtime()
-            if self._events is not None:
-                self._source = as_source(self._events)
-            else:
-                self._source = self.config.source.build()
-            if self._sink_override is not None:
-                self._sink = self._sink_override
-            else:
-                self._sink = self.config.sink.build(
-                    recover=self.config.checkpoint.recover
+        with self._lock:
+            if self._started:
+                raise RuntimeError("this job was already started")
+            if self._stopped:
+                raise RuntimeError("this job was stopped; build a new one")
+            self._started = True
+            try:
+                self._runtime = self.config.build_runtime()
+                if self._events is not None:
+                    self._source = as_source(self._events)
+                else:
+                    self._source = self.config.source.build()
+                if self._sink_override is not None:
+                    self._sink = self._sink_override
+                else:
+                    self._sink = self.config.sink.build(
+                        recover=self.config.checkpoint.recover
+                    )
+                self._store = self.config.checkpoint.build_store(
+                    registry=self._runtime.observability.registry
                 )
-            self._store = self.config.checkpoint.build_store(
-                registry=self._runtime.observability.registry
-            )
-            if self._store is not None and self.config.checkpoint.recover:
-                info = resume_job(
-                    self._runtime, self._store, self._source, sink=self._sink
-                )
-                self._source = info.source
-                self.resume_notes = info.notes
-            self._exporter = self.config.observability.build_exporter()
-            if self.config.observability.prometheus_port is not None:
-                from repro.streaming.observability import PrometheusTextServer
+                if self._store is not None and self.config.checkpoint.recover:
+                    info = resume_job(
+                        self._runtime, self._store, self._source, sink=self._sink
+                    )
+                    self._source = info.source
+                    self.resume_notes = info.notes
+                self._exporter = self.config.observability.build_exporter()
+                if self.config.observability.prometheus_port is not None:
+                    from repro.streaming.observability import PrometheusTextServer
 
-                self._prometheus = PrometheusTextServer(
-                    lambda: self._exporter.latest,
-                    port=self.config.observability.prometheus_port,
-                ).start()
-            if self.config.late.side_channel_path:
-                # truncate: the file holds THIS run's late events
-                self._late_sink = open(
-                    self.config.late.side_channel_path, "w", encoding="utf-8"
-                )
-        except Exception:
-            self.stop()
-            raise
+                    self._prometheus = PrometheusTextServer(
+                        lambda: self._exporter.latest,
+                        port=self.config.observability.prometheus_port,
+                    ).start()
+                if self.config.late.side_channel_path:
+                    # truncate: the file holds THIS run's late events
+                    self._late_sink = open(
+                        self.config.late.side_channel_path, "w", encoding="utf-8"
+                    )
+            except Exception:
+                self.stop()
+                raise
         return self
 
     def results(self) -> List[EmissionRecord]:
@@ -1289,66 +1487,120 @@ class Job:
         replayed at the end into ``is_correction=True`` records.  The job
         is stopped when the stream completes; the collected records stay
         available from repeated calls.
+
+        A concurrent :meth:`stop` cancels the run between source slices:
+        the records emitted so far are returned (and cached, so later
+        calls see the same partial list).  Concurrent ``results()``
+        callers serialize; only one drives the pipeline.
         """
-        if self._records is not None:
-            return self._records
-        if not self._started:
-            self.start()
-        if self._stopped:
-            raise RuntimeError(
-                "this job was stopped (or failed) before completing; "
-                "build a new one"
-            )
+        with self._results_lock:
+            if self._records is not None:
+                return self._records
+            with self._lock:
+                if not self._started:
+                    self.start()
+                if self._stopped:
+                    raise RuntimeError(
+                        "this job was stopped (or failed) before completing; "
+                        "build a new one"
+                    )
+                self._driving = True
+            try:
+                records = self._drive_records()
+            finally:
+                # cache only on success or cancellation: a failed run must
+                # keep raising (the stopped-job guard above), never serve
+                # the partial list as if the job had completed
+                with self._lock:
+                    self._driving = False
+                self.stop()
+            self._records = records
+            return records
+
+    def _drive_records(self) -> List[EmissionRecord]:
+        """Drive the pipeline slice by slice, honouring a concurrent stop."""
+        from repro.streaming.runtime import DriveSession
+
         on_late = self._persist_late if self._late_sink is not None else None
         interval = self.config.checkpoint.interval
         records: List[EmissionRecord] = []
+        sink = self._sink
+        session = DriveSession(
+            self._runtime,
+            self._source,
+            checkpoint_store=self._store if interval else None,
+            checkpoint_interval=interval,
+            on_late=on_late,
+            metrics_exporter=self._exporter,
+            sink=sink,
+            backpressure=self.config.backpressure,
+            decode_batch_size=self.config.batch.decode_batch_size,
+        )
+        cancelled = False
         try:
-            for record in self._runtime.drive(
-                self._source,
-                checkpoint_store=self._store if interval else None,
-                checkpoint_interval=interval,
-                on_late=on_late,
-                metrics_exporter=self._exporter,
-                sink=self._sink,
-                backpressure=self.config.backpressure,
-                decode_batch_size=self.config.batch.decode_batch_size,
-            ):
+            try:
+                for batch in session.batches():
+                    if self._stop_requested.is_set():
+                        cancelled = True
+                        break
+                    for record in session.step(batch):
+                        records.append(record)
+                        if sink is not None:
+                            sink.emit(record)
+            except Exception:
+                if not self._stop_requested.is_set():
+                    raise
+                # a concurrent stop() closed the source under the reading
+                # thread; whatever the read raised is the cancellation
+                cancelled = True
+            if cancelled or self._stop_requested.is_set():
+                return records
+            for record in session.finish():
                 records.append(record)
-                if self._sink is not None:
-                    self._sink.emit(record)
+                if sink is not None:
+                    sink.emit(record)
             if self.config.late.reprocess:
                 for record in self._runtime.reprocess_late():
                     records.append(record)
-                    if self._sink is not None:
-                        self._sink.emit(record)
+                    if sink is not None:
+                        sink.emit(record)
         finally:
-            # cache only on success: a failed run must keep raising (the
-            # stopped-job guard above), never serve the partial list as if
-            # the job had completed with fewer windows
-            self.stop()
-        self._records = records
+            session.close()
         return records
 
     def stop(self) -> None:
-        """Release every resource the job holds (idempotent)."""
-        if self._stopped:
-            return
-        self._stopped = True
-        if self._source is not None:
-            self._source.close()
-        if self._late_sink is not None:
-            self._late_sink.close()
-        if self._prometheus is not None:
-            self._prometheus.close()
-        if self._runtime is not None:
-            self._runtime.close()
-        if self._exporter is not None:
-            self._exporter.close()
-        if self._sink is not None and self._sink_override is None:
-            # sinks passed in from outside outlive the job; owned ones don't
-            self._sink.close()
-        if self._store is not None:
-            self._store.close()
+        """Release every resource the job holds (idempotent, thread-safe).
+
+        Called while another thread is inside :meth:`results`, it cancels
+        the run instead: the source is closed (unblocking a live read)
+        and the driving thread -- which notices between slices -- does
+        the actual teardown and returns the records emitted so far.
+        """
+        with self._lock:
+            self._stop_requested.set()
+            if self._driving:
+                if self._source is not None:
+                    self._source.close()
+                return
+            if self._stopped:
+                return
+            self._stopped = True
+            if self._source is not None:
+                self._source.close()
+            if self._late_sink is not None:
+                self._late_sink.close()
+            if self._prometheus is not None:
+                self._prometheus.close()
+            if self._runtime is not None:
+                self._runtime.close()
+            if self._exporter is not None:
+                self._exporter.close()
+            if self._sink is not None and self._sink_override is None:
+                # sinks passed in from outside outlive the job; owned ones
+                # don't
+                self._sink.close()
+            if self._store is not None:
+                self._store.close()
 
     def __enter__(self) -> "Job":
         if not self._started:

@@ -40,7 +40,9 @@ from repro.streaming.observability.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    filter_snapshot,
     histogram_quantile,
+    label_snapshot,
     merge_snapshots,
     snapshot_quantile,
     snapshot_value,
@@ -61,8 +63,10 @@ __all__ = [
     "ShardInstruments",
     "Span",
     "Tracer",
+    "filter_snapshot",
     "finalize_snapshot",
     "histogram_quantile",
+    "label_snapshot",
     "merge_snapshots",
     "render_prometheus",
     "snapshot_quantile",

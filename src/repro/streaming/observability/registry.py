@@ -36,7 +36,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "filter_snapshot",
     "histogram_quantile",
+    "label_snapshot",
     "merge_snapshots",
     "snapshot_quantile",
     "snapshot_value",
@@ -429,6 +431,77 @@ def merge_snapshots(*snapshots: Optional[dict]) -> dict:
     for snapshot in snapshots:
         merged.merge(snapshot)
     return merged.snapshot()
+
+
+def label_snapshot(snapshot: Optional[dict], **labels: str) -> dict:
+    """Return a copy of ``snapshot`` with extra labels on every family.
+
+    The new label names are prepended to each family's label schema and the
+    corresponding (stringified) values to each child's label values, leaving
+    the input untouched.  This is how a multi-tenant server namespaces the
+    per-job registries it collects: labelling each job's
+    ``registry_snapshot()`` with ``job_id=...`` keeps every existing metric
+    family intact while making the merged, server-wide snapshot filterable
+    per tenant (see :func:`filter_snapshot`).  Because label sets stay
+    disjoint across jobs, the labelled snapshots merge losslessly through
+    :func:`merge_snapshots`.
+    """
+    if not labels:
+        raise ValueError("label_snapshot needs at least one label")
+    if not snapshot:
+        return {"version": REGISTRY_VERSION, "families": {}}
+    names = tuple(labels)
+    values = [str(labels[name]) for name in names]
+    families = {}
+    for name, entry in snapshot.get("families", {}).items():
+        existing = entry.get("labels", [])
+        overlap = set(names) & set(existing)
+        if overlap:
+            raise ValueError(
+                f"family {name!r} already carries label(s) {sorted(overlap)!r}"
+            )
+        labelled = dict(entry)
+        labelled["labels"] = list(names) + list(existing)
+        labelled["children"] = [
+            {**child, "labels": values + list(child.get("labels", []))}
+            for child in entry.get("children", ())
+        ]
+        families[name] = labelled
+    return {**snapshot, "families": families}
+
+
+def filter_snapshot(snapshot: Optional[dict], **labels: str) -> dict:
+    """Keep only the children whose labels match ``labels``.
+
+    The complement of :func:`label_snapshot`: given a server-wide snapshot
+    whose families carry a ``job_id`` label, ``filter_snapshot(snap,
+    job_id="j-1")`` returns one tenant's view.  Families without a requested
+    label name are dropped entirely; matching families keep their full label
+    schema (including the matched labels), so the result is still a valid
+    snapshot for :func:`snapshot_value` / :func:`snapshot_quantile` lookups.
+    """
+    if not labels:
+        raise ValueError("filter_snapshot needs at least one label")
+    if not snapshot:
+        return {"version": REGISTRY_VERSION, "families": {}}
+    wanted = {name: str(value) for name, value in labels.items()}
+    families = {}
+    for name, entry in snapshot.get("families", {}).items():
+        schema = list(entry.get("labels", []))
+        if not set(wanted) <= set(schema):
+            continue
+        positions = [(schema.index(key), value) for key, value in wanted.items()]
+        children = [
+            child
+            for child in entry.get("children", ())
+            if all(
+                child.get("labels", [])[index] == value
+                for index, value in positions
+            )
+        ]
+        if children:
+            families[name] = {**entry, "children": children}
+    return {**snapshot, "families": families}
 
 
 def snapshot_value(

@@ -126,6 +126,7 @@ class Tracer:
         sink: Optional[Callable[[dict], None]] = None,
         clock: Optional[Callable[[], float]] = None,
         rng: Optional[random.Random] = None,
+        namespace: Optional[Dict[str, Any]] = None,
     ):
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError(
@@ -135,6 +136,9 @@ class Tracer:
         self.sink = sink
         self._clock = clock or time.monotonic
         self._rng = rng or random.Random()
+        #: constant attributes stamped onto every root span (the job server
+        #: sets ``{"job_id": ...}`` so a shared trace file filters per tenant)
+        self.namespace = dict(namespace) if namespace else {}
 
     @property
     def enabled(self) -> bool:
@@ -146,6 +150,8 @@ class Tracer:
             return None
         if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
             return None
+        if self.namespace:
+            attributes = {**self.namespace, **attributes}
         return Span(self, name, self._new_id(), None, attributes)
 
     def _new_id(self) -> str:

@@ -179,79 +179,23 @@ class PipelineDriver:
             :class:`~repro.streaming.config.BackpressureConfig` tuning the
             ready-poll loop (defaults apply when ``None``).
         """
-        if (checkpoint_store is None) != (checkpoint_interval is None):
-            raise ValueError(
-                "checkpoint_store and checkpoint_interval enable periodic "
-                "checkpointing together; pass both or neither"
-            )
-        if checkpoint_interval is not None and checkpoint_interval < 1:
-            raise ValueError(
-                f"checkpoint_interval must be at least 1, got {checkpoint_interval}"
-            )
-        if decode_batch_size is None:
-            decode_batch_size = self.decode_batch_size
-        if decode_batch_size < 1:
-            raise ValueError(
-                f"decode_batch_size must be at least 1, got {decode_batch_size}"
-            )
-        if checkpoint_interval:
-            # a pulled slice must never straddle a checkpoint boundary: the
-            # checkpoint records the source's consumer offsets, so every
-            # event the source has delivered must be inside runtime state
-            # when the snapshot is cut.  Clamp the pull size to the largest
-            # divisor of the interval, so boundaries land between pulls.
-            size = min(decode_batch_size, checkpoint_interval)
-            while checkpoint_interval % size:
-                size -= 1
-            decode_batch_size = size
-        source = as_source(events)
-        sink_ready = getattr(sink, "ready", None) if sink is not None else None
-        if backpressure is None:
-            backpressure = BackpressureConfig()
-        processed = 0
+        session = DriveSession(
+            self,
+            events,
+            checkpoint_store=checkpoint_store,
+            checkpoint_interval=checkpoint_interval,
+            on_late=on_late,
+            metrics_exporter=metrics_exporter,
+            sink=sink,
+            backpressure=backpressure,
+            decode_batch_size=decode_batch_size,
+        )
         try:
-            for batch in source.batches(decode_batch_size):
-                start = 0
-                total = len(batch)
-                while start < total:
-                    if sink_ready is not None and not sink_ready():
-                        self._await_sink_ready(sink_ready, backpressure)
-                    end = total
-                    if checkpoint_interval:
-                        # split the slice at the checkpoint boundary so the
-                        # periodic snapshot lands at the exact event count
-                        room = checkpoint_interval - (
-                            processed % checkpoint_interval
-                        )
-                        end = min(total, start + room)
-                    chunk = batch if start == 0 and end == total else batch[start:end]
-                    processed += end - start
-                    start = end
-                    yield from self.process_batch(chunk)
-                    if on_late is not None:
-                        late = self.take_late_events()
-                        if late:
-                            on_late(late)
-                    if checkpoint_interval and processed % checkpoint_interval == 0:
-                        checkpoint_store.save(
-                            self._delivery_checkpoint(source, sink)
-                        )
-                        # a sharded checkpoint quiesces the workers; records
-                        # that became ready during the quiesce surface now
-                        yield from self.drain_pending()
-                    if metrics_exporter is not None:
-                        if metrics_exporter.maybe_export(self.registry_snapshot):
-                            # a sharded snapshot pull quiesces the workers too
-                            yield from self.drain_pending()
-            yield from self.flush()
-            if on_late is not None:
-                late = self.take_late_events()
-                if late:
-                    on_late(late)
-            if metrics_exporter is not None:
-                metrics_exporter.export_now(self.registry_snapshot)
+            for batch in session.batches():
+                yield from session.step(batch)
+            yield from session.finish()
         finally:
-            source.close()
+            session.close()
 
     def _await_sink_ready(
         self, ready: Callable[[], bool], backpressure: BackpressureConfig
@@ -349,6 +293,167 @@ class PipelineDriver:
         if span is not None:
             span.annotate(seconds=seconds)
             span.finish()
+
+
+class DriveSession:
+    """Step-at-a-time form of :meth:`PipelineDriver.drive`.
+
+    ``drive`` owns its loop: it pulls batches until the source is
+    exhausted.  A :class:`DriveSession` externalises that loop so a
+    scheduler can interleave *many* pipelines -- feed one batch to job A,
+    one to job B -- without threads hiding inside each pipeline.  The
+    job server's fair scheduler is the motivating caller; ``drive``
+    itself is now a thin generator over one session.
+
+    Usage::
+
+        session = DriveSession(runtime, source, ...)
+        for batch in session.batches():
+            records = session.step(batch)      # may be interleaved
+        records = session.finish()             # flush + final export
+        session.close()                        # always, in a finally
+
+    ``step`` reproduces the drive loop body exactly: slices are split at
+    checkpoint-interval boundaries, the sink's ``ready`` signal throttles
+    ingestion, late events are drained to ``on_late``, periodic
+    checkpoints save through :meth:`PipelineDriver._delivery_checkpoint`,
+    and the metrics exporter is offered a snapshot -- so a drive rebuilt
+    from ``step``/``finish`` is behaviour-identical to the original loop.
+    """
+
+    def __init__(
+        self,
+        driver: PipelineDriver,
+        events: Union[EventSource, Iterable[Event]],
+        *,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_interval: Optional[int] = None,
+        on_late: Optional[Callable[[List[Event]], None]] = None,
+        metrics_exporter: Optional[JsonlMetricsExporter] = None,
+        sink: Optional[Sink] = None,
+        backpressure: Optional[BackpressureConfig] = None,
+        decode_batch_size: Optional[int] = None,
+    ):
+        if (checkpoint_store is None) != (checkpoint_interval is None):
+            raise ValueError(
+                "checkpoint_store and checkpoint_interval enable periodic "
+                "checkpointing together; pass both or neither"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be at least 1, got {checkpoint_interval}"
+            )
+        if decode_batch_size is None:
+            decode_batch_size = driver.decode_batch_size
+        if decode_batch_size < 1:
+            raise ValueError(
+                f"decode_batch_size must be at least 1, got {decode_batch_size}"
+            )
+        if checkpoint_interval:
+            # a pulled slice must never straddle a checkpoint boundary: the
+            # checkpoint records the source's consumer offsets, so every
+            # event the source has delivered must be inside runtime state
+            # when the snapshot is cut.  Clamp the pull size to the largest
+            # divisor of the interval, so boundaries land between pulls.
+            size = min(decode_batch_size, checkpoint_interval)
+            while checkpoint_interval % size:
+                size -= 1
+            decode_batch_size = size
+        self.driver = driver
+        self.source = as_source(events)
+        self.sink = sink
+        #: resolved pull-slice size (clamped to the checkpoint interval)
+        self.decode_batch_size = decode_batch_size
+        self._checkpoint_store = checkpoint_store
+        self._checkpoint_interval = checkpoint_interval
+        self._on_late = on_late
+        self._metrics_exporter = metrics_exporter
+        self._sink_ready = getattr(sink, "ready", None) if sink is not None else None
+        self._backpressure = backpressure or BackpressureConfig()
+        #: events ingested through this session so far
+        self.processed = 0
+        self._finished = False
+
+    def batches(self) -> Iterator[List[Event]]:
+        """The source's batch iterator at the resolved slice size."""
+        return self.source.batches(self.decode_batch_size)
+
+    def sink_ready(self) -> bool:
+        """Whether the sink (if any) currently reports capacity.
+
+        A scheduler can poll this *before* :meth:`step` to skip a job
+        whose sink is backed up instead of blocking inside the step.
+        """
+        return self._sink_ready is None or self._sink_ready()
+
+    def step(self, batch: List[Event]) -> Iterator[EmissionRecord]:
+        """Run one pulled slice through the pipeline; yield its records.
+
+        A generator so records reach the consumer *before* the following
+        chunk's checkpoint save -- the delivery order exactly-once
+        recovery is proven against.  Callers must drain it fully (or use
+        ``list(...)``); an abandoned generator leaves the slice half
+        ingested.
+        """
+        driver = self.driver
+        start = 0
+        total = len(batch)
+        while start < total:
+            if self._sink_ready is not None and not self._sink_ready():
+                driver._await_sink_ready(self._sink_ready, self._backpressure)
+            end = total
+            if self._checkpoint_interval:
+                # split the slice at the checkpoint boundary so the
+                # periodic snapshot lands at the exact event count
+                room = self._checkpoint_interval - (
+                    self.processed % self._checkpoint_interval
+                )
+                end = min(total, start + room)
+            chunk = batch if start == 0 and end == total else batch[start:end]
+            self.processed += end - start
+            start = end
+            yield from driver.process_batch(chunk)
+            if self._on_late is not None:
+                late = driver.take_late_events()
+                if late:
+                    self._on_late(late)
+            if (
+                self._checkpoint_interval
+                and self.processed % self._checkpoint_interval == 0
+            ):
+                self._checkpoint_store.save(
+                    driver._delivery_checkpoint(self.source, self.sink)
+                )
+                # a sharded checkpoint quiesces the workers; records
+                # that became ready during the quiesce surface now
+                yield from driver.drain_pending()
+            if self._metrics_exporter is not None:
+                if self._metrics_exporter.maybe_export(driver.registry_snapshot):
+                    # a sharded snapshot pull quiesces the workers too
+                    yield from driver.drain_pending()
+
+    def finish(self) -> Iterator[EmissionRecord]:
+        """Flush the pipeline after the last batch; yield the tail records.
+
+        Idempotent: a second call yields nothing (the runtime refuses a
+        second flush, and the session must tolerate a scheduler finishing
+        a job from more than one code path).
+        """
+        if self._finished:
+            return
+        self._finished = True
+        driver = self.driver
+        yield from driver.flush()
+        if self._on_late is not None:
+            late = driver.take_late_events()
+            if late:
+                self._on_late(late)
+        if self._metrics_exporter is not None:
+            self._metrics_exporter.export_now(driver.registry_snapshot)
+
+    def close(self) -> None:
+        """Close the session's source (always safe to call)."""
+        self.source.close()
 
 
 class RegisteredQuery:

@@ -1,0 +1,39 @@
+"""The multi-tenant job server: concurrent jobs over one shared scheduler.
+
+This package turns the single-job pipeline into a small multi-tenant
+service: a :class:`JobServer` admits jobs per tenant (rate, state-byte
+and concurrency quotas from :class:`~repro.streaming.config.TenantConfig`),
+round-robins the running jobs fairly over one scheduler thread with
+per-job backpressure, isolates each job's checkpoints and metrics/trace
+namespaces, and speaks a newline-delimited JSON protocol on a local
+socket for the blocking :class:`JobServerClient` and the ``cogra serve``
+/ ``cogra submit`` CLI.
+"""
+
+from repro.streaming.server.client import JobServerClient
+from repro.streaming.server.quotas import TokenBucket
+from repro.streaming.server.server import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    JobServer,
+    ServerJob,
+    serve_forever,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobServer",
+    "JobServerClient",
+    "PENDING",
+    "RUNNING",
+    "ServerJob",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "serve_forever",
+]

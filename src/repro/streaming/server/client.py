@@ -1,0 +1,157 @@
+"""A blocking client for the job server's newline-delimited JSON protocol.
+
+One request object per line, one response object per line, over a plain
+TCP connection to the server's local endpoint.  Responses carry
+``{"ok": true, ...}`` or ``{"ok": false, "error": ..., "kind": ...}``;
+the client maps error kinds back onto the library's typed exceptions, so
+``client.submit(...)`` raises the same
+:class:`~repro.errors.ConcurrencyQuotaError` an in-process
+:meth:`~repro.streaming.server.server.JobServer.submit` would.
+
+Example
+-------
+::
+
+    with JobServerClient(host, port) as client:
+        job_id = client.submit(config.to_dict(), tenant="team-a")
+        client.wait(job_id)
+        rows = client.results(job_id)["records"]
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time as _time
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    CograError,
+    ConcurrencyQuotaError,
+    ConfigError,
+    QuotaError,
+    RateQuotaError,
+    SourceError,
+    StateQuotaError,
+)
+
+#: protocol error kinds mapped back to exception classes
+_KIND_ERRORS = {
+    "rate-quota": RateQuotaError,
+    "state-quota": StateQuotaError,
+    "concurrency-quota": ConcurrencyQuotaError,
+    "quota": QuotaError,
+    "config": ConfigError,
+    "unknown-job": KeyError,
+    "job": CograError,
+}
+
+#: job states the server will never leave
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class JobServerClient:
+    """Blocking protocol client: one socket, request/response per line."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        try:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise SourceError(
+                f"cannot connect to job server {host}:{port}: {exc}"
+            ) from exc
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+        self._writer = self._socket.makefile("w", encoding="utf-8")
+
+    # -- plumbing --------------------------------------------------------------
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request object; return the (ok) response object.
+
+        Protocol-level failures raise the typed exception the response's
+        ``kind`` names.
+        """
+        self._writer.write(json.dumps(payload) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise SourceError(
+                f"job server {self.host}:{self.port} closed the connection"
+            )
+        response = json.loads(line)
+        if response.get("ok"):
+            return response
+        error = response.get("error", "unknown server error")
+        exc_class = _KIND_ERRORS.get(response.get("kind"), CograError)
+        raise exc_class(error)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        for stream in (self._reader, self._writer, self._socket):
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "JobServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- commands --------------------------------------------------------------
+
+    def submit(self, job: Dict[str, object], tenant: str = "default") -> str:
+        """Submit a job-config dictionary for a tenant; returns the job id."""
+        return str(
+            self.request({"cmd": "submit", "tenant": tenant, "job": job})["job_id"]
+        )
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The job's status row (state, tenant, record count, error)."""
+        return self.request({"cmd": "status", "job_id": job_id})
+
+    def results(self, job_id: str) -> Dict[str, object]:
+        """The job's emitted records (as dictionaries) and current state."""
+        return self.request({"cmd": "results", "job_id": job_id})
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Request cancellation; returns the (possibly updated) status."""
+        return self.request({"cmd": "cancel", "job_id": job_id})
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict[str, object]]:
+        """Status rows of every job (optionally one tenant's)."""
+        payload: Dict[str, object] = {"cmd": "list"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return list(self.request(payload)["jobs"])
+
+    def metrics(
+        self, job_id: Optional[str] = None, tenant: Optional[str] = None
+    ) -> Dict[str, object]:
+        """The merged, per-job-labelled registry snapshot (optionally filtered)."""
+        payload: Dict[str, object] = {"cmd": "metrics"}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return dict(self.request(payload)["snapshot"])
+
+    def shutdown(self) -> None:
+        """Ask the server to stop serving and exit its scheduler."""
+        self.request({"cmd": "shutdown"})
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; return its status."""
+        deadline = _time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if _time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s"
+                )
+            _time.sleep(0.02)

@@ -1,0 +1,95 @@
+"""Tenant quota mechanisms: the token bucket behind the rate limits.
+
+The job server throttles tenants at the *source driver*: before the
+scheduler feeds a slice of events to a job, it asks the tenant's
+:class:`TokenBucket` how many of those events the tenant can currently
+pay for, and feeds only that prefix.  An over-rate tenant is therefore
+slowed -- its events wait in the job's bounded prefetch queue, which in
+turn backpressures the source -- never failed.
+
+The state-byte quota has no mechanism here: it is enforced where the
+state is serialized anyway, at checkpoint time (see
+``max_state_bytes`` on :class:`~repro.streaming.checkpoint.CheckpointStore`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/second, capped capacity.
+
+    ``capacity`` defaults to one second's worth of tokens (at least one),
+    bounding how large a burst an idle tenant can catch up with.  The
+    ``clock`` is injectable (monotonic seconds) so quota edge cases are
+    testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: Optional[float] = None,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if not rate > 0:
+            raise ValueError(f"rate must be a positive tokens/second, got {rate!r}")
+        if capacity is None:
+            capacity = max(float(rate), 1.0)
+        if not capacity > 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def take(self, amount: float = 1.0) -> bool:
+        """Take exactly ``amount`` tokens, or nothing (all-or-nothing)."""
+        if amount <= 0:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def grant(self, amount: int) -> int:
+        """Take *up to* ``amount`` whole tokens; return how many were taken.
+
+        The scheduler's shape: "I have a slice of N events -- how many may
+        this tenant run right now?"  Returns ``0`` when not even one token
+        is available (the job is skipped this round, throttled).
+        """
+        if amount <= 0:
+            return 0
+        with self._lock:
+            self._refill()
+            granted = min(int(self._tokens), int(amount))
+            if granted > 0:
+                self._tokens -= granted
+            return granted
+
+    @property
+    def available(self) -> float:
+        """Current token balance (refreshed), for introspection and tests."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate:g}/s, capacity={self.capacity:g}, "
+            f"available={self.available:.1f})"
+        )

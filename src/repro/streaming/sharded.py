@@ -918,8 +918,19 @@ class ShardedRuntime(PipelineDriver):
             name: engine.plan.partition_attributes
             for name, engine in self._engines.items()
         }
+        count_windowed = sorted(
+            name
+            for name, engine in self._engines.items()
+            if engine.query.window is not None and engine.query.window.is_count_based
+        )
         unpartitioned = sorted(name for name, sig in signatures.items() if not sig)
-        if unpartitioned:
+        if count_windowed:
+            self.fallback_reason = (
+                f"queries {count_windowed} use count-based windows, whose "
+                "event ordinals are global to the stream and cannot be "
+                "split across shards; running a single shard"
+            )
+        elif unpartitioned:
             self.fallback_reason = (
                 f"queries {unpartitioned} have no partition attributes "
                 "(no GROUP-BY or equivalence predicate), so the stream cannot "

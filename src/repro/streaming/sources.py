@@ -318,34 +318,152 @@ class SocketJsonlSource(EventSource):
     ``socketTextStream``) and yields events until the peer closes the
     connection.  Events without an explicit ``"sequence"`` receive their
     arrival index, mirroring :func:`~repro.streaming.jsonl.read_jsonl_events`.
+
+    Two hardening behaviours for long-lived server deployments:
+
+    * **Partial lines.**  A peer that drops mid-record leaves a trailing
+      fragment without a newline.  If the fragment parses as a complete
+      JSON event it is delivered (the peer wrote the record but died before
+      the newline); a truncated fragment is discarded.  Fragments never
+      concatenate across connections -- a reconnected peer starts on a
+      fresh line.
+    * **Reconnects.**  With ``max_retries > 0`` a dropped or refused
+      connection is retried with capped exponential backoff
+      (``base_backoff * 2^n``, capped at ``max_backoff``); every delivered
+      event refills the retry budget, so the budget bounds *consecutive*
+      failures, not total reconnects over the stream's lifetime.  When the
+      budget runs out the stream ends normally if the last peer closed
+      cleanly, or raises :class:`~repro.errors.SourceError` if it dropped.
+      The default ``max_retries=0`` preserves the historical single-shot
+      behaviour.
     """
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 10.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        max_retries: int = 0,
+        base_backoff: float = 0.1,
+        max_backoff: float = 5.0,
+        sleep: Callable[[float], None] = _time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries!r}")
+        if base_backoff <= 0:
+            raise ValueError(f"base_backoff must be positive, got {base_backoff!r}")
+        if max_backoff < base_backoff:
+            raise ValueError(
+                f"max_backoff must be >= base_backoff, got {max_backoff!r}"
+            )
         self._host = host
         self._port = int(port)
         self._connect_timeout = connect_timeout
+        self._max_retries = int(max_retries)
+        self._base_backoff = float(base_backoff)
+        self._max_backoff = float(max_backoff)
+        self._sleep = sleep
         self._socket: Optional[socket.socket] = None
         self._file: Optional[TextIO] = None
+        self._closed = False
 
-    def events(self) -> Iterator[Event]:
-        try:
-            self._socket = socket.create_connection(
-                (self._host, self._port), timeout=self._connect_timeout
-            )
-        except OSError as exc:
-            raise SourceError(
-                f"cannot connect to event source {self._host}:{self._port}: {exc}"
-            ) from exc
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
         # reads block until the peer sends a full line or closes; no
         # per-read timeout -- a quiet source is legitimate
         self._socket.settimeout(None)
         self._file = self._socket.makefile("r", encoding="utf-8")
-        try:
-            yield from read_jsonl_events(self._file)
-        except OSError as exc:
-            raise SourceError(
-                f"connection to {self._host}:{self._port} failed mid-stream: {exc}"
-            ) from exc
+
+    def _disconnect(self) -> None:
+        file, self._file = self._file, None
+        sock, self._socket = self._socket, None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _backoff(self, consecutive_failures: int) -> None:
+        delay = min(
+            self._max_backoff,
+            self._base_backoff * (2.0 ** (consecutive_failures - 1)),
+        )
+        self._sleep(delay)
+
+    def events(self) -> Iterator[Event]:
+        index = 0
+        failures = 0
+        connected_once = False
+        #: True when the last established connection ended with the peer's
+        #: orderly EOF rather than a transport error -- a cleanly-finished
+        #: producer that then stops listening ends the stream quietly,
+        #: while a dirty drop (or never connecting at all) raises
+        clean_close = False
+        while True:
+            if self._closed:
+                return
+            try:
+                self._connect()
+            except OSError as exc:
+                failures += 1
+                if failures > self._max_retries:
+                    if connected_once and clean_close:
+                        return  # the producer finished and went away
+                    verb = "reconnect" if connected_once else "connect"
+                    raise SourceError(
+                        f"cannot {verb} to event source "
+                        f"{self._host}:{self._port}: {exc}"
+                    ) from exc
+                self._backoff(failures)
+                continue
+            connected_once = True
+            dropped: Optional[OSError] = None
+            try:
+                while True:
+                    line = self._file.readline()
+                    if not line:
+                        break  # clean EOF: the peer closed the connection
+                    if not line.endswith("\n"):
+                        # the peer dropped mid-record: deliver the fragment
+                        # if it is a complete JSON event, discard it if it
+                        # was truncated mid-write; either way it never
+                        # concatenates with the next connection's first line
+                        try:
+                            event = parse_jsonl_line(line, default_sequence=index)
+                        except InvalidEventError:
+                            event = None
+                        if event is not None:
+                            yield event
+                            index += 1
+                        break
+                    event = parse_jsonl_line(line, default_sequence=index)
+                    if event is not None:
+                        yield event
+                        index += 1
+                        failures = 0  # live data refills the retry budget
+            except OSError as exc:
+                dropped = exc
+            finally:
+                self._disconnect()
+            if self._closed:
+                return
+            clean_close = dropped is None
+            failures += 1
+            if failures > self._max_retries:
+                if dropped is not None:
+                    raise SourceError(
+                        f"connection to {self._host}:{self._port} failed "
+                        f"mid-stream: {dropped}"
+                    ) from dropped
+                return  # clean close and no retry budget left: end of stream
+            self._backoff(failures)
 
     def batches(self, size: int) -> Iterator[List[Event]]:
         """Singleton batches: a quiet socket must not delay delivered events."""
@@ -355,12 +473,8 @@ class SocketJsonlSource(EventSource):
             yield [event]
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
-        if self._socket is not None:
-            self._socket.close()
-            self._socket = None
+        self._closed = True
+        self._disconnect()
 
     def __repr__(self) -> str:
         return f"SocketJsonlSource({self._host!r}, {self._port})"

@@ -17,6 +17,7 @@ import dataclasses
 import json
 import random
 import sys
+import threading
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -29,6 +30,7 @@ from repro.events.stream import sort_events
 from repro.streaming.checkpoint import CheckpointStore
 from repro.streaming.config import (
     BackpressureConfig,
+    BatchConfig,
     CheckpointConfig,
     JobConfig,
     LatenessConfig,
@@ -572,6 +574,24 @@ class TestValidate:
         with pytest.warns(RuntimeWarning, match="no partition attributes"):
             config.validate()
 
+    def test_count_window_with_workers_warns_single_shard(self):
+        count_query = TYPE_QUERY.replace(
+            "WITHIN 20 seconds SLIDE 10 seconds", "WITHIN 50 events"
+        )
+        config = JobConfig(
+            queries=(QueryConfig(text=count_query),),
+            shards=ShardConfig(workers=2),
+        )
+        with pytest.warns(RuntimeWarning, match="count-based windows"):
+            config.validate()
+
+    def test_count_window_with_one_worker_validates_silently(self):
+        count_query = TYPE_QUERY.replace(
+            "WITHIN 20 seconds SLIDE 10 seconds", "WITHIN 50 events"
+        )
+        config = JobConfig(queries=(QueryConfig(text=count_query),))
+        assert config.validate() is config
+
     def test_mixed_signatures_with_workers_warn(self):
         other = TYPE_QUERY.replace("GROUP-BY g", "GROUP-BY v")
         config = JobConfig(
@@ -867,3 +887,71 @@ class TestJobFacade:
             built.source.close()
             built.sink.close()
             built.runtime.close()
+
+
+class TestJobThreadSafety:
+    """stop() and results() from a second thread: cancel, serialize, idempotent."""
+
+    def _config(self, **overrides):
+        base = dict(
+            queries=(QueryConfig(text=TYPE_QUERY, name="q"),),
+            watermark=WatermarkConfig(lateness=LATENESS),
+            late=LatenessConfig(policy="drop"),
+        )
+        base.update(overrides)
+        return JobConfig(**base)
+
+    def test_stop_from_second_thread_cancels_results(self):
+        reached = threading.Event()
+        release = threading.Event()
+
+        def feed():
+            for index, event in enumerate(make_stream(count=200)):
+                if index == 20:
+                    reached.set()
+                    release.wait(10.0)
+                yield event
+
+        config = self._config(batch=BatchConfig(decode_batch_size=1))
+        running = job(config, events=feed())
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.update(records=running.results())
+        )
+        thread.start()
+        assert reached.wait(10.0), "the drive never reached the pause point"
+        running.stop()
+        release.set()
+        thread.join(10.0)
+        assert not thread.is_alive()
+        partial = outcome["records"]
+        # cancelled between slices: exactly the pre-pause prefix was ingested
+        assert running.metrics.events_ingested == 20
+        # the partial list is cached; repeated calls and stops are no-ops
+        assert running.results() is partial
+        running.stop()
+
+    def test_concurrent_results_serialize_and_share_the_list(self):
+        running = job(self._config(), events=make_stream())
+        collected = []
+        threads = [
+            threading.Thread(target=lambda: collected.append(running.results()))
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(collected) == 4
+        assert all(records is collected[0] for records in collected)
+        assert collected[0]
+
+    def test_racing_stops_tear_down_once(self):
+        running = job(self._config(), events=make_stream()).start()
+        threads = [threading.Thread(target=running.stop) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        with pytest.raises(RuntimeError, match="stopped"):
+            running.results()

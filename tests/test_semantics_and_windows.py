@@ -3,9 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import InvalidQueryError
+from repro.core.executor import QueryExecutor
+from repro.errors import InvalidQueryError, QueryParseError
+from repro.events.event import Event
+from repro.query.parser import parse_query
 from repro.query.semantics import Semantics
-from repro.query.windows import WindowSpec, duration_to_seconds
+from repro.query.windows import CountWindowSpec, WindowSpec, duration_to_seconds
 
 
 class TestSemantics:
@@ -151,3 +154,117 @@ class TestWindowSpec:
                 if window_id >= 0:
                     start, end = window.window_interval(window_id)
                     assert not (start <= time < end)
+
+
+class TestCountWindowSpec:
+    def test_basic_arithmetic_is_in_ordinals(self):
+        window = CountWindowSpec(10)
+        assert window.is_count_based
+        assert window.is_tumbling
+        assert window.windows_per_event == 1
+        assert window.window_interval(0) == (0.0, 10.0)
+        assert window.window_interval(3) == (30.0, 40.0)
+        assert window.window_of_ordinal(0) == 0
+        assert window.window_of_ordinal(9) == 0
+        assert window.window_of_ordinal(10) == 1
+
+    def test_rejects_non_positive_and_fractional_counts(self):
+        with pytest.raises(InvalidQueryError):
+            CountWindowSpec(0)
+        with pytest.raises(InvalidQueryError):
+            CountWindowSpec(-3)
+        with pytest.raises(InvalidQueryError):
+            CountWindowSpec(2.5)
+
+    def test_timestamp_placement_raises_loudly(self):
+        window = CountWindowSpec(5)
+        with pytest.raises(InvalidQueryError):
+            window.windows_of(12.0)
+        with pytest.raises(InvalidQueryError):
+            list(window.iter_windows(0.0, 10.0))
+
+    def test_equality_never_crosses_window_kinds(self):
+        assert CountWindowSpec(5) == CountWindowSpec(5)
+        assert CountWindowSpec(5) != CountWindowSpec(6)
+        assert CountWindowSpec(5) != WindowSpec(5.0)
+        assert WindowSpec(5.0) != CountWindowSpec(5)
+
+    def test_parser_accepts_events_unit_and_describe_round_trips(self):
+        query = parse_query(
+            "RETURN g, COUNT(*) PATTERN SEQ(A+, B) "
+            "SEMANTICS skip-till-any-match GROUP-BY g WITHIN 7 events"
+        )
+        assert isinstance(query.window, CountWindowSpec)
+        assert query.window.count == 7
+        assert "WITHIN    7 events" in query.describe()
+        reparsed = parse_query(query.describe())
+        assert reparsed.window == query.window
+
+    def test_parser_rejects_slide_on_count_windows(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "RETURN COUNT(*) PATTERN SEQ(A, B) SEMANTICS any "
+                "WITHIN 7 events SLIDE 3 events"
+            )
+
+    def test_every_nth_event_closes_the_window(self):
+        query = parse_query(
+            "RETURN g, COUNT(*) PATTERN SEQ(A+, B) "
+            "SEMANTICS skip-till-any-match GROUP-BY g WITHIN 3 events"
+        )
+        executor = QueryExecutor(query)
+        events = [
+            Event("A", 1.0, {"g": "x"}),
+            Event("B", 2.0, {"g": "x"}),
+            Event("A", 3.0, {"g": "x"}),  # closes nothing: ordinal 2, window 0
+            Event("A", 4.0, {"g": "x"}),  # ordinal 3 opens window 1, closes 0
+            Event("B", 5.0, {"g": "x"}),
+        ]
+        collected = []
+        for event in events:
+            collected.extend(executor.process(event))
+        assert [result.window_id for result in collected] == [0]
+        assert collected[0].window_start == 0.0
+        assert collected[0].window_end == 3.0
+        assert collected[0]["COUNT(*)"] >= 1
+        tail = executor.flush()
+        assert [result.window_id for result in tail] == [1]
+
+    @given(
+        count=st.integers(min_value=1, max_value=7),
+        types=st.lists(st.sampled_from("AB"), min_size=1, max_size=40),
+    )
+    def test_streaming_matches_batch_and_checkpoint_split(self, count, types):
+        """One window per `count` events, identical across drive modes."""
+        query_text = (
+            "RETURN g, COUNT(*) PATTERN SEQ(A+, B) "
+            f"SEMANTICS skip-till-any-match GROUP-BY g WITHIN {count} events"
+        )
+        events = [
+            Event(event_type, float(index + 1), {"g": "xy"[index % 2]})
+            for index, event_type in enumerate(types)
+        ]
+
+        def run_split(cut):
+            from repro.streaming import StreamingRuntime
+
+            first = StreamingRuntime()
+            first.register(query_text, name="cw")
+            records = []
+            for event in events[:cut]:
+                records.extend(first.process(event))
+            state = first.checkpoint()
+            second = StreamingRuntime()
+            second.register(query_text, name="cw")
+            second.restore(state)
+            for event in events[cut:]:
+                records.extend(second.process(event))
+            records.extend(second.flush())
+            return [record.as_dict() for record in records]
+
+        executor = QueryExecutor(parse_query(query_text))
+        batch = executor.run(events)
+        whole = run_split(len(events))
+        halves = run_split(len(events) // 2)
+        assert whole == halves
+        assert len(batch) == sum(1 for _ in whole)

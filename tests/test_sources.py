@@ -237,6 +237,163 @@ class TestSocketJsonlSource:
         with pytest.raises(SourceError, match="cannot connect"):
             list(source)
 
+    def _serve_connections(self, payloads, drain=False):
+        """One accept per payload; each payload is sent raw, then closed.
+
+        With ``drain=True`` the server then keeps accepting and immediately
+        closing connections (clean EOFs) until the listener is closed, so a
+        reconnecting client runs its retry budget down deterministically
+        instead of hanging in the accept backlog.
+        """
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(len(payloads))
+
+        def run():
+            for payload in payloads:
+                connection, _ = server.accept()
+                with connection:
+                    if payload:
+                        connection.sendall(payload.encode("utf-8"))
+            if drain:
+                server.settimeout(0.05)
+                while True:
+                    try:
+                        connection, _ = server.accept()
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        return
+                    connection.close()
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return server, thread
+
+    def test_complete_trailing_fragment_is_delivered(self):
+        # the peer wrote a full record but died before the newline
+        payload = event_line("A", 1.0, g="x") + "\n" + event_line("A", 2.0, g="x")
+        server, thread = self._serve_connections([payload])
+        try:
+            source = SocketJsonlSource("127.0.0.1", server.getsockname()[1])
+            events = list(source)
+        finally:
+            thread.join()
+            server.close()
+        assert [event.time for event in events] == [1.0, 2.0]
+
+    def test_truncated_trailing_fragment_is_dropped(self):
+        payload = event_line("A", 1.0, g="x") + "\n" + '{"type": "A", "ti'
+        server, thread = self._serve_connections([payload])
+        try:
+            source = SocketJsonlSource("127.0.0.1", server.getsockname()[1])
+            events = list(source)
+        finally:
+            thread.join()
+            server.close()
+        assert [event.time for event in events] == [1.0]
+
+    def test_reconnects_after_peer_drop_and_resumes(self):
+        first = event_line("A", 1.0, g="x") + "\n" + event_line("A", 2.0, g="x") + "\n"
+        second = event_line("B", 3.0, g="x") + "\n"
+        server, thread = self._serve_connections([first, second], drain=True)
+        sleeps = []
+        try:
+            source = SocketJsonlSource(
+                "127.0.0.1",
+                server.getsockname()[1],
+                max_retries=2,
+                base_backoff=0.01,
+                sleep=sleeps.append,
+            )
+            events = list(source)
+        finally:
+            server.close()
+            thread.join()
+        assert [event.time for event in events] == [1.0, 2.0, 3.0]
+        # sequences continue across the reconnect: no arrival index reuse
+        assert [event.sequence for event in events] == [0, 1, 2]
+        assert sleeps, "the reconnect should have backed off at least once"
+
+    def test_fragments_never_concatenate_across_connections(self):
+        # conn 1 drops halfway through a record; conn 2 starts fresh.  A
+        # buggy client would glue the halves into one (valid!) line.
+        half = '{"type": "A", "time": 1'
+        second = event_line("B", 9.0, g="x") + "\n"
+        server, thread = self._serve_connections([half, second], drain=True)
+        sleeps = []
+        try:
+            source = SocketJsonlSource(
+                "127.0.0.1",
+                server.getsockname()[1],
+                max_retries=2,
+                base_backoff=0.01,
+                sleep=sleeps.append,
+            )
+            events = list(source)
+        finally:
+            server.close()
+            thread.join()
+        assert [(event.event_type, event.time) for event in events] == [("B", 9.0)]
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        sleeps = []
+        source = SocketJsonlSource(
+            "127.0.0.1",
+            port,
+            connect_timeout=0.5,
+            max_retries=4,
+            base_backoff=0.1,
+            max_backoff=0.5,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(SourceError, match="cannot connect"):
+            list(source)
+        assert sleeps == [0.1, 0.2, 0.4, 0.5]
+
+    def test_cleanly_finished_producer_ends_the_stream_quietly(self):
+        # the producer sends everything, closes cleanly, and stops
+        # listening; a retrying client must end the stream, not raise
+        payload = event_line("A", 1.0, g="x") + "\n"
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+
+        def run():
+            connection, _ = server.accept()
+            server.close()  # reconnect attempts are refused from here on
+            with connection:
+                connection.sendall(payload.encode("utf-8"))
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        sleeps = []
+        try:
+            source = SocketJsonlSource(
+                "127.0.0.1",
+                server.getsockname()[1],
+                connect_timeout=0.5,
+                max_retries=2,
+                base_backoff=0.01,
+                sleep=sleeps.append,
+            )
+            events = list(source)
+        finally:
+            thread.join()
+        assert [event.time for event in events] == [1.0]
+
+    def test_retry_parameter_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SocketJsonlSource("h", 1, max_retries=-1)
+        with pytest.raises(ValueError, match="base_backoff"):
+            SocketJsonlSource("h", 1, base_backoff=0.0)
+        with pytest.raises(ValueError, match="max_backoff"):
+            SocketJsonlSource("h", 1, base_backoff=1.0, max_backoff=0.5)
+
 
 class TestOpenSource:
     def test_dash_reads_stdin(self, monkeypatch):
