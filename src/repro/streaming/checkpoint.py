@@ -590,7 +590,11 @@ class CheckpointStore:
                 f"produced by runtime.checkpoint()?"
             )
         if self.max_state_bytes is not None:
-            state_bytes = len(json.dumps(snapshot.get("executors", {})))
+            # encode: the quota is a byte count, and non-ASCII state
+            # serializes to more bytes than characters
+            state_bytes = len(
+                json.dumps(snapshot.get("executors", {})).encode("utf-8")
+            )
             if state_bytes > self.max_state_bytes:
                 owner = f"tenant {self.tenant!r}" if self.tenant else "this store"
                 raise StateQuotaError(

@@ -1021,9 +1021,10 @@ class TenantConfig:
     Every limit is optional (``None`` means unlimited):
 
     * ``max_events_per_second`` throttles the tenant's jobs at the source
-      driver via a token bucket -- the scheduler feeds a job only the
-      events its bucket can pay for, so a tenant over its rate is slowed,
-      never failed;
+      driver via one token bucket *shared by all the tenant's jobs* (N
+      concurrent jobs split the rate, they do not each get it) -- the
+      scheduler feeds a job only the events the bucket can pay for, so a
+      tenant over its rate is slowed, never failed;
     * ``burst`` is the bucket capacity (defaults to one second's worth of
       tokens), bounding how far a briefly-idle tenant can catch up;
     * ``max_state_bytes`` caps the serialized aggregator state of each

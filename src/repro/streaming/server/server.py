@@ -108,6 +108,7 @@ class ServerJob:
         tenant: TenantConfig,
         config: JobConfig,
         queue_slices: int,
+        bucket: Optional[TokenBucket] = None,
     ):
         self.job_id = job_id
         self.tenant = tenant
@@ -131,11 +132,9 @@ class ServerJob:
         self.runtime = None
         self.sink = None
         self.store: Optional[CheckpointStore] = None
-        self.bucket: Optional[TokenBucket] = None
-        if tenant.max_events_per_second is not None:
-            self.bucket = TokenBucket(
-                tenant.max_events_per_second, capacity=tenant.burst
-            )
+        #: the tenant's rate limiter, shared with every other job of the
+        #: same tenant so N concurrent jobs split one quota, not get N
+        self.bucket = bucket
 
     # -- feeder ----------------------------------------------------------------
 
@@ -233,6 +232,9 @@ class JobServer:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._jobs: Dict[str, ServerJob] = {}
         self._order: List[str] = []
+        #: one shared TokenBucket per tenant name, so the rate quota is a
+        #: tenant-level bound no matter how many jobs the tenant runs
+        self._buckets: Dict[str, TokenBucket] = {}
         self._lock = threading.RLock()
         self._counter = 0
         self._stop = threading.Event()
@@ -332,7 +334,13 @@ class JobServer:
                     )
             self._counter += 1
             job_id = f"job-{self._counter:04d}"
-            job = ServerJob(job_id, quotas, config, self.config.queue_slices)
+            job = ServerJob(
+                job_id,
+                quotas,
+                config,
+                self.config.queue_slices,
+                bucket=self._tenant_bucket(quotas),
+            )
             self._jobs[job_id] = job
             self._order.append(job_id)
         try:
@@ -348,6 +356,18 @@ class JobServer:
             job.state = RUNNING
         job.start_feeder()
         return job_id
+
+    def _tenant_bucket(self, tenant: TenantConfig) -> Optional[TokenBucket]:
+        """The tenant's shared rate limiter (lazily created; call locked)."""
+        if tenant.max_events_per_second is None:
+            return None
+        bucket = self._buckets.get(tenant.name)
+        if bucket is None:
+            bucket = TokenBucket(
+                tenant.max_events_per_second, capacity=tenant.burst
+            )
+            self._buckets[tenant.name] = bucket
+        return bucket
 
     def _build_pipeline(self, job: ServerJob) -> None:
         """Resolve one job's runtime/source/sink/store, namespaced to it."""
@@ -529,6 +549,13 @@ class JobServer:
                 self._finish(job)
                 return True
             return False
+        if not job.session.sink_ready():
+            # per-job backpressure: this job waits, the others do not.
+            # Checked before the token bucket so a deferred batch neither
+            # pays for tokens it cannot use (double-charging on retry)
+            # nor loses an ungranted suffix to the pending-batch slot.
+            job.pending_batch = batch
+            return False
         if job.bucket is not None:
             allowed = job.bucket.grant(len(batch))
             if allowed == 0:
@@ -537,10 +564,6 @@ class JobServer:
             if allowed < len(batch):
                 job.pending_batch = batch[allowed:]
                 batch = batch[:allowed]
-        if not job.session.sink_ready():
-            # per-job backpressure: this job waits, the others do not
-            job.pending_batch = batch
-            return False
         try:
             records = list(job.session.step(batch))
         except Exception as exc:

@@ -324,18 +324,20 @@ class SocketJsonlSource(EventSource):
     * **Partial lines.**  A peer that drops mid-record leaves a trailing
       fragment without a newline.  If the fragment parses as a complete
       JSON event it is delivered (the peer wrote the record but died before
-      the newline); a truncated fragment is discarded.  Fragments never
-      concatenate across connections -- a reconnected peer starts on a
-      fresh line.
+      the newline) and refills the retry budget like any other event; a
+      truncated fragment is discarded.  Either way the close counts as a
+      *dirty* drop, not an orderly EOF.  Fragments never concatenate
+      across connections -- a reconnected peer starts on a fresh line.
     * **Reconnects.**  With ``max_retries > 0`` a dropped or refused
       connection is retried with capped exponential backoff
       (``base_backoff * 2^n``, capped at ``max_backoff``); every delivered
       event refills the retry budget, so the budget bounds *consecutive*
       failures, not total reconnects over the stream's lifetime.  When the
       budget runs out the stream ends normally if the last peer closed
-      cleanly, or raises :class:`~repro.errors.SourceError` if it dropped.
-      The default ``max_retries=0`` preserves the historical single-shot
-      behaviour.
+      cleanly, or raises :class:`~repro.errors.SourceError` if it dropped
+      -- including a mid-record (partial-line) drop.  The default
+      ``max_retries=0`` preserves the historical single-shot behaviour:
+      any peer close, even mid-record, simply ends the stream.
     """
 
     def __init__(
@@ -425,16 +427,20 @@ class SocketJsonlSource(EventSource):
                 continue
             connected_once = True
             dropped: Optional[OSError] = None
+            partial = False
             try:
                 while True:
                     line = self._file.readline()
                     if not line:
                         break  # clean EOF: the peer closed the connection
                     if not line.endswith("\n"):
-                        # the peer dropped mid-record: deliver the fragment
-                        # if it is a complete JSON event, discard it if it
-                        # was truncated mid-write; either way it never
-                        # concatenates with the next connection's first line
+                        # the peer dropped mid-record -- a dirty disconnect,
+                        # even though readline raised nothing.  Deliver the
+                        # fragment if it is a complete JSON event, discard
+                        # it if it was truncated mid-write; either way it
+                        # never concatenates with the next connection's
+                        # first line
+                        partial = True
                         try:
                             event = parse_jsonl_line(line, default_sequence=index)
                         except InvalidEventError:
@@ -442,6 +448,7 @@ class SocketJsonlSource(EventSource):
                         if event is not None:
                             yield event
                             index += 1
+                            failures = 0  # delivered data refills the budget
                         break
                     event = parse_jsonl_line(line, default_sequence=index)
                     if event is not None:
@@ -454,7 +461,7 @@ class SocketJsonlSource(EventSource):
                 self._disconnect()
             if self._closed:
                 return
-            clean_close = dropped is None
+            clean_close = dropped is None and not partial
             failures += 1
             if failures > self._max_retries:
                 if dropped is not None:
@@ -462,6 +469,15 @@ class SocketJsonlSource(EventSource):
                         f"connection to {self._host}:{self._port} failed "
                         f"mid-stream: {dropped}"
                     ) from dropped
+                if partial and self._max_retries > 0:
+                    # a retrying client ran its budget down on dirty
+                    # mid-record drops -- data was lost, say so.  (In
+                    # single-shot mode a partial line stays the historical
+                    # quiet end of stream.)
+                    raise SourceError(
+                        f"connection to {self._host}:{self._port} dropped "
+                        f"mid-record and the retry budget is exhausted"
+                    )
                 return  # clean close and no retry budget left: end of stream
             self._backoff(failures)
 

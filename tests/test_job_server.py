@@ -44,7 +44,7 @@ from repro.streaming.server import (
     JobServerClient,
     TokenBucket,
 )
-from repro.streaming.server.server import error_kind
+from repro.streaming.server.server import ServerJob, error_kind
 
 LATENESS = 5.0
 
@@ -412,6 +412,70 @@ class TestQuotas:
             # 100 events at 50/s with a 50-token burst needs about a second
             assert elapsed >= 0.8
 
+    def test_rate_quota_is_shared_across_a_tenants_concurrent_jobs(
+        self, tmp_path
+    ):
+        # the quota is a tenant-level bound: two concurrent jobs split one
+        # token bucket rather than each getting the full configured rate
+        events = write_stream(tmp_path / "events.jsonl", make_stream(100))
+        config = ServerConfig(
+            tenants=(
+                TenantConfig("slow", max_events_per_second=100.0, burst=100.0),
+            )
+        )
+        with JobServer(config) as server:
+            started = time.monotonic()
+            first = server.submit(job_dict(events), tenant="slow")
+            second = server.submit(job_dict(events), tenant="slow")
+            assert server._jobs[first].bucket is server._jobs[second].bucket
+            assert server.wait(first, timeout=30.0)["state"] == DONE
+            assert server.wait(second, timeout=30.0)["state"] == DONE
+            elapsed = time.monotonic() - started
+            # 200 events total at a shared 100/s with a 100-token burst
+            # needs about a second; per-job buckets would finish instantly
+            assert elapsed >= 0.8
+
+    def test_sink_backpressure_defers_the_whole_rate_capped_batch(
+        self, tmp_path
+    ):
+        # regression: with a partial token grant and a not-ready sink, the
+        # old order granted first and then overwrote the stored suffix
+        # with the prefix -- silently dropping events -- while charging
+        # tokens the deferred batch never used
+        class StubSession:
+            def __init__(self):
+                self.ready = False
+                self.stepped = []
+
+            def sink_ready(self):
+                return self.ready
+
+            def step(self, batch):
+                self.stepped.extend(batch)
+                return []
+
+            def close(self):
+                pass
+
+        clock = FakeClock()
+        bucket = TokenBucket(4.0, capacity=4.0, clock=clock)
+        tenant = TenantConfig("slow", max_events_per_second=4.0, burst=4.0)
+        job = ServerJob("job-0001", tenant, None, 4, bucket=bucket)
+        job.session = StubSession()
+        batch = list(range(10))
+        job.pending_batch = list(batch)
+        server = JobServer(ServerConfig(dir=str(tmp_path)))
+        # sink not ready: the whole batch stays pending, no tokens spent
+        assert server._advance(job) is False
+        assert job.pending_batch == batch
+        assert bucket.available == pytest.approx(4.0)
+        # sink drains: the affordable prefix runs, the suffix stays
+        job.session.ready = True
+        assert server._advance(job) is True
+        assert job.session.stepped == batch[:4]
+        assert job.pending_batch == batch[4:]
+        assert bucket.available == pytest.approx(0.0)
+
     def test_state_quota_fails_the_job_mid_checkpoint(self, tmp_path):
         # every event its own group: aggregator state grows monotonically
         events = write_stream(
@@ -460,6 +524,31 @@ class TestQuotas:
         assert excinfo.value.limit_bytes == 32
         assert excinfo.value.state_bytes > 32
         store.close()
+
+    def test_state_quota_counts_utf8_bytes_not_characters(self, tmp_path):
+        # the quota is a byte count: measure the encoded serialization,
+        # not len() of the (possibly escaped) string
+        executors = {
+            "q0": {
+                "events_seen": 1,
+                "last_time": 0.0,
+                "aggregators": [[0, ["é" * 8], {"count": 1}]],
+            }
+        }
+        snapshot = {"version": CHECKPOINT_VERSION, "executors": executors}
+        measured = len(json.dumps(executors).encode("utf-8"))
+        exact = CheckpointStore(
+            tmp_path / "exact", max_state_bytes=measured, tenant="t"
+        )
+        assert exact.save(snapshot) is not None  # exactly at quota fits
+        exact.close()
+        tight = CheckpointStore(
+            tmp_path / "tight", max_state_bytes=measured - 1, tenant="t"
+        )
+        with pytest.raises(StateQuotaError) as excinfo:
+            tight.save(snapshot)
+        assert excinfo.value.state_bytes == measured
+        tight.close()
 
     def test_unknown_tenant_is_rejected_when_tenants_are_declared(self, tmp_path):
         events = write_stream(tmp_path / "events.jsonl", make_stream())

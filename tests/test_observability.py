@@ -617,8 +617,23 @@ class TestShardedParity:
             for index, event in enumerate(events):
                 if index == rebalance_at:
                     slots = rng.sample(range(runtime._router.slots), 4)
+                    # always pick a target other than the slot's current
+                    # owner: no-op reassignments are dropped, and a purely
+                    # random draw can make every move a no-op, leaving no
+                    # rebalance trace in the lifecycle histogram
                     runtime.rebalance(
-                        [(slot, rng.randrange(runtime.shard_count)) for slot in slots]
+                        [
+                            (
+                                slot,
+                                (
+                                    runtime._router.assignment[slot]
+                                    + 1
+                                    + rng.randrange(runtime.shard_count - 1)
+                                )
+                                % runtime.shard_count,
+                            )
+                            for slot in slots
+                        ]
                     )
                 if index == kill_at:
                     kill_worker(runtime, rng.randrange(runtime.shard_count))

@@ -386,6 +386,81 @@ class TestSocketJsonlSource:
             thread.join()
         assert [event.time for event in events] == [1.0]
 
+    def test_mid_record_drop_with_failed_reconnects_raises(self):
+        # the peer dies mid-record and never comes back: a retrying
+        # client must report the dirty drop, not end the stream quietly
+        payload = event_line("A", 1.0, g="x") + "\n" + '{"type": "A", "ti'
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+
+        def run():
+            connection, _ = server.accept()
+            server.close()  # reconnect attempts are refused from here on
+            with connection:
+                connection.sendall(payload.encode("utf-8"))
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            source = SocketJsonlSource(
+                "127.0.0.1",
+                server.getsockname()[1],
+                connect_timeout=0.5,
+                max_retries=2,
+                base_backoff=0.01,
+                sleep=lambda _delay: None,
+            )
+            with pytest.raises(SourceError, match="cannot reconnect"):
+                list(source)
+        finally:
+            thread.join()
+
+    def test_repeated_mid_record_drops_exhaust_the_budget_and_raise(self):
+        # every connection truncates mid-write: no delivered event ever
+        # refills the budget, so the third dirty drop must raise instead
+        # of silently ending the stream with data missing
+        half = '{"type": "A", "time": 1'
+        server, thread = self._serve_connections([half, half, half])
+        try:
+            source = SocketJsonlSource(
+                "127.0.0.1",
+                server.getsockname()[1],
+                max_retries=2,
+                base_backoff=0.01,
+                sleep=lambda _delay: None,
+            )
+            with pytest.raises(SourceError, match="dropped mid-record"):
+                list(source)
+        finally:
+            thread.join()
+            server.close()
+
+    def test_delivered_fragment_refills_the_retry_budget(self):
+        # each connection ends mid-record but the fragment is a complete
+        # event: delivery refills the budget like any other event, so a
+        # budget of one survives two consecutive fragment closes
+        payloads = [
+            event_line("A", 1.0, g="x"),  # no trailing newline
+            event_line("A", 2.0, g="x"),  # no trailing newline
+            event_line("B", 3.0, g="x") + "\n",
+        ]
+        server, thread = self._serve_connections(payloads, drain=True)
+        try:
+            source = SocketJsonlSource(
+                "127.0.0.1",
+                server.getsockname()[1],
+                max_retries=1,
+                base_backoff=0.01,
+                sleep=lambda _delay: None,
+            )
+            events = list(source)
+        finally:
+            server.close()
+            thread.join()
+        assert [event.time for event in events] == [1.0, 2.0, 3.0]
+        assert [event.sequence for event in events] == [0, 1, 2]
+
     def test_retry_parameter_validation(self):
         with pytest.raises(ValueError, match="max_retries"):
             SocketJsonlSource("h", 1, max_retries=-1)
