@@ -64,6 +64,7 @@ from repro.streaming.config import (
     ObsConfig,
     QueryConfig,
     RebalanceConfig,
+    ReplanConfig,
     ShardConfig,
     SinkConfig,
     SourceConfig,
@@ -84,6 +85,7 @@ from repro.streaming.observability import (
     snapshot_quantile,
     snapshot_value,
 )
+from repro.streaming.replan import QueryObservation, ReplanPolicy
 from repro.streaming.runtime import StreamingRuntime, group_results
 from repro.streaming.sharded import RebalancePolicy, ShardedRuntime, ShardRouter
 from repro.streaming.sources import (
@@ -140,8 +142,11 @@ __all__ = [
     "Query",
     "QueryBuilder",
     "QueryConfig",
+    "QueryObservation",
     "RebalanceConfig",
     "RebalancePolicy",
+    "ReplanConfig",
+    "ReplanPolicy",
     "Semantics",
     "Sequence",
     "ShardConfig",

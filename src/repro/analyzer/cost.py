@@ -27,7 +27,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.analyzer.granularity import Granularity
+from repro.analyzer.granularity import Granularity, allowed_granularities
 from repro.analyzer.plan import CograPlan, plan_query
 from repro.query.query import Query
 from repro.query.semantics import Semantics
@@ -205,11 +205,127 @@ def compare_granularities(
     This is the static counterpart of the ablation benchmark: it shows what
     forcing a finer granularity would cost before running anything.
     """
-    from repro.analyzer.granularity import allowed_granularities
-
     plan = plan_query(query)
     estimates: Dict[str, CostEstimate] = {}
     for granularity in allowed_granularities(plan.semantics, plan.classification):
         forced = plan_query(query, forced_granularity=granularity)
         estimates[granularity.value] = estimate_cost(forced, events_per_window)
     return estimates
+
+
+# ---------------------------------------------------------------------------
+# observed-statistics mode (adaptive re-planning)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObservedStatistics:
+    """Runtime statistics measured by the streaming runtime for one query.
+
+    Unlike the assumptions fed to :func:`estimate_cost`, these come from the
+    live stream: the running mean of events processed per open ``(window,
+    group)`` sub-stream and the fraction of processed events that bound to
+    some pattern variable.  Together they yield a *fractional* estimate of
+    the events each event-grained variable stores -- the quantity that
+    decides whether paying per-stored-event (event/mixed granularity) is
+    cheaper than paying per-variable (type granularity).
+    """
+
+    #: mean events processed per open (window, group) sub-stream
+    events_per_substream: float
+    #: fraction of processed events that matched some pattern variable
+    match_rate: float = 1.0
+
+    def stored_per_variable(self, pattern_length: int) -> float:
+        """Expected stored events per event-grained variable (fractional).
+
+        The static model clamps this to ``>= 1``; the observed model keeps
+        the fraction because sparse sub-streams (fewer matched events than
+        variables) are exactly where event granularity wins.
+        """
+        matched = max(0.0, self.match_rate) * max(0.0, self.events_per_substream)
+        return matched / max(1, pattern_length)
+
+
+def observed_updates_per_event(plan: CograPlan, observed: ObservedStatistics) -> float:
+    """Expected accumulator updates per event under ``plan``'s granularity.
+
+    The observed counterpart of ``estimated_updates_per_event`` in
+    :func:`estimate_cost`: pattern granularity touches one cell, type
+    granularity one per variable (``l``), and the event-grained variables of
+    mixed/event plans touch one cell per *stored* event -- here the observed
+    fractional estimate rather than a static assumption.  For a pattern of
+    length ``l`` the type/event crossover sits exactly at one stored event
+    per variable.
+    """
+    length = plan.automaton.length
+    stored = observed.stored_per_variable(length)
+    granularity = plan.granularity
+    if granularity is Granularity.PATTERN:
+        return 1.0
+    if granularity is Granularity.TYPE:
+        return float(length)
+    if granularity is Granularity.MIXED:
+        return float(len(plan.type_grained)) + len(plan.event_grained) * stored
+    return length * stored  # EVENT granularity
+
+
+def compare_observed_costs(
+    query_or_plan,
+    observed: ObservedStatistics,
+    allowed: Optional[Tuple[Granularity, ...]] = None,
+) -> Dict[Granularity, float]:
+    """Observed per-event update cost of every correct granularity.
+
+    Keys iterate coarsest-first (the order of
+    :func:`~repro.analyzer.granularity.allowed_granularities`), so a plain
+    ``min`` over the dictionary breaks cost ties toward the coarser plan.
+    ``allowed`` restricts the candidates (the replan loop excludes mixed
+    granularity for negated queries, whose mixed bookkeeping is not
+    implemented).
+    """
+    plan = (
+        query_or_plan
+        if isinstance(query_or_plan, CograPlan)
+        else plan_query(query_or_plan)
+    )
+    if allowed is None:
+        allowed = allowed_granularities(plan.semantics, plan.classification)
+    costs: Dict[Granularity, float] = {}
+    for granularity in allowed:
+        forced = (
+            plan
+            if plan.granularity is granularity
+            else plan_query(plan.query, forced_granularity=granularity)
+        )
+        costs[granularity] = observed_updates_per_event(forced, observed)
+    return costs
+
+
+def recommend_granularity(
+    query_or_plan,
+    observed: ObservedStatistics,
+    current: Optional[Granularity] = None,
+    hysteresis: float = 0.0,
+    allowed: Optional[Tuple[Granularity, ...]] = None,
+) -> Granularity:
+    """Granularity the observed statistics recommend, with hysteresis.
+
+    Without ``current`` this is a pure argmin over
+    :func:`compare_observed_costs` (ties go to the coarser granularity).
+    With ``current``, the recommendation only moves away from it when the
+    current cost *strictly* exceeds the best cost by more than the
+    ``hysteresis`` fraction -- a query sitting exactly on the boundary keeps
+    its plan, so borderline queries do not flap.
+    """
+    costs = compare_observed_costs(query_or_plan, observed, allowed=allowed)
+    best = min(costs, key=costs.__getitem__)
+    if current is None:
+        return best
+    if isinstance(current, str):
+        current = Granularity(current)
+    if current not in costs:
+        return best
+    if costs[current] > costs[best] * (1.0 + hysteresis):
+        return best
+    return current

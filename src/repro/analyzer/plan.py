@@ -96,7 +96,13 @@ class CograPlan:
         if forced is None:
             return self.selected_granularity
         if isinstance(forced, str):
-            forced = Granularity(forced)
+            try:
+                forced = Granularity(forced)
+            except ValueError:
+                raise PlanningError(
+                    f"unknown granularity {forced!r}; valid values: "
+                    f"{[g.value for g in Granularity]}"
+                ) from None
         allowed = allowed_granularities(self.query.semantics, self.classification)
         if forced not in allowed:
             raise PlanningError(

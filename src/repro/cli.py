@@ -384,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         "a --config file",
     )
     stream.add_argument(
+        "--replan",
+        action="store_true",
+        help="adaptively re-plan each query's aggregation granularity from "
+        "the observed stream statistics (live migration, results "
+        "unchanged); tune via the replan.* keys of a --config file",
+    )
+    stream.add_argument(
         "--metrics",
         action="store_true",
         help="print throughput / latency / watermark-lag metrics to stderr",
@@ -689,6 +696,9 @@ def _stream_flag_overrides(args) -> dict:
         # a nested layer: deep-merging preserves any shards.rebalance.*
         # tuning keys a --config file provides alongside the flag
         put("shards", "rebalance", {"enabled": True})
+    if args.replan:
+        # same deep-merge story for a config file's replan.* tuning keys
+        put("replan", "enabled", True)
     if args.checkpoint_dir is not None:
         put("checkpoint", "dir", args.checkpoint_dir)
     if args.checkpoint_interval is not None:

@@ -55,7 +55,7 @@ from repro.core.aggregate_state import TrendAccumulator
 from repro.core.base import SubstreamAggregator
 from repro.core.event_grained import EventGrainedAggregator
 from repro.core.pattern_grained import PatternGrainedAggregator
-from repro.errors import InvalidPatternError
+from repro.errors import InvalidPatternError, PlanningError
 from repro.events.event import Event
 from repro.query.ast import EventTypePattern, Negation, Pattern, Sequence
 from repro.query.query import Query
@@ -247,6 +247,15 @@ def plan_negated_query(
     type-grained half of a mixed plan is not implemented.
     """
     analysis = analyze_negations(query.pattern)
+    if (
+        analysis.has_negations
+        and (forced_granularity is Granularity.MIXED or forced_granularity == "mixed")
+    ):
+        raise PlanningError(
+            "granularity 'mixed' cannot be forced on a query with negated "
+            "sub-patterns (the type-grained half of the mixed bookkeeping is "
+            "not implemented); force 'event' instead"
+        )
     plan = plan_query(positive_query(query, analysis), forced_granularity=forced_granularity)
     if analysis.has_negations and plan.granularity is Granularity.MIXED:
         plan = plan_query(

@@ -56,6 +56,7 @@ from repro.streaming.config import (
     ObsConfig,
     QueryConfig,
     RebalanceConfig,
+    ReplanConfig,
     ServerConfig,
     ShardConfig,
     SinkConfig,
@@ -100,6 +101,12 @@ from repro.streaming.observability import (
     render_prometheus,
     snapshot_quantile,
     snapshot_value,
+)
+from repro.streaming.replan import (
+    QueryObservation,
+    ReplanController,
+    ReplanPolicy,
+    migrate_engine,
 )
 from repro.streaming.runtime import (
     DriveSession,
@@ -174,8 +181,12 @@ __all__ = [
     "PrometheusTextServer",
     "PunctuationWatermark",
     "QueryConfig",
+    "QueryObservation",
     "RebalanceConfig",
     "RebalancePolicy",
+    "ReplanConfig",
+    "ReplanController",
+    "ReplanPolicy",
     "STORE_VERSION",
     "ServerConfig",
     "ShardConfig",
@@ -206,6 +217,7 @@ __all__ = [
     "label_snapshot",
     "load_checkpoint",
     "merge_snapshots",
+    "migrate_engine",
     "open_sink",
     "open_source",
     "read_config_file",

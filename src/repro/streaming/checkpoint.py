@@ -35,6 +35,7 @@ from pathlib import Path
 from time import perf_counter as _perf_counter
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.analyzer.plan import plan_query
 from repro.core.aggregate_state import TrendAccumulator
 from repro.core.executor import QueryExecutor
 from repro.core.parallel import shard_index
@@ -231,6 +232,21 @@ _HANDLERS: Dict[str, Tuple[Callable, Callable]] = {
     "NegationEventGrainedAggregator": (_extract_negation_event, _apply_negation_event),
 }
 
+#: aggregator class name -> the granularity whose plan builds it.  After a
+#: live granularity migration (:mod:`repro.streaming.replan`) a snapshot may
+#: hold aggregators of the *previous* granularity for still-open windows;
+#: :func:`restore_executor` uses this map to rebuild each one under a plan
+#: forced to its recorded granularity instead of the executor's current one.
+_CLASS_GRANULARITY = {
+    "PatternGrainedAggregator": "pattern",
+    "TypeGrainedAggregator": "type",
+    "MixedGrainedAggregator": "mixed",
+    "EventGrainedAggregator": "event",
+    "NegationPatternGrainedAggregator": "pattern",
+    "NegationTypeGrainedAggregator": "type",
+    "NegationEventGrainedAggregator": "event",
+}
+
 
 def snapshot_aggregator(aggregator) -> Dict[str, object]:
     """JSON-safe representation of one sub-stream aggregator."""
@@ -298,10 +314,19 @@ def restore_executor(executor: QueryExecutor, state: Dict[str, object]) -> None:
     executor._last_time = None if last_time is None else float(last_time)
     executor._aggregators = {}
     executor._window_groups = {}
+    # after a granularity migration still-open windows keep aggregators of
+    # the previous granularity; rebuild those under a plan forced to their
+    # recorded granularity (restore_aggregator_state stays the final check)
+    plans = {granularity: executor.plan}
     for window_id, key_values, aggregator_state in state["aggregators"]:
         window_id = int(window_id)
         key = tuple(key_values)
-        aggregator = executor._aggregator_factory(executor.plan)
+        recorded = _CLASS_GRANULARITY.get(aggregator_state["class"], granularity)
+        plan = plans.get(recorded)
+        if plan is None:
+            plan = plan_query(executor.plan.query, forced_granularity=recorded)
+            plans[recorded] = plan
+        aggregator = executor._aggregator_factory(plan)
         restore_aggregator_state(aggregator, aggregator_state)
         executor._aggregators[(window_id, key)] = aggregator
         executor._window_groups.setdefault(window_id, set()).add(key)

@@ -313,6 +313,58 @@ class RebalanceConfig:
 
 
 @dataclass(frozen=True)
+class ReplanConfig:
+    """Adaptive granularity re-planning: the online cost-model control loop.
+
+    With ``enabled`` the runtime periodically re-evaluates the cost model
+    against *observed* per-query statistics (mean events per open
+    sub-stream, match rate) and live-migrates a query whose chosen
+    granularity stopped being optimal -- through the checkpoint
+    snapshot/restore path, so answers never change, only cost.
+    ``check_interval_events`` is the number of ingested events between
+    checks; ``hysteresis`` is the fractional cost margin the current plan
+    must be beaten by before a migration happens (borderline queries keep
+    their plan instead of flapping); ``max_migrations`` caps the queries
+    migrated per check; ``ewma_alpha`` is the smoothing factor of the
+    observed-statistics EWMAs (1.0 trusts only the latest check).
+    """
+
+    enabled: bool = False
+    check_interval_events: int = 2048
+    hysteresis: float = 0.25
+    max_migrations: int = 4
+    ewma_alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require_bool(self.enabled, "replan enabled")
+        if (
+            not isinstance(self.hysteresis, (int, float))
+            or isinstance(self.hysteresis, bool)
+            or not self.hysteresis >= 0.0
+        ):
+            raise ConfigError(
+                f"replan hysteresis must be a non-negative number (the "
+                f"fractional cost margin before a migration), got "
+                f"{self.hysteresis!r}"
+            )
+        for name in ("check_interval_events", "max_migrations"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigError(
+                    f"replan {name} must be a positive integer, got {value!r}"
+                )
+        if (
+            not isinstance(self.ewma_alpha, (int, float))
+            or isinstance(self.ewma_alpha, bool)
+            or not 0.0 < self.ewma_alpha <= 1.0
+        ):
+            raise ConfigError(
+                f"replan ewma_alpha must be a number in (0, 1], got "
+                f"{self.ewma_alpha!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ShardConfig:
     """The process topology: worker count and batching/recovery knobs.
 
@@ -790,6 +842,7 @@ class JobConfig:
     sink: SinkConfig = field(default_factory=SinkConfig)
     backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     observability: ObsConfig = field(default_factory=ObsConfig)
+    replan: ReplanConfig = field(default_factory=ReplanConfig)
     emit_empty_groups: bool = False
 
     def __post_init__(self) -> None:
@@ -800,6 +853,16 @@ class JobConfig:
             if not isinstance(query, QueryConfig):
                 raise ConfigError(f"queries must be QueryConfig entries, got {query!r}")
         _require_bool(self.emit_empty_groups, "emit_empty_groups")
+        if isinstance(self.replan, dict):
+            context = "the 'replan' section"
+            section = _require_mapping(self.replan, context)
+            _check_unknown_keys(ReplanConfig, section, context)
+            object.__setattr__(self, "replan", ReplanConfig(**section))
+        elif not isinstance(self.replan, ReplanConfig):
+            raise ConfigError(
+                f"replan must be a ReplanConfig or an object of settings "
+                f"(e.g. {{'enabled': true}}), got {self.replan!r}"
+            )
 
     # -- serialization ---------------------------------------------------------
 
@@ -824,6 +887,7 @@ class JobConfig:
             "sink": SinkConfig,
             "backpressure": BackpressureConfig,
             "observability": ObsConfig,
+            "replan": ReplanConfig,
         }
         for key, value in data.items():
             if key == "queries":
@@ -974,6 +1038,7 @@ class JobConfig:
                 max_inflight=self.backpressure.max_inflight,
                 observability=observability,
                 ship_serialized=self.batch.ship_serialized,
+                replan=self.replan,
             )
         else:
             from repro.streaming.runtime import StreamingRuntime
@@ -983,6 +1048,7 @@ class JobConfig:
                 late_policy=self.late.policy,
                 emit_empty_groups=self.emit_empty_groups,
                 observability=observability,
+                replan=self.replan,
             )
         if register:
             for name, query in zip(self.resolved_names(), self.queries):

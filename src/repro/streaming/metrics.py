@@ -83,6 +83,16 @@ _COUNTER_METRICS = {
         "cogra_backpressure_waits_total",
         "times ingestion paused for downstream capacity",
     ),
+    "replan_cycles": (
+        "counter",
+        "cogra_replan_cycles_total",
+        "granularity replan checks that evaluated the cost model",
+    ),
+    "replan_migrations": (
+        "counter",
+        "cogra_replan_migrations_total",
+        "live granularity migrations performed by replans",
+    ),
 }
 
 
@@ -115,13 +125,19 @@ class StreamingMetrics:
         "rebalance_slots_moved",
         "rebalance_keys_moved",
         "backpressure_waits",
+        "replan_cycles",
+        "replan_migrations",
     )
 
     #: timer attributes: wall-clock accumulations measured in THIS process.
     #: Unlike :attr:`COUNTERS` they are deliberately NOT part of
     #: :meth:`snapshot` -- a checkpoint restored elsewhere cannot continue
     #: another process's wall-clock -- and :meth:`restore` resets them.
-    TIMERS = ("rebalance_pause_seconds", "backpressure_seconds")
+    TIMERS = (
+        "rebalance_pause_seconds",
+        "replan_pause_seconds",
+        "backpressure_seconds",
+    )
 
     def __init__(
         self,
@@ -138,6 +154,9 @@ class StreamingMetrics:
         #: wall-clock seconds ingestion paused for shard migrations; a
         #: timer (see :attr:`TIMERS`), so not part of checkpoints
         self.rebalance_pause_seconds = 0.0
+        #: wall-clock seconds ingestion paused for granularity migrations;
+        #: a timer like rebalance_pause_seconds
+        self.replan_pause_seconds = 0.0
         # backpressure_seconds is a timer like rebalance_pause_seconds but
         # registry-backed so the exporters surface it next to the waits
         # counter; the property below keeps plain attribute access working
@@ -230,6 +249,13 @@ class StreamingMetrics:
         self._children["rebalance_slots_moved"].inc(slots)
         self._children["rebalance_keys_moved"].inc(keys)
         self.rebalance_pause_seconds += pause_seconds
+
+    def record_replan(self, migrations: int, pause_seconds: float) -> None:
+        """Account one granularity replan check (and its migrations)."""
+        self._children["replan_cycles"].inc()
+        if migrations:
+            self._children["replan_migrations"].inc(migrations)
+        self.replan_pause_seconds += pause_seconds
 
     def record_backpressure(self, seconds: float) -> None:
         """Account one ingestion pause waiting for downstream capacity."""
@@ -389,6 +415,9 @@ class StreamingMetrics:
             f"(slots={self.rebalance_slots_moved}, "
             f"keys={self.rebalance_keys_moved}, "
             f"pause={self.rebalance_pause_seconds * 1000.0:.1f} ms)",
+            f"replans             : {self.replan_cycles} checks "
+            f"(migrations={self.replan_migrations}, "
+            f"pause={self.replan_pause_seconds * 1000.0:.1f} ms)",
             f"backpressure        : {self.backpressure_waits} waits "
             f"({self.backpressure_seconds * 1000.0:.1f} ms paused)",
         ]

@@ -85,6 +85,7 @@ import traceback
 import warnings
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.analyzer.granularity import Granularity
 from repro.core.engine import CograEngine
 from repro.core.parallel import shard_index
 from repro.core.results import GroupResult
@@ -118,6 +119,15 @@ from repro.streaming.observability import (
     Observability,
     finalize_snapshot,
     merge_snapshots,
+)
+from repro.streaming.replan import (
+    ReplanController,
+    ReplanPolicy,
+    merge_raw_observations,
+    migrate_engine,
+    observe_executor,
+    observe_instruments,
+    resolve_replan_policy,
 )
 from repro.streaming.runtime import (
     PipelineDriver,
@@ -659,6 +669,27 @@ def _worker_loop(
                 elif isinstance(registry_action, dict):
                     runtime.observability.registry.restore(registry_action)
                 outbox.put(("ok", epoch, shard, None, 0.0))
+            elif op == "observe":
+                # raw replan statistics per query; the parent merges the
+                # shard views and decides centrally (repro.streaming.replan)
+                payload = {
+                    "observe": {
+                        registered.name: observe_instruments(
+                            observe_executor(registered.executor),
+                            registered.instruments,
+                        )
+                        for registered in runtime._queries
+                    }
+                }
+                outbox.put(("ok", epoch, shard, payload, 0.0))
+            elif op == "replan":
+                # live granularity migration, parent-coordinated: arrives
+                # between shipped waves, so the local executor is quiescent
+                name, granularity = message[2], message[3]
+                migrate_engine(runtime._by_name[name].engine, granularity)
+                outbox.put(
+                    ("ok", epoch, shard, None, _time.perf_counter() - started)
+                )
             else:
                 raise ValueError(f"unknown worker operation {op!r}")
         except Exception:
@@ -738,6 +769,14 @@ class ShardedRuntime(PipelineDriver):
         debugging the wire protocol -- plain messages are inspectable in
         queue dumps and tracebacks, blobs are not.  Results are identical
         either way.
+    replan:
+        Adaptive granularity re-planning: a
+        :class:`~repro.streaming.replan.ReplanPolicy`, a
+        :class:`~repro.streaming.config.ReplanConfig`, a mapping of its
+        fields, or ``None``/disabled to keep the planned granularities.
+        The parent merges the workers' observed statistics, re-evaluates
+        the cost model, and broadcasts plan swaps between shipped waves;
+        results are unchanged (see :mod:`repro.streaming.replan`).
     """
 
     def __init__(
@@ -755,6 +794,7 @@ class ShardedRuntime(PipelineDriver):
         max_inflight: int = 64,
         observability: Optional[Observability] = None,
         ship_serialized: bool = True,
+        replan=None,
     ):
         # the kwargs are one corner of the declarative JobConfig API: the
         # component specs own validation and defaults (ConfigError is a
@@ -820,6 +860,17 @@ class ShardedRuntime(PipelineDriver):
         self._shipped_watermark = -math.inf
         #: human-readable log of slot migrations, newest last
         self.rebalance_log: List[str] = []
+
+        #: the adaptive granularity control loop (None when disabled); the
+        #: parent observes the merged shard statistics, decides against the
+        #: observed cost model and broadcasts plan swaps between shipped
+        #: waves -- workers never re-plan on their own
+        self._replan_policy = resolve_replan_policy(replan)
+        self._replan_controller = (
+            ReplanController(self._replan_policy)
+            if self._replan_policy is not None
+            else None
+        )
 
         self._procs: List = []
         self._inboxes: List = []
@@ -1297,9 +1348,16 @@ class ShardedRuntime(PipelineDriver):
                     self._inboxes[shard].put(("checkpoint", epoch))
                 elif entry.op == "metrics":
                     self._inboxes[shard].put(("metrics", epoch))
+                elif entry.op == "observe":
+                    self._inboxes[shard].put(("observe", epoch))
                 elif entry.op == "restore":
                     # the out-of-band restore above already applied the same
                     # state (restore() records it before shipping)
+                    entry.pending.discard(shard)
+                elif entry.op == "replan":
+                    # a migration's recovery baseline is recorded before the
+                    # replan ships, and the respawned worker was built from
+                    # the post-migration specs: it already runs the new plan
                     entry.pending.discard(shard)
             self.recovery_log.append(
                 f"shard {shard} restarted "
@@ -1663,6 +1721,177 @@ class ShardedRuntime(PipelineDriver):
             f"{len(moved_keys)} key(s) ({moved}); paused {pause * 1000.0:.1f} ms"
         )
 
+    # -- adaptive granularity re-planning --------------------------------------
+
+    def _ensure_replan_controller(self) -> ReplanController:
+        """The controller, created on demand for forced migrations."""
+        if self._replan_controller is None:
+            self._replan_controller = ReplanController(ReplanPolicy())
+        return self._replan_controller
+
+    def _maybe_replan(self) -> None:
+        """One policy-driven granularity check, every check-interval events."""
+        if self._replan_policy is None or not self._started:
+            return
+        if self._replan_controller.due(1):
+            self._replan_now()
+
+    def _collect_worker_observations(self) -> Dict[str, Dict[str, float]]:
+        """Quiesce in-flight work and merge every worker's raw statistics.
+
+        The replan counterpart of :meth:`_collect_worker_registries` for the
+        lightweight ``observe`` operation: the per-shard, per-query raw
+        statistics come back and are summed into one stream-wide view per
+        query (:func:`~repro.streaming.replan.merge_raw_observations`).
+        """
+        self._drain_acks(block=True)
+        self._ship("observe", range(self.shard_count))
+        payloads: Dict[int, dict] = {}
+        collected = 0
+        while collected < self.shard_count:
+            ack = self._next_ack()
+            if ack[0] == "ok" and isinstance(ack[3], dict) and "observe" in ack[3]:
+                if ack[2] not in payloads:
+                    collected += 1
+                payloads[ack[2]] = ack[3]["observe"]
+                entry = self._inflight.get(ack[1])
+                if entry is not None:
+                    entry.pending.discard(ack[2])
+                    if not entry.pending:
+                        self._inflight.pop(ack[1], None)
+            else:  # a straggling batch ack ahead of the observe ack
+                self._apply_ack(ack)
+        self._release_ready_epochs()
+        return {
+            spec.name: merge_raw_observations(
+                [payloads[shard][spec.name] for shard in sorted(payloads)]
+            )
+            for spec in self._specs
+        }
+
+    def _replan_now(self) -> None:
+        """One check of the control loop: observe workers, decide, migrate."""
+        controller = self._replan_controller
+        controller.begin_check()
+        started = _time.perf_counter()
+        merged = self._collect_worker_observations()
+        migrations: List[Tuple[str, "Granularity"]] = []
+        for spec in self._specs:
+            engine = self._engines[spec.name]
+            target = controller.decide(spec.name, engine, merged[spec.name])
+            if (
+                target is not engine.plan.granularity
+                and len(migrations) < controller.policy.max_migrations
+            ):
+                migrations.append((spec.name, target))
+        if migrations:
+            self._apply_replan(migrations)
+        pause = _time.perf_counter() - started
+        self.metrics.record_replan(len(migrations), pause)
+        self._observe_lifecycle("replan", pause)
+
+    def _apply_replan(self, migrations: List[Tuple[str, "Granularity"]]) -> None:
+        """Broadcast granularity migrations to the workers, quiesced.
+
+        The act step, between shipped waves (routing is granularity-blind,
+        so -- unlike :meth:`_apply_moves` -- no events change owner):
+
+        1. in-flight work is acknowledged and every worker's executor state
+           is snapshotted through the checkpoint path;
+        2. the parent engines re-plan (validating the target granularity)
+           and the registration specs are updated, so recovered workers and
+           composed checkpoints describe the post-migration plan;
+        3. with recovery enabled, the composed snapshot -- its migrated
+           executor states relabelled with the new granularity (their open
+           aggregators keep the recorded per-class layout) -- becomes the
+           recovery baseline: a worker crash mid-migration restores the
+           post-migration plan version;
+        4. the ``replan`` operation is broadcast and acknowledged by every
+           worker before any further events ship.
+        """
+        controller = self._ensure_replan_controller()
+        shard_payloads = self._collect_shard_snapshots()
+        performed: List[Tuple[str, "Granularity", "Granularity"]] = []
+        for name, target in migrations:
+            engine = self._engines[name]
+            previous = engine.plan.granularity
+            if not migrate_engine(engine, target):
+                continue
+            for spec in self._specs:
+                if spec.name == name:
+                    spec.granularity = engine.plan.granularity.value
+            performed.append((name, previous, engine.plan.granularity))
+        if not performed:
+            return
+        snapshot = self._compose_snapshot(shard_payloads)
+        for name, _, new in performed:
+            # the worker snapshots were taken pre-migration: relabel the
+            # merged executor state so a recovery restores into the
+            # post-migration executor (open aggregators carry their own
+            # recorded classes and rebuild unchanged)
+            snapshot["executors"][name]["granularity"] = new.value
+        if self.max_restarts:
+            self._last_checkpoint = snapshot
+            self._replay = [[] for _ in range(self.shard_count)]
+        for name, previous, new in performed:
+            payloads = {
+                shard: ("replan", self._epoch, name, new.value)
+                for shard in range(self.shard_count)
+            }
+            self._ship("replan", range(self.shard_count), payloads)
+            controller.record_migration(
+                name,
+                previous,
+                new,
+                int(snapshot["executors"][name].get("events_seen", 0)),
+            )
+        self._drain_acks(block=True)
+
+    def migrate_granularity(self, name: str, granularity) -> bool:
+        """Force a live granularity migration of one registered query.
+
+        The sharded counterpart of :meth:`StreamingRuntime.
+        migrate_granularity`: the swap is coordinated across every worker
+        behind a quiesce.  Returns True when a migration happened;
+        disallowed granularities raise
+        :class:`~repro.errors.PlanningError`.
+        """
+        self._check_usable()
+        if not self._started:
+            self._start()
+        engine = self._engines.get(name)
+        if engine is None:
+            raise KeyError(f"no registered query named {name!r}")
+        if isinstance(granularity, str):
+            granularity = Granularity(granularity)
+        if granularity is engine.plan.granularity:
+            return False
+        started = _time.perf_counter()
+        self._apply_replan([(name, granularity)])
+        pause = _time.perf_counter() - started
+        self.metrics.record_replan(1, pause)
+        self._observe_lifecycle("replan", pause)
+        return True
+
+    @property
+    def replan_log(self) -> List[Dict[str, object]]:
+        """Migration records, oldest first (empty when none happened)."""
+        controller = self._replan_controller
+        return list(controller.log) if controller is not None else []
+
+    @property
+    def plan_versions(self) -> Dict[str, int]:
+        """Per-query plan version: 0 at registration, +1 per migration."""
+        versions = {spec.name: 0 for spec in self._specs}
+        if self._replan_controller is not None:
+            versions.update(self._replan_controller.plan_versions)
+        return versions
+
+    def query_observations(self):
+        """Last merged :class:`~repro.streaming.replan.QueryObservation` per query."""
+        controller = self._replan_controller
+        return dict(controller.observations) if controller is not None else {}
+
     # -- streaming -------------------------------------------------------------
 
     def _check_usable(self) -> None:
@@ -1742,6 +1971,7 @@ class ShardedRuntime(PipelineDriver):
             self.metrics.record_watermark(batch.watermark)
             self._pending_watermark = batch.watermark
         self._maybe_rebalance()
+        self._maybe_replan()
         self._pushes_since_ship += 1
         if self._pushes_since_ship >= self._ship_interval:
             # carries the newest watermark (coalescing intermediate ones:
@@ -1829,6 +2059,7 @@ class ShardedRuntime(PipelineDriver):
                     watermark_seen = batch.watermark
                     self._pending_watermark = batch.watermark
                 self._maybe_rebalance()
+                self._maybe_replan()
                 self._pushes_since_ship += 1
                 if self._pushes_since_ship >= self._ship_interval:
                     self._ship_outboxes(self._pending_watermark)
@@ -1978,6 +2209,12 @@ class ShardedRuntime(PipelineDriver):
             )
         for note in self.rebalance_log:
             lines.append(f"rebalance           : {note}")
+        for record in self.replan_log:
+            lines.append(
+                f"replan              : {record['query']} "
+                f"{record['from']}->{record['to']} (v{record['version']}, "
+                f"after {record['events_total']} events)"
+            )
         for note in self.recovery_log:
             lines.append(f"recovery            : {note}")
         return "\n".join(lines)
@@ -2162,6 +2399,21 @@ class ShardedRuntime(PipelineDriver):
             ]
         except (KeyError, TypeError) as exc:
             raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+        if self._replan_policy is not None:
+            # with re-planning enabled the checkpointed granularity wins: a
+            # snapshot taken after a migration restores into a runtime whose
+            # queries were registered at the seed granularity, so adopt the
+            # recorded plan (parent and workers) before the identity check
+            recorded_by_name = {entry[0]: entry for entry in recorded}
+            for spec in self._specs:
+                entry = recorded_by_name.get(spec.name)
+                if entry is None or entry[1] == self._engines[spec.name].granularity:
+                    continue
+                try:
+                    self._drain_acks(block=True)
+                    self._apply_replan([(spec.name, entry[1])])
+                except Exception:
+                    pass  # the identity check below reports the mismatch
         current = [
             (
                 spec.name,
